@@ -1,0 +1,51 @@
+"""Ablation: PROTEST's estimator ladder (exact / cutting / topological / MC).
+
+Measures, on a reconvergent random circuit family, the error and cost
+trade-off the tool's "auto" dispatch is built on: exact is the
+reference, the cutting algorithm certifies an enclosure, the
+topological estimate is fast but biased, Monte Carlo converges with
+sample count.
+"""
+
+import numpy as np
+
+from repro.circuits.generators import random_network
+from repro.protest import cutting_signal_bounds
+from repro.protest.signalprob import (
+    exact_signal_probabilities,
+    monte_carlo_signal_probabilities,
+    topological_signal_probabilities,
+)
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def run():
+    rows = []
+    for seed in SEEDS:
+        network = random_network(n_inputs=8, n_gates=10, seed=seed)
+        exact = exact_signal_probabilities(network)
+        topo = topological_signal_probabilities(network)
+        monte = monte_carlo_signal_probabilities(network, samples=4096, seed=seed)
+        bounds = cutting_signal_bounds(network)
+        nets = network.nets()
+        rows.append(
+            {
+                "seed": seed,
+                "topo_err": max(abs(exact[n] - topo[n]) for n in nets),
+                "mc_err": max(abs(exact[n] - monte[n]) for n in nets),
+                "bound_ok": all(bounds[n].contains(exact[n]) for n in nets),
+                "mean_bound_width": float(
+                    np.mean([bounds[n].width for n in nets])
+                ),
+            }
+        )
+    return rows
+
+
+def test_ablation_estimators(benchmark):
+    rows = benchmark(run)
+    assert all(row["bound_ok"] for row in rows)  # enclosures never violated
+    assert all(row["mc_err"] < 0.05 for row in rows)  # MC converged
+    # Topological bias exists somewhere (that's why cutting/exact matter).
+    assert max(row["topo_err"] for row in rows) > 0.0

@@ -1,0 +1,10 @@
+"""E10 - fault library generation cost over switching-network size."""
+
+from repro.experiments import e10_library_runtime
+
+
+def test_e10_library_runtime(benchmark):
+    result = benchmark(e10_library_runtime.run)
+    assert result.all_claims_hold, result.claims
+    twelve = next(r for r in result.rows if r["SN transistors"] == 12)
+    assert twelve["seconds"] < 1.0  # "a few seconds" in 1986; instant today

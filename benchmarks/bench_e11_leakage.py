@@ -1,0 +1,8 @@
+"""E11 - leakage (IDDQ) measurement vs at-speed self-test."""
+
+from repro.experiments import e11_leakage
+
+
+def test_e11_leakage(benchmark):
+    result = benchmark(e11_leakage.run)
+    assert result.all_claims_hold, result.claims

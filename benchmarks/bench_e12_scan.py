@@ -1,0 +1,9 @@
+"""E12 - scan shifting invalidates static CMOS two-pattern tests."""
+
+from repro.experiments import e12_scan_invalidation
+
+
+def test_e12_scan_invalidation(benchmark):
+    result = benchmark(e12_scan_invalidation.run)
+    assert result.all_claims_hold, result.claims
+    assert sum(row["order-sensitive"] for row in result.rows) > 0

@@ -1,0 +1,14 @@
+"""E1 - regenerate the Fig. 1 function table (faulty static CMOS NOR)."""
+
+from repro.experiments import e1_fig1_nor
+
+
+def bench(benchmark):
+    result = benchmark(e1_fig1_nor.run)
+    assert result.all_claims_hold, result.claims
+    table = {(row["A"], row["B"]): row["Z_faulty(t+d)"] for row in result.rows}
+    assert table == {(0, 0): "1", (0, 1): "0", (1, 0): "Z(t)", (1, 1): "0"}
+
+
+def test_e1_fig1_table(benchmark):
+    bench(benchmark)

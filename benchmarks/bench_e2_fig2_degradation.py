@@ -1,0 +1,16 @@
+"""E2 - regenerate the Fig. 2 performance-degradation sweep."""
+
+import math
+
+from repro.experiments import e2_fig2_degradation
+
+
+def test_e2_fig2_degradation(benchmark):
+    result = benchmark(e2_fig2_degradation.run)
+    assert result.all_claims_hold, result.claims
+    # Shape: level follows the resistive divider, delay diverges at the
+    # ratio-1 crossover.
+    by_ratio = {row["R(T1)/R(T2)"]: row for row in result.rows}
+    assert by_ratio[1.0]["steady level"] == 0.5
+    assert math.isinf(by_ratio[1.0]["fall delay"])
+    assert by_ratio[16.0]["delay vs fault-free"] > 1.0

@@ -1,0 +1,19 @@
+"""E3 - verify the dynamic nMOS fault model by exhaustive simulation."""
+
+from repro.experiments import e3_dynamic_nmos_model
+
+
+def run_fast():
+    # The benchmark loop uses a reduced gate family; the full family runs
+    # in tests and in `python -m repro.experiments E3`.
+    return e3_dynamic_nmos_model.run(
+        expressions=("a*b", "a+b", "a*b+c"), check_sequential=False
+    )
+
+
+def test_e3_dynamic_nmos_model(benchmark):
+    result = benchmark(run_fast)
+    assert result.claims[
+        "every fault's measured function equals the analytic prediction"
+    ]
+    assert all(row["match"] for row in result.rows)

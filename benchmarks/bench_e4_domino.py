@@ -1,0 +1,17 @@
+"""E4 - verify the domino CMOS fault model (CMOS-1..4) incl. timing."""
+
+from repro.experiments import e4_domino_model
+
+
+def run_fast():
+    return e4_domino_model.run(expressions=("a*b", "a+b"), check_sequential=False)
+
+
+def test_e4_domino_model(benchmark):
+    result = benchmark(run_fast)
+    assert result.claims["all pure-logic faults measure their predicted function"]
+    assert result.claims["CMOS-1 is behaviourally invisible (possibly undetectable)"]
+    assert result.claims["CMOS-3 case (a), strong pull-up: detected at any speed"]
+    assert result.claims[
+        "CMOS-3 case (b), weak pull-up: detected only at maximum speed"
+    ]

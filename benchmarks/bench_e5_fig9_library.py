@@ -1,0 +1,10 @@
+"""E5 - regenerate the Section 5 fault-class table of the Fig. 9 cell."""
+
+from repro.experiments import e5_fig9_library
+
+
+def test_e5_fig9_library(benchmark):
+    result = benchmark(e5_fig9_library.run)
+    assert result.all_claims_hold, result.claims
+    assert len(result.rows) == 10
+    assert all(row["match"] for row in result.rows)

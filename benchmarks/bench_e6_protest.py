@@ -1,0 +1,10 @@
+"""E6 - PROTEST analysis: probabilities and test-length protocol."""
+
+from repro.experiments import e6_protest_analysis
+
+
+def test_e6_protest_analysis(benchmark):
+    result = benchmark(e6_protest_analysis.run)
+    assert result.all_claims_hold, result.claims
+    for row in result.rows:
+        assert row["N@0.9"] <= row["N@0.999"]

@@ -1,0 +1,14 @@
+"""E7 - optimized input probabilities: orders-of-magnitude shorter tests."""
+
+from repro.experiments import e7_optimized_probabilities
+
+
+def run_fast():
+    return e7_optimized_probabilities.run(widths=(4, 6, 8, 10, 12), validate_width=8)
+
+
+def test_e7_optimized_probabilities(benchmark):
+    result = benchmark(run_fast)
+    assert result.all_claims_hold, result.claims
+    ratios = [row["ratio"] for row in result.rows]
+    assert max(ratios) >= 100.0  # "orders of magnitude"

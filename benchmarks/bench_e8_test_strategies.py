@@ -1,0 +1,8 @@
+"""E8 - test strategies: A1/A2, random vs PODEM, two-pattern tests."""
+
+from repro.experiments import e8_test_strategies
+
+
+def test_e8_test_strategies(benchmark):
+    result = benchmark(e8_test_strategies.run)
+    assert result.all_claims_hold, result.claims

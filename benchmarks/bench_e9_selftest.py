@@ -1,0 +1,12 @@
+"""E9 - at-speed random self-test catches the delay faults."""
+
+from repro.experiments import e9_selftest_at_speed
+
+
+def run_fast():
+    return e9_selftest_at_speed.run(cycles=32)
+
+
+def test_e9_selftest_at_speed(benchmark):
+    result = benchmark(run_fast)
+    assert result.all_claims_hold, result.claims

@@ -1,0 +1,16 @@
+"""Shared benchmark configuration.
+
+Each ``bench_e*.py`` regenerates one table/figure of the paper (see
+DESIGN.md's per-experiment index) under pytest-benchmark timing and
+asserts the paper's qualitative claims on the produced result, so a
+benchmark run doubles as a full reproduction check:
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    # Benchmarks are ordered by experiment id for a readable report.
+    items.sort(key=lambda item: item.nodeid)

@@ -1,0 +1,68 @@
+"""The paper's central contrast: static CMOS misbehaves, dynamic MOS does not.
+
+Reproduces, side by side:
+
+* Fig. 1 - a stuck-open static CMOS NOR remembers its previous state
+  (the function table gains a Z(t) row), so it needs an ordered
+  *two-pattern* test, which this script also generates and validates;
+* the same physical fault universe on a domino CMOS and dynamic nMOS
+  gate: every fault stays combinational and maps to a faulty function
+  or an output stuck-at - single vectors suffice.
+
+Run:  python examples/static_vs_dynamic.py
+"""
+
+from repro.atpg import generate_two_pattern_test, validate_two_pattern_test
+from repro.circuits.figures import fig1_function_table, format_fig1_table
+from repro.faults import FaultCategory, classify, enumerate_gate_faults
+from repro.logic import minimal_sop_string, parse_expression
+from repro.netlist import CellFactory, Network, stuck_open_faults_of_gate
+from repro.tech import DominoCmosGate, DynamicNmosGate
+
+
+def show_static_pathology() -> None:
+    print("== Fig. 1: static CMOS NOR with an open pull-down connection ==")
+    print(format_fig1_table(fig1_function_table()))
+    print()
+
+    factory = CellFactory("static-CMOS")
+    network = Network("nor")
+    network.add_input("a")
+    network.add_input("b")
+    network.add_gate("nor", factory.or_gate(2), {"i1": "a", "i2": "b"}, "z")
+    network.mark_output("z")
+    print("two-pattern tests for every stuck-open fault of the NOR:")
+    for fault in stuck_open_faults_of_gate(network, "nor"):
+        pair = generate_two_pattern_test(network, fault)
+        assert pair is not None and validate_two_pattern_test(network, fault, pair)
+        print(f"  {fault.label}:")
+        print(f"    init  {pair.init_vector}  (drives z to {pair.retained_value})")
+        print(f"    test  {pair.test_vector}  (z floats, retains the wrong value)")
+    print()
+
+
+def show_dynamic_discipline() -> None:
+    for gate, title in (
+        (DominoCmosGate(parse_expression("a*b+c"), name="domino"), "domino CMOS"),
+        (DynamicNmosGate(parse_expression("a*b+c"), name="dyn"), "dynamic nMOS"),
+    ):
+        print(f"== {title} gate, same physical fault model ==")
+        sequential = 0
+        for entry in enumerate_gate_faults(gate, include_line_opens=False):
+            prediction = classify(gate, entry.fault)
+            if prediction.category is FaultCategory.SEQUENTIAL:
+                sequential += 1
+                continue
+            if prediction.predicted is not None:
+                function = minimal_sop_string(prediction.predicted)
+                print(f"  {entry.label:<28} -> z = {function}")
+            else:
+                print(f"  {entry.label:<28} -> {prediction.category.value}: {prediction.notes}")
+        print(f"  sequential faults: {sequential}  "
+              "(claim (a) of the paper: always zero)")
+        print()
+
+
+if __name__ == "__main__":
+    show_static_pathology()
+    show_dynamic_discipline()

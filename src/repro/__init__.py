@@ -1,0 +1,34 @@
+"""repro - a reproduction of Wunderlich & Rosenstiel, DAC 1986.
+
+*On Fault Modeling for Dynamic MOS Circuits* argued that dynamic nMOS
+and domino CMOS circuits avoid the two pathologies that make static MOS
+hard to test - stuck-open faults becoming *sequential* faults, and
+stuck-closed faults becoming pure *timing* faults - and built a tool
+chain (a fault-library generator plus the PROTEST probabilistic
+testability analyser) on top of that observation.
+
+This package re-implements the full stack:
+
+* :mod:`repro.logic` - Boolean expressions, truth tables, minimal
+  disjunctive forms, exact probabilities.
+* :mod:`repro.switchlevel` - transistor networks and a charge-aware
+  switch-level simulator (assumptions A1/A2 of the paper).
+* :mod:`repro.tech` - gate constructions for static nMOS/CMOS, dynamic
+  nMOS, domino CMOS and bipolar cells.
+* :mod:`repro.faults` - the physical fault model and its analytic
+  classification into logical faults.
+* :mod:`repro.cells` - the cell description language and the fault
+  library generator (Section 5 of the paper).
+* :mod:`repro.netlist`, :mod:`repro.simulate` - gate-level networks,
+  logic/fault/timing simulation.
+* :mod:`repro.atpg` - PODEM, miter-based cell-fault ATPG, two-pattern
+  tests for static CMOS stuck-opens.
+* :mod:`repro.protest` - the PROTEST testability analyser.
+* :mod:`repro.selftest` - LFSR/BILBO/MISR self-test structures.
+* :mod:`repro.circuits`, :mod:`repro.experiments` - every figure of the
+  paper as an executable construction, and the experiment harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

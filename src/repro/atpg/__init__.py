@@ -1,0 +1,36 @@
+"""Test pattern generation: PODEM, miter-based cell-fault ATPG,
+two-pattern tests for static CMOS stuck-opens, test strategies."""
+
+from .patterns import (
+    a2_satisfaction_probability,
+    apply_twice,
+    charges_and_discharges_every_node,
+    compact_test_set,
+)
+from .podem import AtpgResult, PodemEngine, TestSetResult, generate_test, generate_test_set
+from .primitives import PrimitiveNetwork, build_miter, network_to_primitives
+from .stuck_open import (
+    TwoPatternTest,
+    generate_two_pattern_test,
+    single_vector_coverage_of_stuck_opens,
+    validate_two_pattern_test,
+)
+
+__all__ = [
+    "a2_satisfaction_probability",
+    "apply_twice",
+    "charges_and_discharges_every_node",
+    "compact_test_set",
+    "AtpgResult",
+    "PodemEngine",
+    "TestSetResult",
+    "generate_test",
+    "generate_test_set",
+    "PrimitiveNetwork",
+    "build_miter",
+    "network_to_primitives",
+    "TwoPatternTest",
+    "generate_two_pattern_test",
+    "single_vector_coverage_of_stuck_opens",
+    "validate_two_pattern_test",
+]

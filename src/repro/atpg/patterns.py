@@ -1,0 +1,67 @@
+"""Test application strategies (Section 4).
+
+"We remember, that all results are achieved under the assumptions A1
+and A2.  If a deterministic test set is generated e.g. by PODEM, then
+these assumptions can be fulfilled by applying the test set exactly two
+times.  Applying a randomly generated test set, these assumptions are
+also satisfied with a high confidence ... random tests satisfy the
+assumptions A1 and A2 per se."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..simulate.logicsim import PatternSet
+
+
+def apply_twice(patterns: PatternSet) -> PatternSet:
+    """The deterministic strategy: the whole set, twice in sequence.
+
+    The first application charges and discharges every node (A2); the
+    second application is then measured under valid assumptions.
+    """
+    return patterns.repeat(2)
+
+
+def charges_and_discharges_every_node(network, patterns: PatternSet) -> bool:
+    """Check A2 directly: does the set drive every net to both values?
+
+    (For a dynamic MOS implementation each net's 0 and 1 episodes are
+    exactly the charge/discharge events of the corresponding node.)
+    """
+    values = network.evaluate_bits(patterns.env, patterns.mask)
+    mask = patterns.mask
+    for net, bits in values.items():
+        if bits == 0 or bits == mask:
+            return False
+    return True
+
+
+def a2_satisfaction_probability(
+    network, pattern_count: int, trials: int = 50, seed: int = 7
+) -> float:
+    """Empirical probability that a random set of the given length
+    satisfies A2 - the paper's "with a high confidence"."""
+    satisfied = 0
+    for trial in range(trials):
+        patterns = PatternSet.random(network.inputs, pattern_count, seed=seed + trial)
+        if charges_and_discharges_every_node(network, patterns):
+            satisfied += 1
+    return satisfied / trials
+
+
+def compact_test_set(
+    network,
+    vectors: Sequence[Dict[str, int]],
+    faults=None,
+) -> List[Dict[str, int]]:
+    """Drop vectors that detect nothing new (simple forward compaction)."""
+    from ..simulate.faultsim import fault_simulate
+
+    if faults is None:
+        faults = network.enumerate_faults()
+    patterns = PatternSet.from_vectors(network.inputs, vectors)
+    result = fault_simulate(network, patterns, faults)
+    keep_indices = sorted(set(result.detected.values()))
+    return [dict(patterns.vector(i)) for i in keep_indices]

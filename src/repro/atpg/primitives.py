@@ -1,0 +1,227 @@
+"""Primitive AND/OR/NOT networks - the substrate of the ATPG engine.
+
+Library cells have arbitrary (two-level) functions; for test generation
+each cell is decomposed into primitive nodes so the classic PODEM
+machinery (controlling values, backtrace, D-frontier) applies.  The
+same structure doubles as a *miter* builder: good circuit XOR faulty
+circuit, which reduces every test generation problem - stuck-at, cell
+fault class, constrained two-pattern component - to "find an input
+assignment making one node 1".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..logic.expr import And, Const, Expr, Not, Or, Var
+from ..logic.minimize import minimal_sop
+from ..logic.values import ONE, X, ZERO, t_and_all, t_not, t_or_all
+from ..netlist.network import Network, NetworkFault
+
+
+@dataclass
+class PrimitiveNode:
+    """One node: a primary input or an AND/OR/NOT/CONST over fanins."""
+
+    name: str
+    op: str  # 'input' | 'and' | 'or' | 'not' | 'const0' | 'const1'
+    fanins: Tuple[str, ...] = ()
+
+
+class PrimitiveNetwork:
+    """A DAG of primitive nodes with ternary evaluation."""
+
+    def __init__(self, name: str = "primitive"):
+        self.name = name
+        self.nodes: Dict[str, PrimitiveNode] = {}
+        self.inputs: List[str] = []
+        self._order: Optional[List[str]] = None
+        self._counter = 0
+
+    # -- construction ---------------------------------------------------------
+
+    def add_input(self, name: str) -> str:
+        if name in self.nodes:
+            if self.nodes[name].op != "input":
+                raise ValueError(f"node {name!r} exists and is not an input")
+            return name
+        self.nodes[name] = PrimitiveNode(name, "input")
+        self.inputs.append(name)
+        self._order = None
+        return name
+
+    def add_node(self, op: str, fanins: Sequence[str], name: Optional[str] = None) -> str:
+        if name is None:
+            self._counter += 1
+            name = f"_n{self._counter}"
+        if name in self.nodes:
+            raise ValueError(f"duplicate node {name!r}")
+        for fanin in fanins:
+            if fanin not in self.nodes:
+                raise ValueError(f"node {name!r} references unknown fanin {fanin!r}")
+        self.nodes[name] = PrimitiveNode(name, op, tuple(fanins))
+        self._order = None
+        return name
+
+    def add_expr(self, expr: Expr, net_of_var: Mapping[str, str]) -> str:
+        """Decompose an expression over existing nodes; returns the root."""
+        if isinstance(expr, Var):
+            return net_of_var[expr.name]
+        if isinstance(expr, Const):
+            return self.add_node("const1" if expr.value else "const0", ())
+        if isinstance(expr, Not):
+            return self.add_node("not", (self.add_expr(expr.operand, net_of_var),))
+        if isinstance(expr, And):
+            return self.add_node(
+                "and", tuple(self.add_expr(op, net_of_var) for op in expr.operands)
+            )
+        if isinstance(expr, Or):
+            return self.add_node(
+                "or", tuple(self.add_expr(op, net_of_var) for op in expr.operands)
+            )
+        raise TypeError(f"unknown expression node {expr!r}")
+
+    # -- evaluation -------------------------------------------------------------
+
+    def topo_order(self) -> List[str]:
+        if self._order is not None:
+            return self._order
+        order: List[str] = []
+        state: Dict[str, int] = {}  # 0 visiting, 1 done
+
+        for root in self.nodes:
+            if root in state:
+                continue
+            stack: List[Tuple[str, int]] = [(root, 0)]
+            while stack:
+                node, phase = stack.pop()
+                if phase == 0:
+                    if node in state:
+                        continue
+                    state[node] = 0
+                    stack.append((node, 1))
+                    for fanin in self.nodes[node].fanins:
+                        if fanin not in state:
+                            stack.append((fanin, 0))
+                else:
+                    state[node] = 1
+                    order.append(node)
+        self._order = order
+        return order
+
+    def evaluate(self, assignment: Mapping[str, int]) -> Dict[str, int]:
+        """Ternary evaluation under a (possibly partial) PI assignment.
+
+        Unassigned inputs are X; every node gets a value in {0, 1, X}.
+        """
+        values: Dict[str, int] = {}
+        for name in self.topo_order():
+            node = self.nodes[name]
+            if node.op == "input":
+                values[name] = assignment.get(name, X)
+            elif node.op == "const0":
+                values[name] = ZERO
+            elif node.op == "const1":
+                values[name] = ONE
+            elif node.op == "not":
+                values[name] = t_not(values[node.fanins[0]])
+            elif node.op == "and":
+                values[name] = t_and_all([values[f] for f in node.fanins])
+            elif node.op == "or":
+                values[name] = t_or_all([values[f] for f in node.fanins])
+            else:  # pragma: no cover - exhaustiveness
+                raise AssertionError(f"unknown op {node.op!r}")
+        return values
+
+    # -- controllability (SCOAP-lite, guides the PODEM backtrace) ------------------
+
+    def controllability(self) -> Dict[str, Tuple[int, int]]:
+        """(cost to set 0, cost to set 1) per node - smaller is easier."""
+        cost: Dict[str, Tuple[int, int]] = {}
+        for name in self.topo_order():
+            node = self.nodes[name]
+            if node.op == "input":
+                cost[name] = (1, 1)
+            elif node.op == "const0":
+                cost[name] = (0, 10 ** 9)
+            elif node.op == "const1":
+                cost[name] = (10 ** 9, 0)
+            elif node.op == "not":
+                c0, c1 = cost[node.fanins[0]]
+                cost[name] = (c1 + 1, c0 + 1)
+            elif node.op == "and":
+                fanin_costs = [cost[f] for f in node.fanins]
+                cost[name] = (
+                    min(c0 for c0, _ in fanin_costs) + 1,
+                    sum(c1 for _, c1 in fanin_costs) + 1,
+                )
+            else:  # or
+                fanin_costs = [cost[f] for f in node.fanins]
+                cost[name] = (
+                    sum(c0 for c0, _ in fanin_costs) + 1,
+                    min(c1 for _, c1 in fanin_costs) + 1,
+                )
+        return cost
+
+
+def network_to_primitives(
+    network: Network,
+    fault: Optional[NetworkFault] = None,
+    prefix: str = "",
+    target: Optional[PrimitiveNetwork] = None,
+    share_inputs: bool = True,
+) -> Tuple[PrimitiveNetwork, Dict[str, str]]:
+    """Decompose a cell network into primitives.
+
+    Returns the primitive network and a map from original net names to
+    primitive node names (all prefixed by ``prefix`` except the primary
+    inputs when ``share_inputs`` - the miter needs one shared input
+    rail).
+    """
+    primitive = target if target is not None else PrimitiveNetwork(network.name)
+    net_map: Dict[str, str] = {}
+    for input_net in network.inputs:
+        name = input_net if share_inputs else f"{prefix}{input_net}"
+        primitive.add_input(name)
+        net_map[input_net] = name
+    if fault is not None and fault.kind == "stuck" and fault.net in network.inputs:
+        forced = primitive.add_node("const1" if fault.value else "const0", ())
+        net_map[fault.net] = forced
+    for gate_name in network.levelize():
+        gate = network.gates[gate_name]
+        if fault is not None and fault.kind == "cell" and fault.gate == gate_name:
+            expr = minimal_sop(fault.function.table)
+        else:
+            expr = gate.function_expr()
+        pin_map = {
+            pin: net_map[net] for pin, net in gate.connections.items()
+        }
+        root = primitive.add_expr(expr, pin_map)
+        net_map[gate.output] = root
+        if fault is not None and fault.kind == "stuck" and fault.net == gate.output:
+            forced = primitive.add_node("const1" if fault.value else "const0", ())
+            net_map[gate.output] = forced
+    return primitive, net_map
+
+
+def build_miter(
+    network: Network, fault: NetworkFault
+) -> Tuple[PrimitiveNetwork, str, Dict[str, str], Dict[str, str]]:
+    """Good-vs-faulty miter: one node that is 1 exactly on test vectors.
+
+    Returns (primitive network, miter root, good net map, faulty net map).
+    """
+    primitive = PrimitiveNetwork(f"miter({network.name},{fault.describe()})")
+    _, good_map = network_to_primitives(network, None, prefix="g_", target=primitive)
+    _, bad_map = network_to_primitives(network, fault, prefix="f_", target=primitive)
+    xors: List[str] = []
+    for output in network.outputs:
+        g, b = good_map[output], bad_map[output]
+        not_g = primitive.add_node("not", (g,))
+        not_b = primitive.add_node("not", (b,))
+        left = primitive.add_node("and", (g, not_b))
+        right = primitive.add_node("and", (not_g, b))
+        xors.append(primitive.add_node("or", (left, right)))
+    root = xors[0] if len(xors) == 1 else primitive.add_node("or", tuple(xors))
+    return primitive, root, good_map, bad_map

@@ -1,0 +1,155 @@
+"""Two-pattern test generation for static CMOS stuck-open faults.
+
+Section 1 and refs. [16],[18]: a stuck-open fault in static CMOS turns
+the gate into a memory element, so a *single* vector cannot detect it -
+the test must be a pair (v1, v2):
+
+* **v1 (initialisation)** drives the faulty gate's output to the value
+  ``w`` that the fault will later wrongly retain,
+* **v2 (test)** puts the gate inputs into the *float condition* (the
+  faulty gate keeps ``w``) while the good gate produces ``1 - w``, and
+  propagates the difference to a primary output.
+
+The pair must be applied in this order with no intervening vector
+(races can invalidate it - one of the reasons the paper prefers dynamic
+logic).  Both component searches run on the PODEM justification engine
+with the float condition compiled in as a constraint.
+
+Contrast: for dynamic MOS, Section 3 guarantees single-vector tests
+always suffice; :func:`two_pattern_escape_demo` in the experiments shows
+a single-vector test set missing these faults entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..logic.minimize import minimal_sop
+from ..logic.truthtable import TruthTable
+from ..netlist.network import Network, NetworkFault
+from ..netlist.sequential import SequentialFaultSimulator, StuckOpenFault
+from .podem import PodemEngine
+from .primitives import PrimitiveNetwork, network_to_primitives
+
+
+@dataclass
+class TwoPatternTest:
+    """An ordered (initialisation, test) vector pair."""
+
+    fault_label: str
+    init_vector: Dict[str, int]
+    test_vector: Dict[str, int]
+    retained_value: int  # the value the faulty gate wrongly keeps
+
+
+def _gate_condition_node(
+    primitive: PrimitiveNetwork,
+    net_map: Dict[str, str],
+    network: Network,
+    gate_name: str,
+    condition: TruthTable,
+) -> str:
+    """Primitive node computing ``condition`` over the gate's input nets."""
+    gate = network.gates[gate_name]
+    pin_to_node = {pin: net_map[net] for pin, net in gate.connections.items()}
+    return primitive.add_expr(minimal_sop(condition), pin_to_node)
+
+
+def generate_two_pattern_test(
+    network: Network,
+    fault: StuckOpenFault,
+    backtrack_limit: int = 20000,
+) -> Optional[TwoPatternTest]:
+    """Generate a two-pattern test for one stuck-open fault, if one exists."""
+    gate = network.gates[fault.gate]
+    output_net = gate.output
+    for retained in (0, 1):
+        # --- v2: float condition holds, good output is 1-retained, and the
+        # difference (output forced to `retained` vs good) reaches a PO.
+        stuck = NetworkFault.stuck_at(output_net, retained)
+        from .primitives import build_miter
+
+        primitive, miter_root, good_map, _ = build_miter(network, stuck)
+        float_node = _gate_condition_node(
+            primitive, good_map, network, fault.gate, fault.float_condition
+        )
+        root = primitive.add_node("and", (miter_root, float_node))
+        engine = PodemEngine(primitive, backtrack_limit)
+        assignment, aborted, _, _ = engine.justify(root)
+        if assignment is None:
+            continue
+        v2 = {net: assignment.get(net, 0) for net in network.inputs}
+
+        # --- v1: gate output driven to `retained` through normal operation
+        # (the float condition must NOT hold, so the value is actually driven).
+        primitive1, net_map1 = network_to_primitives(network)
+        out_node = net_map1[output_net]
+        want = out_node if retained == 1 else primitive1.add_node("not", (out_node,))
+        no_float = primitive1.add_node(
+            "not",
+            (
+                _gate_condition_node(
+                    primitive1, net_map1, network, fault.gate, fault.float_condition
+                ),
+            ),
+        )
+        root1 = primitive1.add_node("and", (want, no_float))
+        engine1 = PodemEngine(primitive1, backtrack_limit)
+        assignment1, _, _, _ = engine1.justify(root1)
+        if assignment1 is None:
+            continue
+        v1 = {net: assignment1.get(net, 0) for net in network.inputs}
+        return TwoPatternTest(
+            fault_label=fault.label,
+            init_vector=v1,
+            test_vector=v2,
+            retained_value=retained,
+        )
+    return None
+
+
+def validate_two_pattern_test(
+    network: Network, fault: StuckOpenFault, test: TwoPatternTest
+) -> bool:
+    """Replay the pair against the sequential fault model and check that
+    some primary output differs from the good circuit on v2."""
+    simulator = SequentialFaultSimulator(network, fault)
+    simulator.apply(test.init_vector)
+    faulty_outputs = simulator.apply(test.test_vector)
+    good_outputs = network.evaluate(test.test_vector)
+    return any(
+        faulty_outputs[net] != good_outputs[net]
+        and faulty_outputs[net] in (0, 1)
+        for net in network.outputs
+    )
+
+
+def single_vector_coverage_of_stuck_opens(
+    network: Network,
+    faults: List[StuckOpenFault],
+    vectors: List[Dict[str, int]],
+) -> Tuple[int, int]:
+    """(faults caught, total) when a *single-vector* test set is applied
+    in sequence to the sequential fault models.
+
+    Detection requires a definite (non-X) discrepancy at some output.
+    This demonstrates why a combinational test set only detects a
+    stuck-open fault by the *accident* of vector ordering.
+    """
+    caught = 0
+    for fault in faults:
+        simulator = SequentialFaultSimulator(network, fault)
+        detected = False
+        for vector in vectors:
+            outputs = simulator.apply(vector)
+            good = network.evaluate(vector)
+            if any(
+                outputs[net] in (0, 1) and outputs[net] != good[net]
+                for net in network.outputs
+            ):
+                detected = True
+                break
+        if detected:
+            caught += 1
+    return caught, len(faults)

@@ -1,0 +1,26 @@
+"""Cell description language and fault library generation (Section 5)."""
+
+from .cell import Cell
+from .language import (
+    CellDescription,
+    CellSyntaxError,
+    INVERTING_TECHNOLOGIES,
+    SWITCH_TECHNOLOGIES,
+    normalize_technology,
+    parse_cell,
+)
+from .library import FaultLibrary, LibraryClass, LibraryFunction, generate_library
+
+__all__ = [
+    "Cell",
+    "CellDescription",
+    "CellSyntaxError",
+    "INVERTING_TECHNOLOGIES",
+    "SWITCH_TECHNOLOGIES",
+    "normalize_technology",
+    "parse_cell",
+    "FaultLibrary",
+    "LibraryClass",
+    "LibraryFunction",
+    "generate_library",
+]

@@ -1,0 +1,90 @@
+"""Cells: parsed descriptions bound to their technology gate models."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..logic.expr import Expr
+from ..logic.truthtable import TruthTable
+from ..tech.base import GateModel
+from ..tech.bipolar import BipolarGate
+from ..tech.domino_cmos import DominoCmosGate
+from ..tech.dynamic_nmos import DynamicNmosGate
+from ..tech.static_cmos import StaticCmosGate
+from ..tech.static_nmos import StaticNmosGate
+from .language import CellDescription, parse_cell
+
+
+class Cell:
+    """A library cell: description, logical function, and (on demand)
+    the transistor-level gate model realising it."""
+
+    def __init__(self, description: CellDescription):
+        self.description = description
+        self._gate_model: Optional[GateModel] = None
+
+    @classmethod
+    def from_text(cls, text: str, name: str = "cell") -> "Cell":
+        return cls(parse_cell(text, name))
+
+    # -- shortcuts ------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.description.name
+
+    @property
+    def technology(self) -> str:
+        return self.description.technology
+
+    @property
+    def inputs(self) -> tuple:
+        return self.description.inputs
+
+    @property
+    def output(self) -> str:
+        return self.description.output
+
+    @property
+    def network_expr(self) -> Expr:
+        return self.description.network_expr
+
+    @property
+    def output_function(self) -> Expr:
+        return self.description.output_function
+
+    def truth_table(self) -> TruthTable:
+        """Fault-free output function over the declared input order."""
+        return TruthTable.from_expr(self.output_function, self.inputs)
+
+    def transistor_count(self) -> int:
+        """Devices in the switching network (the paper sizes cells by this)."""
+        from ..logic.expr import literal_occurrences
+
+        return len(literal_occurrences(self.network_expr))
+
+    # -- gate model ----------------------------------------------------------------
+
+    def gate_model(self) -> GateModel:
+        """Build (once) the transistor-level model for this cell."""
+        if self._gate_model is None:
+            technology = self.technology
+            if technology == "domino-CMOS":
+                self._gate_model = DominoCmosGate(self.network_expr, name=self.name)
+            elif technology == "dynamic-nMOS":
+                self._gate_model = DynamicNmosGate(self.network_expr, name=self.name)
+            elif technology == "nMOS":
+                self._gate_model = StaticNmosGate(self.network_expr, name=self.name)
+            elif technology == "static-CMOS":
+                self._gate_model = StaticCmosGate(self.network_expr, name=self.name)
+            elif technology == "bipolar":
+                self._gate_model = BipolarGate(self.output_function, name=self.name)
+            else:  # pragma: no cover - parse_cell already validated
+                raise ValueError(f"unknown technology {technology!r}")
+        return self._gate_model
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cell({self.name!r}, {self.technology}, "
+            f"{self.output}={self.output_function.to_paper_syntax()})"
+        )

@@ -1,0 +1,203 @@
+"""The cell description language of Section 5.
+
+The paper's example (Fig. 9)::
+
+    TECHNOLOGY domino-CMOS;
+    INPUT a,b,c,d,e;
+    OUTPUT u;
+    x1 := a*(b+c);
+    x2 := d*e;
+    u  := x1+x2;
+
+A cell description consists of (1) the technology-dependent parameter,
+(2) the list of cell inputs, (3) the name of the cell output, (4) the
+description of the switching network, (5) the assignment of the
+transmission function or its inverse to the cell output.
+
+Statements are ``;``-separated; keywords are case-insensitive;
+intermediate names (``x1``, ``x2``) are flattened away by substitution.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..logic.expr import Expr, Not
+from ..logic.parser import parse_expression
+
+TECHNOLOGY_ALIASES = {
+    "nmos": "nMOS",
+    "nmos-pull-down": "nMOS",
+    "pull-down-nmos": "nMOS",
+    "static-cmos": "static-CMOS",
+    "cmos": "static-CMOS",
+    "bipolar": "bipolar",
+    "dynamic-nmos": "dynamic-nMOS",
+    "domino-cmos": "domino-CMOS",
+    "domino": "domino-CMOS",
+    "scvs": "domino-CMOS",  # SCVS circuits are treated like domino (refs. [4],[7])
+}
+
+SWITCH_TECHNOLOGIES = ("nMOS", "static-CMOS", "dynamic-nMOS", "domino-CMOS")
+"""Technologies whose cells are realised as switching networks."""
+
+INVERTING_TECHNOLOGIES = ("nMOS", "static-CMOS", "dynamic-nMOS")
+"""Technologies whose output is the *inverse* of the transmission function."""
+
+
+class CellSyntaxError(ValueError):
+    """Raised on malformed cell descriptions."""
+
+
+@dataclass(frozen=True)
+class CellDescription:
+    """A parsed and flattened cell description."""
+
+    name: str
+    technology: str
+    inputs: Tuple[str, ...]
+    output: str
+    assignments: Tuple[Tuple[str, Expr], ...]
+    network_expr: Expr
+    """The positive switching-network expression (transmission function
+    structure): outer negation stripped, intermediates substituted."""
+
+    output_inverted: bool
+    """True when the cell output is the inverse of the network's
+    transmission function (written ``u := !(...)`` or implied by an
+    inverting technology)."""
+
+    @property
+    def output_function(self) -> Expr:
+        """The cell's logical output function."""
+        return Not(self.network_expr) if self.output_inverted else self.network_expr
+
+
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def normalize_technology(raw: str) -> str:
+    key = raw.strip().lower().replace("_", "-").replace(" ", "-")
+    try:
+        return TECHNOLOGY_ALIASES[key]
+    except KeyError:
+        raise CellSyntaxError(
+            f"unknown technology {raw!r}; expected one of "
+            f"{sorted(set(TECHNOLOGY_ALIASES.values()))}"
+        ) from None
+
+
+def _contains_not(expr: Expr) -> bool:
+    return any(isinstance(node, Not) for node in expr.iter_nodes())
+
+
+def parse_cell(text: str, name: str = "cell") -> CellDescription:
+    """Parse a cell description into a :class:`CellDescription`.
+
+    Semantics of the final output assignment:
+
+    * For **domino-CMOS** the output *is* the transmission function; an
+      outer negation is rejected (the output inverter is part of the
+      gate construction, not of SN).
+    * For the **inverting** technologies (nMOS, static CMOS, dynamic
+      nMOS) the output is the inverse of the network.  The user may
+      write the negation explicitly (``u := !(a*b)``) or omit it - the
+      expression then describes the network and the inversion is
+      implied, as in the paper's "assignment of the transmission
+      function or its inverse".
+    * **bipolar** cells are functional: the expression (negations
+      anywhere) is the output function verbatim.
+    """
+    statements = [s.strip() for s in text.split(";") if s.strip()]
+    technology: str | None = None
+    inputs: List[str] = []
+    output: str | None = None
+    assignments: List[Tuple[str, Expr]] = []
+
+    for statement in statements:
+        upper = statement.upper()
+        if upper.startswith("TECHNOLOGY"):
+            technology = normalize_technology(statement[len("TECHNOLOGY"):])
+        elif upper.startswith("INPUT"):
+            names = [n.strip() for n in statement[len("INPUT"):].split(",")]
+            for input_name in names:
+                if not _IDENT_RE.match(input_name):
+                    raise CellSyntaxError(f"bad input name {input_name!r}")
+                if input_name in inputs:
+                    raise CellSyntaxError(f"duplicate input {input_name!r}")
+                inputs.append(input_name)
+        elif upper.startswith("OUTPUT"):
+            output_name = statement[len("OUTPUT"):].strip()
+            if not _IDENT_RE.match(output_name):
+                raise CellSyntaxError(f"bad output name {output_name!r}")
+            if output is not None:
+                raise CellSyntaxError("multiple OUTPUT statements")
+            output = output_name
+        elif ":=" in statement:
+            target, _, rhs = statement.partition(":=")
+            target = target.strip()
+            if not _IDENT_RE.match(target):
+                raise CellSyntaxError(f"bad assignment target {target!r}")
+            assignments.append((target, parse_expression(rhs)))
+        else:
+            raise CellSyntaxError(f"unrecognised statement {statement!r}")
+
+    if technology is None:
+        raise CellSyntaxError("missing TECHNOLOGY statement")
+    if not inputs:
+        raise CellSyntaxError("missing INPUT statement")
+    if output is None:
+        raise CellSyntaxError("missing OUTPUT statement")
+    if output in inputs:
+        raise CellSyntaxError(f"output {output!r} cannot also be an input")
+
+    # Flatten intermediate assignments by forward substitution.
+    defined: Dict[str, Expr] = {}
+    for target, expr in assignments:
+        if target in inputs:
+            raise CellSyntaxError(f"cannot assign to input {target!r}")
+        if target in defined:
+            raise CellSyntaxError(f"name {target!r} assigned twice")
+        unknown = expr.variables() - set(inputs) - set(defined)
+        if unknown:
+            raise CellSyntaxError(
+                f"assignment to {target!r} uses undefined names {sorted(unknown)} "
+                "(intermediates must be defined before use)"
+            )
+        defined[target] = expr.substitute(defined)
+    if output not in defined:
+        raise CellSyntaxError(f"output {output!r} is never assigned")
+    flattened = defined[output]
+
+    # Split the optional outer inversion from the network structure.
+    output_inverted = False
+    network_expr = flattened
+    if isinstance(flattened, Not):
+        output_inverted = True
+        network_expr = flattened.operand
+
+    if technology == "domino-CMOS" and output_inverted:
+        raise CellSyntaxError(
+            "domino-CMOS cell outputs are the transmission function itself; "
+            "remove the outer negation (the output inverter belongs to the "
+            "gate construction)"
+        )
+    if technology in INVERTING_TECHNOLOGIES:
+        output_inverted = True  # implied even when written without '!'
+    if technology in SWITCH_TECHNOLOGIES and _contains_not(network_expr):
+        raise CellSyntaxError(
+            f"{technology} switching networks are built from uncomplemented "
+            "switches; inner negations are not allowed"
+        )
+
+    return CellDescription(
+        name=name,
+        technology=technology,
+        inputs=tuple(inputs),
+        output=output,
+        assignments=tuple(assignments),
+        network_expr=network_expr,
+        output_inverted=output_inverted,
+    )

@@ -1,0 +1,244 @@
+"""Every figure of the paper as an executable construction.
+
+* Fig. 1 - the faulty static CMOS NOR whose function table gains a
+  ``Z(t)`` memory row,
+* Fig. 2 - the CMOS inverter with a stuck-closed pull-up,
+* Fig. 4 - a domino CMOS gate,
+* Fig. 5 - a two-stage domino network on one clock,
+* Fig. 6 - a dynamic nMOS gate,
+* Fig. 7 - a two-stage dynamic nMOS network on two non-overlapping
+  clocks,
+* Fig. 9 - the example cell description and its fault library.
+
+Where the paper's figure does not pin the exact stage functions
+(Figs. 5 and 7 are schematic), representative small functions are used;
+the *structure* (stage count, clocking, inter-stage wiring) is the
+point being reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..cells.cell import Cell
+from ..cells.library import FaultLibrary, generate_library
+from ..logic.parser import parse_expression
+from ..logic.values import X, to_char
+from ..switchlevel.network import FaultKind, PhysicalFault, SwitchCircuit
+from ..switchlevel.simulator import SwitchSimulator
+from ..tech.domino_cmos import CLOCK as DOMINO_CLOCK, DominoCmosGate
+from ..tech.dynamic_nmos import CLOCK as DYN_CLOCK, DynamicNmosGate
+from ..tech.static_cmos import StaticCmosGate, static_cmos_inverter, static_cmos_nor
+
+# -- Fig. 1 ----------------------------------------------------------------------
+
+
+FIG1_FAULT = PhysicalFault(FaultKind.LINE_OPEN_TERMINAL, switch="pd_T1", terminal="a")
+"""The marked open connection of Fig. 1: the A pull-down transistor's
+drain is cut off from the output node Z."""
+
+
+def fig1_nor() -> StaticCmosGate:
+    """The CMOS NOR of Fig. 1 (inputs A, B; output z)."""
+    return static_cmos_nor()
+
+
+@dataclass
+class Fig1Row:
+    """One row of the Fig. 1 function table."""
+
+    a: int
+    b: int
+    good: int
+    faulty: str  # '0', '1' or 'Z(t)'
+
+
+def fig1_function_table() -> List[Fig1Row]:
+    """Reproduce the paper's table by switch-level simulation.
+
+    The memory entry is established operationally: for the input pair
+    under which the faulty output floats, two different predecessor
+    states are prepared and the retained value is shown to follow them -
+    that row is printed ``Z(t)``.
+    """
+    gate = fig1_nor()
+    faulty_circuit = gate.circuit.with_fault(FIG1_FAULT)
+    rows: List[Fig1Row] = []
+    for a in (0, 1):
+        for b in (0, 1):
+            good = 1 - (a | b)
+            observed: set = set()
+            for previous in ({"A": 0, "B": 0}, {"A": 0, "B": 1}):
+                # Prepare state Z(t) with the predecessor vector, then apply.
+                sim = SwitchSimulator(faulty_circuit, decay_steps=0)
+                sim.step(previous)
+                sim.step({"A": a, "B": b})
+                observed.add(sim.value("z"))
+            if len(observed) == 1:
+                rows.append(Fig1Row(a, b, good, to_char(observed.pop())))
+            else:
+                rows.append(Fig1Row(a, b, good, "Z(t)"))
+    return rows
+
+
+def format_fig1_table(rows: Sequence[Fig1Row]) -> str:
+    lines = ["A B | Z(t+d) | Zfaulty(t+d)", "--------------------------------"]
+    for row in rows:
+        lines.append(f"{row.a} {row.b} |   {row.good}    | {row.faulty}")
+    return "\n".join(lines)
+
+
+# -- Fig. 2 -------------------------------------------------------------------------
+
+
+FIG2_FAULT = PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch="pu_T1")
+"""T1 (the pull-up of the inverter) permanently closed."""
+
+
+def fig2_inverter() -> StaticCmosGate:
+    return static_cmos_inverter()
+
+
+# -- Figs. 4 and 9 -------------------------------------------------------------------
+
+FIG9_TEXT = """
+TECHNOLOGY domino-CMOS;
+INPUT a,b,c,d,e;
+OUTPUT u;
+x1 := a*(b+c);
+x2 := d*e;
+u := x1+x2;
+"""
+
+
+def fig9_cell() -> Cell:
+    """The example cell of Fig. 9: ``u = a*(b+c) + d*e``."""
+    return Cell.from_text(FIG9_TEXT, name="fig9")
+
+
+def fig9_library() -> FaultLibrary:
+    """The fault library whose class table the paper prints."""
+    return generate_library(fig9_cell())
+
+
+def fig4_gate() -> DominoCmosGate:
+    """A domino gate with the Fig. 9 switching network (Fig. 4 shows the
+    generic construction; the concrete SN is the paper's example)."""
+    return DominoCmosGate(parse_expression("a*(b+c)+d*e"), name="fig4")
+
+
+# -- Fig. 5: a domino network on a single clock ------------------------------------------
+
+
+@dataclass
+class DominoNetwork:
+    """A composed switch-level domino network."""
+
+    circuit: SwitchCircuit
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    stage_count: int
+
+    def evaluate(self, values: Dict[str, int], decay_steps: int = 16) -> Dict[str, int]:
+        """One precharge/evaluate cycle; returns the output values."""
+        sim = SwitchSimulator(self.circuit, decay_steps=decay_steps)
+        precharge = {DOMINO_CLOCK: 0, **{name: 0 for name in self.inputs}}
+        evaluate = {DOMINO_CLOCK: 1, **{name: values[name] for name in self.inputs}}
+        sim.step(precharge)
+        result = sim.step(evaluate)
+        return {net: result[net] for net in self.outputs}
+
+
+def fig5_network() -> DominoNetwork:
+    """Two cascaded domino gates on one clock (Fig. 5's structure).
+
+    Stage 1: ``z1 = i1*i2``; stage 2: ``z2 = z1 + i3*i4``.  The domino
+    ripple (z1 rising mid-evaluation un-blocks stage 2) settles within
+    the single evaluate interval, and "races and spikes cannot occur".
+    """
+    g1 = DominoCmosGate(parse_expression("i1*i2"), name="stage1")
+    g2 = DominoCmosGate(parse_expression("z1+i3*i4"), name="stage2")
+    circuit = SwitchCircuit("fig5")
+    circuit.add_port(DOMINO_CLOCK)
+    for name in ("i1", "i2", "i3", "i4"):
+        circuit.add_port(name)
+    map1 = circuit.merge(
+        g1.circuit, "s1_", bindings={DOMINO_CLOCK: DOMINO_CLOCK, "i1": "i1", "i2": "i2"}
+    )
+    circuit.merge(
+        g2.circuit,
+        "s2_",
+        bindings={
+            DOMINO_CLOCK: DOMINO_CLOCK,
+            "z1": map1["z"],  # stage 1 output drives stage 2's SN input
+            "i3": "i3",
+            "i4": "i4",
+        },
+    )
+    circuit.outputs = [map1["z"], "s2_z"]
+    return DominoNetwork(
+        circuit=circuit,
+        inputs=("i1", "i2", "i3", "i4"),
+        outputs=(map1["z"], "s2_z"),
+        stage_count=2,
+    )
+
+
+# -- Figs. 6 and 7: dynamic nMOS -------------------------------------------------------------
+
+
+def fig6_gate() -> DynamicNmosGate:
+    """A dynamic nMOS gate (two-input NAND: z = !(a*b))."""
+    return DynamicNmosGate(parse_expression("a*b"), name="fig6")
+
+
+@dataclass
+class TwoPhaseNetwork:
+    """A composed dynamic nMOS network on phi1/phi2."""
+
+    circuit: SwitchCircuit
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    stage_count: int
+
+    def evaluate(self, values: Dict[str, int], decay_steps: int = 24) -> Dict[str, int]:
+        """Hold the inputs for enough two-phase cycles to flush the
+        pipeline, then read the outputs."""
+        sim = SwitchSimulator(self.circuit, decay_steps=decay_steps)
+        base = {name: values[name] for name in self.inputs}
+        result: Dict[str, int] = {}
+        for _ in range(self.stage_count + 1):
+            for phi1, phi2 in ((1, 0), (0, 0), (0, 1), (0, 0)):
+                result = sim.step({"phi1": phi1, "phi2": phi2, **base})
+        return {net: result[net] for net in self.outputs}
+
+
+def fig7_network() -> TwoPhaseNetwork:
+    """Two alternating dynamic nMOS stages (Fig. 7's structure).
+
+    Stage 1 (clock phi1): ``z1 = !(i1*i2)``; stage 2 (clock phi2):
+    ``z2 = !(z1*i3)``.  Composite function ``z2 = i1*i2 + !i3``.
+    """
+    g1 = DynamicNmosGate(parse_expression("i1*i2"), name="stage1")
+    g2 = DynamicNmosGate(parse_expression("z1*i3"), name="stage2")
+    circuit = SwitchCircuit("fig7")
+    circuit.add_port("phi1")
+    circuit.add_port("phi2")
+    for name in ("i1", "i2", "i3"):
+        circuit.add_port(name)
+    map1 = circuit.merge(
+        g1.circuit, "s1_", bindings={DYN_CLOCK: "phi1", "i1": "i1", "i2": "i2"}
+    )
+    map2 = circuit.merge(
+        g2.circuit,
+        "s2_",
+        bindings={DYN_CLOCK: "phi2", "z1": map1["z"], "i3": "i3"},
+    )
+    circuit.outputs = [map1["z"], map2["z"]]
+    return TwoPhaseNetwork(
+        circuit=circuit,
+        inputs=("i1", "i2", "i3"),
+        outputs=(map1["z"], map2["z"]),
+        stage_count=2,
+    )

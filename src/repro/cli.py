@@ -1,0 +1,157 @@
+"""Command-line interface - the modern face of the 1986 tool.
+
+Subcommands::
+
+    python -m repro library CELLFILE [--emit-python OUT.py]
+        Parse a cell description (the Section 5 language) and print its
+        fault-class table; optionally emit the executable library module.
+
+    python -m repro experiments [E1 E2 ...]
+        Regenerate the paper's tables and figures (all by default).
+
+    python -m repro protest CELLFILE --confidence 0.999
+        Wrap the cell in a single-gate network and run the PROTEST
+        pipeline: probabilities, test length, optimized weights.
+
+    python -m repro figures
+        Print the executable versions of Figs. 1, 5, 7 and 9.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from pathlib import Path
+from typing import List, Optional
+
+
+def _load_cell(path: str):
+    from .cells import Cell
+
+    text = Path(path).read_text()
+    return Cell.from_text(text, name=Path(path).stem)
+
+
+def _cell_network(cell):
+    from .netlist import Network
+
+    network = Network(cell.name)
+    for name in cell.inputs:
+        network.add_input(name)
+    network.add_gate("u1", cell, {name: name for name in cell.inputs}, cell.output)
+    network.mark_output(cell.output)
+    return network
+
+
+def command_library(args: argparse.Namespace) -> int:
+    from .cells import generate_library
+
+    cell = _load_cell(args.cellfile)
+    library = generate_library(cell)
+    print(
+        f"cell {cell.name!r} ({cell.technology}): "
+        f"{cell.output} = {cell.output_function.to_paper_syntax()}"
+    )
+    print()
+    print(library.format_table())
+    if library.requires_two_pattern_tests:
+        print()
+        print(
+            "note: static CMOS stuck-open faults additionally require "
+            "two-pattern tests (refs. [16], [18])"
+        )
+    if args.emit_python:
+        Path(args.emit_python).write_text(library.to_python_source())
+        print(f"\nexecutable library written to {args.emit_python}")
+    return 0
+
+
+def command_experiments(args: argparse.Namespace) -> int:
+    from .experiments.__main__ import main as experiments_main
+
+    return experiments_main(args.ids)
+
+
+def command_protest(args: argparse.Namespace) -> int:
+    from .protest import Protest
+
+    cell = _load_cell(args.cellfile)
+    network = _cell_network(cell)
+    protest = Protest(network)
+    report = protest.analyse(confidence=args.confidence)
+    print(report.format_summary())
+    print()
+    optimization = protest.optimize(confidence=args.confidence)
+    print(optimization.format_summary())
+    if args.validate:
+        length = int(min(optimization.optimized_test_length, 1 << 16))
+        result = protest.validate(length, optimization.optimized_probabilities)
+        print()
+        print(result.format_summary())
+    return 0
+
+
+def command_figures(args: argparse.Namespace) -> int:
+    from .circuits.figures import (
+        fig1_function_table,
+        fig5_network,
+        fig7_network,
+        fig9_library,
+        format_fig1_table,
+    )
+
+    print("Fig. 1 - faulty static CMOS NOR:")
+    print(format_fig1_table(fig1_function_table()))
+    print()
+    network5 = fig5_network()
+    print(f"Fig. 5 - domino network: inputs {network5.inputs}, "
+          f"outputs {network5.outputs}")
+    sample = {"i1": 1, "i2": 1, "i3": 0, "i4": 1}
+    print(f"  evaluate({sample}) = {network5.evaluate(sample)}")
+    print()
+    network7 = fig7_network()
+    print(f"Fig. 7 - two-phase dynamic nMOS network: inputs {network7.inputs}")
+    sample7 = {"i1": 1, "i2": 1, "i3": 1}
+    print(f"  evaluate({sample7}) = {network7.evaluate(sample7)}")
+    print()
+    print("Fig. 9 - fault library:")
+    print(fig9_library().format_table())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault modeling for dynamic MOS circuits "
+        "(Wunderlich & Rosenstiel, DAC 1986) - reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    library = subparsers.add_parser("library", help="generate a cell fault library")
+    library.add_argument("cellfile", help="cell description file (Section 5 language)")
+    library.add_argument("--emit-python", metavar="OUT.py", default=None)
+    library.set_defaults(func=command_library)
+
+    experiments = subparsers.add_parser("experiments", help="regenerate paper artifacts")
+    experiments.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    experiments.set_defaults(func=command_experiments)
+
+    protest = subparsers.add_parser("protest", help="PROTEST analysis of a cell")
+    protest.add_argument("cellfile")
+    protest.add_argument("--confidence", type=float, default=0.999)
+    protest.add_argument("--validate", action="store_true")
+    protest.set_defaults(func=command_protest)
+
+    figures = subparsers.add_parser("figures", help="print the executable figures")
+    figures.set_defaults(func=command_figures)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

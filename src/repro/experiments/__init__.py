@@ -1,0 +1,40 @@
+"""The experiment harness: every table/figure of the paper, regenerated.
+
+Each ``eN_*`` module exposes ``run() -> ExperimentResult``; running this
+package as a script executes them all::
+
+    python -m repro.experiments
+"""
+
+from . import (
+    e1_fig1_nor,
+    e2_fig2_degradation,
+    e3_dynamic_nmos_model,
+    e4_domino_model,
+    e5_fig9_library,
+    e6_protest_analysis,
+    e7_optimized_probabilities,
+    e8_test_strategies,
+    e9_selftest_at_speed,
+    e10_library_runtime,
+    e11_leakage,
+    e12_scan_invalidation,
+)
+from .report import ExperimentResult
+
+ALL_EXPERIMENTS = {
+    "E1": e1_fig1_nor.run,
+    "E2": e2_fig2_degradation.run,
+    "E3": e3_dynamic_nmos_model.run,
+    "E4": e4_domino_model.run,
+    "E5": e5_fig9_library.run,
+    "E6": e6_protest_analysis.run,
+    "E7": e7_optimized_probabilities.run,
+    "E8": e8_test_strategies.run,
+    "E9": e9_selftest_at_speed.run,
+    "E10": e10_library_runtime.run,
+    "E11": e11_leakage.run,
+    "E12": e12_scan_invalidation.run,
+}
+
+__all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

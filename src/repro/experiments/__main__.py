@@ -1,0 +1,33 @@
+"""Run every experiment and print the regenerated tables."""
+
+from __future__ import annotations
+
+import sys
+
+from . import ALL_EXPERIMENTS
+
+
+def main(argv: list) -> int:
+    wanted = [a.upper() for a in argv] or list(ALL_EXPERIMENTS)
+    failed = []
+    for experiment_id in wanted:
+        try:
+            runner = ALL_EXPERIMENTS[experiment_id]
+        except KeyError:
+            print(f"unknown experiment {experiment_id!r}; "
+                  f"choose from {', '.join(ALL_EXPERIMENTS)}")
+            return 2
+        result = runner()
+        print(result.format())
+        print()
+        if not result.all_claims_hold:
+            failed.append(experiment_id)
+    if failed:
+        print(f"CLAIMS FAILED in: {', '.join(failed)}")
+        return 1
+    print(f"all claims hold across {len(wanted)} experiments")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

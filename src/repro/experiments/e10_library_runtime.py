@@ -1,0 +1,82 @@
+"""E10 - library generation cost.
+
+"The creation of the fault library needs only a few seconds for a
+normal sized gate (less than 12 transistors of the switching net)" -
+on 1986 hardware.  The sweep below regenerates libraries for switching
+networks of growing size and records wall-clock times; on modern
+hardware a 12-transistor gate must come in well under a second, and the
+class counts grow as expected (at most 2 per transistor plus the
+technology classes, before collapsing).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from ..cells.cell import Cell
+from ..cells.library import generate_library
+from .report import ExperimentResult
+
+
+def cell_of_size(transistors: int) -> Cell:
+    """An AND-OR switching network with the given transistor count.
+
+    Pairs of inputs in series, OR-ed in parallel: ``a1*a2 + a3*a4 + ...``
+    (+ a lone transistor when the count is odd).
+    """
+    terms: List[str] = []
+    names: List[str] = []
+    index = 1
+    remaining = transistors
+    while remaining >= 2:
+        names.extend([f"a{index}", f"a{index + 1}"])
+        terms.append(f"a{index}*a{index + 1}")
+        index += 2
+        remaining -= 2
+    if remaining:
+        names.append(f"a{index}")
+        terms.append(f"a{index}")
+    text = (
+        "TECHNOLOGY domino-CMOS;\n"
+        f"INPUT {','.join(names)};\n"
+        "OUTPUT u;\n"
+        f"u := {'+'.join(terms)};\n"
+    )
+    return Cell.from_text(text, name=f"gate{transistors}")
+
+
+def run(sizes=(4, 6, 8, 10, 12, 14, 16)) -> ExperimentResult:
+    rows: List[dict] = []
+    times = {}
+    for size in sizes:
+        cell = cell_of_size(size)
+        start = time.perf_counter()
+        library = generate_library(cell)
+        elapsed = time.perf_counter() - start
+        times[size] = elapsed
+        rows.append(
+            {
+                "SN transistors": size,
+                "inputs": len(cell.inputs),
+                "fault classes": library.class_count(),
+                "total faults": library.total_faults(),
+                "seconds": elapsed,
+            }
+        )
+    claims = {
+        "a 12-transistor gate takes well under a second": times.get(12, 1.0) < 1.0,
+        "every size in the paper's range is sub-second": all(
+            t < 1.0 for s, t in times.items() if s <= 12
+        ),
+        "class count grows with network size": all(
+            a["fault classes"] <= b["fault classes"]
+            for a, b in zip(rows, rows[1:])
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="E10",
+        title="Fault library generation cost over switching-network size",
+        rows=rows,
+        claims=claims,
+    )

@@ -1,0 +1,153 @@
+"""E12 - scan shifting invalidates static CMOS two-pattern tests.
+
+Section 1's fourth casualty: "scan path techniques fail since the state
+of the faulty circuit may change during shifting".  A two-pattern test
+(v1, v2) for a stuck-open fault only works if v2 follows v1 *directly*;
+applied through a scan chain the inputs morph from v1 to v2 one
+flip-flop per shift clock, only the response to v2 is captured, and an
+intermediate vector that *drives* the faulty gate's output to its good
+value re-initialises the memory and kills the test.
+
+Simple NAND/NOR gates are accidentally immune (every intermediate
+either refreshes the wrong value or is the test vector itself), so the
+demonstration uses a static CMOS AND-OR-invert gate
+``z = !(a*b + c*d)``: morphing ``(0,0,1,0) -> (1,1,0,0)`` in the order
+*a, b, then c* passes through ``(1,1,1,0)``, which pulls the output
+down to its good value - that shift order loses the fault, while the
+order *c, a, b* keeps it.  The domino twin of the same function needs
+only single vectors and cannot be invalidated by anything that
+precedes them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Tuple
+
+from ..logic.expr import all_assignments
+from ..netlist.builder import CellFactory
+from ..netlist.network import Network
+from ..netlist.sequential import SequentialFaultSimulator, stuck_open_faults_of_gate
+from ..simulate.faultsim import fault_simulate
+from ..simulate.logicsim import PatternSet
+from .report import ExperimentResult
+
+
+def _aoi_network(technology: str) -> Network:
+    factory = CellFactory(technology)
+    network = Network(f"scan_demo_{technology}")
+    for name in ("a", "b", "c", "d"):
+        network.add_input(name)
+    cell = factory.cell("ao22", "a*b+c*d", ["a", "b", "c", "d"])
+    network.add_gate("g", cell, {name: name for name in ("a", "b", "c", "d")}, "z")
+    network.mark_output("z")
+    return network
+
+
+def _scan_detects(network: Network, fault, vectors: List[Dict[str, int]]) -> bool:
+    """Scan-accurate detection: only the final captured response counts."""
+    simulator = SequentialFaultSimulator(network, fault)
+    outputs: Dict[str, int] = {}
+    for vector in vectors:
+        outputs = simulator.apply(vector)
+    good = network.evaluate(vectors[-1])
+    return any(
+        outputs[net] in (0, 1) and outputs[net] != good[net]
+        for net in network.outputs
+    )
+
+
+def _valid_pairs(network: Network, fault) -> List[Tuple[Dict[str, int], Dict[str, int]]]:
+    """All (init, test) pairs: init drives the gate, test floats it and
+    the good outputs differ (single-gate network: inputs are the pins)."""
+    names = list(network.inputs)
+    pairs = []
+    for v1 in all_assignments(names):
+        local1 = {name: v1[name] for name in names}
+        if fault.float_condition.value(local1):
+            continue  # init must actually drive
+        for v2 in all_assignments(names):
+            local2 = {name: v2[name] for name in names}
+            if not fault.float_condition.value(local2):
+                continue
+            if fault.good.value(local1) == fault.good.value(local2):
+                continue  # retained value must be wrong under v2
+            pairs.append((dict(v1), dict(v2)))
+    return pairs
+
+
+def _shift_orders(
+    v1: Dict[str, int], v2: Dict[str, int], names: List[str]
+) -> List[List[Dict[str, int]]]:
+    changing = [name for name in names if v1[name] != v2[name]]
+    orders: List[List[Dict[str, int]]] = []
+    for order in itertools.permutations(changing):
+        current = dict(v1)
+        steps: List[Dict[str, int]] = []
+        for name in order:
+            current = dict(current)
+            current[name] = v2[name]
+            steps.append(current)
+        orders.append(steps or [dict(v2)])
+    return orders
+
+
+def run() -> ExperimentResult:
+    static = _aoi_network("static-CMOS")
+    names = list(static.inputs)
+    rows: List[dict] = []
+    total_pairs = 0
+    direct_failures = 0
+    killed_pairs = 0
+    order_sensitive_pairs = 0
+    for fault in stuck_open_faults_of_gate(static, "g"):
+        fault_killed = 0
+        fault_pairs = 0
+        fault_sensitive = 0
+        for v1, v2 in _valid_pairs(static, fault):
+            fault_pairs += 1
+            if not _scan_detects(static, fault, [v1, v2]):
+                direct_failures += 1
+                continue
+            orders = _shift_orders(v1, v2, names)
+            surviving = sum(
+                1 for sequence in orders if _scan_detects(static, fault, [v1, *sequence])
+            )
+            if surviving == 0:
+                fault_killed += 1
+            elif surviving < len(orders):
+                fault_sensitive += 1
+        total_pairs += fault_pairs
+        killed_pairs += fault_killed
+        order_sensitive_pairs += fault_sensitive
+        rows.append(
+            {
+                "fault": fault.label,
+                "valid pairs": fault_pairs,
+                "order-sensitive": fault_sensitive,
+                "all orders killed": fault_killed,
+            }
+        )
+
+    domino = _aoi_network("domino-CMOS")
+    domino_result = fault_simulate(domino, PatternSet.exhaustive(domino.inputs))
+
+    claims = {
+        "every valid pair detects when applied back-to-back": direct_failures == 0,
+        "shifting through an intermediate vector can kill a test": (
+            order_sensitive_pairs + killed_pairs
+        )
+        > 0,
+        "some pair fails under one shift order and survives another": order_sensitive_pairs
+        > 0,
+        "the domino twin is fully covered by order-immune single vectors": domino_result.coverage
+        == 1.0,
+    }
+    return ExperimentResult(
+        experiment_id="E12",
+        title="Scan shifting invalidates static CMOS two-pattern tests "
+        "(dynamic MOS is immune)",
+        rows=rows,
+        claims=claims,
+        notes=f"{total_pairs} (init, test) pairs analysed on the static AOI gate",
+    )

@@ -1,0 +1,43 @@
+"""E1 - Fig. 1: the faulty static CMOS NOR becomes sequential.
+
+Regenerates the paper's function table, including the ``Z(t)`` memory
+row, and verifies the framing claims: the fault-free gate is
+combinational, the faulted gate is not, and no single-vector test can
+distinguish the memory row without controlling the previous state.
+"""
+
+from __future__ import annotations
+
+from ..circuits.figures import FIG1_FAULT, fig1_function_table, fig1_nor, format_fig1_table
+from .report import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    rows = fig1_function_table()
+    gate = fig1_nor()
+    claims = {
+        "fault-free NOR is combinational": gate.is_combinational(decay_steps=0),
+        "stuck-open NOR is sequential": not gate.is_combinational(
+            FIG1_FAULT, decay_steps=0
+        ),
+        "exactly one input pair exposes memory": sum(
+            1 for row in rows if row.faulty == "Z(t)"
+        )
+        == 1,
+        "memory row is A=1, B=0": any(
+            row.faulty == "Z(t)" and (row.a, row.b) == (1, 0) for row in rows
+        ),
+        "all driven rows match the good function": all(
+            row.faulty == str(row.good) for row in rows if row.faulty != "Z(t)"
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="E1",
+        title="Fig. 1 - stuck-open fault turns a static CMOS NOR sequential",
+        rows=[
+            {"A": row.a, "B": row.b, "Z(t+d)": row.good, "Z_faulty(t+d)": row.faulty}
+            for row in rows
+        ],
+        claims=claims,
+        notes=format_fig1_table(rows),
+    )

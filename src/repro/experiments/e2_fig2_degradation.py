@@ -1,0 +1,61 @@
+"""E2 - Fig. 2: performance degradation by a stuck-closed transistor.
+
+Sweeps the resistance ratio R(T1)/R(T2) of a CMOS inverter whose
+pull-up T1 is permanently closed and reports the steady output level,
+the high-to-low delay, and the delay degradation relative to the
+fault-free inverter - "the delay for the high to low transition of the
+output of the faulty circuit would take more time corresponding to the
+resistance ratio".
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..simulate.timingsim import inverter_degradation_sweep
+from .report import ExperimentResult
+
+RATIOS = (0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 8.0, 16.0)
+FAULT_FREE_FALL_DELAY = math.log(2.0)  # R*C*ln2 with R = C = 1
+
+
+def run() -> ExperimentResult:
+    points = inverter_degradation_sweep(RATIOS)
+    rows = []
+    for point in points:
+        degradation = (
+            point.fall_delay / FAULT_FREE_FALL_DELAY
+            if math.isfinite(point.fall_delay)
+            else math.inf
+        )
+        rows.append(
+            {
+                "R(T1)/R(T2)": point.resistance_ratio,
+                "steady level": point.steady_low_level,
+                "fall delay": point.fall_delay,
+                "delay vs fault-free": degradation,
+                "reads 0 eventually": point.correct_logic_level,
+            }
+        )
+    finite = [r for r in rows if math.isfinite(r["fall delay"])]
+    claims = {
+        "strong pull-up (ratio <= 1) never reaches logic 0": all(
+            not r["reads 0 eventually"] for r in rows if r["R(T1)/R(T2)"] <= 1.0
+        ),
+        "weak pull-up still reaches logic 0 (pull-down inverter)": all(
+            r["reads 0 eventually"] for r in rows if r["R(T1)/R(T2)"] >= 2.0
+        ),
+        "delay grows monotonically as the ratio falls": all(
+            earlier["fall delay"] >= later["fall delay"] - 1e-12
+            for earlier, later in zip(finite, finite[1:])
+        ),
+        "every faulty fall is slower than fault-free": all(
+            r["delay vs fault-free"] > 1.0 for r in finite
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="E2",
+        title="Fig. 2 - stuck-closed pull-up: ratioed level and delay growth",
+        rows=rows,
+        claims=claims,
+    )

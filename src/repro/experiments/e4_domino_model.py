@@ -1,0 +1,88 @@
+"""E4 - Section 3 for domino CMOS: CMOS-1..4, inverter and line opens.
+
+Verifies, per fault:
+
+* purely-logical faults (SN faults, CMOS-2, CMOS-4, inverter opens,
+  connection-line opens) measure exactly the predicted function,
+* CMOS-1 (foot closed) is behaviourally invisible under the domino
+  discipline - the possibly-undetectable fault,
+* ratio-dependent faults (CMOS-3, closed inverter devices) are decided
+  by the *timing* simulator: case (a) strong parasitic driver is a hard
+  stuck output; case (b) is caught only at maximum speed,
+* nothing is sequential.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..faults.classify import classify
+from ..faults.enumerate import enumerate_gate_faults
+from ..faults.logical import FaultCategory
+
+from ..logic.parser import parse_expression
+from ..logic.values import X
+from ..simulate.timingsim import detects_at_speed
+from ..switchlevel.network import FaultKind, PhysicalFault
+from ..tech.domino_cmos import DominoCmosGate, PRECHARGE_SWITCH
+from .report import ExperimentResult
+
+GATE_EXPRESSIONS = ("a*b", "a+b", "a*(b+c)+d*e")
+
+
+def run(expressions=GATE_EXPRESSIONS, check_sequential: bool = True) -> ExperimentResult:
+    rows: List[dict] = []
+    logic_ok = True
+    sequential_ok = True
+    undetectable_ok = True
+    for text in expressions:
+        gate = DominoCmosGate(parse_expression(text), name=f"domino({text})")
+        for entry in enumerate_gate_faults(gate):
+            prediction = classify(gate, entry.fault)
+            table, raw = gate.faulty_function(entry.fault, allow_x=True)
+            has_x = any(value == X for value in raw.values())
+            if prediction.category in (FaultCategory.COMBINATIONAL, FaultCategory.BENIGN):
+                match = (not has_x) and table == prediction.predicted
+                logic_ok = logic_ok and match
+                verdict = "logic " + ("ok" if match else "MISMATCH")
+            elif prediction.category is FaultCategory.UNDETECTABLE:
+                invisible = (not has_x) and table == prediction.predicted
+                undetectable_ok = undetectable_ok and invisible
+                verdict = "invisible" if invisible else "VISIBLE?"
+            else:  # RATIO_DEPENDENT: logic level must flag X on fight rows
+                verdict = "ratio (X rows)" if has_x else "ratio (hard)"
+            combinational = True
+            if check_sequential:
+                combinational = gate.is_combinational(entry.fault, trials=3)
+                sequential_ok = sequential_ok and combinational
+            rows.append(
+                {
+                    "gate": text,
+                    "fault": entry.label,
+                    "category": prediction.category.value,
+                    "verdict": verdict,
+                    "combinational": combinational,
+                }
+            )
+    # Ratio cases decided by the timing simulator on the a*b gate.
+    cmos3 = PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch=PRECHARGE_SWITCH)
+    strong = DominoCmosGate(parse_expression("a*b"), precharge_resistance=0.2)
+    weak = DominoCmosGate(parse_expression("a*b"), precharge_resistance=4.0)
+    fast_a, slow_a = detects_at_speed(strong, cmos3)
+    fast_b, slow_b = detects_at_speed(weak, cmos3)
+    claims = {
+        "all pure-logic faults measure their predicted function": logic_ok,
+        "no fault exhibits sequential behaviour": sequential_ok,
+        "CMOS-1 is behaviourally invisible (possibly undetectable)": undetectable_ok,
+        "CMOS-3 case (a), strong pull-up: detected at any speed": fast_a and slow_a,
+        "CMOS-3 case (b), weak pull-up: detected only at maximum speed": fast_b
+        and not slow_b,
+    }
+    return ExperimentResult(
+        experiment_id="E4",
+        title="Section 3 - domino CMOS fault model (CMOS-1..4) verified",
+        rows=rows,
+        claims=claims,
+        notes=f"{len(rows)} faults checked over {len(expressions)} gates; "
+        "ratio cases resolved by the RC timing simulator",
+    )

@@ -1,0 +1,71 @@
+"""E5 - the Section 5 fault-class table for the Fig. 9 cell.
+
+The paper prints ten distinguishable fault classes for
+``u = a*(b+c) + d*e``.  This experiment regenerates the table from the
+cell description language and checks it class by class, including the
+equivalences the paper points out (b/c closed, d/e open, CMOS-2/3) and
+the minimal disjunctive forms.
+"""
+
+from __future__ import annotations
+
+from ..circuits.figures import fig9_cell, fig9_library
+from ..logic.parser import parse_expression
+from ..logic.truthtable import TruthTable
+from .report import ExperimentResult
+
+PAPER_TABLE = {
+    1: (["a closed"], "b+c+d*e"),
+    2: (["a open"], "d*e"),
+    3: (["b closed", "c closed"], "a+d*e"),
+    4: (["b open"], "a*c+d*e"),
+    5: (["c open"], "a*b+d*e"),
+    6: (["d closed"], "a*b+a*c+e"),
+    7: (["d open", "e open"], "a*b+a*c"),
+    8: (["e closed"], "a*b+a*c+d"),
+    9: (["CMOS-2", "CMOS-3"], "0"),
+    10: (["CMOS-4"], "1"),
+}
+"""The table exactly as printed in the paper (Section 5)."""
+
+
+def run() -> ExperimentResult:
+    cell = fig9_cell()
+    library = fig9_library()
+    names = cell.inputs
+    rows = []
+    matches = {}
+    for cls in library.classes:
+        expected_labels, expected_function = PAPER_TABLE[cls.index]
+        expected_table = TruthTable.from_expr(
+            parse_expression(expected_function), names
+        )
+        label_match = sorted(cls.labels) == sorted(expected_labels)
+        function_match = cls.function.table == expected_table
+        matches[cls.index] = label_match and function_match
+        rows.append(
+            {
+                "class": cls.index,
+                "faults": "; ".join(cls.labels),
+                "function": f"u = {cls.function.sop}",
+                "paper": f"u = {expected_function}",
+                "match": label_match and function_match,
+            }
+        )
+    claims = {
+        "exactly 10 fault classes": library.class_count() == 10,
+        "every class matches the paper's table": all(matches.values()),
+        "CMOS-1 reported as possibly undetectable": any(
+            "CMOS-1" in label for label, _ in library.undetectable
+        ),
+        "b closed is equivalent to c closed": matches.get(3, False),
+        "d open is equivalent to e open": matches.get(7, False),
+        "CMOS-2 and CMOS-3 share one class": matches.get(9, False),
+    }
+    return ExperimentResult(
+        experiment_id="E5",
+        title="Section 5 - fault-class table of the Fig. 9 cell",
+        rows=rows,
+        claims=claims,
+        notes=library.format_table(),
+    )

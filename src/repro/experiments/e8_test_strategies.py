@@ -1,0 +1,155 @@
+"""E8 - Section 4 test strategies.
+
+Four claims made executable:
+
+1. a deterministic (PODEM) test set applied **twice** satisfies A2
+   (every node charged and discharged);
+2. random test sets satisfy A1/A2 "per se" with high confidence;
+3. random testing with enough patterns matches deterministic TPG's
+   coverage ("fault simulation using optimized random patterns can be
+   as efficient as deterministic test pattern generation");
+4. static CMOS stuck-open faults need **two-pattern** tests: the
+   single-vector PODEM set misses them unless vector order happens to
+   initialise the memory, while the generated two-pattern sequences
+   detect every (non-redundant) one - and domino/dynamic circuits never
+   need any of this.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..atpg.patterns import (
+    a2_satisfaction_probability,
+    apply_twice,
+    charges_and_discharges_every_node,
+)
+from ..atpg.podem import generate_test_set
+from ..atpg.stuck_open import (
+    generate_two_pattern_test,
+    single_vector_coverage_of_stuck_opens,
+    validate_two_pattern_test,
+)
+from ..circuits.generators import domino_carry_chain
+from ..netlist.builder import CellFactory
+from ..netlist.network import Network
+from ..netlist.sequential import stuck_open_faults_of_gate
+from ..simulate.faultsim import coverage_curve, fault_simulate
+from ..simulate.logicsim import PatternSet
+from .report import ExperimentResult
+
+
+def _static_cmos_network() -> Network:
+    """A small static CMOS network with observable internal gates."""
+    factory = CellFactory("static-CMOS")
+    network = Network("static_cmos_demo")
+    for name in ("a", "b", "c", "d"):
+        network.add_input(name)
+    network.add_gate("nor1", factory.or_gate(2), {"i1": "a", "i2": "b"}, "n1")
+    network.add_gate("nand1", factory.and_gate(2), {"i1": "n1", "i2": "c"}, "n2")
+    network.add_gate("nor2", factory.or_gate(2), {"i1": "n2", "i2": "d"}, "z")
+    network.mark_output("z")
+    return network
+
+
+def run() -> ExperimentResult:
+    rows: List[dict] = []
+
+    # --- claims 1 and 2: A2 satisfaction.
+    network = domino_carry_chain(4)
+    deterministic = generate_test_set(network)
+    base = PatternSet.from_vectors(network.inputs, deterministic.tests)
+    a2_once = charges_and_discharges_every_node(network, base)
+    a2_twice = charges_and_discharges_every_node(network, apply_twice(base))
+    random_a2 = a2_satisfaction_probability(network, pattern_count=64, trials=40)
+    rows.append(
+        {
+            "measurement": "A2 by deterministic set (applied once)",
+            "value": a2_once,
+        }
+    )
+    rows.append(
+        {
+            "measurement": "A2 by deterministic set applied twice",
+            "value": a2_twice,
+        }
+    )
+    rows.append(
+        {"measurement": "P(A2 | 64 random patterns)", "value": random_a2}
+    )
+
+    # --- claim 3: random vs deterministic coverage.
+    det_patterns = PatternSet.from_vectors(network.inputs, deterministic.tests)
+    det_result = fault_simulate(network, det_patterns)
+    random_patterns = PatternSet.random(network.inputs, 256)
+    random_result = fault_simulate(network, random_patterns)
+    curve = coverage_curve(network, random_patterns, points=8)
+    rows.append(
+        {
+            "measurement": f"deterministic coverage ({det_patterns.count} vectors)",
+            "value": det_result.coverage,
+        }
+    )
+    rows.append(
+        {
+            "measurement": f"random coverage ({random_patterns.count} patterns)",
+            "value": random_result.coverage,
+        }
+    )
+    for count, coverage in curve:
+        rows.append(
+            {"measurement": f"random coverage after {count}", "value": round(coverage, 4)}
+        )
+
+    # --- claim 4: two-pattern tests for static CMOS stuck-opens.
+    static = _static_cmos_network()
+    stuck_opens = [
+        fault
+        for gate_name in static.gates
+        for fault in stuck_open_faults_of_gate(static, gate_name)
+    ]
+    static_det = generate_test_set(static)
+    single_caught, total = single_vector_coverage_of_stuck_opens(
+        static, stuck_opens, static_det.tests
+    )
+    two_pattern_ok = 0
+    two_pattern_total = 0
+    for fault in stuck_opens:
+        pair = generate_two_pattern_test(static, fault)
+        if pair is None:
+            continue
+        two_pattern_total += 1
+        if validate_two_pattern_test(static, fault, pair):
+            two_pattern_ok += 1
+    rows.append(
+        {
+            "measurement": "static CMOS stuck-opens caught by 1-vector set",
+            "value": f"{single_caught}/{total}",
+        }
+    )
+    rows.append(
+        {
+            "measurement": "stuck-opens caught by generated 2-pattern tests",
+            "value": f"{two_pattern_ok}/{two_pattern_total}",
+        }
+    )
+
+    claims = {
+        "deterministic set applied twice satisfies A2": a2_twice,
+        "random sets satisfy A2 with high confidence": random_a2 >= 0.95,
+        "random testing reaches deterministic coverage": random_result.coverage
+        >= det_result.coverage,
+        "every generated two-pattern test is valid": two_pattern_ok
+        == two_pattern_total
+        and two_pattern_total > 0,
+        "single-vector tests miss some static CMOS stuck-opens": single_caught < total,
+        "dynamic-technology fault lists need single vectors only": det_result.coverage
+        == 1.0,
+    }
+    return ExperimentResult(
+        experiment_id="E8",
+        title="Section 4 - test strategies: A1/A2, random vs deterministic, "
+        "two-pattern tests",
+        rows=rows,
+        claims=claims,
+    )

@@ -1,0 +1,54 @@
+"""Shared result container for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class ExperimentResult:
+    """Structured outcome of one experiment.
+
+    ``rows`` are the regenerated table/series (list of dicts with
+    stable keys); ``claims`` map the paper's qualitative claims to
+    booleans established by the run.
+    """
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    claims: Dict[str, bool] = field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(self.claims.values())
+
+    def format(self) -> str:
+        lines = [f"=== {self.experiment_id}: {self.title} ==="]
+        if self.rows:
+            keys = list(self.rows[0].keys())
+            header = " | ".join(f"{k:<18}" for k in keys)
+            lines.append(header)
+            lines.append("-" * len(header))
+            for row in self.rows:
+                lines.append(
+                    " | ".join(f"{_fmt(row.get(k)):<18}" for k in keys)
+                )
+        if self.claims:
+            lines.append("")
+            for claim, holds in self.claims.items():
+                lines.append(f"  [{'x' if holds else ' '}] {claim}")
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0 or 1e-3 <= abs(value) < 1e6:
+            return f"{value:.4g}"
+        return f"{value:.3e}"
+    return str(value)

@@ -1,0 +1,20 @@
+"""The paper's physical fault model and its logical classification."""
+
+from ..switchlevel.network import FaultKind, PhysicalFault
+from .classify import classify
+from .collapse import CollapseResult, FaultClass, collapse
+from .enumerate import FaultEntry, enumerate_gate_faults
+from .logical import Classification, FaultCategory
+
+__all__ = [
+    "FaultKind",
+    "PhysicalFault",
+    "classify",
+    "CollapseResult",
+    "FaultClass",
+    "collapse",
+    "FaultEntry",
+    "enumerate_gate_faults",
+    "Classification",
+    "FaultCategory",
+]

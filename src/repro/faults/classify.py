@@ -1,0 +1,413 @@
+"""Analytic fault classification - Section 3 of the paper, as code.
+
+Given a technology gate model and a physical fault, predict the logical
+behaviour *without simulating*: this module encodes the paper's case
+analysis (nMOS-1 .. nMOS-2n+2 for dynamic nMOS, CMOS-1 .. CMOS-4 plus
+the inverter and line-open cases for domino CMOS, and the static
+pathologies of Section 1).  The switch-level simulator then serves as
+an independent referee: experiments E3/E4 check ``classify`` against
+:meth:`repro.tech.base.GateModel.faulty_function` fault by fault.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..logic.expr import Expr, Not, simplify
+from ..logic.truthtable import TruthTable
+from ..switchlevel.network import DeviceType, FaultKind, PhysicalFault
+from ..switchlevel.transmission import transmission_expr
+from ..tech.base import GateModel
+from ..tech.bipolar import BipolarGate
+from ..tech.domino_cmos import (
+    CONNECTION_WIRES as DOMINO_WIRES,
+    FOOT_SWITCH,
+    INVERTER_N,
+    INVERTER_P,
+    PRECHARGE_SWITCH,
+    WIRE_INV_Z,
+    WIRE_SN_W,
+    WIRE_T2_VSS,
+    WIRE_VDD_T1,
+    WIRE_W_T2,
+    WIRE_Y_INV,
+    WIRE_Y_SN,
+    DominoCmosGate,
+)
+from ..tech.dynamic_nmos import (
+    CONNECTION_WIRES as DYN_WIRES,
+    PRECHARGE_SWITCH as DYN_PRECHARGE,
+    DynamicNmosGate,
+)
+from ..tech.static_cmos import StaticCmosGate
+from ..tech.static_nmos import LOAD_SWITCH, StaticNmosGate
+from .logical import Classification, FaultCategory
+
+
+def _table(gate: GateModel, expr: Expr) -> TruthTable:
+    return TruthTable.from_expr(simplify(expr), gate.inputs)
+
+
+def _const_table(gate: GateModel, value: int) -> TruthTable:
+    return TruthTable.constant(gate.inputs, value)
+
+
+def _sn_local_name(gate: GateModel, circuit_switch: str) -> Optional[str]:
+    reverse = {v: k for k, v in gate.sn_switches.items()}
+    return reverse.get(circuit_switch)
+
+
+def classify(gate: GateModel, fault: PhysicalFault) -> Classification:
+    """Predict the logical fault a physical fault maps to."""
+    if isinstance(gate, DominoCmosGate):
+        return _classify_domino(gate, fault)
+    if isinstance(gate, DynamicNmosGate):
+        return _classify_dynamic_nmos(gate, fault)
+    if isinstance(gate, StaticNmosGate):
+        return _classify_static_nmos(gate, fault)
+    if isinstance(gate, StaticCmosGate):
+        return _classify_static_cmos(gate, fault)
+    if isinstance(gate, BipolarGate):
+        raise ValueError("bipolar cells use the stuck-at model, not physical faults")
+    raise TypeError(f"no classifier for gate type {type(gate).__name__}")
+
+
+# -- domino CMOS (Fig. 4) -----------------------------------------------------
+
+
+def _classify_domino(gate: DominoCmosGate, fault: PhysicalFault) -> Classification:
+    fault_free = _table(gate, gate.transmission)
+    sn_name = _sn_local_name(gate, fault.switch) if fault.switch else None
+
+    # Faults inside the switching network stay combinational: z = T_faulty.
+    if sn_name is not None:
+        local = PhysicalFault(fault.kind, switch=sn_name, terminal=fault.terminal)
+        faulty_expr = transmission_expr(gate.network, [local])
+        table = _table(gate, faulty_expr)
+        input_name = gate.network.switches[sn_name].gate
+        kind_word = {
+            FaultKind.TRANSISTOR_OPEN: "open",
+            FaultKind.TRANSISTOR_CLOSED: "closed",
+            FaultKind.LINE_OPEN_TERMINAL: f"terminal-{fault.terminal} open",
+            FaultKind.LINE_OPEN_GATE: "gate line open",
+        }[fault.kind]
+        label = f"{input_name} {kind_word} ({sn_name})"
+        if table == fault_free:
+            return Classification(
+                label, FaultCategory.BENIGN, predicted=table,
+                notes="logically redundant inside SN",
+            )
+        return Classification(label, FaultCategory.COMBINATIONAL, predicted=table)
+
+    switch = fault.switch
+    kind = fault.kind
+    if switch == FOOT_SWITCH:
+        if kind is FaultKind.TRANSISTOR_CLOSED:
+            # CMOS-1: during precharge all SN inputs are low, so the open
+            # foot is never needed logically - timing-only redundancy.
+            return Classification(
+                "CMOS-1", FaultCategory.UNDETECTABLE, predicted=fault_free,
+                notes="T2 closed: cannot be modeled at the usual level; may stay undetected",
+            )
+        if kind is FaultKind.TRANSISTOR_OPEN:
+            return Classification(
+                "CMOS-2", FaultCategory.COMBINATIONAL,
+                predicted=_const_table(gate, 0), stuck_line=("z", 0),
+            )
+        if kind is FaultKind.LINE_OPEN_TERMINAL:
+            return Classification(
+                "CMOS-2 (foot line open)", FaultCategory.COMBINATIONAL,
+                predicted=_const_table(gate, 0), stuck_line=("z", 0),
+            )
+        # Gate line open: A1 floats the n-gate low -> device off = CMOS-2.
+        return Classification(
+            "CMOS-2 (foot gate open)", FaultCategory.COMBINATIONAL,
+            predicted=_const_table(gate, 0), stuck_line=("z", 0),
+        )
+    if switch == PRECHARGE_SWITCH:
+        if kind is FaultKind.TRANSISTOR_CLOSED:
+            # CMOS-3: the always-on pull-up fights the discharge path.
+            return Classification(
+                "CMOS-3", FaultCategory.RATIO_DEPENDENT,
+                at_speed_table=_const_table(gate, 0), stuck_line=("z", 0),
+                notes="s0-z if pull-up strong (case a); delay fault otherwise "
+                "(case b), detected as s0-z at maximum speed",
+            )
+        if kind is FaultKind.TRANSISTOR_OPEN:
+            return Classification(
+                "CMOS-4", FaultCategory.COMBINATIONAL,
+                predicted=_const_table(gate, 1), stuck_line=("z", 1),
+                notes="y never precharged; A1 reads it low, so z sticks at 1",
+            )
+        if kind is FaultKind.LINE_OPEN_TERMINAL:
+            return Classification(
+                "CMOS-4 (precharge line open)", FaultCategory.COMBINATIONAL,
+                predicted=_const_table(gate, 1), stuck_line=("z", 1),
+            )
+        # Gate line open on the p-device: A1 -> gate low -> always on = CMOS-3.
+        return Classification(
+            "CMOS-3 (precharge gate open)", FaultCategory.RATIO_DEPENDENT,
+            at_speed_table=_const_table(gate, 0), stuck_line=("z", 0),
+        )
+    if switch == INVERTER_P:
+        if kind in (FaultKind.TRANSISTOR_OPEN, FaultKind.LINE_OPEN_TERMINAL):
+            return Classification(
+                "inverter p open", FaultCategory.COMBINATIONAL,
+                predicted=_const_table(gate, 0), stuck_line=("z", 0),
+            )
+        # Closed (or gate floating low -> always on): ratioed, like CMOS-3.
+        return Classification(
+            "inverter p closed", FaultCategory.RATIO_DEPENDENT,
+            at_speed_table=_const_table(gate, 1), stuck_line=("z", 1),
+            notes="z cannot fall (or falls slowly); s1-z at maximum speed",
+        )
+    if switch == INVERTER_N:
+        if kind in (FaultKind.TRANSISTOR_OPEN, FaultKind.LINE_OPEN_TERMINAL):
+            return Classification(
+                "inverter n open", FaultCategory.COMBINATIONAL,
+                predicted=_const_table(gate, 1), stuck_line=("z", 1),
+                notes="z was charged once (A2) and can never be pulled down",
+            )
+        if kind is FaultKind.LINE_OPEN_GATE:
+            return Classification(
+                "inverter n gate open", FaultCategory.COMBINATIONAL,
+                predicted=_const_table(gate, 1), stuck_line=("z", 1),
+            )
+        return Classification(
+            "inverter n closed", FaultCategory.RATIO_DEPENDENT,
+            at_speed_table=_const_table(gate, 0), stuck_line=("z", 0),
+        )
+    if switch in DOMINO_WIRES:
+        if kind is FaultKind.TRANSISTOR_CLOSED:
+            return Classification(
+                f"{switch} (wire, stuck-closed is its normal state)",
+                FaultCategory.BENIGN, predicted=fault_free,
+            )
+        # Any open of a connection wire:
+        if switch in (WIRE_VDD_T1,):
+            return Classification(
+                f"{switch} open", FaultCategory.COMBINATIONAL,
+                predicted=_const_table(gate, 1), stuck_line=("z", 1),
+                notes="equivalent to CMOS-4: y is never precharged",
+            )
+        if switch in (WIRE_Y_SN, WIRE_SN_W, WIRE_W_T2, WIRE_T2_VSS):
+            return Classification(
+                f"{switch} open", FaultCategory.COMBINATIONAL,
+                predicted=_const_table(gate, 0), stuck_line=("z", 0),
+                notes="discharge path broken: y sticks high, z sticks low",
+            )
+        if switch == WIRE_Y_INV:
+            return Classification(
+                f"{switch} open", FaultCategory.COMBINATIONAL,
+                predicted=_const_table(gate, 1), stuck_line=("z", 1),
+                notes="inverter input floats; A1 reads it low, z sticks at 1",
+            )
+        if switch == WIRE_INV_Z:
+            return Classification(
+                f"{switch} open", FaultCategory.COMBINATIONAL,
+                predicted=_const_table(gate, 0), stuck_line=("z", 0),
+                notes="output line floats; A1 reads it low",
+            )
+    raise ValueError(f"cannot classify fault {fault.describe()} on {gate.circuit.name}")
+
+
+# -- dynamic nMOS (Fig. 6) -------------------------------------------------------
+
+
+def _classify_dynamic_nmos(gate: DynamicNmosGate, fault: PhysicalFault) -> Classification:
+    sn_name = _sn_local_name(gate, fault.switch) if fault.switch else None
+    sn_order = list(gate.network.switches)  # T1, T2, ... construction order
+    n = len(sn_order)
+
+    if sn_name is not None:
+        index = sn_order.index(sn_name) + 1
+        gate_input = gate.network.switches[sn_name].gate
+        if fault.kind is FaultKind.TRANSISTOR_OPEN:
+            label = f"nMOS-{index}"
+            local = PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch=sn_name)
+            stuck: Optional[Tuple[str, int]] = (gate_input, 0)
+        elif fault.kind is FaultKind.TRANSISTOR_CLOSED:
+            label = f"nMOS-{n + index}"
+            local = PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch=sn_name)
+            stuck = (gate_input, 1)
+        elif fault.kind is FaultKind.LINE_OPEN_GATE:
+            # "Open lines at the input gates ... have the same effect like
+            # an open transistor T_i."
+            label = f"nMOS-{index} (gate line open)"
+            local = PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch=sn_name)
+            stuck = (gate_input, 0)
+        else:  # terminal open inside SN: combinational, no stuck shorthand
+            label = f"SN {sn_name} terminal-{fault.terminal} open"
+            local = PhysicalFault(
+                FaultKind.LINE_OPEN_TERMINAL, switch=sn_name, terminal=fault.terminal
+            )
+            stuck = None
+        faulty_expr = Not(transmission_expr(gate.network, [local]))
+        table = _table(gate, faulty_expr)
+        fault_free = _table(gate, gate.function)
+        if table == fault_free:
+            return Classification(label, FaultCategory.BENIGN, predicted=table)
+        # Only a single-occurrence input is exactly a stuck-at.
+        occurrences = sum(
+            1 for s in gate.network.switches.values() if s.gate == gate_input
+        )
+        return Classification(
+            label,
+            FaultCategory.COMBINATIONAL,
+            predicted=table,
+            stuck_line=stuck if (stuck and occurrences == 1) else None,
+        )
+
+    switch = fault.switch
+    if switch == DYN_PRECHARGE:
+        if fault.kind in (
+            FaultKind.TRANSISTOR_OPEN,
+            FaultKind.TRANSISTOR_CLOSED,
+            FaultKind.LINE_OPEN_TERMINAL,
+        ):
+            label = f"nMOS-{2 * n + 1}" if fault.kind is FaultKind.TRANSISTOR_OPEN else (
+                f"nMOS-{2 * n + 2}" if fault.kind is FaultKind.TRANSISTOR_CLOSED
+                else "T(n+1) line open"
+            )
+            # "Both cases ... result in the same fault s0-z."
+            return Classification(
+                label, FaultCategory.COMBINATIONAL,
+                predicted=_const_table(gate, 0), stuck_line=("z", 0),
+            )
+        # Gate line open: A1 -> clock gate low -> device off = T(n+1) open.
+        return Classification(
+            f"nMOS-{2 * n + 1} (gate line open)", FaultCategory.COMBINATIONAL,
+            predicted=_const_table(gate, 0), stuck_line=("z", 0),
+        )
+    if switch in gate.pass_switches.values():
+        reverse = {v: k for k, v in gate.pass_switches.items()}
+        input_name = reverse[switch]
+        if fault.kind is FaultKind.TRANSISTOR_CLOSED:
+            return Classification(
+                f"input pass {input_name} closed", FaultCategory.BENIGN,
+                predicted=_table(gate, gate.function),
+                notes="input follows its line continuously; function unchanged",
+            )
+        # Open (channel, terminal or gate): the storage node is never
+        # charged; A1 reads it low -> s0 on that input.
+        faulty_expr = Not(gate.transmission.cofactor(input_name, 0))
+        return Classification(
+            f"input pass {input_name} open", FaultCategory.COMBINATIONAL,
+            predicted=_table(gate, faulty_expr), stuck_line=(input_name, 0),
+        )
+    if switch in DYN_WIRES:
+        if fault.kind is FaultKind.TRANSISTOR_CLOSED:
+            return Classification(
+                f"{switch} (wire, stuck-closed is its normal state)",
+                FaultCategory.BENIGN, predicted=_table(gate, gate.function),
+            )
+        # "Open connections at S(n+2) or S(n+3) will cause a s1-z."
+        return Classification(
+            f"{switch} open", FaultCategory.COMBINATIONAL,
+            predicted=_const_table(gate, 1), stuck_line=("z", 1),
+        )
+    raise ValueError(f"cannot classify fault {fault.describe()} on {gate.circuit.name}")
+
+
+# -- static nMOS ---------------------------------------------------------------------
+
+
+def _classify_static_nmos(gate: StaticNmosGate, fault: PhysicalFault) -> Classification:
+    reverse = {v: k for k, v in gate.pulldown_switches.items()}
+    sn_name = reverse.get(fault.switch) if fault.switch else None
+    fault_free = _table(gate, gate.function)
+
+    if sn_name is not None:
+        from ..switchlevel.build import SwitchNetwork
+
+        network = SwitchNetwork.from_expr(gate.pulldown_expr, DeviceType.NMOS)
+        if fault.kind is FaultKind.LINE_OPEN_GATE:
+            local = PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch=sn_name)
+        else:
+            local = PhysicalFault(fault.kind, switch=sn_name, terminal=fault.terminal)
+        table = _table(gate, Not(transmission_expr(network, [local])))
+        label = f"pull-down {sn_name} {fault.kind.value}"
+        if table == fault_free:
+            return Classification(label, FaultCategory.BENIGN, predicted=table)
+        return Classification(label, FaultCategory.COMBINATIONAL, predicted=table)
+
+    if fault.switch == LOAD_SWITCH:
+        if fault.kind in (FaultKind.TRANSISTOR_OPEN, FaultKind.LINE_OPEN_TERMINAL):
+            return Classification(
+                "load open", FaultCategory.COMBINATIONAL,
+                predicted=_const_table(gate, 0), stuck_line=("z", 0),
+                notes="z is only ever pulled down; floating charge decays (A1)",
+            )
+        return Classification(
+            "load closed", FaultCategory.BENIGN, predicted=fault_free,
+            notes="the depletion load conducts permanently by design",
+        )
+    raise ValueError(f"cannot classify fault {fault.describe()} on {gate.circuit.name}")
+
+
+# -- static CMOS (the Section 1 pathologies) --------------------------------------------
+
+
+def _classify_static_cmos(gate: StaticCmosGate, fault: PhysicalFault) -> Classification:
+    """Static CMOS: opens are *sequential*, closed devices are *ratioed*.
+
+    This classifier exists to show the contrast: it does not predict a
+    faulty combinational function because in general none exists.
+    """
+    from ..switchlevel.build import SwitchNetwork, dual_expr
+
+    pd_reverse = {v: k for k, v in gate.pulldown_switches.items()}
+    pu_reverse = {v: k for k, v in gate.pullup_switches.items()}
+    in_pd = fault.switch in pd_reverse if fault.switch else False
+    in_pu = fault.switch in pu_reverse if fault.switch else False
+    if not (in_pd or in_pu):
+        raise ValueError(f"unknown switch {fault.switch!r} on {gate.circuit.name}")
+    side = "pull-down" if in_pd else "pull-up"
+    name = pd_reverse.get(fault.switch) or pu_reverse.get(fault.switch)
+
+    pd_network = SwitchNetwork.from_expr(gate.pulldown_expr, DeviceType.NMOS)
+    pu_network = SwitchNetwork.from_expr(dual_expr(gate.pulldown_expr), DeviceType.PMOS)
+    names = gate.inputs
+    pd_table = TruthTable.from_expr(transmission_expr(pd_network), names)
+    pu_table = TruthTable.from_expr(transmission_expr(pu_network), names)
+
+    kind = fault.kind
+    if kind is FaultKind.LINE_OPEN_GATE:
+        # A1: the floating gate reads low - n-device off, p-device on.
+        kind = FaultKind.TRANSISTOR_OPEN if in_pd else FaultKind.TRANSISTOR_CLOSED
+    local = PhysicalFault(kind, switch=name, terminal=fault.terminal)
+    if in_pd:
+        pd_faulty = TruthTable.from_expr(transmission_expr(pd_network, [local]), names)
+        pu_faulty = pu_table
+    else:
+        pd_faulty = pd_table
+        pu_faulty = TruthTable.from_expr(transmission_expr(pu_network, [local]), names)
+
+    floats = (~pu_faulty) & (~pd_faulty)  # neither network drives the output
+    conflict = pu_faulty & pd_faulty  # both networks drive: rail fight
+
+    if conflict.ones_count() > 0:
+        return Classification(
+            f"{side} {name} {fault.kind.value}", FaultCategory.RATIO_DEPENDENT,
+            notes="rail fight resolved by resistances: wrong level or longer "
+            "switching delay (Fig. 2); test at maximum speed",
+        )
+    if floats.ones_count() > 0:
+        return Classification(
+            f"{side} {name} {fault.kind.value}", FaultCategory.SEQUENTIAL,
+            notes="output floats for some inputs and remembers its previous "
+            "value (Fig. 1); a two-pattern test is required",
+        )
+    if pd_faulty == pd_table and pu_faulty == pu_table:
+        return Classification(
+            f"{side} {name} {fault.kind.value}", FaultCategory.BENIGN,
+            predicted=_table(gate, gate.function),
+            notes="redundant device: both networks unchanged",
+        )
+    # Fully driven everywhere but with a changed function: plain
+    # combinational fault (possible with redundant parallel branches).
+    z_table = ~pd_faulty
+    return Classification(
+        f"{side} {name} {fault.kind.value}", FaultCategory.COMBINATIONAL,
+        predicted=z_table,
+    )

@@ -1,0 +1,133 @@
+"""Fault collapsing into equivalence classes.
+
+"It should be noted, that fault equivalent classes are constructed
+(i.e. not every fault has to be described in the library)" - Section 5.
+Two faults are equivalent when their faulty output functions are
+identical truth tables; ratio-dependent faults join the class of their
+at-speed behaviour (the paper's table groups CMOS-2 with CMOS-3).
+Benign and undetectable faults form no class; they are reported
+separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..logic.minimize import minimal_sop_string
+from ..logic.truthtable import TruthTable
+from .enumerate import FaultEntry
+from .logical import Classification, FaultCategory
+
+
+@dataclass
+class FaultClass:
+    """One equivalence class of faults sharing a faulty function."""
+
+    index: int  # 1-based, in first-seen order (matches the paper's table)
+    table: TruthTable
+    members: List[Tuple[FaultEntry, Classification]] = field(default_factory=list)
+
+    @property
+    def labels(self) -> List[str]:
+        return [entry.label for entry, _ in self.members]
+
+    @property
+    def function_string(self) -> str:
+        return minimal_sop_string(self.table)
+
+    def contains_ratio_faults(self) -> bool:
+        return any(
+            cls.category is FaultCategory.RATIO_DEPENDENT for _, cls in self.members
+        )
+
+
+@dataclass
+class CollapseResult:
+    """Collapsed view of a gate's fault universe."""
+
+    fault_free: TruthTable
+    classes: List[FaultClass]
+    benign: List[Tuple[FaultEntry, Classification]]
+    undetectable: List[Tuple[FaultEntry, Classification]]
+    sequential: List[Tuple[FaultEntry, Classification]]
+
+    def class_count(self) -> int:
+        return len(self.classes)
+
+    def total_faults(self) -> int:
+        return (
+            sum(len(c.members) for c in self.classes)
+            + len(self.benign)
+            + len(self.undetectable)
+            + len(self.sequential)
+        )
+
+    def format_table(self) -> str:
+        """Render in the layout of the paper's Fig. 9 fault-class table."""
+        lines = ["Class  Fault                          Faulty function"]
+        for fault_class in self.classes:
+            labels = fault_class.labels
+            first = True
+            for label in labels:
+                prefix = f"{fault_class.index:>5}  " if first else "       "
+                func = fault_class.function_string if first else ""
+                lines.append(f"{prefix}{label:<30} {'u = ' + func if first else ''}".rstrip())
+                first = False
+        if self.undetectable:
+            lines.append("")
+            lines.append("Not representable / possibly undetectable:")
+            for entry, cls in self.undetectable:
+                lines.append(f"       {entry.label:<30} ({cls.notes})")
+        return "\n".join(lines)
+
+
+def collapse(
+    fault_free: TruthTable,
+    classified: Sequence[Tuple[FaultEntry, Classification]],
+) -> CollapseResult:
+    """Group classified faults into equivalence classes.
+
+    The class key is the faulty function (for ratio-dependent faults:
+    the at-speed function).  Classes keep first-seen order, so feeding
+    faults in the paper's enumeration order reproduces the paper's
+    class numbering.
+    """
+    classes: List[FaultClass] = []
+    by_table: Dict[TruthTable, FaultClass] = {}
+    benign: List[Tuple[FaultEntry, Classification]] = []
+    undetectable: List[Tuple[FaultEntry, Classification]] = []
+    sequential: List[Tuple[FaultEntry, Classification]] = []
+
+    for entry, cls in classified:
+        if cls.category is FaultCategory.BENIGN:
+            benign.append((entry, cls))
+            continue
+        if cls.category is FaultCategory.UNDETECTABLE:
+            undetectable.append((entry, cls))
+            continue
+        if cls.category is FaultCategory.SEQUENTIAL:
+            sequential.append((entry, cls))
+            continue
+        table = cls.predicted if cls.predicted is not None else cls.at_speed_table
+        if table is None:
+            raise ValueError(f"classification of {entry.label!r} carries no function")
+        if table == fault_free:
+            # A "faulty" function identical to the fault-free one cannot
+            # be detected by any pattern: report with the undetectables.
+            undetectable.append((entry, cls))
+            continue
+        fault_class = by_table.get(table)
+        if fault_class is None:
+            fault_class = FaultClass(index=len(classes) + 1, table=table)
+            classes.append(fault_class)
+            by_table[table] = fault_class
+        fault_class.members.append((entry, cls))
+
+    return CollapseResult(
+        fault_free=fault_free,
+        classes=classes,
+        benign=benign,
+        undetectable=undetectable,
+        sequential=sequential,
+    )

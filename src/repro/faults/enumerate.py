@@ -1,0 +1,261 @@
+"""Enumeration of the physical fault universe of a gate.
+
+Section 3 fixes the fault model: "a connection is open / a transistor is
+permanently open / a transistor is permanently closed".  This module
+lists those faults for a technology gate model with paper-style labels
+(the "definition principle" of Section 3: faults 1..n are open SN
+transistors, n+1..2n closed SN transistors, 2n+1/2n+2 the precharge
+device, plus the domino CMOS-1..4 and the connection-line opens).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..switchlevel.network import FaultKind, PhysicalFault
+from ..tech.base import GateModel
+from ..tech.domino_cmos import (
+    CONNECTION_WIRES as DOMINO_WIRES,
+    FOOT_SWITCH,
+    INVERTER_N,
+    INVERTER_P,
+    PRECHARGE_SWITCH,
+    DominoCmosGate,
+)
+from ..tech.dynamic_nmos import (
+    CONNECTION_WIRES as DYN_WIRES,
+    PRECHARGE_SWITCH as DYN_PRECHARGE,
+    DynamicNmosGate,
+)
+from ..tech.static_cmos import StaticCmosGate
+from ..tech.static_nmos import LOAD_SWITCH, StaticNmosGate
+
+
+@dataclass(frozen=True)
+class FaultEntry:
+    """One enumerated physical fault with its paper-style label."""
+
+    label: str
+    fault: PhysicalFault
+    group: str = ""  # coarse origin: "SN", "precharge", "inverter", "wire", ...
+
+
+def _sn_entries(gate: GateModel, include_line_opens: bool) -> Iterator[FaultEntry]:
+    """Closed/open fault pairs for every SN device, in occurrence order.
+
+    The paper's Fig. 9 fault-class table lists, per transistor, the
+    *closed* fault before the *open* fault; the enumeration preserves
+    that order so collapsed classes come out in the table's order.
+    """
+    for sn_name in gate.sn_switches:  # insertion order = construction order T1..Tn
+        circuit_name = gate.sn_switches[sn_name]
+        input_name = gate.network.switches[sn_name].gate
+        yield FaultEntry(
+            f"{input_name} closed",
+            PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch=circuit_name),
+            group="SN",
+        )
+        yield FaultEntry(
+            f"{input_name} open",
+            PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch=circuit_name),
+            group="SN",
+        )
+        if include_line_opens:
+            yield FaultEntry(
+                f"{input_name} gate line open",
+                PhysicalFault(FaultKind.LINE_OPEN_GATE, switch=circuit_name),
+                group="SN",
+            )
+            for terminal in ("a", "b"):
+                yield FaultEntry(
+                    f"SN {sn_name} terminal-{terminal} open",
+                    PhysicalFault(
+                        FaultKind.LINE_OPEN_TERMINAL, switch=circuit_name, terminal=terminal
+                    ),
+                    group="SN",
+                )
+
+
+def enumerate_gate_faults(
+    gate: GateModel, include_line_opens: bool = True
+) -> List[FaultEntry]:
+    """The full labelled physical fault list of a gate model."""
+    if isinstance(gate, DominoCmosGate):
+        return _enumerate_domino(gate, include_line_opens)
+    if isinstance(gate, DynamicNmosGate):
+        return _enumerate_dynamic_nmos(gate, include_line_opens)
+    if isinstance(gate, StaticNmosGate):
+        return _enumerate_static_nmos(gate, include_line_opens)
+    if isinstance(gate, StaticCmosGate):
+        return _enumerate_static_cmos(gate)
+    raise TypeError(f"no fault enumeration for gate type {type(gate).__name__}")
+
+
+def _enumerate_domino(gate: DominoCmosGate, include_line_opens: bool) -> List[FaultEntry]:
+    entries = list(_sn_entries(gate, include_line_opens))
+    entries.extend(
+        [
+            FaultEntry(
+                "CMOS-1", PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch=FOOT_SWITCH),
+                group="precharge",
+            ),
+            FaultEntry(
+                "CMOS-2", PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch=FOOT_SWITCH),
+                group="precharge",
+            ),
+            FaultEntry(
+                "CMOS-3",
+                PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch=PRECHARGE_SWITCH),
+                group="precharge",
+            ),
+            FaultEntry(
+                "CMOS-4",
+                PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch=PRECHARGE_SWITCH),
+                group="precharge",
+            ),
+            FaultEntry(
+                "inverter p open",
+                PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch=INVERTER_P),
+                group="inverter",
+            ),
+            FaultEntry(
+                "inverter p closed",
+                PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch=INVERTER_P),
+                group="inverter",
+            ),
+            FaultEntry(
+                "inverter n open",
+                PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch=INVERTER_N),
+                group="inverter",
+            ),
+            FaultEntry(
+                "inverter n closed",
+                PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch=INVERTER_N),
+                group="inverter",
+            ),
+        ]
+    )
+    if include_line_opens:
+        for wire in DOMINO_WIRES:
+            entries.append(
+                FaultEntry(
+                    f"{wire} open",
+                    PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch=wire),
+                    group="wire",
+                )
+            )
+    return entries
+
+
+def _enumerate_dynamic_nmos(
+    gate: DynamicNmosGate, include_line_opens: bool
+) -> List[FaultEntry]:
+    entries = list(_sn_entries(gate, include_line_opens))
+    n = len(gate.network.switches)
+    entries.append(
+        FaultEntry(
+            f"nMOS-{2 * n + 1} (T(n+1) open)",
+            PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch=DYN_PRECHARGE),
+            group="precharge",
+        )
+    )
+    entries.append(
+        FaultEntry(
+            f"nMOS-{2 * n + 2} (T(n+1) closed)",
+            PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch=DYN_PRECHARGE),
+            group="precharge",
+        )
+    )
+    for input_name, pass_name in sorted(gate.pass_switches.items()):
+        entries.append(
+            FaultEntry(
+                f"input pass {input_name} open",
+                PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch=pass_name),
+                group="pass",
+            )
+        )
+        entries.append(
+            FaultEntry(
+                f"input pass {input_name} closed",
+                PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch=pass_name),
+                group="pass",
+            )
+        )
+    if include_line_opens:
+        for wire in DYN_WIRES:
+            entries.append(
+                FaultEntry(
+                    f"{wire} open",
+                    PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch=wire),
+                    group="wire",
+                )
+            )
+    return entries
+
+
+def _enumerate_static_nmos(
+    gate: StaticNmosGate, include_line_opens: bool
+) -> List[FaultEntry]:
+    entries: List[FaultEntry] = []
+    for sn_name in gate.pulldown_switches:  # construction order
+        circuit_name = gate.pulldown_switches[sn_name]
+
+
+        entries.append(
+            FaultEntry(
+                f"pull-down {sn_name} closed",
+                PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch=circuit_name),
+                group="SN",
+            )
+        )
+        entries.append(
+            FaultEntry(
+                f"pull-down {sn_name} open",
+                PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch=circuit_name),
+                group="SN",
+            )
+        )
+        if include_line_opens:
+            entries.append(
+                FaultEntry(
+                    f"pull-down {sn_name} gate line open",
+                    PhysicalFault(FaultKind.LINE_OPEN_GATE, switch=circuit_name),
+                    group="SN",
+                )
+            )
+    entries.append(
+        FaultEntry(
+            "load open", PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch=LOAD_SWITCH),
+            group="load",
+        )
+    )
+    entries.append(
+        FaultEntry(
+            "load closed", PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch=LOAD_SWITCH),
+            group="load",
+        )
+    )
+    return entries
+
+
+def _enumerate_static_cmos(gate: StaticCmosGate) -> List[FaultEntry]:
+    entries: List[FaultEntry] = []
+    for mapping, side in ((gate.pulldown_switches, "pull-down"), (gate.pullup_switches, "pull-up")):
+        for sn_name in mapping:  # construction order
+            circuit_name = mapping[sn_name]
+            entries.append(
+                FaultEntry(
+                    f"{side} {sn_name} closed",
+                    PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch=circuit_name),
+                    group=side,
+                )
+            )
+            entries.append(
+                FaultEntry(
+                    f"{side} {sn_name} open",
+                    PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch=circuit_name),
+                    group=side,
+                )
+            )
+    return entries

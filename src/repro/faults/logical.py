@@ -1,0 +1,88 @@
+"""Logical fault taxonomy - the *target* of the paper's fault mapping.
+
+Section 3 maps every physical fault of a dynamic MOS gate to one of:
+
+* a **combinational faulty function** (often a local stuck-at ``s0-i`` /
+  ``s1-i`` on an input, or ``s0-z`` / ``s1-z`` on the output),
+* a **ratio-dependent fault** (domino CMOS-3 and closed inverter
+  devices): either an ``s0-z``/``s1-z`` outright (case a, strong
+  parasitic driver) or a pure **performance degradation** detectable
+  only by maximum-speed testing (case b),
+* a **potentially undetectable** fault (domino CMOS-1): redundancy that
+  exists for timing reasons only,
+* and - *only in static technologies* - **sequential memory** behaviour
+  (the Fig. 1 pathology the dynamic circuits avoid).
+
+The classes here are predictions: :class:`Classification` couples the
+paper-style label with the predicted faulty truth table (when the fault
+is purely logical) so that the switch-level simulator can verify the
+analysis fault by fault.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..logic.truthtable import TruthTable
+
+
+class FaultCategory(enum.Enum):
+    """Behavioural category of a classified physical fault."""
+
+    COMBINATIONAL = "combinational"
+    """The gate stays combinational with a different Boolean function
+    (includes all local and output stuck-ats)."""
+
+    RATIO_DEPENDENT = "ratio-dependent"
+    """A rail fight whose outcome depends on device resistances: either a
+    hard stuck output or a delay fault; always detectable at maximum
+    speed as the corresponding stuck value (CMOS-3)."""
+
+    UNDETECTABLE = "undetectable"
+    """Timing-only redundancy with no logical effect (CMOS-1)."""
+
+    BENIGN = "benign"
+    """No behavioural change at all under the clocking discipline
+    (e.g. a stuck-closed input pass device)."""
+
+    SEQUENTIAL = "sequential"
+    """The fault introduces state - possible only in the static
+    technologies; dynamic MOS never lands here (claim (a))."""
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Predicted logical behaviour of one physical fault."""
+
+    label: str
+    """Paper-style name: ``nMOS-3``, ``CMOS-4``, ``s0-i2``, ``b closed`` ..."""
+
+    category: FaultCategory
+
+    predicted: Optional[TruthTable] = None
+    """Faulty output function, for COMBINATIONAL (and the at-speed limit
+    of RATIO_DEPENDENT) faults; ``None`` otherwise."""
+
+    stuck_line: Optional[Tuple[str, int]] = None
+    """``(line, value)`` when the fault is exactly a stuck-at in the
+    paper's shorthand (``('z', 0)`` for s0-z etc.)."""
+
+    at_speed_table: Optional[TruthTable] = None
+    """For RATIO_DEPENDENT faults: the function observed when testing at
+    maximum clock rate (CMOS-3's "applying maximum speed testing may
+    detect this fault as an s0-z")."""
+
+    notes: str = ""
+
+    def stuck_name(self) -> Optional[str]:
+        """The paper's ``s0-x`` / ``s1-x`` shorthand, if applicable."""
+        if self.stuck_line is None:
+            return None
+        line, value = self.stuck_line
+        return f"s{value}-{line}"
+
+    def is_pure_logic(self) -> bool:
+        """True when the fault has a well-defined faulty Boolean function."""
+        return self.category in (FaultCategory.COMBINATIONAL, FaultCategory.BENIGN)

@@ -1,0 +1,43 @@
+"""Boolean foundations: expressions, truth tables, minimisation, probability."""
+
+from .expr import (
+    TRUE,
+    FALSE,
+    And,
+    Const,
+    Expr,
+    Not,
+    Or,
+    Var,
+    all_assignments,
+    simplify,
+    vars_,
+)
+from .minimize import minimal_cover, minimal_sop, minimal_sop_string, prime_implicants
+from .parser import ExpressionSyntaxError, parse_expression
+from .probability import detection_probability, signal_probability
+from .truthtable import TruthTable, tables_on_common_names
+
+__all__ = [
+    "TRUE",
+    "FALSE",
+    "And",
+    "Const",
+    "Expr",
+    "Not",
+    "Or",
+    "Var",
+    "all_assignments",
+    "simplify",
+    "vars_",
+    "minimal_cover",
+    "minimal_sop",
+    "minimal_sop_string",
+    "prime_implicants",
+    "ExpressionSyntaxError",
+    "parse_expression",
+    "detection_probability",
+    "signal_probability",
+    "TruthTable",
+    "tables_on_common_names",
+]

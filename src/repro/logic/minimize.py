@@ -1,0 +1,343 @@
+"""Two-level minimisation: Quine-McCluskey with Petrick's method.
+
+The paper's fault library stores every fault-free and faulty cell
+function in "the minimum disjunctive form" (Section 5).  This module
+produces exactly that: a minimal sum-of-products cover of a
+:class:`~repro.logic.truthtable.TruthTable`, rendered in the paper's
+``a*b+c`` syntax.
+
+Cubes are represented as ``(mask, value)`` integer pairs over the
+table's variable order: bit *j* of ``mask`` is set when variable *j*
+is cared about, and the corresponding bit of ``value`` gives its
+required polarity.  Bit 0 is the *last* variable in the name tuple
+(least significant in the minterm index), matching
+:class:`TruthTable`'s convention.
+"""
+
+from __future__ import annotations
+
+
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from .expr import And, Const, Expr, Not, Or, Var
+from .truthtable import TruthTable
+
+Cube = Tuple[int, int]  # (mask, value)
+
+
+def _combine(a: Cube, b: Cube) -> Cube | None:
+    """Merge two cubes differing in exactly one cared literal, else None."""
+    mask_a, value_a = a
+    mask_b, value_b = b
+    if mask_a != mask_b:
+        return None
+    diff = value_a ^ value_b
+    if diff == 0 or (diff & (diff - 1)) != 0:
+        return None
+    return (mask_a & ~diff, value_a & ~diff)
+
+
+def _cube_covers(cube: Cube, minterm: int) -> bool:
+    mask, value = cube
+    return (minterm & mask) == value
+
+
+def prime_implicants(n_vars: int, minterms: Sequence[int]) -> List[Cube]:
+    """All prime implicants of the function given by its minterm list."""
+    if not minterms:
+        return []
+    full_mask = (1 << n_vars) - 1
+    current: Set[Cube] = {(full_mask, m) for m in minterms}
+    primes: Set[Cube] = set()
+    while current:
+        merged: Set[Cube] = set()
+        used: Set[Cube] = set()
+        # Group by (mask, popcount of value) so only adjacent groups combine.
+        groups: Dict[Tuple[int, int], List[Cube]] = {}
+        for cube in current:
+            groups.setdefault((cube[0], (cube[1] & cube[0]).bit_count()), []).append(cube)
+        for (mask, ones), group in groups.items():
+            partner = groups.get((mask, ones + 1), [])
+            for a in group:
+                for b in partner:
+                    combined = _combine(a, b)
+                    if combined is not None:
+                        merged.add(combined)
+                        used.add(a)
+                        used.add(b)
+        primes |= current - used
+        current = merged
+    return sorted(primes)
+
+
+def _petrick_cover(
+    primes: Sequence[Cube], minterms: Sequence[int]
+) -> List[Cube]:
+    """Exact minimum cover via Petrick's method (product-of-sums expansion).
+
+    Suitable for cell-sized problems (tens of minterms); falls back to a
+    greedy cover if the product blows up.
+    """
+    # Products are frozensets of prime indices.
+    products: Set[FrozenSet[int]] = {frozenset()}
+    for minterm in minterms:
+        covering = [i for i, p in enumerate(primes) if _cube_covers(p, minterm)]
+        if not covering:
+            raise AssertionError(f"minterm {minterm} not covered by any prime")
+        new_products: Set[FrozenSet[int]] = set()
+        for product in products:
+            for index in covering:
+                new_products.add(product | {index})
+        # Absorption: drop supersets.
+        pruned: Set[FrozenSet[int]] = set()
+        for product in sorted(new_products, key=len):
+            if not any(existing <= product for existing in pruned):
+                pruned.add(product)
+        products = pruned
+        if len(products) > 4096:
+            return _greedy_cover(primes, minterms)
+
+    def cost(product: FrozenSet[int]) -> Tuple[int, int]:
+        literal_count = sum(primes[i][0].bit_count() for i in product)
+        return (len(product), literal_count)
+
+    best = min(products, key=cost)
+    return [primes[i] for i in sorted(best)]
+
+
+def _greedy_cover(primes: Sequence[Cube], minterms: Sequence[int]) -> List[Cube]:
+    """Greedy set-cover fallback for large instances."""
+    uncovered = set(minterms)
+    chosen: List[Cube] = []
+    while uncovered:
+        best = max(
+            primes,
+            key=lambda p: (sum(1 for m in uncovered if _cube_covers(p, m)), -p[0].bit_count()),
+        )
+        covered_now = {m for m in uncovered if _cube_covers(best, m)}
+        if not covered_now:
+            raise AssertionError("greedy cover stalled; primes do not cover function")
+        chosen.append(best)
+        uncovered -= covered_now
+    return chosen
+
+
+def minimal_cover(table: TruthTable) -> List[Cube]:
+    """Minimal sum-of-products cover of a truth table, as cubes.
+
+    Essential primes are extracted first; the residue is solved exactly
+    with Petrick's method.
+    """
+    minterms = list(table.minterms())
+    if not minterms:
+        return []
+    if len(minterms) == table.size:
+        return [(0, 0)]  # the universal cube - constant 1
+    primes = prime_implicants(table.n_vars, minterms)
+
+    essential: List[Cube] = []
+    remaining = set(minterms)
+    for minterm in minterms:
+        covering = [p for p in primes if _cube_covers(p, minterm)]
+        if len(covering) == 1 and covering[0] not in essential:
+            essential.append(covering[0])
+    for prime in essential:
+        remaining -= {m for m in remaining if _cube_covers(prime, m)}
+    if remaining:
+        rest_primes = [p for p in primes if p not in essential]
+        essential.extend(_petrick_cover(rest_primes, sorted(remaining)))
+    return sorted(essential)
+
+
+def cube_to_expr(cube: Cube, names: Sequence[str]) -> Expr:
+    """Render one cube as a product term over ``names``."""
+    mask, value = cube
+    n = len(names)
+    literals: List[Expr] = []
+    for position, name in enumerate(names):
+        bit = n - 1 - position
+        if (mask >> bit) & 1:
+            literal: Expr = Var(name)
+            if not (value >> bit) & 1:
+                literal = Not(literal)
+            literals.append(literal)
+    if not literals:
+        return Const(1)
+    if len(literals) == 1:
+        return literals[0]
+    return And(*literals)
+
+
+def minimal_sop(table: TruthTable) -> Expr:
+    """Minimal disjunctive form of a truth table as an expression.
+
+    >>> from repro.logic.parser import parse_expression
+    >>> t = TruthTable.from_expr(parse_expression("a*b + a*!b"))
+    >>> minimal_sop(t).to_paper_syntax()
+    'a'
+    """
+    cover = minimal_cover(table)
+    if not cover:
+        return Const(0)
+    terms = [cube_to_expr(cube, table.names) for cube in cover]
+    if len(terms) == 1:
+        return terms[0]
+    return Or(*terms)
+
+
+def minimal_sop_string(table: TruthTable) -> str:
+    """Minimal disjunctive form rendered in the paper's syntax.
+
+    Cube order is deterministic (sorted), so identical functions always
+    render identically - the property the fault-class table relies on.
+    """
+    return minimal_sop(table).to_paper_syntax()
+
+
+def literal_count(cover: Sequence[Cube]) -> int:
+    """Total number of literals in a cover (a standard cost measure)."""
+    return sum(mask.bit_count() for mask, _ in cover)
+
+
+# -- fast exact minimisation for unate functions ---------------------------------
+#
+# Quine-McCluskey enumerates *every* implicant, which explodes beyond
+# ~10 variables.  The switching networks of this domain are unate
+# (positive AND-OR trees, possibly under one outer negation), and for a
+# unate function the set of prime implicants is exactly the absorbed
+# expansion of its SOP - no merging, no Petrick, and the irredundant
+# prime cover is unique.  These helpers exploit that.
+
+Literal = Tuple[str, int]  # (variable, polarity)
+
+
+def _nnf(expr: Expr, negated: bool = False) -> Expr:
+    """Negation normal form: push Not down to the leaves."""
+    if isinstance(expr, Var):
+        return Not(expr) if negated else expr
+    if isinstance(expr, Const):
+        return Const(1 - expr.value) if negated else expr
+    if isinstance(expr, Not):
+        return _nnf(expr.operand, not negated)
+    if isinstance(expr, And):
+        operands = [_nnf(op, negated) for op in expr.operands]
+        return Or(*operands) if negated else And(*operands)
+    if isinstance(expr, Or):
+        operands = [_nnf(op, negated) for op in expr.operands]
+        return And(*operands) if negated else Or(*operands)
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def _absorb(products: Set[FrozenSet[Literal]]) -> Set[FrozenSet[Literal]]:
+    """Drop every product that is a superset of another (absorption)."""
+    by_size = sorted(products, key=len)
+    kept: List[FrozenSet[Literal]] = []
+    for product in by_size:
+        if not any(existing <= product for existing in kept):
+            kept.append(product)
+    return set(kept)
+
+
+_EXPANSION_LIMIT = 20000
+
+
+def _expand_products(expr: Expr) -> Set[FrozenSet[Literal]] | None:
+    """SOP expansion of an NNF tree with interleaved absorption.
+
+    Returns ``None`` when a product becomes contradictory-free... no:
+    contradictory products (x and !x) are dropped; returns ``None`` only
+    if the expansion grows beyond a safety limit.
+    """
+    if isinstance(expr, Var):
+        return {frozenset({(expr.name, 1)})}
+    if isinstance(expr, Const):
+        return {frozenset()} if expr.value else set()
+    if isinstance(expr, Not):
+        operand = expr.operand
+        if isinstance(operand, Var):
+            return {frozenset({(operand.name, 0)})}
+        raise ValueError("expression must be in NNF")
+    if isinstance(expr, Or):
+        result: Set[FrozenSet[Literal]] = set()
+        for op in expr.operands:
+            sub = _expand_products(op)
+            if sub is None:
+                return None
+            result |= sub
+            if len(result) > _EXPANSION_LIMIT:
+                return None
+        return _absorb(result)
+    if isinstance(expr, And):
+        result = {frozenset()}
+        for op in expr.operands:
+            sub = _expand_products(op)
+            if sub is None:
+                return None
+            merged: Set[FrozenSet[Literal]] = set()
+            for left in result:
+                for right in sub:
+                    union = left | right
+                    names = {name for name, _ in union}
+                    if len(names) < len(union):
+                        continue  # contains x and !x: contradiction
+                    merged.add(union)
+                    if len(merged) > _EXPANSION_LIMIT:
+                        return None
+            result = _absorb(merged)
+        return result
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def unate_minimal_cover(expr: Expr, names: Sequence[str]) -> List[Cube] | None:
+    """Exact minimal cover of a *unate* expression, or ``None``.
+
+    Returns ``None`` when the expression is not unate (some variable
+    appears in both polarities after NNF) or the expansion exceeds the
+    safety limit - callers then fall back to Quine-McCluskey.
+    """
+    nnf = _nnf(expr)
+    products = _expand_products(nnf)
+    if products is None:
+        return None
+    polarity: Dict[str, int] = {}
+    for product in products:
+        for name, value in product:
+            if polarity.setdefault(name, value) != value:
+                return None  # binate: absorption alone is not exact
+    position = {name: len(names) - 1 - i for i, name in enumerate(names)}
+    cubes: List[Cube] = []
+    for product in products:
+        mask = 0
+        value = 0
+        for name, pol in product:
+            if name not in position:
+                return None
+            bit = position[name]
+            mask |= 1 << bit
+            if pol:
+                value |= 1 << bit
+        cubes.append((mask, value))
+    return sorted(cubes)
+
+
+def minimal_sop_of_expr(expr: Expr, names: Sequence[str]) -> Expr:
+    """Minimal SOP using the unate fast path when possible.
+
+    Exact in both branches: unate expansion+absorption yields the unique
+    prime cover of a unate function; everything else goes through the
+    explicit truth table and Quine-McCluskey.
+    """
+    cover = unate_minimal_cover(expr, names)
+    if cover is None:
+        return minimal_sop(TruthTable.from_expr(expr, tuple(names)))
+    if not cover:
+        return Const(0)
+    terms = [cube_to_expr(cube, names) for cube in cover]
+    if len(terms) == 1:
+        return terms[0]
+    return Or(*terms)
+
+
+def minimal_sop_string_of_expr(expr: Expr, names: Sequence[str]) -> str:
+    """Paper-syntax minimal disjunctive form via :func:`minimal_sop_of_expr`."""
+    return minimal_sop_of_expr(expr, names).to_paper_syntax()

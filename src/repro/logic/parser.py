@@ -1,0 +1,159 @@
+"""Parser for the paper's Boolean expression syntax.
+
+Section 5 of the paper describes switching networks "in an elementary
+way": ``s1*s2`` for series (AND) and ``s1+s2`` for parallel (OR)
+connections, e.g. the Fig. 9 gate::
+
+    x1 := a*(b+c);
+    x2 := d*e;
+    u  := x1+x2;
+
+This module parses single right-hand-side expressions.  Grammar::
+
+    expr    := term ('+' term)*
+    term    := factor ('*' factor)*
+    factor  := '!' factor | '(' expr ')' | '0' | '1' | IDENT
+
+``!`` is negation (needed for the output inverter of static cells and
+for bipolar library cells; dynamic switching networks themselves are
+positive/unate, which :func:`repro.cells.language.parse_cell` checks
+separately).  Identifiers are ``[A-Za-z_][A-Za-z0-9_]*``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+from .expr import And, Const, Expr, Not, Or, Var
+
+
+class ExpressionSyntaxError(ValueError):
+    """Raised when an expression string cannot be parsed."""
+
+
+class _Token(NamedTuple):
+    kind: str  # 'ident' | 'op' | 'const'
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<ident>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<const>[01])"
+    r"|(?P<op>[*+!()]))"
+)
+
+
+def tokenize(text: str) -> List[_Token]:
+    """Split an expression string into tokens, rejecting stray characters."""
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            if text[position:].strip() == "":
+                break
+            raise ExpressionSyntaxError(
+                f"unexpected character {text[position]!r} at column {position} in {text!r}"
+            )
+        if match.lastgroup == "ident":
+            tokens.append(_Token("ident", match.group("ident"), match.start("ident")))
+        elif match.lastgroup == "const":
+            tokens.append(_Token("const", match.group("const"), match.start("const")))
+        else:
+            tokens.append(_Token("op", match.group("op"), match.start("op")))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    def peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def advance(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ExpressionSyntaxError(f"unexpected end of expression in {self.text!r}")
+        self.index += 1
+        return token
+
+    def expect_op(self, op: str) -> None:
+        token = self.advance()
+        if token.kind != "op" or token.text != op:
+            raise ExpressionSyntaxError(
+                f"expected {op!r} at column {token.position} in {self.text!r}, "
+                f"got {token.text!r}"
+            )
+
+    def parse(self) -> Expr:
+        expr = self.parse_expr()
+        leftover = self.peek()
+        if leftover is not None:
+            raise ExpressionSyntaxError(
+                f"trailing input {leftover.text!r} at column {leftover.position} "
+                f"in {self.text!r}"
+            )
+        return expr
+
+    def parse_expr(self) -> Expr:
+        terms = [self.parse_term()]
+        while True:
+            token = self.peek()
+            if token is not None and token.kind == "op" and token.text == "+":
+                self.advance()
+                terms.append(self.parse_term())
+            else:
+                break
+        if len(terms) == 1:
+            return terms[0]
+        return Or(*terms)
+
+    def parse_term(self) -> Expr:
+        factors = [self.parse_factor()]
+        while True:
+            token = self.peek()
+            if token is not None and token.kind == "op" and token.text == "*":
+                self.advance()
+                factors.append(self.parse_factor())
+            else:
+                break
+        if len(factors) == 1:
+            return factors[0]
+        return And(*factors)
+
+    def parse_factor(self) -> Expr:
+        token = self.advance()
+        if token.kind == "op" and token.text == "!":
+            return Not(self.parse_factor())
+        if token.kind == "op" and token.text == "(":
+            inner = self.parse_expr()
+            self.expect_op(")")
+            return inner
+        if token.kind == "const":
+            return Const(int(token.text))
+        if token.kind == "ident":
+            return Var(token.text)
+        raise ExpressionSyntaxError(
+            f"unexpected token {token.text!r} at column {token.position} in {self.text!r}"
+        )
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a paper-syntax Boolean expression string into an :class:`Expr`.
+
+    >>> parse_expression("a*(b+c)+d*e").to_paper_syntax()
+    'a*(b+c)+d*e'
+    """
+    if not text or not text.strip():
+        raise ExpressionSyntaxError("empty expression")
+    return _Parser(text).parse()

@@ -1,0 +1,131 @@
+"""Exact signal probability of Boolean expressions.
+
+PROTEST's first job (Section 5) is "estimating signal probabilities":
+given independent per-input probabilities P(input = 1), compute
+P(f = 1).  For cell-sized expressions this module computes the *exact*
+value; circuit-level estimation (topological propagation, Monte Carlo,
+exact-by-truth-table) lives in :mod:`repro.protest.signalprob`.
+
+The algorithm is Shannon expansion on shared variables with read-once
+shortcut: when the operands of an AND/OR have pairwise-disjoint support
+the probability factorises (inputs are independent), which keeps the
+common series/parallel cell expressions linear-time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from .expr import And, Const, Expr, Not, Or, Var
+
+
+def _as_prob_map(expr: Expr, probs: Mapping[str, float] | float) -> Dict[str, float]:
+    if isinstance(probs, (int, float)):
+        return {name: float(probs) for name in expr.variables()}
+    result = {}
+    for name in expr.variables():
+        try:
+            p = float(probs[name])
+        except KeyError:
+            raise KeyError(f"no probability given for input {name!r}") from None
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability of {name!r} must lie in [0,1], got {p}")
+        result[name] = p
+    return result
+
+
+def _most_shared_variable(expr: Expr, env: Mapping[str, float]) -> str | None:
+    """The unpinned variable appearing in the most operand supports.
+
+    Variables already pinned to 0/1 by an enclosing Shannon expansion
+    carry no correlation and are skipped.
+    """
+    if not isinstance(expr, (And, Or)):
+        return None
+    counts: Dict[str, int] = {}
+    for operand in expr.children():
+        for name in operand.variables():
+            if env[name] in (0.0, 1.0):
+                continue
+            counts[name] = counts.get(name, 0) + 1
+    shared = {name: count for name, count in counts.items() if count > 1}
+    if not shared:
+        return None
+    return max(sorted(shared), key=lambda name: shared[name])
+
+
+def signal_probability(expr: Expr, probs: Mapping[str, float] | float = 0.5) -> float:
+    """Exact P(expr = 1) under independent input probabilities.
+
+    >>> from repro.logic.parser import parse_expression
+    >>> signal_probability(parse_expression("a*b"), 0.5)
+    0.25
+    >>> signal_probability(parse_expression("a + !a"), 0.3)
+    1.0
+    """
+    prob_map = _as_prob_map(expr, probs)
+    cache: Dict[Tuple[int, Tuple[Tuple[str, float], ...]], float] = {}
+
+    def walk(node: Expr, env: Dict[str, float]) -> float:
+        if isinstance(node, Const):
+            return float(node.value)
+        if isinstance(node, Var):
+            return env[node.name]
+        key = (id(node), tuple(sorted((n, env[n]) for n in node.variables())))
+        if key in cache:
+            return cache[key]
+        if isinstance(node, Not):
+            result = 1.0 - walk(node.operand, env)
+        else:
+            shared = _most_shared_variable(node, env)
+            if shared is not None:
+                # Shannon expansion on the reconvergent variable.
+                env0 = dict(env)
+                env0[shared] = 0.0
+                env1 = dict(env)
+                env1[shared] = 1.0
+                p = env[shared]
+                result = (1.0 - p) * walk(node, env0) + p * walk(node, env1)
+            elif isinstance(node, And):
+                result = 1.0
+                for operand in node.operands:
+                    result *= walk(operand, env)
+                    if result == 0.0:
+                        break
+            elif isinstance(node, Or):
+                # P(or) = 1 - prod(1 - P(operand)) for independent operands.
+                complement = 1.0
+                for operand in node.operands:
+                    complement *= 1.0 - walk(operand, env)
+                    if complement == 0.0:
+                        break
+                result = 1.0 - complement
+            else:  # pragma: no cover - exhaustiveness guard
+                raise TypeError(f"unknown expression node {node!r}")
+        cache[key] = result
+        return result
+
+    env = dict(prob_map)
+    # Variables pinned to 0/1 probability are handled by the generic walk.
+    return min(1.0, max(0.0, walk(expr, env)))
+
+
+def detection_probability(
+    good: Expr, faulty: Expr, probs: Mapping[str, float] | float = 0.5
+) -> float:
+    """P(random pattern distinguishes ``good`` from ``faulty``).
+
+    This is the *fault detection probability* of a cell-local fault with
+    perfect observability: the probability that the two functions differ
+    under a random input drawn from the given distribution.  Computed
+    exactly as P(good XOR faulty).
+    """
+    difference = good ^ faulty
+    merged: Mapping[str, float] | float
+    if isinstance(probs, (int, float)):
+        merged = probs
+    else:
+        merged = {name: probs.get(name, 0.5) for name in difference.variables()} or {}
+        if not difference.variables():
+            merged = 0.5
+    return signal_probability(difference, merged)

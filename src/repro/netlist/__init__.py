@@ -1,0 +1,21 @@
+"""Gate-level combinational networks of library cells."""
+
+from .builder import CellFactory, connect_chain
+from .network import GateInstance, Network, NetworkError, NetworkFault
+from .sequential import (
+    SequentialFaultSimulator,
+    StuckOpenFault,
+    stuck_open_faults_of_gate,
+)
+
+__all__ = [
+    "CellFactory",
+    "connect_chain",
+    "GateInstance",
+    "Network",
+    "NetworkError",
+    "NetworkFault",
+    "SequentialFaultSimulator",
+    "StuckOpenFault",
+    "stuck_open_faults_of_gate",
+]

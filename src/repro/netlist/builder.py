@@ -1,0 +1,84 @@
+"""Convenience cell factories and network builders.
+
+Domino CMOS gates are non-inverting (AND/OR/AND-OR complexes), so
+domino networks compose positive-unate cells; dynamic nMOS gates invert
+(NAND/NOR/AOI), which is why Fig. 7 alternates clock phases.  The
+factory hands out correctly-tagged cells for either style, caching one
+:class:`~repro.cells.cell.Cell` per distinct (technology, function).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..cells.cell import Cell
+
+from .network import Network
+
+
+class CellFactory:
+    """Builds and caches library cells for one technology."""
+
+    def __init__(self, technology: str = "domino-CMOS"):
+        self.technology = technology
+        self._cache: Dict[str, Cell] = {}
+
+    def cell(self, name: str, network_expr: str, inputs: Sequence[str]) -> Cell:
+        """A cell whose switching network is ``network_expr`` over ``inputs``.
+
+        The output function follows the technology (transmission function
+        for domino, its inverse for the inverting technologies).
+        """
+        key = f"{name}|{network_expr}|{','.join(inputs)}"
+        if key not in self._cache:
+            text = (
+                f"TECHNOLOGY {self.technology};\n"
+                f"INPUT {','.join(inputs)};\n"
+                f"OUTPUT z;\n"
+                f"z := {network_expr};\n"
+            )
+            self._cache[key] = Cell.from_text(text, name=name)
+        return self._cache[key]
+
+    # -- the standard small cells ---------------------------------------------------
+
+    def and_gate(self, fan_in: int = 2) -> Cell:
+        inputs = [f"i{k}" for k in range(1, fan_in + 1)]
+        return self.cell(f"and{fan_in}", "*".join(inputs), inputs)
+
+    def or_gate(self, fan_in: int = 2) -> Cell:
+        inputs = [f"i{k}" for k in range(1, fan_in + 1)]
+        return self.cell(f"or{fan_in}", "+".join(inputs), inputs)
+
+    def buffer(self) -> Cell:
+        return self.cell("buf", "i1", ["i1"])
+
+    def and_or(self, and_width: int = 2, or_width: int = 2) -> Cell:
+        """AND-OR complex gate: OR of ``or_width`` ANDs of ``and_width``."""
+        inputs: List[str] = []
+        terms: List[str] = []
+        for group in range(or_width):
+            group_inputs = [f"i{group * and_width + k + 1}" for k in range(and_width)]
+            inputs.extend(group_inputs)
+            terms.append("*".join(group_inputs))
+        return self.cell(f"ao{and_width}x{or_width}", "+".join(terms), inputs)
+
+    def carry(self) -> Cell:
+        """Majority/carry: ``a*b + a*c + b*c`` (domino full-adder carry)."""
+        return self.cell("carry", "a*b+a*c+b*c", ["a", "b", "c"])
+
+
+def connect_chain(
+    network: Network,
+    factory: CellFactory,
+    cells: Sequence[Tuple[str, Cell, Sequence[str]]],
+) -> None:
+    """Add gates in sequence; each tuple is (output_net, cell, input_nets)."""
+    for output_net, cell, input_nets in cells:
+        if len(input_nets) != len(cell.inputs):
+            raise ValueError(
+                f"cell {cell.name!r} needs {len(cell.inputs)} inputs, "
+                f"got {len(input_nets)}"
+            )
+        connections = dict(zip(cell.inputs, input_nets))
+        network.add_gate(f"g_{output_net}", cell, connections, output_net)

@@ -1,0 +1,309 @@
+"""Gate-level combinational networks of library cells.
+
+PROTEST, the fault simulator and PODEM all operate on this level: a
+directed acyclic network of cell instances connected by named nets.
+"Since we are only dealing with combinational networks, a static fault
+simulation is sufficient" (Section 5) - and Section 3 is precisely the
+licence to do so for dynamic MOS: every physical fault of a gate maps
+to a *combinational* cell fault, so injecting faulty cell functions (or
+classical stuck-ats) is sound.
+
+Values are big-int bit vectors: bit *k* of every net is its value under
+pattern *k*, so one evaluation pass simulates arbitrarily many patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from ..cells.cell import Cell
+from ..cells.library import FaultLibrary, LibraryFunction, generate_library
+from ..logic.expr import Expr
+from ..logic.minimize import minimal_sop
+
+
+class NetworkError(ValueError):
+    """Structural errors: unknown nets, cycles, multiple drivers."""
+
+
+@dataclass
+class GateInstance:
+    """One cell instance: input nets bound to cell input names."""
+
+    name: str
+    cell: Cell
+    connections: Dict[str, str]  # cell input name -> net name
+    output: str  # net name driven by the cell output
+    _expr_cache: Optional[Expr] = None
+
+    def input_nets(self) -> List[str]:
+        return [self.connections[pin] for pin in self.cell.inputs]
+
+    def function_expr(self) -> Expr:
+        """Cell function with cell input names (not nets) as variables."""
+        if self._expr_cache is None:
+            self._expr_cache = self.cell.output_function
+        return self._expr_cache
+
+
+@dataclass(frozen=True)
+class NetworkFault:
+    """A fault injectable at network level.
+
+    Either a classical stuck-at on a net (``kind='stuck'``) or a cell
+    fault class from a gate's fault library (``kind='cell'``).
+    """
+
+    kind: str  # 'stuck' | 'cell'
+    net: Optional[str] = None
+    value: Optional[int] = None
+    gate: Optional[str] = None
+    class_index: Optional[int] = None
+    function: Optional[LibraryFunction] = None
+    label: str = ""
+
+    @classmethod
+    def stuck_at(cls, net: str, value: int) -> "NetworkFault":
+        return cls(kind="stuck", net=net, value=value, label=f"s{value}-{net}")
+
+    @classmethod
+    def cell_fault(
+        cls, gate: str, class_index: int, function: LibraryFunction, label: str = ""
+    ) -> "NetworkFault":
+        return cls(
+            kind="cell",
+            gate=gate,
+            class_index=class_index,
+            function=function,
+            label=label or f"{gate}#class{class_index}",
+        )
+
+    def describe(self) -> str:
+        return self.label
+
+
+class Network:
+    """A combinational network: primary inputs, gates, primary outputs."""
+
+    def __init__(self, name: str = "network"):
+        self.name = name
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+        self.gates: Dict[str, GateInstance] = {}
+        self._driver: Dict[str, str] = {}  # net -> gate name
+        self._order: Optional[List[str]] = None
+
+    # -- construction -----------------------------------------------------------
+
+    def add_input(self, net: str) -> str:
+        if net in self.inputs:
+            raise NetworkError(f"duplicate primary input {net!r}")
+        if net in self._driver:
+            raise NetworkError(f"net {net!r} is already driven by a gate")
+        self.inputs.append(net)
+        return net
+
+    def add_gate(
+        self,
+        name: str,
+        cell: Cell,
+        connections: Mapping[str, str],
+        output: str,
+    ) -> GateInstance:
+        if name in self.gates:
+            raise NetworkError(f"duplicate gate name {name!r}")
+        missing = set(cell.inputs) - set(connections)
+        if missing:
+            raise NetworkError(f"gate {name!r}: unconnected cell inputs {sorted(missing)}")
+        extra = set(connections) - set(cell.inputs)
+        if extra:
+            raise NetworkError(f"gate {name!r}: unknown cell pins {sorted(extra)}")
+        if output in self._driver:
+            raise NetworkError(
+                f"net {output!r} already driven by gate {self._driver[output]!r}"
+            )
+        if output in self.inputs:
+            raise NetworkError(f"net {output!r} is a primary input")
+        gate = GateInstance(name=name, cell=cell, connections=dict(connections), output=output)
+        self.gates[name] = gate
+        self._driver[output] = name
+        self._order = None
+        return gate
+
+    def mark_output(self, net: str) -> None:
+        if net not in self.outputs:
+            self.outputs.append(net)
+
+    # -- structure ---------------------------------------------------------------
+
+    def nets(self) -> List[str]:
+        all_nets: List[str] = list(self.inputs)
+        seen: Set[str] = set(self.inputs)
+        for gate in self.gates.values():
+            for net in list(gate.connections.values()) + [gate.output]:
+                if net not in seen:
+                    seen.add(net)
+                    all_nets.append(net)
+        return all_nets
+
+    def driver_of(self, net: str) -> Optional[GateInstance]:
+        gate_name = self._driver.get(net)
+        return self.gates[gate_name] if gate_name else None
+
+    def fanout_of(self, net: str) -> List[Tuple[str, str]]:
+        """(gate name, cell pin) pairs reading a net."""
+        readers: List[Tuple[str, str]] = []
+        for gate in self.gates.values():
+            for pin, connected in gate.connections.items():
+                if connected == net:
+                    readers.append((gate.name, pin))
+        return readers
+
+    def levelize(self) -> List[str]:
+        """Topological gate order; raises on combinational cycles."""
+        if self._order is not None:
+            return self._order
+        ready: Set[str] = set(self.inputs)
+        remaining = dict(self.gates)
+        order: List[str] = []
+        while remaining:
+            progress = []
+            for name, gate in remaining.items():
+                if all(net in ready for net in gate.connections.values()):
+                    progress.append(name)
+            if not progress:
+                undriven = {
+                    net
+                    for gate in remaining.values()
+                    for net in gate.connections.values()
+                    if net not in ready and net not in self._driver
+                }
+                if undriven:
+                    raise NetworkError(f"undriven nets: {sorted(undriven)}")
+                raise NetworkError(
+                    f"combinational cycle among gates {sorted(remaining)}"
+                )
+            for name in progress:
+                order.append(name)
+                ready.add(remaining.pop(name).output)
+        for net in self.outputs:
+            if net not in ready:
+                raise NetworkError(f"primary output {net!r} is never driven")
+        self._order = order
+        return order
+
+    def depth(self) -> int:
+        """Logic depth in gate levels."""
+        level: Dict[str, int] = {net: 0 for net in self.inputs}
+        for name in self.levelize():
+            gate = self.gates[name]
+            level[gate.output] = 1 + max(
+                (level[net] for net in gate.connections.values()), default=0
+            )
+        return max((level.get(net, 0) for net in self.outputs), default=0)
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def evaluate_bits(
+        self,
+        env: Mapping[str, int],
+        mask: int,
+        fault: Optional[NetworkFault] = None,
+    ) -> Dict[str, int]:
+        """Bit-parallel evaluation of every net.
+
+        ``env`` maps primary inputs to bit vectors; ``mask`` has one bit
+        per pattern.  A ``NetworkFault`` is injected on the fly: a stuck
+        net is forced after its driver evaluates (and applies to primary
+        inputs too); a cell fault replaces one gate's function.
+        """
+        values: Dict[str, int] = {}
+        for net in self.inputs:
+            try:
+                values[net] = env[net] & mask
+            except KeyError:
+                raise NetworkError(f"no value for primary input {net!r}") from None
+        if fault is not None and fault.kind == "stuck" and fault.net in values:
+            values[fault.net] = mask if fault.value else 0
+        for name in self.levelize():
+            gate = self.gates[name]
+            local_env = {
+                pin: values[net] for pin, net in gate.connections.items()
+            }
+            if fault is not None and fault.kind == "cell" and fault.gate == name:
+                expr = minimal_sop(fault.function.table)
+            else:
+                expr = gate.function_expr()
+            values[gate.output] = expr.evaluate_bits(local_env, mask)
+            if fault is not None and fault.kind == "stuck" and fault.net == gate.output:
+                values[gate.output] = mask if fault.value else 0
+        return values
+
+    def evaluate(
+        self, assignment: Mapping[str, int], fault: Optional[NetworkFault] = None
+    ) -> Dict[str, int]:
+        """Single-pattern evaluation (thin wrapper over the bit-parallel path)."""
+        env = {net: (1 if assignment[net] else 0) for net in self.inputs}
+        values = self.evaluate_bits(env, 1, fault)
+        return {net: value & 1 for net, value in values.items()}
+
+    def output_bits(
+        self,
+        env: Mapping[str, int],
+        mask: int,
+        fault: Optional[NetworkFault] = None,
+    ) -> Dict[str, int]:
+        values = self.evaluate_bits(env, mask, fault)
+        return {net: values[net] for net in self.outputs}
+
+    # -- fault universe ---------------------------------------------------------------
+
+    def libraries(self) -> Dict[str, FaultLibrary]:
+        """Fault library per gate (generated once per distinct cell)."""
+        by_cell: Dict[int, FaultLibrary] = {}
+        result: Dict[str, FaultLibrary] = {}
+        for name, gate in self.gates.items():
+            key = id(gate.cell)
+            if key not in by_cell:
+                by_cell[key] = generate_library(gate.cell)
+            result[name] = by_cell[key]
+        return result
+
+    def enumerate_faults(
+        self,
+        include_cell_classes: bool = True,
+        include_stuck_at: bool = False,
+    ) -> List[NetworkFault]:
+        """The network's fault list.
+
+        By default: every fault class of every gate's library (the
+        technology-dependent fault model of the paper).  Classical net
+        stuck-ats can be added for comparison with the traditional
+        model.
+        """
+        faults: List[NetworkFault] = []
+        if include_cell_classes:
+            libraries = self.libraries()
+            for name in self.levelize():
+                library = libraries[name]
+                for cls in library.classes:
+                    faults.append(
+                        NetworkFault.cell_fault(
+                            name,
+                            cls.index,
+                            cls.function,
+                            label=f"{name}:{'|'.join(cls.labels)}",
+                        )
+                    )
+        if include_stuck_at:
+            for net in self.nets():
+                faults.append(NetworkFault.stuck_at(net, 0))
+                faults.append(NetworkFault.stuck_at(net, 1))
+        return faults
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network({self.name!r}, inputs={len(self.inputs)}, "
+            f"gates={len(self.gates)}, outputs={len(self.outputs)})"
+        )

@@ -1,0 +1,156 @@
+"""The *sequential* gate-level fault model for static CMOS stuck-opens.
+
+Section 1: "the stuck-open faults may transform a combinational circuit
+into a sequential one" - the faulty gate's output floats for some input
+combinations and keeps its previous value (Fig. 1).  This module models
+exactly that at gate level, so circuit-level experiments can contrast
+static CMOS (needs two-pattern tests, breaks single-pattern fault
+simulation) with dynamic MOS (never needs any of this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+
+from ..logic.truthtable import TruthTable
+from ..logic.values import X
+
+
+@dataclass(frozen=True)
+class StuckOpenFault:
+    """A stuck-open fault of a static CMOS gate, in functional form.
+
+    ``float_condition`` marks the input combinations on which neither
+    network drives the output; everywhere else the gate still computes
+    ``good``.  (A stuck-open device only ever *removes* drive.)
+    """
+
+    gate: str
+    good: TruthTable
+    float_condition: TruthTable
+    label: str = ""
+
+    def __post_init__(self):
+        if self.good.names != self.float_condition.names:
+            raise ValueError("good and float_condition must share variable order")
+
+    def next_output(self, assignment: Mapping[str, int], previous: int) -> int:
+        """Output for one vector given the gate's retained value."""
+        if self.float_condition.value(assignment):
+            return previous
+        return self.good.value(assignment)
+
+
+class SequentialFaultSimulator:
+    """Two-pattern-aware simulation of one stuck-open fault in a network.
+
+    The faulty gate's output is a state variable initialised to X; all
+    other gates are combinational.  Detection of the fault requires an
+    *initialising* vector (drives the faulty output to the value the
+    fault will wrongly retain) followed by a vector that exposes the
+    retained value - exactly the two-pattern tests of refs. [16], [18].
+    """
+
+    def __init__(self, network, fault: StuckOpenFault):
+        self.network = network
+        self.fault = fault
+        if fault.gate not in network.gates:
+            raise ValueError(f"no gate {fault.gate!r} in network {network.name!r}")
+        self.state: int = X
+
+    def reset(self) -> None:
+        self.state = X
+
+    def apply(self, assignment: Mapping[str, int]) -> Dict[str, int]:
+        """Apply one vector; returns primary output values (may be X).
+
+        The network around the faulty gate is evaluated twice - once
+        assuming the floating output is 0 and once 1 - when the retained
+        state is X; outputs that differ are X.
+        """
+        gate = self.network.gates[self.fault.gate]
+        local = {
+            pin: assignment_value
+            for pin, assignment_value in self._gate_inputs(gate, assignment).items()
+        }
+        floating = self.fault.float_condition.value(local)
+        if floating:
+            new_value = self.state
+        else:
+            new_value = self.fault.good.value(local)
+        self.state = new_value
+
+        if new_value is X or new_value == X:
+            out0 = self._evaluate_with_gate_value(assignment, 0)
+            out1 = self._evaluate_with_gate_value(assignment, 1)
+            return {
+                net: (out0[net] if out0[net] == out1[net] else X)
+                for net in self.network.outputs
+            }
+        outputs = self._evaluate_with_gate_value(assignment, new_value)
+        return {net: outputs[net] for net in self.network.outputs}
+
+    def _gate_inputs(self, gate, assignment: Mapping[str, int]) -> Dict[str, int]:
+        """Values at the faulty gate's input pins under ``assignment``."""
+        values = self.network.evaluate(assignment)
+        return {pin: values[net] for pin, net in gate.connections.items()}
+
+    def _evaluate_with_gate_value(
+        self, assignment: Mapping[str, int], value: int
+    ) -> Dict[str, int]:
+        """Evaluate the network forcing the faulty gate's output net."""
+        from .network import NetworkFault
+
+        forced = NetworkFault.stuck_at(self.network.gates[self.fault.gate].output, value)
+        return self.network.evaluate(assignment, forced)
+
+
+def stuck_open_faults_of_gate(network, gate_name: str) -> List[StuckOpenFault]:
+    """Functional stuck-open faults of one static-CMOS gate instance.
+
+    Each transistor-open of the pull-down (pull-up) network floats the
+    output on the vectors where that network *would* have driven it and
+    no longer can.  Derived from the cell's switching network.
+    """
+    from ..switchlevel.build import SwitchNetwork, dual_expr
+    from ..switchlevel.network import DeviceType, FaultKind, PhysicalFault
+    from ..switchlevel.transmission import transmission_expr
+
+    gate = network.gates[gate_name]
+    cell = gate.cell
+    if cell.technology != "static-CMOS":
+        raise ValueError(
+            f"gate {gate_name!r} is {cell.technology}; stuck-open memory "
+            "faults are a static CMOS phenomenon"
+        )
+    names = cell.inputs
+    pd_expr = cell.network_expr
+    pd_network = SwitchNetwork.from_expr(pd_expr, DeviceType.NMOS)
+    pu_network = SwitchNetwork.from_expr(dual_expr(pd_expr), DeviceType.PMOS)
+    pd_table = TruthTable.from_expr(transmission_expr(pd_network), names)
+    pu_table = TruthTable.from_expr(transmission_expr(pu_network), names)
+    good = ~pd_table  # z = !f with complementary networks
+
+    faults: List[StuckOpenFault] = []
+    for side, net_obj in (("pull-down", pd_network), ("pull-up", pu_network)):
+        for switch_name in net_obj.switches:
+            local = PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch=switch_name)
+            faulty_expr = transmission_expr(net_obj, [local])
+            faulty_table = TruthTable.from_expr(faulty_expr, names)
+            if side == "pull-down":
+                floats = pd_table & ~faulty_table & ~pu_table
+            else:
+                floats = pu_table & ~faulty_table & ~pd_table
+            if floats.ones_count() == 0:
+                continue  # redundant device: no memory introduced
+            faults.append(
+                StuckOpenFault(
+                    gate=gate_name,
+                    good=good,
+                    float_condition=floats,
+                    label=f"{gate_name}:{side} {switch_name} stuck-open",
+                )
+            )
+    return faults

@@ -1,0 +1,53 @@
+"""PROTEST - probabilistic testability analysis (Fig. 8, ref. [14])."""
+
+from .cutting import FULL, Interval, cutting_report, cutting_signal_bounds
+from .detectprob import (
+    detection_probabilities,
+    exact_detection_probabilities,
+    monte_carlo_detection_probabilities,
+    observability_estimates,
+    topological_detection_probabilities,
+)
+from .optimize import DEFAULT_GRID, OptimizationResult, optimize_input_probabilities
+from .signalprob import (
+    exact_signal_probabilities,
+    monte_carlo_signal_probabilities,
+    signal_probabilities,
+    topological_signal_probabilities,
+)
+from .testlength import (
+    confidence_all_detected,
+    escape_probability,
+    expected_coverage,
+    hardest_faults,
+    test_length,
+    test_length_for_fault,
+)
+from .tool import Protest, ProtestReport
+
+__all__ = [
+    "FULL",
+    "Interval",
+    "cutting_report",
+    "cutting_signal_bounds",
+    "detection_probabilities",
+    "exact_detection_probabilities",
+    "monte_carlo_detection_probabilities",
+    "observability_estimates",
+    "topological_detection_probabilities",
+    "DEFAULT_GRID",
+    "OptimizationResult",
+    "optimize_input_probabilities",
+    "exact_signal_probabilities",
+    "monte_carlo_signal_probabilities",
+    "signal_probabilities",
+    "topological_signal_probabilities",
+    "confidence_all_detected",
+    "escape_probability",
+    "expected_coverage",
+    "hardest_faults",
+    "test_length",
+    "test_length_for_fault",
+    "Protest",
+    "ProtestReport",
+]

@@ -1,0 +1,171 @@
+"""Fault detection probabilities - PROTEST feature 2.
+
+"Again the user has to specify the input signal probability created by
+his random pattern generator.  Then for each fault the probability is
+estimated, that it is detected by a random pattern."
+
+* ``exact`` - the detection probability *is* the weighted measure of
+  the difference function (good XOR faulty at the primary outputs),
+  obtained by exhaustive bit-parallel simulation of both circuits.
+* ``topological`` - activation-times-observability estimate in the COP
+  tradition: cell-local exact activation probability, observability
+  propagated through Boolean differences with an independence
+  assumption.
+* ``monte_carlo`` - empirical detection frequency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+from ..logic.probability import signal_probability as expr_probability
+from ..netlist.network import Network, NetworkFault
+from ..simulate.logicsim import PatternSet
+from .signalprob import (
+    MAX_EXACT_INPUTS,
+    _input_probs,
+    bits_to_bool_array,
+    minterm_weights,
+    topological_signal_probabilities,
+)
+
+
+def difference_bits(network: Network, fault: NetworkFault, patterns: PatternSet) -> int:
+    """Bit vector marking the patterns that detect ``fault``."""
+    good = network.output_bits(patterns.env, patterns.mask)
+    faulty = network.output_bits(patterns.env, patterns.mask, fault)
+    difference = 0
+    for net in network.outputs:
+        difference |= good[net] ^ faulty[net]
+    return difference
+
+
+def exact_detection_probabilities(
+    network: Network,
+    faults: Sequence[NetworkFault],
+    probs: Mapping[str, float] | float = 0.5,
+) -> Dict[str, float]:
+    """Exact P(random pattern detects fault) per fault."""
+    n = len(network.inputs)
+    if n > MAX_EXACT_INPUTS:
+        raise ValueError(
+            f"exact detection probabilities over {n} inputs are infeasible; "
+            "use the Monte-Carlo estimator"
+        )
+    input_probs = _input_probs(network, probs)
+    patterns = PatternSet.exhaustive(network.inputs)
+    ordered = [input_probs[name] for name in reversed(network.inputs)]
+    weights = minterm_weights(ordered)
+    result: Dict[str, float] = {}
+    for fault in faults:
+        difference = difference_bits(network, fault, patterns)
+        result[fault.describe()] = float(
+            weights[bits_to_bool_array(difference, patterns.count)].sum()
+        )
+    return result
+
+
+def monte_carlo_detection_probabilities(
+    network: Network,
+    faults: Sequence[NetworkFault],
+    probs: Mapping[str, float] | float = 0.5,
+    samples: int = 4096,
+    seed: int = 1986,
+) -> Dict[str, float]:
+    input_probs = _input_probs(network, probs)
+    patterns = PatternSet.random(
+        network.inputs, samples, seed=seed, probabilities=input_probs
+    )
+    result: Dict[str, float] = {}
+    for fault in faults:
+        difference = difference_bits(network, fault, patterns)
+        result[fault.describe()] = difference.bit_count() / samples
+    return result
+
+
+# -- topological (COP-style) estimate -------------------------------------------------
+
+
+def observability_estimates(
+    network: Network, signal_probs: Mapping[str, float]
+) -> Dict[str, float]:
+    """P(a change on a net is observed at some primary output), estimated.
+
+    Observability of a primary output is 1.  Through a gate, a pin's
+    observability is the gate output's observability times the
+    probability that the gate is *sensitized* to that pin (the Boolean
+    difference of the cell function), treating signals as independent.
+    Multiple fanout branches combine with the union approximation.
+    """
+    observability: Dict[str, float] = {net: 0.0 for net in network.nets()}
+    for net in network.outputs:
+        observability[net] = 1.0
+    for gate_name in reversed(network.levelize()):
+        gate = network.gates[gate_name]
+        out_obs = observability[gate.output]
+        expr = gate.function_expr()
+        pin_probs = {
+            pin: signal_probs[net] for pin, net in gate.connections.items()
+        }
+        for pin, net in gate.connections.items():
+            cof0 = expr.cofactor(pin, 0)
+            cof1 = expr.cofactor(pin, 1)
+            sensitised = cof0 ^ cof1  # Boolean difference d expr / d pin
+            p_sens = expr_probability(sensitised, pin_probs)
+            through = out_obs * p_sens
+            # Union over fanout branches: 1 - prod(1 - o_branch).
+            observability[net] = 1.0 - (1.0 - observability[net]) * (1.0 - through)
+    return observability
+
+
+def topological_detection_probabilities(
+    network: Network,
+    faults: Sequence[NetworkFault],
+    probs: Mapping[str, float] | float = 0.5,
+) -> Dict[str, float]:
+    """Activation x observability estimate for each fault."""
+    signal_probs = topological_signal_probabilities(network, probs)
+    observability = observability_estimates(network, signal_probs)
+    result: Dict[str, float] = {}
+    for fault in faults:
+        if fault.kind == "stuck":
+            p_net = signal_probs[fault.net]
+            activation = p_net if fault.value == 0 else (1.0 - p_net)
+            result[fault.describe()] = activation * observability[fault.net]
+        else:
+            gate = network.gates[fault.gate]
+            pin_probs = {
+                pin: signal_probs[net] for pin, net in gate.connections.items()
+            }
+            from ..logic.minimize import minimal_sop
+
+            good_expr = gate.function_expr()
+            bad_expr = minimal_sop(fault.function.table)
+            activation = expr_probability(good_expr ^ bad_expr, pin_probs)
+            result[fault.describe()] = activation * observability[gate.output]
+    return result
+
+
+def detection_probabilities(
+    network: Network,
+    faults: Optional[Sequence[NetworkFault]] = None,
+    probs: Mapping[str, float] | float = 0.5,
+    method: str = "auto",
+    samples: int = 4096,
+    seed: int = 1986,
+) -> Dict[str, float]:
+    """Dispatch over the three estimators (``auto``: exact when feasible)."""
+    if faults is None:
+        faults = network.enumerate_faults()
+    if method == "auto":
+        method = "exact" if len(network.inputs) <= MAX_EXACT_INPUTS else "monte_carlo"
+    if method == "exact":
+        return exact_detection_probabilities(network, faults, probs)
+    if method == "topological":
+        return topological_detection_probabilities(network, faults, probs)
+    if method == "monte_carlo":
+        return monte_carlo_detection_probabilities(network, faults, probs, samples, seed)
+    raise ValueError(f"unknown method {method!r}")

@@ -1,0 +1,103 @@
+"""Random test length for a demanded confidence - PROTEST feature 3.
+
+"The user wants to know how many random patterns he has to apply in
+order to detect all faults.  He specifies the input signal
+probabilities and the demanded confidence of the random test, and
+PROTEST computes the necessary test length."
+
+With independent patterns, a fault of detection probability ``p``
+escapes ``N`` patterns with probability ``(1-p)^N``.  Two notions of
+test length are provided:
+
+* per-fault:  smallest N with ``1 - (1-p)^N >= c``;
+* whole-test: smallest N with ``prod_f (1 - (1-p_f)^N) >= c`` - the
+  demanded confidence that *all* faults are detected.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Tuple
+
+
+def test_length_for_fault(p: float, confidence: float = 0.999) -> float:
+    """Smallest pattern count detecting one fault with the confidence.
+
+    Returns ``math.inf`` for undetectable faults (p = 0) and 1 for
+    certain detection (p = 1).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"detection probability must be in [0,1], got {p}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0,1), got {confidence}")
+    if p == 0.0:
+        return math.inf
+    if p == 1.0:
+        return 1.0
+    return math.ceil(math.log(1.0 - confidence) / math.log(1.0 - p))
+
+
+def escape_probability(p: float, length: int) -> float:
+    """P(fault with detection probability p escapes ``length`` patterns)."""
+    return (1.0 - p) ** length
+
+
+def expected_coverage(probabilities: Mapping[str, float], length: int) -> float:
+    """Expected fault coverage after ``length`` random patterns."""
+    if not probabilities:
+        return 1.0
+    detected = sum(1.0 - escape_probability(p, length) for p in probabilities.values())
+    return detected / len(probabilities)
+
+
+def confidence_all_detected(probabilities: Mapping[str, float], length: int) -> float:
+    """P(every fault is detected within ``length`` patterns)."""
+    result = 1.0
+    for p in probabilities.values():
+        result *= 1.0 - escape_probability(p, length)
+        if result == 0.0:
+            return 0.0
+    return result
+
+
+def test_length(
+    probabilities: Mapping[str, float],
+    confidence: float = 0.999,
+    per_fault: bool = False,
+) -> float:
+    """The necessary random test length for the demanded confidence.
+
+    ``per_fault=False`` (default) demands that *all* faults are detected
+    with the given confidence; ``per_fault=True`` reproduces the simpler
+    per-fault bound, driven by the hardest fault alone.
+    """
+    finite = [p for p in probabilities.values() if p > 0.0]
+    if len(finite) < len(probabilities):
+        return math.inf
+    if not finite:
+        return 0.0
+    if per_fault:
+        return max(test_length_for_fault(p, confidence) for p in finite)
+    # Monotone in N: binary search between the per-fault bound for the
+    # hardest fault and a safe upper limit.
+    low = 1
+    high = max(1, int(test_length_for_fault(min(finite), confidence)))
+    while confidence_all_detected(probabilities, high) < confidence:
+        high *= 2
+        if high > 10 ** 15:
+            return math.inf
+    while low < high:
+        mid = (low + high) // 2
+        if confidence_all_detected(probabilities, mid) >= confidence:
+            high = mid
+        else:
+            low = mid + 1
+    return float(low)
+
+
+def hardest_faults(
+    probabilities: Mapping[str, float], count: int = 10
+) -> List[Tuple[str, float]]:
+    """The faults that dominate the test length, hardest first."""
+    ranked = sorted(probabilities.items(), key=lambda item: item[1])
+    return ranked[:count]

@@ -1,0 +1,21 @@
+"""Self-test hardware: LFSR, MISR, BILBO, weighted NLFSR, sessions."""
+
+from .bilbo import Bilbo, BilboMode
+from .lfsr import PRIMITIVE_TAPS, Lfsr
+from .misr import Misr
+from .nlfsr import WeightAssignment, WeightedPatternGenerator, closest_dyadic_weight
+from .session import SelfTestOutcome, at_speed_gate_selftest, logic_selftest
+
+__all__ = [
+    "Bilbo",
+    "BilboMode",
+    "PRIMITIVE_TAPS",
+    "Lfsr",
+    "Misr",
+    "WeightAssignment",
+    "WeightedPatternGenerator",
+    "closest_dyadic_weight",
+    "SelfTestOutcome",
+    "at_speed_gate_selftest",
+    "logic_selftest",
+]

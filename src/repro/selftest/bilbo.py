@@ -1,0 +1,94 @@
+"""BILBO - Built-In Logic Block Observation registers (refs. [9], [10]).
+
+One register, four modes:
+
+* ``NORMAL`` - a plain parallel D-register (system operation),
+* ``SHIFT``  - a scan chain (serial load/unload),
+* ``PRPG``   - autonomous LFSR: pseudo-random pattern generator,
+* ``MISR``   - parallel signature analysis.
+
+A BILBO pair around a combinational block is the paper's preferred test
+structure: the input BILBO runs in PRPG mode, the output BILBO in MISR
+mode, and the whole arrangement runs at *maximum operating speed* -
+which is what covers the performance-degradation faults of Section 3.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence
+
+from .lfsr import PRIMITIVE_TAPS
+
+
+class BilboMode(enum.Enum):
+    NORMAL = "normal"
+    SHIFT = "shift"
+    PRPG = "prpg"
+    MISR = "misr"
+
+
+class Bilbo:
+    """An n-bit BILBO register."""
+
+    def __init__(self, width: int, taps: Optional[Sequence[int]] = None, seed: int = 1):
+        if width < 2:
+            raise ValueError("BILBO width must be at least 2")
+        if taps is None:
+            try:
+                taps = PRIMITIVE_TAPS[width]
+            except KeyError:
+                raise ValueError(f"no primitive polynomial for width {width}") from None
+        self.width = width
+        self.taps = tuple(taps)
+        self.mode = BilboMode.NORMAL
+        self.state = seed & ((1 << width) - 1)
+
+    def set_mode(self, mode: BilboMode) -> None:
+        self.mode = mode
+
+    def bits(self) -> List[int]:
+        return [(self.state >> position) & 1 for position in range(self.width)]
+
+    def _feedback(self) -> int:
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (tap - 1)) & 1
+        return feedback
+
+    def clock(
+        self,
+        parallel_in: Optional[Sequence[int]] = None,
+        serial_in: int = 0,
+    ) -> List[int]:
+        """One clock edge in the current mode; returns the new contents."""
+        mask = (1 << self.width) - 1
+        if self.mode is BilboMode.NORMAL:
+            if parallel_in is None:
+                raise ValueError("NORMAL mode needs parallel data")
+            self.state = 0
+            for position, bit in enumerate(parallel_in):
+                if bit:
+                    self.state |= 1 << position
+        elif self.mode is BilboMode.SHIFT:
+            self.state = ((self.state << 1) | (serial_in & 1)) & mask
+        elif self.mode is BilboMode.PRPG:
+            self.state = ((self.state << 1) | self._feedback()) & mask
+            if self.state == 0:
+                self.state = 1  # escape the all-zero lockup state
+        elif self.mode is BilboMode.MISR:
+            if parallel_in is None:
+                raise ValueError("MISR mode needs parallel data")
+            self.state = ((self.state << 1) | self._feedback()) & mask
+            for position, bit in enumerate(parallel_in):
+                if bit:
+                    self.state ^= 1 << position
+        return self.bits()
+
+    def scan_out(self) -> List[int]:
+        """Unload the register serially (destructive), MSB first."""
+        out: List[int] = []
+        for _ in range(self.width):
+            out.append((self.state >> (self.width - 1)) & 1)
+            self.state = (self.state << 1) & ((1 << self.width) - 1)
+        return out

@@ -1,0 +1,114 @@
+"""Linear feedback shift registers - the random pattern source.
+
+"Instead of leakage measurement we integrate self test features into
+our design like BILBOs [9,10] and non-linear feedback shift registers
+[11], which can create and evaluate test patterns by maximum speed of
+operation" (Section 3).
+
+The LFSR here is a Fibonacci-style register with taps from a table of
+primitive polynomials, so every degree-n register runs through its full
+2^n - 1 period.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+PRIMITIVE_TAPS: Dict[int, Tuple[int, ...]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+    13: (13, 12, 11, 8),
+    14: (14, 13, 12, 2),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 18, 17, 14),
+    20: (20, 17),
+    21: (21, 19),
+    22: (22, 21),
+    23: (23, 18),
+    24: (24, 23, 22, 17),
+    25: (25, 22),
+    26: (26, 25, 24, 20),
+    27: (27, 26, 25, 22),
+    28: (28, 25),
+    29: (29, 27),
+    30: (30, 29, 28, 7),
+    31: (31, 28),
+    32: (32, 31, 30, 10),
+}
+"""Tap positions (1-based, bit ``t`` XORed into the feedback) of a
+primitive polynomial per degree - the standard published table."""
+
+
+class Lfsr:
+    """A maximal-length Fibonacci LFSR."""
+
+    def __init__(self, degree: int, seed: int = 1, taps: Optional[Sequence[int]] = None):
+        if degree < 2:
+            raise ValueError("LFSR degree must be at least 2")
+        if taps is None:
+            try:
+                taps = PRIMITIVE_TAPS[degree]
+            except KeyError:
+                raise ValueError(
+                    f"no primitive polynomial tabulated for degree {degree}"
+                ) from None
+        self.degree = degree
+        self.taps = tuple(taps)
+        if any(not 1 <= t <= degree for t in self.taps):
+            raise ValueError(f"tap positions must lie in 1..{degree}")
+        if seed == 0 or seed >= (1 << degree):
+            raise ValueError(f"seed must be a nonzero {degree}-bit value")
+        self.state = seed
+        self._seed = seed
+
+    def reset(self) -> None:
+        self.state = self._seed
+
+    def step(self) -> int:
+        """Advance one clock; returns the new serial output bit (LSB)."""
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (tap - 1)) & 1
+        self.state = ((self.state << 1) | feedback) & ((1 << self.degree) - 1)
+        return self.state & 1
+
+    def bits(self) -> List[int]:
+        """Current parallel register contents (bit 0 first)."""
+        return [(self.state >> position) & 1 for position in range(self.degree)]
+
+    def pattern(self, width: int) -> List[int]:
+        """One ``width``-bit pattern from the low register bits."""
+        if width > self.degree:
+            raise ValueError(
+                f"cannot draw {width} bits from a degree-{self.degree} LFSR"
+            )
+        return self.bits()[:width]
+
+    def patterns(self, width: int, count: int) -> Iterator[List[int]]:
+        """``count`` patterns, advancing one clock between patterns."""
+        for _ in range(count):
+            self.step()
+            yield self.pattern(width)
+
+    def period(self, limit: Optional[int] = None) -> int:
+        """Measured sequence period (2^n - 1 for primitive taps)."""
+        self.reset()
+        start = self.state
+        limit = limit if limit is not None else (1 << self.degree)
+        for count in range(1, limit + 1):
+            self.step()
+            if self.state == start:
+                return count
+        raise RuntimeError(f"period exceeds search limit {limit}")

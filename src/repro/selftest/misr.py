@@ -1,0 +1,62 @@
+"""Multiple-input signature registers - response compaction.
+
+The observation half of a BILBO: circuit outputs are XORed into a
+shifting LFSR so an entire test session compresses into one signature
+word.  A faulty response changes the signature with probability
+``1 - 2^-n`` (aliasing), which is the standard trade the paper's
+random self-test relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from .lfsr import PRIMITIVE_TAPS
+
+
+class Misr:
+    """An n-bit MISR with primitive feedback."""
+
+    def __init__(self, width: int, taps: Optional[Sequence[int]] = None):
+        if width < 2:
+            raise ValueError("MISR width must be at least 2")
+        if taps is None:
+            try:
+                taps = PRIMITIVE_TAPS[width]
+            except KeyError:
+                raise ValueError(f"no primitive polynomial for width {width}") from None
+        self.width = width
+        self.taps = tuple(taps)
+        self.state = 0
+
+    def reset(self, state: int = 0) -> None:
+        if not 0 <= state < (1 << self.width):
+            raise ValueError(f"state must be a {self.width}-bit value")
+        self.state = state
+
+    def absorb(self, bits: Sequence[int]) -> int:
+        """Clock once, XORing the parallel inputs into the register."""
+        if len(bits) > self.width:
+            raise ValueError(f"{len(bits)} inputs exceed MISR width {self.width}")
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (tap - 1)) & 1
+        self.state = ((self.state << 1) | feedback) & ((1 << self.width) - 1)
+        for position, bit in enumerate(bits):
+            if bit:
+                self.state ^= 1 << position
+        return self.state
+
+    def absorb_all(self, responses: Iterable[Sequence[int]]) -> int:
+        for bits in responses:
+            self.absorb(bits)
+        return self.state
+
+    @property
+    def signature(self) -> int:
+        return self.state
+
+    def aliasing_probability(self) -> float:
+        """Asymptotic probability that a faulty response stream maps to
+        the good signature: 2^-width."""
+        return 2.0 ** (-self.width)

@@ -1,0 +1,34 @@
+"""Simulation: true-value, static fault simulation, RC timing."""
+
+from .deductive import deductive_fault_simulate
+from .dictionary import Diagnosis, FaultDictionary
+from .faultsim import FaultSimResult, coverage_curve, fault_simulate
+from .parallel import parallel_fault_simulate
+from .logicsim import PatternSet, simulate, simulate_all_nets
+from .timingsim import (
+    DegradationPoint,
+    TimingConfig,
+    TimingSimulator,
+    detects_at_speed,
+    inverter_degradation_sweep,
+    measure_gate_at_speed,
+)
+
+__all__ = [
+    "deductive_fault_simulate",
+    "Diagnosis",
+    "FaultDictionary",
+    "FaultSimResult",
+    "coverage_curve",
+    "fault_simulate",
+    "parallel_fault_simulate",
+    "PatternSet",
+    "simulate",
+    "simulate_all_nets",
+    "DegradationPoint",
+    "TimingConfig",
+    "TimingSimulator",
+    "detects_at_speed",
+    "inverter_degradation_sweep",
+    "measure_gate_at_speed",
+]

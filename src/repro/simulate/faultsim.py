@@ -1,0 +1,133 @@
+"""Static fault simulation - serial fault, parallel pattern.
+
+"Since we are only dealing with combinational networks, a static fault
+simulation is sufficient, if the user wants to validate the predictions
+of PROTEST, before integrating some self test logic into the chip"
+(Section 5).  Section 3 is what makes this *sound* for dynamic MOS: the
+fault universe consists of combinational cell faults, so classical
+fault injection works - unlike static CMOS, where stuck-open faults
+defeat "the fault injection algorithms of parallel, deductive or
+concurrent fault simulators".
+
+One pass evaluates the fault-free network over all patterns at once
+(big-int bit-parallel); each fault then costs one more pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist.network import Network, NetworkFault
+from .logicsim import PatternSet
+
+
+@dataclass
+class FaultSimResult:
+    """Outcome of a fault simulation run."""
+
+    network_name: str
+    pattern_count: int
+    detected: Dict[str, int]
+    """fault label -> index of the first detecting pattern."""
+
+    detection_counts: Dict[str, int]
+    """fault label -> number of detecting patterns (empirical detection
+    probability = count / pattern_count)."""
+
+    undetected: List[str]
+
+    @property
+    def fault_count(self) -> int:
+        return len(self.detected) + len(self.undetected)
+
+    @property
+    def coverage(self) -> float:
+        if self.fault_count == 0:
+            return 1.0
+        return len(self.detected) / self.fault_count
+
+    def empirical_detection_probability(self, label: str) -> float:
+        return self.detection_counts.get(label, 0) / max(1, self.pattern_count)
+
+    def format_summary(self) -> str:
+        lines = [
+            f"fault simulation of {self.network_name}: "
+            f"{len(self.detected)}/{self.fault_count} faults detected "
+            f"({100.0 * self.coverage:.2f}%) with {self.pattern_count} patterns"
+        ]
+        if self.undetected:
+            lines.append("undetected: " + ", ".join(self.undetected[:20]))
+            if len(self.undetected) > 20:
+                lines.append(f"  ... and {len(self.undetected) - 20} more")
+        return "\n".join(lines)
+
+
+def fault_simulate(
+    network: Network,
+    patterns: PatternSet,
+    faults: Optional[Sequence[NetworkFault]] = None,
+    stop_at_first_detection: bool = False,
+) -> FaultSimResult:
+    """Simulate every fault against every pattern.
+
+    With ``stop_at_first_detection`` the per-fault detection *count* is
+    not meaningful (only first detection is recorded); leave it off when
+    the empirical detection probabilities are wanted.
+    """
+    if faults is None:
+        faults = network.enumerate_faults()
+    mask = patterns.mask
+    good = network.output_bits(patterns.env, mask)
+
+    detected: Dict[str, int] = {}
+    counts: Dict[str, int] = {}
+    undetected: List[str] = []
+    for fault in faults:
+        faulty = network.output_bits(patterns.env, mask, fault)
+        difference = 0
+        for net in network.outputs:
+            difference |= good[net] ^ faulty[net]
+        if difference == 0:
+            undetected.append(fault.describe())
+            continue
+        first = (difference & -difference).bit_length() - 1
+        detected[fault.describe()] = first
+        counts[fault.describe()] = difference.bit_count()
+        if stop_at_first_detection:
+            counts[fault.describe()] = 1
+    return FaultSimResult(
+        network_name=network.name,
+        pattern_count=patterns.count,
+        detected=detected,
+        detection_counts=counts,
+        undetected=undetected,
+    )
+
+
+def coverage_curve(
+    network: Network,
+    patterns: PatternSet,
+    faults: Optional[Sequence[NetworkFault]] = None,
+    points: int = 32,
+) -> List[Tuple[int, float]]:
+    """(pattern count, fault coverage) samples along a pattern sequence.
+
+    Used for the random-vs-deterministic comparison of experiment E8:
+    run once over the full set, then read off when each fault first
+    fell.
+    """
+    result = fault_simulate(network, patterns, faults)
+    total = result.fault_count
+    if total == 0:
+        return [(patterns.count, 1.0)]
+    first_detections = sorted(result.detected.values())
+    curve: List[Tuple[int, float]] = []
+    step = max(1, patterns.count // points)
+    for upto in range(step, patterns.count + step, step):
+        upto = min(upto, patterns.count)
+        covered = sum(1 for f in first_detections if f < upto)
+        curve.append((upto, covered / total))
+        if upto == patterns.count:
+            break
+    return curve

@@ -1,0 +1,124 @@
+"""True-value logic simulation and pattern containers.
+
+Patterns are stored column-wise: one Python big-int per primary input,
+bit *k* = value under pattern *k*.  A single network evaluation then
+simulates every pattern at once - the "static fault simulation is
+sufficient" workhorse of Section 5.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass
+class PatternSet:
+    """A set of input patterns in bit-parallel (column) form."""
+
+    names: Tuple[str, ...]
+    env: Dict[str, int]
+    count: int
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.count) - 1
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_vectors(
+        cls, names: Sequence[str], vectors: Iterable[Mapping[str, int]]
+    ) -> "PatternSet":
+        names = tuple(names)
+        env = {name: 0 for name in names}
+        count = 0
+        for vector in vectors:
+            for name in names:
+                if vector[name]:
+                    env[name] |= 1 << count
+            count += 1
+        return cls(names, env, count)
+
+    @classmethod
+    def exhaustive(cls, names: Sequence[str]) -> "PatternSet":
+        """All 2^n input combinations (pattern k = binary k, first name MSB)."""
+        names = tuple(names)
+        n = len(names)
+        if n > 24:
+            raise ValueError(f"exhaustive set over {n} inputs is unreasonable")
+        count = 1 << n
+        env: Dict[str, int] = {}
+        for position, name in enumerate(names):
+            shift = n - 1 - position
+            pattern = 0
+            for index in range(count):
+                if (index >> shift) & 1:
+                    pattern |= 1 << index
+            env[name] = pattern
+        return cls(names, env, count)
+
+    @classmethod
+    def random(
+        cls,
+        names: Sequence[str],
+        count: int,
+        seed: int = 1986,
+        probabilities: Optional[Mapping[str, float]] = None,
+    ) -> "PatternSet":
+        """Weighted random patterns.
+
+        ``probabilities`` maps input name to P(input = 1); default 0.5
+        everywhere - "it is usually 0.5" (Section 5).  This is the
+        random pattern generator PROTEST drives with its optimized
+        distributions.
+        """
+        names = tuple(names)
+        rng = random.Random(seed)
+        probabilities = probabilities or {}
+        env = {name: 0 for name in names}
+        for index in range(count):
+            for name in names:
+                p = probabilities.get(name, 0.5)
+                if rng.random() < p:
+                    env[name] |= 1 << index
+        return cls(names, env, count)
+
+    # -- access ----------------------------------------------------------------------
+
+    def vector(self, index: int) -> Dict[str, int]:
+        if not 0 <= index < self.count:
+            raise IndexError(f"pattern index {index} out of range")
+        return {name: (self.env[name] >> index) & 1 for name in self.names}
+
+    def vectors(self) -> Iterator[Dict[str, int]]:
+        for index in range(self.count):
+            yield self.vector(index)
+
+    def concat(self, other: "PatternSet") -> "PatternSet":
+        if self.names != other.names:
+            raise ValueError("pattern sets over different inputs")
+        env = {
+            name: self.env[name] | (other.env[name] << self.count)
+            for name in self.names
+        }
+        return PatternSet(self.names, env, self.count + other.count)
+
+    def repeat(self, times: int) -> "PatternSet":
+        """The set applied ``times`` times in sequence (the paper applies
+        a deterministic test set *twice* to establish A2)."""
+        result = self
+        for _ in range(times - 1):
+            result = result.concat(self)
+        return result
+
+
+def simulate(network, patterns: PatternSet) -> Dict[str, int]:
+    """Fault-free output bit-vectors of a network under a pattern set."""
+    return network.output_bits(patterns.env, patterns.mask)
+
+
+def simulate_all_nets(network, patterns: PatternSet) -> Dict[str, int]:
+    """Bit-vectors of *every* net (used by PROTEST's exact estimators)."""
+    return network.evaluate_bits(patterns.env, patterns.mask)

@@ -1,0 +1,348 @@
+"""RC timing simulation - resolving what the logic level calls a "fight".
+
+Two of the paper's fault effects are invisible to pure logic values:
+
+* Fig. 2: a stuck-closed device turns a static CMOS inverter into a
+  ratioed pull-down inverter - the output still reaches the correct
+  level *if* the resistance ratio is right, but the high-to-low
+  transition "would take more time corresponding to the resistance
+  ratio".
+* CMOS-3: a stuck-closed domino precharge device fights the discharge
+  path; case (a) (strong pull-up) is a hard s0-z, case (b) "needs more
+  time (perhaps infinite) to be pulled down - applying maximum speed
+  testing may detect this fault as an s0-z".
+
+This module models each clock-phase interval with quasi-static nodal
+analysis: conducting switches are resistors, rails and ports are ideal
+sources, node voltages settle exponentially from their previous value
+toward the resistive-divider steady state with a per-node RC time
+constant.  Sampling the output at the end of a *short* interval is
+maximum-speed testing; a *long* interval is slow testing.  A small leak
+conductance to ground implements assumption A1 for permanently
+floating nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..switchlevel.network import DeviceType, NodeKind, PhysicalFault, SwitchCircuit
+
+THRESHOLD = 0.5
+"""Logic threshold as a fraction of the supply."""
+
+MIN_RESISTANCE = 1e-3
+"""Resistance assumed for ideal wires (resistance 0 in the netlist)."""
+
+
+@dataclass
+class TimingConfig:
+    """Electrical parameters of the transient model."""
+
+    leak_conductance: float = 1e-4
+    """Tiny conductance from every internal node to ground: assumption A1
+    (floating charge decays towards LOW over many cycles)."""
+
+    substeps: int = 24
+    """Backward-Euler integration substeps per clock-phase interval.
+    Conduction states are re-derived from the node voltages at every
+    substep, so a signal settling through cascaded stages (y falls, then
+    z rises) is resolved in time."""
+
+
+class TimingSimulator:
+    """Quasi-static RC simulation over a :class:`SwitchCircuit`."""
+
+    def __init__(self, circuit: SwitchCircuit, config: Optional[TimingConfig] = None):
+        self.circuit = circuit
+        self.config = config or TimingConfig()
+        self.voltages: Dict[str, float] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        self.voltages = {}
+        for node, kind in self.circuit.nodes.items():
+            if kind is NodeKind.SUPPLY_VDD:
+                self.voltages[node] = 1.0
+            elif kind is NodeKind.SUPPLY_VSS:
+                self.voltages[node] = 0.0
+            else:
+                self.voltages[node] = 0.0
+
+    # -- one interval --------------------------------------------------------------
+
+    def step(self, port_values: Mapping[str, float], duration: float) -> Dict[str, float]:
+        """Advance one interval of the given duration.
+
+        Port values are ideal sources for the whole interval; internal
+        node voltages follow ``C dv/dt = -G v + b`` integrated with
+        backward Euler (unconditionally stable, so stiff wire nodes and
+        slow leak decays coexist).  Conduction is re-derived from the
+        voltages at every substep.
+        """
+        for port, value in port_values.items():
+            if self.circuit.nodes.get(port) is not NodeKind.PORT:
+                raise KeyError(f"{port!r} is not a port of {self.circuit.name!r}")
+            self.voltages[port] = float(value)
+
+        dt = duration / self.config.substeps
+        for _ in range(self.config.substeps):
+            self._advance(dt)
+        return dict(self.voltages)
+
+    def _conductance(self, switch) -> Optional[float]:
+        """Conductance of a switch under current gate voltage, or None if off."""
+        if switch.dtype is DeviceType.NEVER_ON:
+            return None
+        if switch.dtype in (DeviceType.ALWAYS_ON, DeviceType.DEPLETION):
+            on = True
+        else:
+            gate_v = self.voltages[switch.gate]
+            if switch.dtype is DeviceType.NMOS:
+                on = gate_v > THRESHOLD
+            else:  # PMOS
+                on = gate_v < THRESHOLD
+        if not on:
+            return None
+        resistance = max(switch.resistance, MIN_RESISTANCE)
+        return 1.0 / resistance
+
+    def _advance(self, dt: float) -> None:
+        """One backward-Euler substep: solve (G + C/dt) v' = b + (C/dt) v."""
+        driver_kinds = (NodeKind.SUPPLY_VDD, NodeKind.SUPPLY_VSS, NodeKind.PORT)
+        internal = [
+            node for node, kind in self.circuit.nodes.items()
+            if kind not in driver_kinds
+        ]
+        if not internal:
+            return
+        index = {node: i for i, node in enumerate(internal)}
+        n = len(internal)
+        laplacian = np.zeros((n, n))
+        rhs = np.zeros(n)
+        for i, node in enumerate(internal):
+            laplacian[i, i] += self.config.leak_conductance  # A1 leak to ground
+        for switch in self.circuit.switches.values():
+            g = self._conductance(switch)
+            if g is None:
+                continue
+            a_int = switch.a in index
+            b_int = switch.b in index
+            if a_int and b_int:
+                ia, ib = index[switch.a], index[switch.b]
+                laplacian[ia, ia] += g
+                laplacian[ib, ib] += g
+                laplacian[ia, ib] -= g
+                laplacian[ib, ia] -= g
+            elif a_int:
+                ia = index[switch.a]
+                laplacian[ia, ia] += g
+                rhs[ia] += g * self.voltages[switch.b]
+            elif b_int:
+                ib = index[switch.b]
+                laplacian[ib, ib] += g
+                rhs[ib] += g * self.voltages[switch.a]
+            # driver-to-driver: no internal node involved
+
+        for node, i in index.items():
+            c_over_dt = self.circuit.capacitance.get(node, 1.0) / dt
+            laplacian[i, i] += c_over_dt
+            rhs[i] += c_over_dt * self.voltages[node]
+        solution = np.linalg.solve(laplacian, rhs)
+        for node, i in index.items():
+            self.voltages[node] = float(solution[i])
+
+    # -- queries ------------------------------------------------------------------------
+
+    def logic_value(self, node: str) -> int:
+        """Thresholded logic reading of a node voltage."""
+        return 1 if self.voltages[node] > THRESHOLD else 0
+
+    def voltage(self, node: str) -> float:
+        return self.voltages[node]
+
+
+# -- gate-level at-speed measurement -------------------------------------------------
+
+
+def measure_gate_at_speed(
+    gate,
+    values: Mapping[str, int],
+    fault: Optional[PhysicalFault] = None,
+    period: float = 8.0,
+    warmup_cycles: int = 4,
+    config: Optional[TimingConfig] = None,
+) -> int:
+    """Timed measurement of one vector on a technology gate model.
+
+    ``period`` is the duration of each clock-phase interval in units of
+    the basic RC product (one device resistance times one storage node
+    capacitance).  A small period is maximum-speed testing; a large one
+    gives every ratioed fight time to resolve.
+    """
+    circuit = gate.circuit if fault is None else gate.circuit.with_fault(fault)
+    sim = TimingSimulator(circuit, config)
+    assert_vec, deassert_vec = gate.toggle_vectors()
+    for cycle in range(warmup_cycles):
+        vector = assert_vec if cycle % 2 == 0 else deassert_vec
+        for step in gate.cycle_steps(vector):
+            sim.step(step, period)
+    result = 0
+    for step in gate.cycle_steps(values):
+        sim.step(step, period)
+        result = sim.logic_value(gate.output)
+    return result
+
+
+def _sequence_ok(gate, period: float, config: Optional[TimingConfig]) -> bool:
+    """Continuous-stream check: every vector correct regardless of its
+    predecessor.  All ordered vector pairs are exercised in one session,
+    which is what a free-running self-test subjects the gate to."""
+    from ..logic.expr import all_assignments
+
+    vectors = list(all_assignments(gate.inputs))
+    sim = TimingSimulator(gate.circuit, config)
+    assert_vec, deassert_vec = gate.toggle_vectors()
+    for index in range(4):
+        warm = assert_vec if index % 2 == 0 else deassert_vec
+        for step in gate.cycle_steps(warm):
+            sim.step(step, period)
+    for first in vectors:
+        for second in vectors:
+            for vector in (first, second):
+                for step in gate.cycle_steps(vector):
+                    sim.step(step, period)
+                if sim.logic_value(gate.output) != gate.function.evaluate(vector):
+                    return False
+    return True
+
+
+def rated_period(
+    gate,
+    candidates: Sequence[float] = (2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0),
+    config: Optional[TimingConfig] = None,
+    sequence: bool = False,
+) -> float:
+    """The gate's maximum operating speed: the smallest clock-phase
+    duration at which the *fault-free* gate still computes its function.
+
+    With ``sequence=False`` each vector is measured in isolation (the
+    external-tester protocol used by :func:`detects_at_speed`).  With
+    ``sequence=True`` the calibration runs a continuous stream covering
+    every ordered vector pair - the free-running self-test regime, where
+    the previous vector's internal state can make a period that passes
+    isolated measurements fail (a slow precharge device, for instance,
+    only hurts right after a discharging vector).
+    """
+    from ..logic.expr import all_assignments
+
+    for period in candidates:
+        if sequence:
+            ok = _sequence_ok(gate, period, config)
+        else:
+            ok = all(
+                measure_gate_at_speed(gate, assignment, None, period=period, config=config)
+                == gate.function.evaluate(assignment)
+                for assignment in all_assignments(gate.inputs)
+            )
+        if ok:
+            return period
+    raise RuntimeError(
+        f"gate {gate.circuit.name!r} does not settle even at period "
+        f"{candidates[-1]}; check resistances/capacitances"
+    )
+
+
+def detects_at_speed(
+    gate,
+    fault: PhysicalFault,
+    fast_period: Optional[float] = None,
+    slow_period: Optional[float] = None,
+    config: Optional[TimingConfig] = None,
+) -> Tuple[bool, bool]:
+    """(detected at maximum speed, detected at slow speed) for a fault.
+
+    By default the fast clock is the gate's rated period (the fastest
+    the fault-free design works at) and the slow clock is 8x that.
+    A CMOS-3 case (b) fault is the signature target: detected fast
+    (the ratioed discharge has not crossed the threshold yet), missed
+    slow (given enough time the level is still correct).
+    """
+    from ..logic.expr import all_assignments
+
+    if fast_period is None:
+        fast_period = rated_period(gate, config=config)
+    if slow_period is None:
+        slow_period = 8.0 * fast_period
+    fast_detected = False
+    slow_detected = False
+    for assignment in all_assignments(gate.inputs):
+        expected = gate.function.evaluate(assignment)
+        if (
+            measure_gate_at_speed(gate, assignment, fault, period=fast_period, config=config)
+            != expected
+        ):
+            fast_detected = True
+        if (
+            measure_gate_at_speed(gate, assignment, fault, period=slow_period, config=config)
+            != expected
+        ):
+            slow_detected = True
+        if fast_detected and slow_detected:
+            break
+    return fast_detected, slow_detected
+
+
+# -- the Fig. 2 experiment -----------------------------------------------------------
+
+
+@dataclass
+class DegradationPoint:
+    """One row of the Fig. 2 sweep."""
+
+    resistance_ratio: float  # R(stuck pull-up) / R(pull-down)
+    steady_low_level: float  # output voltage reached with input high
+    fall_delay: float  # time for the output to cross the threshold (inf if never)
+    correct_logic_level: bool  # does the output eventually read 0?
+
+
+def inverter_degradation_sweep(
+    ratios: Sequence[float],
+    config: Optional[TimingConfig] = None,
+) -> List[DegradationPoint]:
+    """Fig. 2: CMOS inverter with the p-device stuck closed.
+
+    For each resistance ratio R(T1)/R(T2) the faulty inverter drives its
+    input high; the output becomes a resistive divider falling from 1
+    toward R2/(R1+R2).  The sweep reports the steady level and the time
+    to cross the logic threshold - finite and growing while the ratio
+    favours the pull-down, infinite once it does not ("a permanently
+    closed T1 changes the CMOS inverter into a pull down inverter").
+    """
+    points: List[DegradationPoint] = []
+    for ratio in ratios:
+        r_up = float(ratio)
+        r_down = 1.0
+        g_up = 1.0 / max(r_up, MIN_RESISTANCE)
+        g_down = 1.0 / r_down
+        v_inf = g_up / (g_up + g_down)  # divider level with both devices on
+        capacitance = 1.0
+        tau = capacitance / (g_up + g_down)
+        v0 = 1.0  # output precharged high before the input rises
+        if v_inf < THRESHOLD:
+            delay = tau * math.log((v0 - v_inf) / (THRESHOLD - v_inf))
+        else:
+            delay = math.inf
+        points.append(
+            DegradationPoint(
+                resistance_ratio=ratio,
+                steady_low_level=v_inf,
+                fall_delay=delay,
+                correct_logic_level=v_inf < THRESHOLD,
+            )
+        )
+    return points

@@ -1,0 +1,44 @@
+"""Switch-level substrate: transistor networks, transmission functions,
+charge-aware simulation (assumptions A1/A2 of the paper)."""
+
+from .build import TERMINAL_D, TERMINAL_S, SwitchNetwork, dual_expr
+from .network import (
+    VDD,
+    VSS,
+    DeviceType,
+    FaultKind,
+    NodeKind,
+    PhysicalFault,
+    Switch,
+    SwitchCircuit,
+)
+from .simulator import SimulationError, SwitchSimulator
+from .state import NodeState
+from .transmission import (
+    conducts,
+    switch_literal,
+    transmission_expr,
+    transmission_table,
+)
+
+__all__ = [
+    "TERMINAL_D",
+    "TERMINAL_S",
+    "SwitchNetwork",
+    "dual_expr",
+    "VDD",
+    "VSS",
+    "DeviceType",
+    "FaultKind",
+    "NodeKind",
+    "PhysicalFault",
+    "Switch",
+    "SwitchCircuit",
+    "SimulationError",
+    "SwitchSimulator",
+    "NodeState",
+    "conducts",
+    "switch_literal",
+    "transmission_expr",
+    "transmission_table",
+]

@@ -1,0 +1,219 @@
+"""Switching networks (Fig. 3) and their construction from expressions.
+
+The common part of dynamic nMOS and domino CMOS gates is "a switch
+network SN with two terminals S and D", whose switches are gated by the
+cell inputs.  The paper describes SN "in an elementary way": ``s1*s2``
+for series and ``s1+s2`` for parallel composition.  This module builds
+exactly those series-parallel networks from :class:`repro.logic.Expr`
+trees and can also represent arbitrary (bridge) topologies.
+
+A :class:`SwitchNetwork` is a standalone two-terminal object; gate
+constructions in :mod:`repro.tech` embed it into a full
+:class:`~repro.switchlevel.network.SwitchCircuit` between the
+technology-specific rails.
+"""
+
+from __future__ import annotations
+
+
+from typing import Dict, List, Optional, Tuple
+
+from ..logic.expr import And, Const, Expr, Not, Or, Var
+from .network import DeviceType, Switch, SwitchCircuit
+
+TERMINAL_S = "S"
+TERMINAL_D = "D"
+
+
+class SwitchNetwork:
+    """A two-terminal network of switches (the SN of Fig. 3)."""
+
+    def __init__(self, name: str = "SN"):
+        self.name = name
+        self.nodes: List[str] = [TERMINAL_S, TERMINAL_D]
+        self.switches: Dict[str, Switch] = {}
+        self._node_counter = 0
+        self._switch_counter = 0
+
+    # -- construction -------------------------------------------------------
+
+    def fresh_node(self) -> str:
+        self._node_counter += 1
+        name = f"n{self._node_counter}"
+        self.nodes.append(name)
+        return name
+
+    def add_switch(
+        self,
+        dtype: DeviceType,
+        gate: Optional[str],
+        a: str,
+        b: str,
+        name: Optional[str] = None,
+        resistance: float = 1.0,
+    ) -> Switch:
+        if name is None:
+            self._switch_counter += 1
+            name = f"T{self._switch_counter}"
+        if name in self.switches:
+            raise ValueError(f"duplicate switch name {name!r} in network {self.name!r}")
+        for node in (a, b):
+            if node not in self.nodes:
+                raise KeyError(f"unknown network node {node!r}")
+        switch = Switch(name, dtype, gate, a, b, resistance)
+        self.switches[name] = switch
+        return switch
+
+    @classmethod
+    def from_expr(
+        cls,
+        expr: Expr,
+        device: DeviceType = DeviceType.NMOS,
+        name: str = "SN",
+        complement_inputs: bool = False,
+    ) -> "SwitchNetwork":
+        """Build the series-parallel network realising ``expr`` as its
+        transmission function.
+
+        * ``And`` becomes a series chain, ``Or`` parallel branches,
+          ``Var`` a single switch gated by that input.
+        * With ``complement_inputs`` (used for static CMOS pull-up
+          networks) a ``Var`` produces a switch that conducts when the
+          input is **0** - i.e. the same :class:`DeviceType` but the
+          transmission literal is the complemented input.  For p-devices
+          this is their natural behaviour, so a pull-up network for
+          ``!f`` is ``from_expr(dual(f), PMOS)``; see :func:`dual_expr`.
+        * ``Not`` is only legal at input literals when the chosen device
+          naturally complements (PMOS), mirroring the paper's restriction
+          that SN itself is built from uncomplemented switches.
+        """
+        network = cls(name)
+        network._build(expr, TERMINAL_S, TERMINAL_D, device, complement_inputs)
+        return network
+
+    def _build(
+        self,
+        expr: Expr,
+        a: str,
+        b: str,
+        device: DeviceType,
+        complement_inputs: bool,
+    ) -> None:
+        if isinstance(expr, Var):
+            self.add_switch(device, expr.name, a, b)
+            return
+        if isinstance(expr, Const):
+            if expr.value == 1:
+                self.add_switch(DeviceType.ALWAYS_ON, None, a, b)
+            # A constant-0 branch is simply no connection.
+            return
+        if isinstance(expr, And):
+            current = a
+            for index, operand in enumerate(expr.operands):
+                nxt = b if index == len(expr.operands) - 1 else self.fresh_node()
+                self._build(operand, current, nxt, device, complement_inputs)
+                current = nxt
+            return
+        if isinstance(expr, Or):
+            for operand in expr.operands:
+                self._build(operand, a, b, device, complement_inputs)
+            return
+        if isinstance(expr, Not):
+            if isinstance(expr.operand, Var):
+                # A complemented literal needs the opposite device type.
+                flipped = (
+                    DeviceType.PMOS if device is DeviceType.NMOS else DeviceType.NMOS
+                )
+                self.add_switch(flipped, expr.operand.name, a, b)
+                return
+            raise ValueError(
+                "switching networks only support complemented input literals, "
+                f"not {expr.to_paper_syntax()!r}"
+            )
+        raise TypeError(f"cannot build a switch network from {expr!r}")
+
+    # -- queries -------------------------------------------------------------
+
+    def inputs(self) -> Tuple[str, ...]:
+        """Gate signals of the network, sorted."""
+        gates = {s.gate for s in self.switches.values() if s.gate is not None}
+        return tuple(sorted(gates))
+
+    def transistor_count(self) -> int:
+        return sum(
+            1
+            for s in self.switches.values()
+            if s.dtype in (DeviceType.NMOS, DeviceType.PMOS, DeviceType.DEPLETION)
+        )
+
+    def copy(self, name: Optional[str] = None) -> "SwitchNetwork":
+        clone = SwitchNetwork(name or self.name)
+        clone.nodes = list(self.nodes)
+        clone.switches = dict(self.switches)
+        clone._node_counter = self._node_counter
+        clone._switch_counter = self._switch_counter
+        return clone
+
+    # -- embedding into a full circuit ----------------------------------------
+
+    def embed(
+        self,
+        circuit: SwitchCircuit,
+        s_node: str,
+        d_node: str,
+        gate_map: Optional[Dict[str, str]] = None,
+        prefix: str = "",
+    ) -> Dict[str, str]:
+        """Copy this network into ``circuit`` between two existing nodes.
+
+        Returns the mapping from network switch names to circuit switch
+        names (used by fault enumeration to point back at SN devices).
+        ``gate_map`` renames gate signals to circuit nodes (identity by
+        default; gate nodes must already exist in the circuit).
+        """
+        gate_map = gate_map or {}
+        node_map: Dict[str, str] = {TERMINAL_S: s_node, TERMINAL_D: d_node}
+        for node in self.nodes:
+            if node in node_map:
+                continue
+            # SN-internal nodes carry negligible capacitance so charge
+            # sharing with the precharged node is decided by the latter.
+            node_map[node] = circuit.add_internal(
+                f"{prefix}{node}", capacitance=SwitchCircuit.SMALL_CAPACITANCE
+            )
+        switch_names: Dict[str, str] = {}
+        for name, switch in self.switches.items():
+            gate = switch.gate
+            if gate is not None:
+                gate = gate_map.get(gate, gate)
+            circuit_name = f"{prefix}{name}"
+            circuit.add_switch(
+                circuit_name,
+                switch.dtype,
+                gate,
+                node_map[switch.a],
+                node_map[switch.b],
+                switch.resistance,
+                weak=switch.weak,
+            )
+            switch_names[name] = circuit_name
+        return switch_names
+
+
+def dual_expr(expr: Expr) -> Expr:
+    """The series/parallel dual: AND <-> OR, leaves unchanged.
+
+    A static CMOS gate computing ``z = !f`` uses an n-type pull-down
+    network for ``f`` and a p-type pull-up network whose *topology* is
+    the dual of the pull-down; because p-devices conduct on 0, the
+    pull-up then conducts exactly when ``f = 0``.
+    """
+    if isinstance(expr, (Var, Const)):
+        return expr
+    if isinstance(expr, Not):
+        return Not(dual_expr(expr.operand))
+    if isinstance(expr, And):
+        return Or(*(dual_expr(op) for op in expr.operands))
+    if isinstance(expr, Or):
+        return And(*(dual_expr(op) for op in expr.operands))
+    raise TypeError(f"cannot dualise {expr!r}")

@@ -1,0 +1,350 @@
+"""Switch-level circuit structures.
+
+A :class:`SwitchCircuit` is the transistor-level model used for all of
+the paper's Section 1-3 arguments: a set of named nodes (supplies,
+externally driven ports, internal charge-storing nodes) connected by
+MOS switches whose gates are themselves nodes of the circuit.
+
+Physical faults transform a circuit into a new circuit
+(:meth:`SwitchCircuit.with_fault`):
+
+* a **stuck-open transistor** loses its channel (the switch is removed),
+* a **stuck-closed transistor** conducts unconditionally,
+* an **open connection** (line open) detaches one switch terminal or a
+  switch gate onto a fresh floating node - the floating node then obeys
+  assumption A1 (it decays to logic LOW) in the simulator, which is
+  exactly how the paper derives the behaviour of open lines.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Iterator, List, Optional
+
+VDD = "VDD"
+VSS = "VSS"
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in a switch-level circuit."""
+
+    SUPPLY_VDD = "vdd"  # constant logic 1, infinitely strong
+    SUPPLY_VSS = "vss"  # constant logic 0, infinitely strong
+    PORT = "port"  # driven externally every simulation step (inputs, clocks)
+    INTERNAL = "internal"  # stores charge between steps (outputs included)
+
+
+class DeviceType(enum.Enum):
+    """Switch conduction behaviour as a function of the gate node value."""
+
+    NMOS = "n"  # conducts when gate = 1
+    PMOS = "p"  # conducts when gate = 0
+    DEPLETION = "depletion"  # always conducts (nMOS load device)
+    ALWAYS_ON = "short"  # fault artifact: stuck-closed channel
+    NEVER_ON = "open"  # fault artifact: stuck-open channel (kept for bookkeeping)
+
+
+@dataclass(frozen=True)
+class Switch:
+    """One MOS switch: a channel between ``a`` and ``b`` gated by ``gate``.
+
+    ``resistance`` is the on-resistance in arbitrary units, used only by
+    the timing simulator (:mod:`repro.simulate.timingsim`); the logic
+    simulator ignores it.  ``weak`` marks a channel that loses a rail
+    fight against strong channels - the depletion load of a static nMOS
+    gate, whose ratioed pull-up is always overpowered by a conducting
+    pull-down network.
+    """
+
+    name: str
+    dtype: DeviceType
+    gate: Optional[str]  # node name; None for DEPLETION/ALWAYS_ON devices
+    a: str
+    b: str
+    resistance: float = 1.0
+    weak: bool = False
+
+    def __post_init__(self):
+        needs_gate = self.dtype in (DeviceType.NMOS, DeviceType.PMOS)
+        if needs_gate and not self.gate:
+            raise ValueError(f"switch {self.name!r}: {self.dtype.value}-device needs a gate node")
+
+    def conducts(self, gate_value: int) -> Optional[bool]:
+        """Conduction for a ternary gate value; ``None`` means unknown (X gate)."""
+        if self.dtype is DeviceType.ALWAYS_ON or self.dtype is DeviceType.DEPLETION:
+            return True
+        if self.dtype is DeviceType.NEVER_ON:
+            return False
+        if gate_value == 2:  # ternary X
+            return None
+        if self.dtype is DeviceType.NMOS:
+            return gate_value == 1
+        if self.dtype is DeviceType.PMOS:
+            return gate_value == 0
+        raise AssertionError(f"unhandled device type {self.dtype}")
+
+
+class FaultKind(enum.Enum):
+    """Physical fault model of the paper (Section 3)."""
+
+    TRANSISTOR_OPEN = "transistor-open"  # channel permanently open
+    TRANSISTOR_CLOSED = "transistor-closed"  # channel permanently closed
+    LINE_OPEN_TERMINAL = "line-open-terminal"  # source/drain connection broken
+    LINE_OPEN_GATE = "line-open-gate"  # gate line broken (gate floats, A1 applies)
+    NODE_OPEN = "node-open"  # a named node is cut off from everything
+
+
+@dataclass(frozen=True)
+class PhysicalFault:
+    """A single physical fault, identified by the switch (or node) it hits.
+
+    ``terminal`` selects which channel terminal a LINE_OPEN_TERMINAL
+    detaches: ``'a'`` or ``'b'``.
+    """
+
+    kind: FaultKind
+    switch: Optional[str] = None
+    terminal: Optional[str] = None
+    node: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind is FaultKind.NODE_OPEN:
+            if not self.node:
+                raise ValueError("NODE_OPEN fault needs a node name")
+        else:
+            if not self.switch:
+                raise ValueError(f"{self.kind.value} fault needs a switch name")
+        if self.kind is FaultKind.LINE_OPEN_TERMINAL and self.terminal not in ("a", "b"):
+            raise ValueError("LINE_OPEN_TERMINAL needs terminal 'a' or 'b'")
+
+    def describe(self) -> str:
+        if self.kind is FaultKind.NODE_OPEN:
+            return f"node {self.node} open"
+        if self.kind is FaultKind.LINE_OPEN_TERMINAL:
+            return f"{self.kind.value}@{self.switch}.{self.terminal}"
+        return f"{self.kind.value}@{self.switch}"
+
+
+class SwitchCircuit:
+    """A transistor-level circuit: nodes plus switches.
+
+    The circuit is a passive structure; simulation semantics (charge,
+    decay, phases) live in :class:`repro.switchlevel.simulator.SwitchSimulator`.
+    """
+
+    #: capacitance assigned to incidental nodes created by fault injection
+    #: and to switching-network internals - small enough that charge
+    #: sharing with a real storage node is decided by the storage node
+    #: (the paper's gates are designed so that the precharged node
+    #: dominates SN internals).
+    SMALL_CAPACITANCE = 0.01
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self.nodes: Dict[str, NodeKind] = {
+            VDD: NodeKind.SUPPLY_VDD,
+            VSS: NodeKind.SUPPLY_VSS,
+        }
+        self.capacitance: Dict[str, float] = {VDD: 1.0, VSS: 1.0}
+        self.switches: Dict[str, Switch] = {}
+        self.outputs: List[str] = []
+        self._fresh_counter = 0
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(
+        self, name: str, kind: NodeKind = NodeKind.INTERNAL, capacitance: float = 1.0
+    ) -> str:
+        if name in self.nodes:
+            if self.nodes[name] is not kind:
+                raise ValueError(
+                    f"node {name!r} already exists with kind {self.nodes[name]}, "
+                    f"cannot re-add as {kind}"
+                )
+            return name
+        if capacitance <= 0:
+            raise ValueError(f"node {name!r} capacitance must be positive")
+        self.nodes[name] = kind
+        self.capacitance[name] = capacitance
+        return name
+
+    def add_port(self, name: str) -> str:
+        return self.add_node(name, NodeKind.PORT)
+
+    def add_internal(self, name: str, capacitance: float = 1.0) -> str:
+        return self.add_node(name, NodeKind.INTERNAL, capacitance)
+
+    def mark_output(self, name: str) -> None:
+        if name not in self.nodes:
+            raise KeyError(f"unknown node {name!r}")
+        if name not in self.outputs:
+            self.outputs.append(name)
+
+    def add_switch(
+        self,
+        name: str,
+        dtype: DeviceType,
+        gate: Optional[str],
+        a: str,
+        b: str,
+        resistance: float = 1.0,
+        weak: bool = False,
+    ) -> Switch:
+        if name in self.switches:
+            raise ValueError(f"duplicate switch name {name!r}")
+        for node in filter(None, (gate, a, b)):
+            if node not in self.nodes:
+                raise KeyError(f"switch {name!r} references unknown node {node!r}")
+        if dtype is DeviceType.DEPLETION:
+            weak = True  # depletion loads are ratioed: always the weak side
+        switch = Switch(name, dtype, gate, a, b, resistance, weak)
+        self.switches[name] = switch
+        return switch
+
+    def fresh_node(self, prefix: str = "float") -> str:
+        """A new internal node with a unique name (used by fault injection)."""
+        while True:
+            self._fresh_counter += 1
+            candidate = f"__{prefix}_{self._fresh_counter}"
+            if candidate not in self.nodes:
+                self.nodes[candidate] = NodeKind.INTERNAL
+                self.capacitance[candidate] = self.SMALL_CAPACITANCE
+                return candidate
+
+    # -- queries ----------------------------------------------------------
+
+    def ports(self) -> List[str]:
+        return [n for n, kind in self.nodes.items() if kind is NodeKind.PORT]
+
+    def internal_nodes(self) -> List[str]:
+        return [n for n, kind in self.nodes.items() if kind is NodeKind.INTERNAL]
+
+    def switch(self, name: str) -> Switch:
+        try:
+            return self.switches[name]
+        except KeyError:
+            raise KeyError(f"no switch named {name!r} in {self.name!r}") from None
+
+    def transistor_count(self) -> int:
+        """Number of real devices (fault artifacts excluded)."""
+        return sum(
+            1
+            for s in self.switches.values()
+            if s.dtype in (DeviceType.NMOS, DeviceType.PMOS, DeviceType.DEPLETION)
+        )
+
+    # -- fault injection -----------------------------------------------------
+
+    def copy(self) -> "SwitchCircuit":
+        clone = SwitchCircuit(self.name)
+        clone.nodes = dict(self.nodes)
+        clone.capacitance = dict(self.capacitance)
+        clone.switches = dict(self.switches)
+        clone.outputs = list(self.outputs)
+        clone._fresh_counter = self._fresh_counter
+        return clone
+
+    def merge(
+        self,
+        other: "SwitchCircuit",
+        prefix: str,
+        bindings: Optional[Dict[str, str]] = None,
+    ) -> Dict[str, str]:
+        """Copy another circuit into this one, renaming with ``prefix``.
+
+        ``bindings`` maps nodes of ``other`` (typically its ports) onto
+        existing nodes of ``self`` - this is how a gate's input port is
+        wired to another gate's output when composing the networks of
+        Figs. 5 and 7.  Supplies merge automatically.  Returns the full
+        node-name mapping.
+        """
+        bindings = dict(bindings or {})
+        node_map: Dict[str, str] = {VDD: VDD, VSS: VSS}
+        for node, kind in other.nodes.items():
+            if node in node_map:
+                continue
+            if node in bindings:
+                target = bindings[node]
+                if target not in self.nodes:
+                    raise KeyError(f"binding target {target!r} not in {self.name!r}")
+                node_map[node] = target
+                continue
+            new_name = f"{prefix}{node}"
+            self.add_node(new_name, kind, other.capacitance.get(node, 1.0))
+            node_map[node] = new_name
+        for name, switch in other.switches.items():
+            self.add_switch(
+                f"{prefix}{name}",
+                switch.dtype,
+                node_map[switch.gate] if switch.gate else None,
+                node_map[switch.a],
+                node_map[switch.b],
+                switch.resistance,
+                weak=switch.weak,
+            )
+        for output in other.outputs:
+            self.mark_output(node_map[output])
+        return node_map
+
+    def with_fault(self, fault: PhysicalFault) -> "SwitchCircuit":
+        """A new circuit with the physical fault injected."""
+        faulty = self.copy()
+        faulty.name = f"{self.name}#{fault.describe()}"
+        if fault.kind is FaultKind.NODE_OPEN:
+            # Detach every switch terminal and gate touching the node.
+            for name, switch in list(faulty.switches.items()):
+                updated = switch
+                if switch.a == fault.node:
+                    updated = replace(updated, a=faulty.fresh_node("cut"))
+                if switch.b == fault.node:
+                    updated = replace(updated, b=faulty.fresh_node("cut"))
+                if switch.gate == fault.node:
+                    updated = replace(updated, gate=faulty.fresh_node("cut"))
+                if updated is not switch:
+                    faulty.switches[name] = updated
+            return faulty
+
+        switch = faulty.switch(fault.switch)
+        if fault.kind is FaultKind.TRANSISTOR_OPEN:
+            faulty.switches[fault.switch] = replace(switch, dtype=DeviceType.NEVER_ON)
+        elif fault.kind is FaultKind.TRANSISTOR_CLOSED:
+            faulty.switches[fault.switch] = replace(switch, dtype=DeviceType.ALWAYS_ON)
+        elif fault.kind is FaultKind.LINE_OPEN_TERMINAL:
+            dangling = faulty.fresh_node("cut")
+            if fault.terminal == "a":
+                faulty.switches[fault.switch] = replace(switch, a=dangling)
+            else:
+                faulty.switches[fault.switch] = replace(switch, b=dangling)
+        elif fault.kind is FaultKind.LINE_OPEN_GATE:
+            floating = faulty.fresh_node("floatgate")
+            faulty.switches[fault.switch] = replace(switch, gate=floating)
+        else:  # pragma: no cover - exhaustiveness guard
+            raise AssertionError(f"unhandled fault kind {fault.kind}")
+        return faulty
+
+    def enumerate_faults(
+        self, switches: Iterable[str] | None = None, include_line_opens: bool = True
+    ) -> Iterator[PhysicalFault]:
+        """Enumerate the standard physical fault model over the circuit.
+
+        Per switch: transistor-open, transistor-closed, and (optionally)
+        opens of both channel connections and of the gate line - the
+        fault universe of Section 3.
+        """
+        names = list(switches) if switches is not None else list(self.switches)
+        for name in names:
+            switch = self.switch(name)
+            yield PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch=name)
+            yield PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch=name)
+            if include_line_opens:
+                yield PhysicalFault(FaultKind.LINE_OPEN_TERMINAL, switch=name, terminal="a")
+                yield PhysicalFault(FaultKind.LINE_OPEN_TERMINAL, switch=name, terminal="b")
+                if switch.gate is not None:
+                    yield PhysicalFault(FaultKind.LINE_OPEN_GATE, switch=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SwitchCircuit({self.name!r}, nodes={len(self.nodes)}, "
+            f"switches={len(self.switches)})"
+        )

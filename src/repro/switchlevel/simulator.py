@@ -1,0 +1,302 @@
+"""Charge-aware switch-level simulator.
+
+This is the reference semantics against which every analytic claim of
+the paper is checked in this reproduction.  One :meth:`SwitchSimulator.step`
+models one clock-phase interval: port values (inputs and clocks) are
+held constant, the channel graph settles to a fixpoint, and undriven
+nodes retain or lose charge.
+
+Semantics per settling iteration:
+
+1. Every switch conducts / blocks / *may* conduct according to the
+   ternary value of its gate node (X gates give "may").
+2. Connected components are computed twice: over definitely-conducting
+   edges and over definitely-or-maybe-conducting edges.
+3. A node definitely connected to drivers (rails or ports):
+   * conflicting definite drivers (VDD and VSS) -> X ("fight"; the
+     logic level cannot resolve ratios - the timing simulator in
+     :mod:`repro.simulate.timingsim` does, for the CMOS-3 analysis),
+   * a unique definite driver value, with no *possible* conflicting
+     driver -> that value,
+   * otherwise X.
+4. A node only *maybe* connected to drivers keeps its charge if every
+   possible driver agrees with it, else becomes X.
+5. A fully floating node shares charge with its floating component:
+   all retained values equal -> retained, else X.
+
+After settling, floating nodes age by one step and assumption A1
+applies: charge floating for ``decay_steps`` consecutive steps decays
+to 0.  Iteration that fails to settle (e.g. an oscillating faulty loop)
+drives the unstable nodes to X.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..logic.values import ONE, X, ZERO
+from .network import NodeKind, SwitchCircuit, VDD, VSS
+from .state import NodeState
+
+
+class SimulationError(RuntimeError):
+    """Raised on malformed stimuli (unknown or missing port values)."""
+
+
+class _UnionFind:
+    """Plain union-find over node names."""
+
+    def __init__(self, items: Iterable[str]):
+        self.parent: Dict[str, str] = {item: item for item in items}
+
+    def find(self, item: str) -> str:
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:  # path compression
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+class SwitchSimulator:
+    """Stepwise simulator over a :class:`SwitchCircuit`.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to simulate (fault injection happens *before*
+        construction via :meth:`SwitchCircuit.with_fault`).
+    decay_steps:
+        Assumption A1: a node floating for this many consecutive steps
+        loses its charge and reads 0.  ``0`` disables decay (pure charge
+        retention, used to exhibit the static-CMOS memory of Fig. 1).
+    max_settle_iterations:
+        Bound on the per-step fixpoint; exceeding it marks the unstable
+        nodes X.
+    """
+
+    def __init__(
+        self,
+        circuit: SwitchCircuit,
+        decay_steps: int = 4,
+        max_settle_iterations: int = 64,
+    ):
+        self.circuit = circuit
+        self.decay_steps = decay_steps
+        self.max_settle_iterations = max_settle_iterations
+        self.states: Dict[str, NodeState] = {}
+        self.reset()
+
+    # -- state management -----------------------------------------------------
+
+    def reset(self) -> None:
+        """All internal nodes to X/floating; supplies to their rails."""
+        self.states = {}
+        for node, kind in self.circuit.nodes.items():
+            state = NodeState()
+            if kind is NodeKind.SUPPLY_VDD:
+                state.drive(ONE)
+            elif kind is NodeKind.SUPPLY_VSS:
+                state.drive(ZERO)
+            self.states[node] = state
+
+    def value(self, node: str) -> int:
+        """Current ternary value of a node."""
+        try:
+            return self.states[node].value
+        except KeyError:
+            raise KeyError(f"unknown node {node!r}") from None
+
+    def values(self, nodes: Optional[Sequence[str]] = None) -> Dict[str, int]:
+        if nodes is None:
+            nodes = list(self.circuit.nodes)
+        return {node: self.states[node].value for node in nodes}
+
+    # -- stepping ----------------------------------------------------------------
+
+    def step(self, port_values: Mapping[str, int]) -> Dict[str, int]:
+        """Advance one clock-phase interval and return output node values."""
+        ports = set(self.circuit.ports())
+        unknown = set(port_values) - ports
+        if unknown:
+            raise SimulationError(f"values given for non-port nodes: {sorted(unknown)}")
+        missing = ports - set(port_values)
+        if missing:
+            raise SimulationError(f"missing values for ports: {sorted(missing)}")
+        for port, value in port_values.items():
+            if value not in (ZERO, ONE, X):
+                raise SimulationError(f"port {port!r} value must be 0/1/X, got {value!r}")
+            self.states[port].drive(value)
+
+        retained = {node: state.value for node, state in self.states.items()}
+        self._settle(retained)
+
+        # Post-step ageing and A1 decay for floating nodes.
+        for node, kind in self.circuit.nodes.items():
+            if kind is NodeKind.INTERNAL:
+                self.states[node].age_one_step(self.decay_steps)
+        outputs = self.circuit.outputs or self.circuit.internal_nodes()
+        return {node: self.states[node].value for node in outputs}
+
+    def _settle(self, retained: Mapping[str, int]) -> None:
+        """Iterate connectivity evaluation to a fixpoint."""
+        previous: Optional[Dict[str, int]] = None
+        for _ in range(self.max_settle_iterations):
+            snapshot = self._evaluate_once(retained)
+            if snapshot == previous:
+                return
+            previous = snapshot
+        # Did not settle: oscillation - unstable internal nodes become X.
+        final = self._evaluate_once(retained)
+        for node, value in final.items():
+            if previous is not None and previous.get(node) != value:
+                self.states[node].float_retain(X)
+
+    def _evaluate_once(self, retained: Mapping[str, int]) -> Dict[str, int]:
+        """One connectivity evaluation using current gate values.
+
+        Four connectivity relations are maintained, stratified by drive
+        strength (strong channels beat weak/depletion channels) and by
+        certainty (definitely conducting beats maybe-conducting X
+        gates):
+
+        * ``strong_def``  - strong, definitely conducting edges,
+        * ``strong_opt``  - strong, definitely-or-maybe conducting,
+        * ``weak_def``    - any-strength, definitely conducting,
+        * ``weak_opt``    - any-strength, definitely-or-maybe conducting.
+        """
+        driver_kinds = (NodeKind.SUPPLY_VDD, NodeKind.SUPPLY_VSS, NodeKind.PORT)
+        internal = [
+            node for node, kind in self.circuit.nodes.items() if kind not in driver_kinds
+        ]
+        is_driver = {
+            node: kind in driver_kinds for node, kind in self.circuit.nodes.items()
+        }
+        # Union-find over *internal* nodes only: rails and ports are
+        # sources, not wires - a path never continues through a driver.
+        strong_def = _UnionFind(internal)
+        strong_opt = _UnionFind(internal)
+        weak_def = _UnionFind(internal)
+        weak_opt = _UnionFind(internal)
+        # (internal node, driver value) contacts per stratum.
+        contacts: Dict[str, List[Tuple[str, int]]] = {
+            "sd": [],
+            "so": [],
+            "wd": [],
+            "wo": [],
+        }
+
+        def touch(strata: Iterable[str], node: str, value: int) -> None:
+            for stratum in strata:
+                contacts[stratum].append((node, value))
+
+        for switch in self.circuit.switches.values():
+            gate_value = ONE
+            if switch.gate is not None:
+                gate_value = self.states[switch.gate].value
+            conduction = switch.conducts(gate_value)
+            if conduction is False:
+                continue
+            if conduction is True:
+                strata = ("wd", "wo") if switch.weak else ("sd", "so", "wd", "wo")
+            else:  # maybe (X gate)
+                strata = ("wo",) if switch.weak else ("so", "wo")
+            a_driver, b_driver = is_driver[switch.a], is_driver[switch.b]
+            if a_driver and b_driver:
+                continue  # rail-to-rail short: no node value to resolve here
+            if a_driver:
+                touch(strata, switch.b, self.states[switch.a].value)
+            elif b_driver:
+                touch(strata, switch.a, self.states[switch.b].value)
+            else:
+                unions = {
+                    "sd": strong_def,
+                    "so": strong_opt,
+                    "wd": weak_def,
+                    "wo": weak_opt,
+                }
+                for stratum in strata:
+                    unions[stratum].union(switch.a, switch.b)
+
+        def collect_drivers(uf: _UnionFind, stratum: str) -> Dict[str, Set[int]]:
+            drivers: Dict[str, Set[int]] = {}
+            for node, value in contacts[stratum]:
+                drivers.setdefault(uf.find(node), set()).add(value)
+            return drivers
+
+        drivers_sd = collect_drivers(strong_def, "sd")
+        drivers_so = collect_drivers(strong_opt, "so")
+        drivers_wd = collect_drivers(weak_def, "wd")
+        drivers_wo = collect_drivers(weak_opt, "wo")
+
+        # Capacitance-weighted retained charge per definitely-connected
+        # floating component (charge sharing; the storage node dominates
+        # the negligible SN-internal capacitances).
+        component_members: Dict[str, List[str]] = {}
+        for node, kind in self.circuit.nodes.items():
+            if kind is NodeKind.INTERNAL:
+                component_members.setdefault(weak_def.find(node), []).append(node)
+
+        def charge_value(root: str) -> int:
+            members = component_members.get(root, [])
+            weight = {ZERO: 0.0, ONE: 0.0, X: 0.0}
+            for member in members:
+                weight[retained[member]] += self.circuit.capacitance.get(member, 1.0)
+            total = weight[ZERO] + weight[ONE] + weight[X]
+            if total <= 0.0:
+                return X
+            for value in (ZERO, ONE):
+                if weight[value] >= 2.0 * (total - weight[value]):
+                    return value
+            if weight[X] == 0.0 and (weight[ZERO] == 0.0 or weight[ONE] == 0.0):
+                return ONE if weight[ONE] > 0.0 else ZERO
+            return X
+
+        snapshot: Dict[str, int] = {}
+        for node, kind in self.circuit.nodes.items():
+            if kind is not NodeKind.INTERNAL:
+                snapshot[node] = self.states[node].value
+                continue
+            sd = drivers_sd.get(strong_def.find(node), set())
+            so = drivers_so.get(strong_opt.find(node), set())
+            wd = drivers_wd.get(weak_def.find(node), set())
+            wo = drivers_wo.get(weak_opt.find(node), set())
+            if sd:
+                # Definitely strongly driven; weak paths cannot override.
+                if len(sd) == 1 and X not in sd:
+                    value = next(iter(sd))
+                    # A *possible* strong path to a different value -> X.
+                    self.states[node].drive(X if (so - {value}) else value)
+                else:
+                    self.states[node].drive(X)  # strong rail fight or X port
+            elif wd:
+                # Only weak definite paths; any possible path (strong or
+                # weak) to a different value leaves the outcome unknown.
+                if len(wd) == 1 and X not in wd:
+                    value = next(iter(wd))
+                    self.states[node].drive(X if (wo - {value}) else value)
+                else:
+                    self.states[node].drive(X)
+            elif wo:
+                # Maybe-driven only: charge is kept when every possible
+                # driver agrees with it.
+                fallback = charge_value(weak_def.find(node))
+                if wo == {fallback}:
+                    self.states[node].float_retain(fallback)
+                else:
+                    self.states[node].float_retain(X)
+            else:
+                self.states[node].float_retain(charge_value(weak_def.find(node)))
+            snapshot[node] = self.states[node].value
+        return snapshot
+
+    # -- convenience -----------------------------------------------------------
+
+    def run(self, steps: Sequence[Mapping[str, int]]) -> List[Dict[str, int]]:
+        """Apply a sequence of port-value maps; return outputs per step."""
+        return [self.step(step) for step in steps]

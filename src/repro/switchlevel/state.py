@@ -1,0 +1,60 @@
+"""Node state for the charge-aware switch-level simulator.
+
+The paper's whole argument rests on charge: a dynamic node that is not
+driven *retains* its value (that is what makes stuck-open faults in
+static CMOS sequential, Fig. 1), and an open node that stays floating
+long enough *loses* its charge and reads LOW - assumption A1, "an open
+gate, which has no connection to power, has the logical value low",
+backed by the measurements of ref. [12].
+
+:class:`NodeState` therefore tracks three things per internal node:
+
+* the ternary logic ``value`` (0, 1, X),
+* whether the node is currently ``driven`` (a conducting path to a rail
+  or port exists),
+* ``floating_age`` - for how many consecutive simulation steps the node
+  has been floating; once it reaches the simulator's ``decay_steps``
+  the charge is considered lost and the value decays to 0 (A1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..logic.values import X, ZERO
+
+
+@dataclass
+class NodeState:
+    """Mutable per-node simulation state."""
+
+    value: int = X
+    driven: bool = False
+    floating_age: int = 0
+
+    def drive(self, value: int) -> None:
+        """The node is connected to a driver of the given value."""
+        self.value = value
+        self.driven = True
+        self.floating_age = 0
+
+    def float_retain(self, value: int) -> None:
+        """The node floats this step, retaining (possibly shared) charge."""
+        self.value = value
+        self.driven = False
+
+    def age_one_step(self, decay_steps: int) -> None:
+        """Advance the floating clock; apply A1 decay when it expires.
+
+        ``decay_steps <= 0`` disables decay entirely (useful when
+        demonstrating the *static* CMOS memory effect of Fig. 1, where
+        charge retention over a few cycles is exactly the point).
+        """
+        if self.driven:
+            return
+        self.floating_age += 1
+        if decay_steps > 0 and self.floating_age >= decay_steps:
+            self.value = ZERO
+
+    def copy(self) -> "NodeState":
+        return NodeState(self.value, self.driven, self.floating_age)

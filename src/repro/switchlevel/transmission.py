@@ -1,0 +1,178 @@
+"""Symbolic transmission functions of switch networks.
+
+"The transmission function of SN, T(i1, ..., in), is a Boolean function
+being true, if a conducting path exists between S and D" (Section 2).
+
+For the series-parallel networks the cell language produces, the
+transmission function equals the cell expression by construction; this
+module recovers it from the *graph*, which also works for arbitrary
+bridge topologies and - crucially - for *faulted* networks, where a
+stuck-closed switch contributes a constant-1 literal and a stuck-open
+switch drops out.  Path enumeration over the (small) cell graphs is
+exact; the paper notes results for general drain-source opens exist
+elsewhere (ref. [2]), and cells in this domain stay under ~20 devices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import networkx as nx
+
+from ..logic.expr import And, Const, Expr, Not, Or, Var, simplify
+from ..logic.truthtable import TruthTable
+from .build import TERMINAL_D, TERMINAL_S, SwitchNetwork
+from .network import DeviceType, FaultKind, PhysicalFault, Switch
+
+
+def switch_literal(switch: Switch) -> Expr:
+    """The Boolean condition under which a switch conducts."""
+    if switch.dtype in (DeviceType.ALWAYS_ON, DeviceType.DEPLETION):
+        return Const(1)
+    if switch.dtype is DeviceType.NEVER_ON:
+        return Const(0)
+    if switch.dtype is DeviceType.NMOS:
+        return Var(switch.gate)
+    if switch.dtype is DeviceType.PMOS:
+        return Not(Var(switch.gate))
+    raise AssertionError(f"unhandled device type {switch.dtype}")
+
+
+def _apply_faults(
+    network: SwitchNetwork, faults: Iterable[PhysicalFault]
+) -> SwitchNetwork:
+    """Inject physical faults into a copy of the network.
+
+    * transistor open / closed -> channel never / always conducts;
+    * terminal line open -> the switch end is re-pointed at a fresh
+      dangling node (paths through it disappear);
+    * gate line open -> assumption A1: the floating gate reads LOW, so
+      an n-device never conducts and a p-device always conducts.
+    """
+    result = network.copy()
+    for fault in faults:
+        switch = result.switches[fault.switch]
+        if fault.kind is FaultKind.TRANSISTOR_OPEN:
+            replacement = Switch(
+                switch.name, DeviceType.NEVER_ON, None, switch.a, switch.b, switch.resistance
+            )
+        elif fault.kind is FaultKind.TRANSISTOR_CLOSED:
+            replacement = Switch(
+                switch.name, DeviceType.ALWAYS_ON, None, switch.a, switch.b, switch.resistance
+            )
+        elif fault.kind is FaultKind.LINE_OPEN_TERMINAL:
+            dangling = result.fresh_node()
+            if fault.terminal == "a":
+                replacement = Switch(
+                    switch.name, switch.dtype, switch.gate, dangling, switch.b, switch.resistance
+                )
+            else:
+                replacement = Switch(
+                    switch.name, switch.dtype, switch.gate, switch.a, dangling, switch.resistance
+                )
+        elif fault.kind is FaultKind.LINE_OPEN_GATE:
+            # A1: the floating gate node decays to logic LOW.
+            dtype = (
+                DeviceType.NEVER_ON
+                if switch.dtype is DeviceType.NMOS
+                else DeviceType.ALWAYS_ON
+            )
+            replacement = Switch(
+                switch.name, dtype, None, switch.a, switch.b, switch.resistance
+            )
+        else:
+            raise ValueError(
+                f"transmission analysis cannot inject fault kind {fault.kind}"
+            )
+        result.switches[fault.switch] = replacement
+    return result
+
+
+def transmission_graph(network: SwitchNetwork) -> nx.MultiGraph:
+    """The connectivity multigraph of the network (switch names on edges)."""
+    graph = nx.MultiGraph()
+    graph.add_nodes_from(network.nodes)
+    for name, switch in network.switches.items():
+        if switch.dtype is DeviceType.NEVER_ON:
+            continue  # a permanently open channel is no edge at all
+        graph.add_edge(switch.a, switch.b, key=name, switch=switch)
+    return graph
+
+
+def transmission_expr(
+    network: SwitchNetwork,
+    faults: Sequence[PhysicalFault] = (),
+    source: str = TERMINAL_S,
+    drain: str = TERMINAL_D,
+) -> Expr:
+    """Exact transmission function T(i1..in) of a (possibly faulted) network.
+
+    Enumerates simple paths from ``source`` to ``drain``; the function is
+    the OR over paths of the AND of the switch literals on the path.
+    Path enumeration is exponential in the worst case but exact, and the
+    cell-sized networks of this library keep it tiny.
+    """
+    faulted = _apply_faults(network, faults)
+    graph = transmission_graph(faulted)
+    if source not in graph or drain not in graph:
+        return Const(0)
+    if not nx.has_path(graph, source, drain):
+        return Const(0)
+    terms: List[Expr] = []
+    for edge_path in nx.all_simple_edge_paths(graph, source, drain):
+        literals: List[Expr] = []
+        feasible = True
+        for a, b, key in edge_path:
+            literal = switch_literal(faulted.switches[key])
+            if isinstance(literal, Const):
+                if literal.value == 0:
+                    feasible = False
+                    break
+                continue  # constant-1 literal contributes nothing
+            literals.append(literal)
+        if not feasible:
+            continue
+        if not literals:
+            return Const(1)  # an unconditional path short-circuits everything
+        terms.append(literals[0] if len(literals) == 1 else And(*literals))
+    if not terms:
+        return Const(0)
+    return simplify(terms[0] if len(terms) == 1 else Or(*terms))
+
+
+def transmission_table(
+    network: SwitchNetwork,
+    faults: Sequence[PhysicalFault] = (),
+    names: Optional[Sequence[str]] = None,
+) -> TruthTable:
+    """Truth table of the transmission function over a fixed input order.
+
+    ``names`` defaults to the fault-free network's inputs so that
+    fault-free and faulty tables are directly comparable.
+    """
+    if names is None:
+        names = network.inputs()
+    expr = transmission_expr(network, faults)
+    return TruthTable.from_expr(expr, tuple(names))
+
+
+def conducts(
+    network: SwitchNetwork,
+    assignment: Dict[str, int],
+    faults: Sequence[PhysicalFault] = (),
+) -> bool:
+    """Evaluate conduction between S and D under a concrete assignment.
+
+    Works directly on the graph (no symbolic step), so it is the
+    independent oracle the tests use to validate :func:`transmission_expr`.
+    """
+    faulted = _apply_faults(network, faults)
+    graph = nx.Graph()
+    graph.add_nodes_from(faulted.nodes)
+    for switch in faulted.switches.values():
+        if switch.dtype is DeviceType.NEVER_ON:
+            continue
+        on = switch.conducts(assignment.get(switch.gate, 0) if switch.gate else 1)
+        if on:
+            graph.add_edge(switch.a, switch.b)
+    return nx.has_path(graph, TERMINAL_S, TERMINAL_D)

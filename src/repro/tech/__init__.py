@@ -1,0 +1,47 @@
+"""Technology-specific gate constructions (Figs. 4-7 of the paper)."""
+
+from .base import GateModel
+from .bipolar import BipolarGate
+from .clocks import (
+    PHI,
+    PHI1,
+    PHI2,
+    domino_cycle,
+    domino_schedule,
+    two_phase_cycle,
+    two_phase_schedule,
+)
+from .domino_cmos import DominoCmosGate
+from .dynamic_nmos import DynamicNmosGate
+from .static_cmos import StaticCmosGate, static_cmos_inverter, static_cmos_nor
+from .static_nmos import StaticNmosGate
+
+TECHNOLOGIES = {
+    "nMOS": StaticNmosGate,
+    "static-CMOS": StaticCmosGate,
+    "bipolar": BipolarGate,
+    "dynamic-nMOS": DynamicNmosGate,
+    "domino-CMOS": DominoCmosGate,
+}
+"""Technology tag -> gate class, matching the cell language keywords
+("nMOS pull-down network, static CMOS, bipolar, dynamic nMOS, domino
+CMOS" - Section 5)."""
+
+__all__ = [
+    "GateModel",
+    "BipolarGate",
+    "DominoCmosGate",
+    "DynamicNmosGate",
+    "StaticCmosGate",
+    "StaticNmosGate",
+    "static_cmos_inverter",
+    "static_cmos_nor",
+    "TECHNOLOGIES",
+    "PHI",
+    "PHI1",
+    "PHI2",
+    "domino_cycle",
+    "domino_schedule",
+    "two_phase_cycle",
+    "two_phase_schedule",
+]

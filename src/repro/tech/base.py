@@ -1,0 +1,200 @@
+"""Common machinery for technology-specific gate models.
+
+A :class:`GateModel` wraps a :class:`~repro.switchlevel.network.SwitchCircuit`
+realising one logic gate in a concrete technology, together with its
+clocking discipline: how one *cycle* of the gate is driven (which ports
+get which values in which phase) and when the output is *valid*.
+
+Section 4 of the paper makes two assumptions the measurement protocol
+here implements directly:
+
+* **A1** is the simulator's charge decay (``decay_steps``).
+* **A2** ("test patterns have already been applied which would charge
+  and discharge each node") becomes :meth:`GateModel.warmup`: before a
+  measurement, alternating *toggle vectors* - one making the switching
+  network conduct and one blocking it - are applied for enough cycles
+  that every dynamic node has been charged and discharged and every
+  permanently floating node has decayed.
+
+:meth:`GateModel.faulty_function` is then the bridge from physics to
+logic: it tabulates the *measured* Boolean function of a physically
+faulted gate, which Section 3's analytic classification must match.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..logic.expr import Expr, all_assignments
+from ..logic.truthtable import TruthTable
+from ..logic.values import ONE, X, ZERO
+from ..switchlevel.network import PhysicalFault, SwitchCircuit
+from ..switchlevel.simulator import SwitchSimulator
+
+DEFAULT_DECAY_STEPS = 16
+"""A1 decay horizon, in simulator steps.
+
+Chosen much longer than one measurement window (a few cycles) but
+shorter than the warm-up, matching the physics the paper appeals to:
+charge on a dynamic node is reliable between neighbouring test
+patterns, while a node left with *no* connection to power loses its
+charge "during operation" (ref. [12]) and reads LOW.
+"""
+
+DEFAULT_WARMUP_CYCLES = 4
+
+
+class GateModel:
+    """A single gate in a concrete technology, plus its clock discipline."""
+
+    #: human-readable technology name (matches the cell language keywords)
+    technology: str = "abstract"
+
+    def __init__(
+        self,
+        circuit: SwitchCircuit,
+        inputs: Sequence[str],
+        output: str,
+        function: Expr,
+    ):
+        self.circuit = circuit
+        self.inputs = tuple(inputs)
+        self.output = output
+        #: the intended fault-free logic function of the gate
+        self.function = function
+        circuit.mark_output(output)
+
+    # -- clocking protocol (overridden per technology) ------------------------
+
+    def cycle_steps(self, values: Mapping[str, int]) -> List[Dict[str, int]]:
+        """Port maps for one full clock cycle applying ``values`` to inputs.
+
+        The output is valid after the *last* returned step.
+        """
+        raise NotImplementedError
+
+    def toggle_vectors(self) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """Two input vectors that respectively assert and deassert the output.
+
+        Used by the A2 warm-up so every dynamic node is charged and
+        discharged.  Default: search the intended function for a 1-point
+        and a 0-point; constant functions reuse the same vector.
+        """
+        table = TruthTable.from_expr(self.function, self.inputs)
+        one_vector: Optional[Dict[str, int]] = None
+        zero_vector: Optional[Dict[str, int]] = None
+        for assignment, value in table.rows():
+            if value == 1 and one_vector is None:
+                one_vector = dict(assignment)
+            if value == 0 and zero_vector is None:
+                zero_vector = dict(assignment)
+            if one_vector is not None and zero_vector is not None:
+                break
+        fallback = {name: 0 for name in self.inputs}
+        return one_vector or zero_vector or fallback, zero_vector or one_vector or fallback
+
+    # -- simulation helpers ---------------------------------------------------------
+
+    def simulator(
+        self, fault: Optional[PhysicalFault] = None, decay_steps: int = DEFAULT_DECAY_STEPS
+    ) -> SwitchSimulator:
+        circuit = self.circuit if fault is None else self.circuit.with_fault(fault)
+        return SwitchSimulator(circuit, decay_steps=decay_steps)
+
+    def apply_cycle(self, sim: SwitchSimulator, values: Mapping[str, int]) -> int:
+        """Run one clock cycle and return the output value at valid time."""
+        result = ZERO
+        for step in self.cycle_steps(values):
+            outputs = sim.step(step)
+            result = outputs.get(self.output, sim.value(self.output))
+        return result
+
+    def warmup(self, sim: SwitchSimulator, cycles: int = DEFAULT_WARMUP_CYCLES) -> None:
+        """Apply alternating toggle vectors - the A2 precondition.
+
+        Runs at least ``decay_steps`` simulator steps so that any node a
+        fault leaves permanently floating has decayed (A1) before
+        measurement, and charges/discharges each dynamic node.
+        """
+        assert_vec, deassert_vec = self.toggle_vectors()
+        steps_per_cycle = max(1, len(self.cycle_steps(assert_vec)))
+        needed = max(cycles, (sim.decay_steps // steps_per_cycle) + 2)
+        for index in range(needed):
+            self.apply_cycle(sim, assert_vec if index % 2 == 0 else deassert_vec)
+
+    def measure(
+        self,
+        values: Mapping[str, int],
+        fault: Optional[PhysicalFault] = None,
+        decay_steps: int = DEFAULT_DECAY_STEPS,
+        warmup_cycles: int = DEFAULT_WARMUP_CYCLES,
+    ) -> int:
+        """Warm up (A2), apply one vector, return the valid-time output."""
+        sim = self.simulator(fault, decay_steps)
+        self.warmup(sim, warmup_cycles)
+        return self.apply_cycle(sim, values)
+
+    def faulty_function(
+        self,
+        fault: Optional[PhysicalFault] = None,
+        decay_steps: int = DEFAULT_DECAY_STEPS,
+        warmup_cycles: int = DEFAULT_WARMUP_CYCLES,
+        allow_x: bool = False,
+    ) -> Tuple[TruthTable, Dict[int, int]]:
+        """Tabulate the measured function of the (possibly faulted) gate.
+
+        Returns the truth table plus a map ``minterm -> raw ternary value``
+        so callers can see X entries (rail fights that only the timing
+        simulator resolves).  With ``allow_x=False`` an X measurement
+        raises, because the gate then has no well-defined logic function.
+        """
+        raw: Dict[int, int] = {}
+        bits = 0
+        for minterm, assignment in enumerate(all_assignments(self.inputs)):
+            value = self.measure(assignment, fault, decay_steps, warmup_cycles)
+            raw[minterm] = value
+            if value == ONE:
+                bits |= 1 << minterm
+            elif value == X and not allow_x:
+                raise ValueError(
+                    f"gate {self.circuit.name!r} with fault "
+                    f"{fault.describe() if fault else None} measures X on "
+                    f"{assignment} - not a pure logic fault (ratioed fight); "
+                    "use the timing simulator"
+                )
+        return TruthTable(self.inputs, bits), raw
+
+    def is_combinational(
+        self,
+        fault: Optional[PhysicalFault] = None,
+        trials: int = 8,
+        history_length: int = 5,
+        seed: int = 1986,
+        decay_steps: int = DEFAULT_DECAY_STEPS,
+    ) -> bool:
+        """History-independence check - the heart of the paper's claim (a).
+
+        For random pairs of input histories that end in the same final
+        vector, the valid-time output must agree.  A gate whose output
+        can depend on *earlier* inputs (like the faulty static CMOS NOR
+        of Fig. 1) fails this check.
+        """
+        import random
+
+        rng = random.Random(seed)
+
+        def random_vector() -> Dict[str, int]:
+            return {name: rng.randint(0, 1) for name in self.inputs}
+
+        for _ in range(trials):
+            final = random_vector()
+            observed: set = set()
+            for _ in range(2):
+                sim = self.simulator(fault, decay_steps)
+                self.warmup(sim)
+                for _ in range(history_length):
+                    self.apply_cycle(sim, random_vector())
+                observed.add(self.apply_cycle(sim, final))
+            if len(observed) > 1:
+                return False
+        return True

@@ -1,0 +1,68 @@
+"""Bipolar cells.
+
+The paper's functional library supports a ``bipolar`` technology tag for
+which "the common stuck-at fault model" is used - no transistor-level
+analysis.  A :class:`BipolarGate` is therefore purely functional: it
+evaluates its cell expression directly, and its fault universe consists
+of stuck-at faults on the cell inputs and output, handled by
+:mod:`repro.cells.library`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..logic.expr import Expr
+from ..logic.truthtable import TruthTable
+from ..switchlevel.network import PhysicalFault, SwitchCircuit
+from .base import GateModel
+
+
+class BipolarGate(GateModel):
+    """A gate-level-only cell evaluated straight from its expression."""
+
+    technology = "bipolar"
+
+    def __init__(self, function: Expr, name: str = "bipolar_gate"):
+        circuit = SwitchCircuit(name)
+        inputs = tuple(sorted(function.variables()))
+        for input_name in inputs:
+            circuit.add_port(input_name)
+        output = circuit.add_internal("z")
+        super().__init__(circuit, inputs, output, function)
+
+    def cycle_steps(self, values: Mapping[str, int]) -> List[Dict[str, int]]:
+        return [dict(values)]
+
+    # Purely functional behaviour: there is no switch structure to
+    # simulate, so measurement bypasses the switch-level simulator.
+
+    def measure(
+        self,
+        values: Mapping[str, int],
+        fault: Optional[PhysicalFault] = None,
+        decay_steps: int = 0,
+        warmup_cycles: int = 0,
+    ) -> int:
+        if fault is not None:
+            raise ValueError(
+                "bipolar cells use the stuck-at model; physical transistor "
+                "faults are not defined for them"
+            )
+        return self.function.evaluate(values)
+
+    def faulty_function(
+        self,
+        fault: Optional[PhysicalFault] = None,
+        decay_steps: int = 0,
+        warmup_cycles: int = 0,
+        allow_x: bool = False,
+    ) -> Tuple[TruthTable, Dict[int, int]]:
+        if fault is not None:
+            raise ValueError(
+                "bipolar cells use the stuck-at model; physical transistor "
+                "faults are not defined for them"
+            )
+        table = TruthTable.from_expr(self.function, self.inputs)
+        raw = {m: table.value_at(m) for m in range(table.size)}
+        return table, raw

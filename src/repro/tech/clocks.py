@@ -1,0 +1,82 @@
+"""Clocking schedules for networks of dynamic gates.
+
+* Domino CMOS networks run on a **single clock** (Fig. 5): one low
+  (precharge) interval, one high (evaluate) interval; the domino
+  "ripple" through cascaded gates settles *within* the evaluate
+  interval.
+* Dynamic nMOS networks need "at least two non-overlapping clocks"
+  (Fig. 7): gates alternate between phi1 and phi2 stages, each stage
+  sampling its inputs while its own clock is high and evaluating when
+  it falls.  A value therefore advances one stage per half-cycle.
+
+These helpers produce port-map sequences consumed by
+:class:`repro.switchlevel.simulator.SwitchSimulator.run`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+PHI = "phi"
+PHI1 = "phi1"
+PHI2 = "phi2"
+
+
+def domino_cycle(
+    input_values: Mapping[str, int], clock: str = PHI
+) -> List[Dict[str, int]]:
+    """One precharge+evaluate cycle for a domino network.
+
+    Primary inputs follow the domino discipline: low during precharge,
+    applied during evaluation.
+    """
+    precharge = {clock: 0, **{name: 0 for name in input_values}}
+    evaluate = {clock: 1, **dict(input_values)}
+    return [precharge, evaluate]
+
+
+def domino_schedule(
+    vectors: Sequence[Mapping[str, int]], clock: str = PHI
+) -> List[Dict[str, int]]:
+    """Concatenated domino cycles, one per input vector."""
+    steps: List[Dict[str, int]] = []
+    for vector in vectors:
+        steps.extend(domino_cycle(vector, clock))
+    return steps
+
+
+def two_phase_cycle(
+    input_values: Mapping[str, int], phi1: str = PHI1, phi2: str = PHI2
+) -> List[Dict[str, int]]:
+    """One full cycle of two non-overlapping clocks.
+
+    Four intervals: phi1 high, both low, phi2 high, both low.  The dead
+    intervals guarantee non-overlap, which the dynamic nMOS input
+    sampling relies on.
+    """
+    base = dict(input_values)
+    return [
+        {phi1: 1, phi2: 0, **base},
+        {phi1: 0, phi2: 0, **base},
+        {phi1: 0, phi2: 1, **base},
+        {phi1: 0, phi2: 0, **base},
+    ]
+
+
+def two_phase_schedule(
+    vectors: Sequence[Mapping[str, int]],
+    cycles_per_vector: int = 1,
+    phi1: str = PHI1,
+    phi2: str = PHI2,
+) -> List[Dict[str, int]]:
+    """Concatenated two-phase cycles.
+
+    ``cycles_per_vector`` should be at least the pipeline depth of the
+    network (number of alternating stages) when the caller wants the
+    combinational steady-state response to each vector.
+    """
+    steps: List[Dict[str, int]] = []
+    for vector in vectors:
+        for _ in range(max(1, cycles_per_vector)):
+            steps.extend(two_phase_cycle(vector, phi1, phi2))
+    return steps

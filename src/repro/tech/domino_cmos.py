@@ -1,0 +1,130 @@
+"""Domino CMOS gates - Fig. 4 of the paper.
+
+A domino gate precharges an internal node ``y`` through a p-device
+``T1`` while the clock is low, then conditionally discharges it through
+the n-switching-network SN and the foot device ``T2`` while the clock
+is high; the inverted ``y`` is the valid output ``z``, so
+``z = T(i1..in)`` - "the logical function of a domino gate is exactly
+the transmission function of the involved switching network".
+
+Because every domino output is low during precharge, the SN inputs of a
+downstream gate are all low at the start of evaluation and rise at most
+once ("at phi each node either can be pulled up and remain stable or
+doesn't change at all - races and spikes cannot occur").  The cycle
+protocol below enforces that discipline for primary inputs.
+
+Named devices (for the Section 3 fault classes):
+
+* ``T1`` - precharge p-device (CMOS-3 closed / CMOS-4 open),
+* ``T2`` - foot n-device (CMOS-1 closed / CMOS-2 open),
+* ``inv_p`` / ``inv_n`` - output inverter devices,
+* SN devices via :attr:`DominoCmosGate.sn_switches`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from ..logic.expr import Expr
+from ..switchlevel.build import SwitchNetwork
+from ..switchlevel.network import DeviceType, SwitchCircuit
+from ..switchlevel.transmission import transmission_expr
+from .base import GateModel
+
+CLOCK = "phi"
+PRECHARGE_SWITCH = "T1"
+FOOT_SWITCH = "T2"
+INVERTER_P = "inv_p"
+INVERTER_N = "inv_n"
+INTERNAL_NODE = "y"
+FOOT_NODE = "w"
+
+# Explicit connection lines (the S1..S7 labels of Fig. 4).  Each is an
+# always-conducting "wire switch" so that *open connection* faults can
+# be injected on the exact line the paper discusses.
+WIRE_VDD_T1 = "S1"  # VDD supply line into the precharge device
+WIRE_Y_SN = "S2"  # internal node y to the top SN terminal
+WIRE_SN_W = "S3"  # bottom SN terminal to the foot node
+WIRE_W_T2 = "S4"  # foot node into the foot device
+WIRE_T2_VSS = "S5"  # foot device to ground
+WIRE_Y_INV = "S6"  # y to the output inverter input
+WIRE_INV_Z = "S7"  # inverter output line to z
+CONNECTION_WIRES = (
+    WIRE_VDD_T1,
+    WIRE_Y_SN,
+    WIRE_SN_W,
+    WIRE_W_T2,
+    WIRE_T2_VSS,
+    WIRE_Y_INV,
+    WIRE_INV_Z,
+)
+
+
+class DominoCmosGate(GateModel):
+    """``z = T(inputs)`` as a single-clock domino CMOS gate (Fig. 4)."""
+
+    technology = "domino-CMOS"
+
+    def __init__(
+        self,
+        transmission: Expr,
+        name: str = "domino_gate",
+        precharge_resistance: float = 1.0,
+    ):
+        circuit = SwitchCircuit(name)
+        inputs = tuple(sorted(transmission.variables()))
+        clock = circuit.add_port(CLOCK)
+        for input_name in inputs:
+            circuit.add_port(input_name)
+
+        small = SwitchCircuit.SMALL_CAPACITANCE
+        y = circuit.add_internal(INTERNAL_NODE)
+        z = circuit.add_internal("z")
+        t1_src = circuit.add_internal("t1_src", capacitance=small)
+        sn_top = circuit.add_internal("sn_top", capacitance=small)
+        sn_bot = circuit.add_internal("sn_bot", capacitance=small)
+        w = circuit.add_internal(FOOT_NODE, capacitance=small)
+        t2_bot = circuit.add_internal("t2_bot", capacitance=small)
+        yi = circuit.add_internal("yi")  # inverter input (normally wired to y)
+        zw = circuit.add_internal("zw", capacitance=small)  # inverter output line
+
+        wire = DeviceType.ALWAYS_ON
+        circuit.add_switch(WIRE_VDD_T1, wire, None, "VDD", t1_src, resistance=0.0)
+        circuit.add_switch(
+            PRECHARGE_SWITCH, DeviceType.PMOS, clock, t1_src, y, resistance=precharge_resistance
+        )
+        circuit.add_switch(WIRE_Y_SN, wire, None, y, sn_top, resistance=0.0)
+        network = SwitchNetwork.from_expr(transmission, DeviceType.NMOS, name="SN")
+        self.network = network
+        self.sn_switches = network.embed(circuit, sn_top, sn_bot, prefix="sn_")
+        circuit.add_switch(WIRE_SN_W, wire, None, sn_bot, w, resistance=0.0)
+        t2_src = circuit.add_internal("t2_src", capacitance=small)
+        circuit.add_switch(WIRE_W_T2, wire, None, w, t2_bot, resistance=0.0)
+        circuit.add_switch(FOOT_SWITCH, DeviceType.NMOS, clock, t2_bot, t2_src)
+        circuit.add_switch(WIRE_T2_VSS, wire, None, t2_src, "VSS", resistance=0.0)
+        circuit.add_switch(WIRE_Y_INV, wire, None, y, yi, resistance=0.0)
+        circuit.add_switch(INVERTER_P, DeviceType.PMOS, yi, "VDD", zw)
+        circuit.add_switch(INVERTER_N, DeviceType.NMOS, yi, zw, "VSS")
+        circuit.add_switch(WIRE_INV_Z, wire, None, zw, z, resistance=0.0)
+
+        self.transmission = transmission
+        self.internal_node = y
+        super().__init__(circuit, inputs, z, transmission)
+
+    def cycle_steps(self, values: Mapping[str, int]) -> List[Dict[str, int]]:
+        """Precharge (clock low, inputs low) then evaluate (clock high).
+
+        Driving all inputs low during precharge is the domino discipline:
+        in a real network the inputs *are* domino outputs, which are low
+        during precharge (Fig. 5).
+        """
+        precharge = {CLOCK: 0}
+        evaluate = {CLOCK: 1}
+        for name in self.inputs:
+            precharge[name] = 0
+            evaluate[name] = values[name]
+        return [precharge, evaluate]
+
+    def transmission_function(self) -> Expr:
+        """The symbolic transmission function recovered from the graph."""
+        return transmission_expr(self.network)

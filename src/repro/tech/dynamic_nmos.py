@@ -1,0 +1,105 @@
+"""Dynamic nMOS gates - Fig. 6 of the paper.
+
+"A dynamic nMOS gate can be regarded as a conventional pull down
+network, where the terminals are not connected to source and drain but
+to the same clock phi.  The inputs are also controlled by that clock."
+
+Topology realised here (matching the fault analysis of Section 3):
+
+* the switching network SN sits between the output ``z`` and the clock
+  line itself;
+* the precharge device ``T(n+1)`` (gate on the clock) also connects the
+  clock line to ``z``, in parallel with SN;
+* each input ``i_k`` reaches the gate of its SN transistor through a
+  clocked pass device, so input charge is sampled while the clock is
+  high and held (dynamically) while it is low.
+
+While the clock is high, ``z`` precharges through ``T(n+1)`` (and
+possibly through a conducting SN - both ends are at the high clock
+level, which is why the ``T(n+1)``-open fault still lets ``z`` charge
+through SN, the paper's nMOS-(2n+1) case).  When the clock falls,
+``T(n+1)`` turns off and ``z`` discharges *into the low clock line*
+through SN exactly when the transmission function is true:
+``z = !T(i1..in)`` - "the logical function of the gate is the inverse
+of the transmission function".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from ..logic.expr import Expr, Not
+from ..switchlevel.build import SwitchNetwork
+from ..switchlevel.network import DeviceType, SwitchCircuit
+from ..switchlevel.transmission import transmission_expr
+from .base import GateModel
+
+CLOCK = "phi"
+PRECHARGE_SWITCH = "T_pre"  # the paper's T(n+1)
+
+# Explicit connection lines: the paper's S(n+2) / S(n+3) - the wires
+# joining the SN terminals to the output node and to the clock line.
+# "Open connections at S(n+2) or S(n+3) will cause a s1-z."
+WIRE_Z_SN = "S_top"  # output z to the top SN terminal
+WIRE_SN_CLK = "S_bot"  # bottom SN terminal to the clock line
+CONNECTION_WIRES = (WIRE_Z_SN, WIRE_SN_CLK)
+
+
+class DynamicNmosGate(GateModel):
+    """``z = !T(inputs)`` as a single-clock dynamic nMOS gate (Fig. 6)."""
+
+    technology = "dynamic-nMOS"
+
+    def __init__(self, transmission: Expr, name: str = "dyn_nmos_gate"):
+        circuit = SwitchCircuit(name)
+        inputs = tuple(sorted(transmission.variables()))
+        clock = circuit.add_port(CLOCK)
+
+        # External input lines and their clocked storage nodes.
+        self.storage_nodes: Dict[str, str] = {}
+        self.pass_switches: Dict[str, str] = {}
+        for input_name in inputs:
+            circuit.add_port(input_name)
+            # The storage node is the SN transistor's *gate capacitance*:
+            # much smaller than an output node, so that when a floating
+            # driver output hands its charge over through the pass device
+            # (the Fig. 7 inter-stage transfer) the driver's value wins.
+            storage = circuit.add_internal(
+                f"s_{input_name}", capacitance=SwitchCircuit.SMALL_CAPACITANCE
+            )
+            pass_name = f"pass_{input_name}"
+            circuit.add_switch(pass_name, DeviceType.NMOS, clock, input_name, storage)
+            self.storage_nodes[input_name] = storage
+            self.pass_switches[input_name] = pass_name
+
+        output = circuit.add_internal("z")
+        small = SwitchCircuit.SMALL_CAPACITANCE
+        sn_top = circuit.add_internal("sn_top", capacitance=small)
+        sn_bot = circuit.add_internal("sn_bot", capacitance=small)
+        wire = DeviceType.ALWAYS_ON
+        circuit.add_switch(WIRE_Z_SN, wire, None, output, sn_top, resistance=0.0)
+        # SN between z and the clock line, gated by the storage nodes.
+        network = SwitchNetwork.from_expr(transmission, DeviceType.NMOS, name="SN")
+        self.network = network
+        self.sn_switches = network.embed(
+            circuit, sn_top, sn_bot, gate_map=dict(self.storage_nodes), prefix="sn_"
+        )
+        circuit.add_switch(WIRE_SN_CLK, wire, None, sn_bot, clock, resistance=0.0)
+        # T(n+1): precharge path from the clock line to z, clock-gated.
+        circuit.add_switch(PRECHARGE_SWITCH, DeviceType.NMOS, clock, clock, output)
+
+        self.transmission = transmission
+        super().__init__(circuit, inputs, output, Not(transmission))
+
+    def cycle_steps(self, values: Mapping[str, int]) -> List[Dict[str, int]]:
+        """Precharge (clock high, inputs sampled) then evaluate (clock low)."""
+        high = {CLOCK: 1}
+        low = {CLOCK: 0}
+        for name in self.inputs:
+            high[name] = values[name]
+            low[name] = values[name]  # held by the pass devices anyway
+        return [high, low]
+
+    def transmission_function(self) -> Expr:
+        """The symbolic transmission function recovered from the graph."""
+        return transmission_expr(self.network)

@@ -1,0 +1,57 @@
+"""Static CMOS gates - the *problem case* of Section 1.
+
+A static CMOS gate realising ``z = !f`` uses a p-channel pull-up network
+(the series/parallel dual of ``f``) between VDD and z, and an n-channel
+pull-down network for ``f`` between z and VSS.  Stuck-open faults leave
+``z`` floating for some input combinations, which turns the gate into a
+memory element - the Fig. 1 pathology this paper is about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from ..logic.expr import Expr, Not
+from ..switchlevel.build import SwitchNetwork, dual_expr
+from ..switchlevel.network import DeviceType, SwitchCircuit
+from .base import GateModel
+
+
+class StaticCmosGate(GateModel):
+    """``z = !f(inputs)`` in static CMOS (complementary networks)."""
+
+    technology = "static-CMOS"
+
+    def __init__(self, pulldown: Expr, name: str = "static_cmos_gate"):
+        circuit = SwitchCircuit(name)
+        inputs = tuple(sorted(pulldown.variables()))
+        for input_name in inputs:
+            circuit.add_port(input_name)
+        output = circuit.add_internal("z")
+
+        pd_network = SwitchNetwork.from_expr(pulldown, DeviceType.NMOS, name="PD")
+        pu_network = SwitchNetwork.from_expr(dual_expr(pulldown), DeviceType.PMOS, name="PU")
+        #: SN switch name -> circuit switch name for the two networks
+        self.pulldown_switches = pd_network.embed(circuit, output, "VSS", prefix="pd_")
+        self.pullup_switches = pu_network.embed(circuit, "VDD", output, prefix="pu_")
+        self.pulldown_expr = pulldown
+
+        super().__init__(circuit, inputs, output, Not(pulldown))
+
+    def cycle_steps(self, values: Mapping[str, int]) -> List[Dict[str, int]]:
+        # Static logic: one settling interval per applied vector.
+        return [dict(values)]
+
+
+def static_cmos_nor(name: str = "cmos_nor") -> StaticCmosGate:
+    """The two-input NOR of Fig. 1: pull-down ``A + B``, pull-up ``!A*!B``."""
+    from ..logic.expr import Or, Var
+
+    return StaticCmosGate(Or(Var("A"), Var("B")), name=name)
+
+
+def static_cmos_inverter(input_name: str = "a", name: str = "cmos_inv") -> StaticCmosGate:
+    """A plain CMOS inverter (the Fig. 2 subject)."""
+    from ..logic.expr import Var
+
+    return StaticCmosGate(Var(input_name), name=name)

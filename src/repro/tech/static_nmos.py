@@ -1,0 +1,45 @@
+"""Static (ratioed) nMOS pull-down gates.
+
+The conventional nMOS gate the paper contrasts against: an always-on
+depletion load pulls the output towards VDD, and an n-channel pull-down
+network for ``f`` fights it - and wins, by W/L ratioing - whenever
+``f = 1``, giving ``z = !f``.  The load is modelled as a *weak* switch
+(see :class:`repro.switchlevel.network.Switch`), which is exactly the
+ratio rule the logic level needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from ..logic.expr import Expr, Not
+from ..switchlevel.build import SwitchNetwork
+from ..switchlevel.network import DeviceType, SwitchCircuit
+from .base import GateModel
+
+LOAD_SWITCH = "load"
+
+
+class StaticNmosGate(GateModel):
+    """``z = !f(inputs)`` as a depletion-load nMOS pull-down gate."""
+
+    technology = "nMOS"
+
+    def __init__(self, pulldown: Expr, name: str = "nmos_gate", load_resistance: float = 4.0):
+        circuit = SwitchCircuit(name)
+        inputs = tuple(sorted(pulldown.variables()))
+        for input_name in inputs:
+            circuit.add_port(input_name)
+        output = circuit.add_internal("z")
+        # Depletion load: gate tied to the output in real layouts; always
+        # conducting (and weak) at switch level.
+        circuit.add_switch(
+            LOAD_SWITCH, DeviceType.DEPLETION, None, "VDD", output, resistance=load_resistance
+        )
+        network = SwitchNetwork.from_expr(pulldown, DeviceType.NMOS, name="PD")
+        self.pulldown_switches = network.embed(circuit, output, "VSS", prefix="pd_")
+        self.pulldown_expr = pulldown
+        super().__init__(circuit, inputs, output, Not(pulldown))
+
+    def cycle_steps(self, values: Mapping[str, int]) -> List[Dict[str, int]]:
+        return [dict(values)]

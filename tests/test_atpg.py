@@ -1,0 +1,190 @@
+"""Tests for PODEM, miters, two-pattern generation, and test strategies."""
+
+import pytest
+
+from repro.atpg import (
+    a2_satisfaction_probability,
+    apply_twice,
+    build_miter,
+    charges_and_discharges_every_node,
+    compact_test_set,
+    generate_test,
+    generate_test_set,
+    generate_two_pattern_test,
+    network_to_primitives,
+    single_vector_coverage_of_stuck_opens,
+    validate_two_pattern_test,
+)
+from repro.atpg.podem import PodemEngine
+from repro.atpg.primitives import PrimitiveNetwork
+from repro.circuits.generators import and_cone, c17, domino_carry_chain
+from repro.logic.values import ONE, X, ZERO
+from repro.netlist import CellFactory, Network, NetworkFault, stuck_open_faults_of_gate
+from repro.simulate import PatternSet, fault_simulate
+
+
+class TestPrimitives:
+    def test_ternary_evaluation(self):
+        primitive = PrimitiveNetwork()
+        primitive.add_input("a")
+        primitive.add_input("b")
+        root = primitive.add_node("and", ("a", "b"), name="out")
+        assert primitive.evaluate({"a": 1, "b": 1})["out"] == ONE
+        assert primitive.evaluate({"a": 0})["out"] == ZERO  # controlling value
+        assert primitive.evaluate({"a": 1})["out"] == X
+
+    def test_network_decomposition_equivalence(self):
+        network = domino_carry_chain(2)
+        primitive, net_map = network_to_primitives(network)
+        patterns = PatternSet.exhaustive(network.inputs)
+        for vector in patterns.vectors():
+            gate_values = network.evaluate(vector)
+            primitive_values = primitive.evaluate(vector)
+            for net in network.outputs:
+                assert primitive_values[net_map[net]] == gate_values[net]
+
+    def test_miter_fires_exactly_on_tests(self):
+        network = domino_carry_chain(2)
+        fault = NetworkFault.stuck_at("c1", 0)
+        primitive, root, _, _ = build_miter(network, fault)
+        for vector in PatternSet.exhaustive(network.inputs).vectors():
+            good = network.evaluate(vector)
+            bad = network.evaluate(vector, fault)
+            differs = any(good[n] != bad[n] for n in network.outputs)
+            assert primitive.evaluate(vector)[root] == (ONE if differs else ZERO)
+
+    def test_controllability_sane(self):
+        primitive = PrimitiveNetwork()
+        for name in ("a", "b", "c"):
+            primitive.add_input(name)
+        and_node = primitive.add_node("and", ("a", "b", "c"))
+        cost = primitive.controllability()
+        c0, c1 = cost[and_node]
+        assert c1 > c0  # setting a 3-AND to 1 is harder than to 0
+
+
+class TestPodem:
+    def test_every_carry_fault_testable(self):
+        network = domino_carry_chain(3)
+        for fault in network.enumerate_faults():
+            result = generate_test(network, fault)
+            assert result.detected, fault.describe()
+            good = network.evaluate(result.test)
+            bad = network.evaluate(result.test, fault)
+            assert any(good[n] != bad[n] for n in network.outputs)
+
+    def test_redundant_fault_proved(self):
+        factory = CellFactory("domino-CMOS")
+        network = Network("redundant")
+        network.add_input("a")
+        network.add_input("b")
+        network.add_gate("g1", factory.and_gate(2), {"i1": "a", "i2": "b"}, "n1")
+        # z = b: n1 unobservable -> all g1 faults redundant.
+        network.add_gate(
+            "g2", factory.cell("snd", "i2", ["i1", "i2"]), {"i1": "n1", "i2": "b"}, "z"
+        )
+        network.mark_output("z")
+        fault = network.enumerate_faults()[0]
+        assert fault.gate == "g1"
+        result = generate_test(network, fault)
+        assert result.redundant and not result.detected
+
+    def test_test_set_reaches_full_coverage(self):
+        network = c17()
+        test_set = generate_test_set(network)
+        assert not test_set.aborted
+        patterns = PatternSet.from_vectors(network.inputs, test_set.tests)
+        result = fault_simulate(network, patterns)
+        assert result.coverage == 1.0
+
+    def test_fault_dropping_reduces_vectors(self):
+        network = domino_carry_chain(4)
+        with_dropping = generate_test_set(network, fault_dropping=True)
+        without = generate_test_set(network, fault_dropping=False)
+        assert with_dropping.vector_count <= without.vector_count
+
+    def test_wide_cone_justified(self):
+        # 12-input AND requires all-ones: backtrace must find it quickly.
+        network = and_cone(12)
+        faults = [f for f in network.enumerate_faults() if "CMOS-4" in f.label]
+        result = generate_test(network, faults[0])
+        assert result.detected
+        assert result.decisions < 200
+
+
+class TestTwoPattern:
+    def _static_nor(self):
+        factory = CellFactory("static-CMOS")
+        network = Network("nor")
+        network.add_input("a")
+        network.add_input("b")
+        network.add_gate("nor", factory.or_gate(2), {"i1": "a", "i2": "b"}, "z")
+        network.mark_output("z")
+        return network
+
+    def test_all_nor_stuck_opens_get_valid_pairs(self):
+        network = self._static_nor()
+        for fault in stuck_open_faults_of_gate(network, "nor"):
+            pair = generate_two_pattern_test(network, fault)
+            assert pair is not None, fault.label
+            assert validate_two_pattern_test(network, fault, pair)
+
+    def test_pair_ordering_matters(self):
+        network = self._static_nor()
+        fault = next(
+            f
+            for f in stuck_open_faults_of_gate(network, "nor")
+            if f.float_condition.value({"i1": 1, "i2": 0})
+        )
+        pair = generate_two_pattern_test(network, fault)
+        assert pair is not None
+        # Swapped order must NOT give a definite detection.
+        from repro.netlist import SequentialFaultSimulator
+
+        simulator = SequentialFaultSimulator(network, fault)
+        simulator.apply(pair.test_vector)
+        outputs = simulator.apply(pair.init_vector)
+        good = network.evaluate(pair.init_vector)
+        assert not any(
+            outputs[n] in (0, 1) and outputs[n] != good[n] for n in network.outputs
+        )
+
+    def test_single_vector_sets_can_miss_stuck_opens(self):
+        network = self._static_nor()
+        faults = stuck_open_faults_of_gate(network, "nor")
+        # A deliberately bad ordering that never initialises properly.
+        vectors = [{"a": 1, "b": 0}, {"a": 1, "b": 1}]
+        caught, total = single_vector_coverage_of_stuck_opens(network, faults, vectors)
+        assert caught < total
+
+
+class TestStrategies:
+    def test_apply_twice_doubles(self):
+        patterns = PatternSet.exhaustive(("a", "b"))
+        assert apply_twice(patterns).count == 8
+
+    def test_a2_check(self):
+        network = domino_carry_chain(3)
+        assert charges_and_discharges_every_node(
+            network, PatternSet.exhaustive(network.inputs)
+        )
+        # A single pattern cannot toggle anything.
+        single = PatternSet.from_vectors(
+            network.inputs, [{n: 0 for n in network.inputs}]
+        )
+        assert not charges_and_discharges_every_node(network, single)
+
+    def test_a2_probability_high_for_long_random(self):
+        network = domino_carry_chain(3)
+        assert a2_satisfaction_probability(network, 64, trials=20) >= 0.95
+
+    def test_compaction_preserves_coverage(self):
+        network = domino_carry_chain(3)
+        patterns = PatternSet.random(network.inputs, 64)
+        compacted = compact_test_set(network, list(patterns.vectors()))
+        assert len(compacted) <= patterns.count
+        before = fault_simulate(network, patterns)
+        after = fault_simulate(
+            network, PatternSet.from_vectors(network.inputs, compacted)
+        )
+        assert after.coverage == before.coverage

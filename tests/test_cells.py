@@ -1,0 +1,190 @@
+"""Tests for the cell description language and the fault library."""
+
+import pytest
+
+from repro.cells import (
+    Cell,
+    CellSyntaxError,
+    generate_library,
+    normalize_technology,
+    parse_cell,
+)
+from repro.circuits.figures import FIG9_TEXT
+from repro.logic.parser import parse_expression
+from repro.logic.truthtable import TruthTable
+
+
+class TestLanguage:
+    def test_fig9_parses(self):
+        description = parse_cell(FIG9_TEXT, name="fig9")
+        assert description.technology == "domino-CMOS"
+        assert description.inputs == ("a", "b", "c", "d", "e")
+        assert description.output == "u"
+        assert description.network_expr.to_paper_syntax() == "a*(b+c)+d*e"
+        assert not description.output_inverted
+
+    def test_intermediate_flattening(self):
+        description = parse_cell(
+            "TECHNOLOGY domino-CMOS; INPUT a,b,c; OUTPUT z;"
+            "t1 := a*b; t2 := t1+c; z := t2;"
+        )
+        assert description.network_expr.to_paper_syntax() == "a*b+c"
+
+    def test_use_before_definition_rejected(self):
+        with pytest.raises(CellSyntaxError):
+            parse_cell(
+                "TECHNOLOGY domino-CMOS; INPUT a; OUTPUT z; z := t1; t1 := a;"
+            )
+
+    def test_double_assignment_rejected(self):
+        with pytest.raises(CellSyntaxError):
+            parse_cell(
+                "TECHNOLOGY domino-CMOS; INPUT a,b; OUTPUT z; z := a; z := b;"
+            )
+
+    def test_missing_parts_rejected(self):
+        with pytest.raises(CellSyntaxError):
+            parse_cell("INPUT a; OUTPUT z; z := a;")
+        with pytest.raises(CellSyntaxError):
+            parse_cell("TECHNOLOGY domino-CMOS; OUTPUT z; z := a;")
+        with pytest.raises(CellSyntaxError):
+            parse_cell("TECHNOLOGY domino-CMOS; INPUT a; z := a;")
+        with pytest.raises(CellSyntaxError):
+            parse_cell("TECHNOLOGY domino-CMOS; INPUT a; OUTPUT z;")
+
+    def test_output_cannot_be_input(self):
+        with pytest.raises(CellSyntaxError):
+            parse_cell("TECHNOLOGY domino-CMOS; INPUT a; OUTPUT a; a := a;")
+
+    def test_technology_aliases(self):
+        assert normalize_technology("Domino CMOS") == "domino-CMOS"
+        assert normalize_technology("dynamic_nmos") == "dynamic-nMOS"
+        assert normalize_technology("SCVS") == "domino-CMOS"
+        with pytest.raises(CellSyntaxError):
+            normalize_technology("ttl")
+
+    def test_domino_rejects_outer_negation(self):
+        with pytest.raises(CellSyntaxError):
+            parse_cell("TECHNOLOGY domino-CMOS; INPUT a; OUTPUT z; z := !a;")
+
+    def test_inverting_technology_implies_inversion(self):
+        description = parse_cell(
+            "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a*b;"
+        )
+        assert description.output_inverted
+        assert description.output_function.to_paper_syntax() == "!(a*b)"
+
+    def test_explicit_negation_for_inverting_technology(self):
+        description = parse_cell(
+            "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := !(a*b);"
+        )
+        assert description.network_expr.to_paper_syntax() == "a*b"
+
+    def test_inner_negation_rejected_for_switch_networks(self):
+        with pytest.raises(CellSyntaxError):
+            parse_cell("TECHNOLOGY domino-CMOS; INPUT a,b; OUTPUT z; z := !a*b;")
+
+    def test_bipolar_allows_negation_anywhere(self):
+        description = parse_cell(
+            "TECHNOLOGY bipolar; INPUT a,b; OUTPUT z; z := !a*b+!b*a;"
+        )
+        assert description.technology == "bipolar"
+
+
+class TestCell:
+    def test_gate_model_dispatch(self):
+        from repro.tech import DominoCmosGate, DynamicNmosGate
+
+        domino = Cell.from_text(FIG9_TEXT)
+        assert isinstance(domino.gate_model(), DominoCmosGate)
+        dyn = Cell.from_text("TECHNOLOGY dynamic-nMOS; INPUT a; OUTPUT z; z := a;")
+        assert isinstance(dyn.gate_model(), DynamicNmosGate)
+
+    def test_gate_model_cached(self):
+        cell = Cell.from_text(FIG9_TEXT)
+        assert cell.gate_model() is cell.gate_model()
+
+    def test_truth_table_matches_function(self):
+        cell = Cell.from_text(FIG9_TEXT)
+        assert cell.truth_table() == TruthTable.from_expr(
+            parse_expression("a*(b+c)+d*e"), cell.inputs
+        )
+
+    def test_transistor_count(self):
+        assert Cell.from_text(FIG9_TEXT).transistor_count() == 5
+
+
+class TestLibrary:
+    def test_fig9_ten_classes(self):
+        library = generate_library(Cell.from_text(FIG9_TEXT, name="fig9"))
+        assert library.class_count() == 10
+
+    def test_fig9_equivalences(self):
+        library = generate_library(Cell.from_text(FIG9_TEXT))
+        by_labels = {frozenset(c.labels): c for c in library.classes}
+        assert frozenset({"b closed", "c closed"}) in by_labels
+        assert frozenset({"d open", "e open"}) in by_labels
+        assert frozenset({"CMOS-2", "CMOS-3"}) in by_labels
+
+    def test_fig9_functions(self):
+        library = generate_library(Cell.from_text(FIG9_TEXT))
+        functions = {tuple(sorted(c.labels)): c.function.sop for c in library.classes}
+        assert functions[("a closed",)] == "d*e+c+b"
+        assert functions[("a open",)] == "d*e"
+        assert functions[("b closed", "c closed")] == "d*e+a"
+        assert functions[("CMOS-2", "CMOS-3")] == "0"
+        assert functions[("CMOS-4",)] == "1"
+
+    def test_cmos1_undetectable(self):
+        library = generate_library(Cell.from_text(FIG9_TEXT))
+        assert any(label == "CMOS-1" for label, _ in library.undetectable)
+
+    def test_dynamic_nmos_library(self):
+        cell = Cell.from_text(
+            "TECHNOLOGY dynamic-nMOS; INPUT a,b; OUTPUT z; z := a*b;"
+        )
+        library = generate_library(cell)
+        labels = {label for cls in library.classes for label in cls.labels}
+        assert any("nMOS-5" in l for l in labels)  # T(n+1) open, n=2
+        assert any("S(n+2)" in l for l in labels)
+        # nMOS-1 (a open): z = !(0*b) = 1, same class as the S(n+2) opens
+        s1z = [c for c in library.classes if c.function.table.constant_value() == 1]
+        assert len(s1z) == 1
+
+    def test_stuck_at_library_for_static_cmos(self):
+        cell = Cell.from_text(
+            "TECHNOLOGY static-CMOS; INPUT a,b; OUTPUT z; z := a+b;"
+        )
+        library = generate_library(cell)
+        labels = {label for cls in library.classes for label in cls.labels}
+        assert "s0-a" in labels and "s1-z" in labels
+        assert library.requires_two_pattern_tests
+
+    def test_detection_probabilities(self):
+        library = generate_library(Cell.from_text(FIG9_TEXT))
+        probs = library.detection_probabilities(0.5)
+        assert len(probs) == 10
+        assert all(0.0 < p <= 1.0 for p in probs.values())
+
+    def test_python_source_executes(self):
+        library = generate_library(Cell.from_text(FIG9_TEXT, name="fig9"))
+        namespace: dict = {}
+        exec(library.to_python_source(), namespace)  # noqa: S102 - our own artifact
+        fault_free = namespace["fault_free"]
+        assert fault_free(a=1, b=0, c=1, d=0, e=0) == 1
+        assert fault_free(a=0, b=1, c=1, d=1, e=0) == 0
+        # class 10 is CMOS-4: constant 1
+        labels, function = namespace["FAULT_CLASSES"][10]
+        assert "CMOS-4" in labels
+        assert function(a=0, b=0, c=0, d=0, e=0) == 1
+
+    def test_callable_functions(self):
+        library = generate_library(Cell.from_text(FIG9_TEXT))
+        function = library.fault_free.callable()
+        assert function(a=1, b=1, c=0, d=0, e=0) == 1
+
+    def test_format_table(self):
+        library = generate_library(Cell.from_text(FIG9_TEXT))
+        text = library.format_table()
+        assert "Class" in text
+        assert "b closed" in text and "c closed" in text

@@ -1,0 +1,134 @@
+"""Tests for the executable figures and circuit generators."""
+
+import itertools
+
+import pytest
+
+from repro.circuits import (
+    FIG1_FAULT,
+    adder_environment,
+    and_cone,
+    c17,
+    domino_carry_chain,
+    dual_rail_adder,
+    dual_rail_parity_tree,
+    fig1_function_table,
+    fig1_nor,
+    fig5_network,
+    fig6_gate,
+    fig7_network,
+    fig9_cell,
+    fig9_library,
+    or_cone,
+    random_network,
+)
+from repro.simulate import PatternSet, fault_simulate, simulate
+
+
+class TestFig1:
+    def test_table_matches_paper(self):
+        rows = {(r.a, r.b): r.faulty for r in fig1_function_table()}
+        assert rows[(0, 0)] == "1"
+        assert rows[(0, 1)] == "0"
+        assert rows[(1, 0)] == "Z(t)"
+        assert rows[(1, 1)] == "0"
+
+
+class TestFig5:
+    def test_composite_function(self):
+        network = fig5_network()
+        for i1, i2, i3, i4 in itertools.product((0, 1), repeat=4):
+            values = {"i1": i1, "i2": i2, "i3": i3, "i4": i4}
+            outputs = network.evaluate(values)
+            z1, z2 = outputs[network.outputs[0]], outputs[network.outputs[1]]
+            assert z1 == (i1 & i2)
+            assert z2 == ((i1 & i2) | (i3 & i4))
+
+
+class TestFig7:
+    def test_two_phase_composite(self):
+        network = fig7_network()
+        for i1, i2, i3 in itertools.product((0, 1), repeat=3):
+            outputs = network.evaluate({"i1": i1, "i2": i2, "i3": i3})
+            z1 = outputs[network.outputs[0]]
+            z2 = outputs[network.outputs[1]]
+            assert z1 == 1 - (i1 & i2)
+            assert z2 == (i1 & i2) | (1 - i3)
+
+
+class TestFig6And9:
+    def test_fig6_is_nand(self):
+        gate = fig6_gate()
+        table, _ = gate.faulty_function()
+        assert [table.value({"a": a, "b": b}) for a, b in
+                ((0, 0), (0, 1), (1, 0), (1, 1))] == [1, 1, 1, 0]
+
+    def test_fig9_cell_and_library(self):
+        cell = fig9_cell()
+        assert cell.transistor_count() == 5
+        assert fig9_library().class_count() == 10
+
+
+class TestGenerators:
+    def test_and_cone_function(self):
+        network = and_cone(5)
+        vector = {f"a{k}": 1 for k in range(5)}
+        vector["bypass"] = 0
+        assert network.evaluate(vector)["z"] == 1
+        vector["a3"] = 0
+        assert network.evaluate(vector)["z"] == 0
+
+    def test_or_cone_function(self):
+        network = or_cone(4)
+        vector = {f"a{k}": 0 for k in range(4)}
+        vector["mask"] = 1
+        assert network.evaluate(vector)["z"] == 0
+        vector["a2"] = 1
+        assert network.evaluate(vector)["z"] == 1
+
+    @pytest.mark.parametrize("width", [2, 3, 5, 8])
+    def test_parity_tree(self, width):
+        network = dual_rail_parity_tree(width)
+        for bits in itertools.product((0, 1), repeat=width):
+            vector = {}
+            for k, bit in enumerate(bits):
+                vector[f"x{k}"] = bit
+                vector[f"nx{k}"] = 1 - bit
+            outputs = network.evaluate(vector)
+            parity = sum(bits) % 2
+            assert outputs[network.outputs[0]] == parity
+            assert outputs[network.outputs[1]] == 1 - parity
+
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_adder(self, width):
+        network = dual_rail_adder(width)
+        for vector in adder_environment(width):
+            outputs = network.evaluate(vector)
+            a = sum(vector[f"a{k}"] << k for k in range(width))
+            b = sum(vector[f"b{k}"] << k for k in range(width))
+            expected = a + b + vector["c0"]
+            got = sum(outputs[f"s{k}"] << k for k in range(width))
+            got += outputs[f"c{width}"] << width
+            assert got == expected
+
+    def test_carry_chain_function(self):
+        network = domino_carry_chain(3)
+        vector = {"c0": 0, "g0": 1, "p0": 0, "g1": 0, "p1": 1, "g2": 0, "p2": 1}
+        outputs = network.evaluate(vector)
+        assert outputs["c1"] == 1 and outputs["c2"] == 1 and outputs["c3"] == 1
+
+    def test_c17_testable(self):
+        network = c17()
+        result = fault_simulate(network, PatternSet.exhaustive(network.inputs))
+        assert result.coverage == 1.0
+
+    def test_random_network_reproducible(self):
+        n1 = random_network(seed=42)
+        n2 = random_network(seed=42)
+        patterns = PatternSet.random(n1.inputs, 64)
+        assert simulate(n1, patterns) == simulate(n2, patterns)
+
+    def test_random_network_acyclic(self):
+        for seed in range(5):
+            network = random_network(seed=seed)
+            network.levelize()  # raises on cycles

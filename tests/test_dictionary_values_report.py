@@ -1,0 +1,101 @@
+"""Tests for the fault dictionary, ternary values, and report rendering."""
+
+import pytest
+
+from repro.circuits.generators import c17, domino_carry_chain
+from repro.logic.values import ONE, X, ZERO, from_char, t_and, t_not, t_or, to_char
+from repro.netlist import NetworkFault
+from repro.simulate import PatternSet
+from repro.simulate.dictionary import FaultDictionary
+
+
+class TestTernaryValues:
+    def test_not_table(self):
+        assert t_not(ZERO) == ONE
+        assert t_not(ONE) == ZERO
+        assert t_not(X) == X
+
+    def test_and_controlling_zero(self):
+        assert t_and(ZERO, X) == ZERO
+        assert t_and(X, ZERO) == ZERO
+        assert t_and(ONE, X) == X
+        assert t_and(ONE, ONE) == ONE
+
+    def test_or_controlling_one(self):
+        assert t_or(ONE, X) == ONE
+        assert t_or(ZERO, X) == X
+        assert t_or(ZERO, ZERO) == ZERO
+
+    def test_varargs(self):
+        assert t_and(ONE, ONE, ZERO, X) == ZERO
+        assert t_or(ZERO, ZERO, ONE) == ONE
+
+    def test_char_round_trip(self):
+        for value in (ZERO, ONE, X):
+            assert from_char(to_char(value)) == value
+        with pytest.raises(ValueError):
+            from_char("q")
+
+
+class TestFaultDictionary:
+    def test_self_diagnosis_exact(self):
+        network = domino_carry_chain(3)
+        patterns = PatternSet.exhaustive(network.inputs)
+        dictionary = FaultDictionary(network, patterns)
+        for fault in dictionary.faults:
+            diagnosis = dictionary.diagnose_fault(fault)
+            assert fault.describe() in diagnosis.exact_matches
+            assert diagnosis.nearest[0][1] == 0
+
+    def test_good_circuit_diagnoses_clean(self):
+        network = c17()
+        patterns = PatternSet.exhaustive(network.inputs)
+        dictionary = FaultDictionary(network, patterns)
+        diagnosis = dictionary.diagnose(dictionary.good)
+        assert diagnosis.exact_matches == []  # no fault has the zero syndrome
+        assert all(bits == 0 for bits in diagnosis.syndrome)
+
+    def test_resolution_reasonable(self):
+        network = c17()
+        patterns = PatternSet.exhaustive(network.inputs)
+        dictionary = FaultDictionary(network, patterns)
+        distinguished, total = dictionary.distinguishable_pairs()
+        # Exhaustive patterns distinguish most collapsed fault classes.
+        assert distinguished / total > 0.8
+
+    def test_unknown_defect_gets_nearest(self):
+        network = domino_carry_chain(2)
+        patterns = PatternSet.exhaustive(network.inputs)
+        dictionary = FaultDictionary(network, patterns)
+        # A defect outside the modelled universe: two simultaneous faults.
+        fault_a = dictionary.faults[0]
+        responses = network.output_bits(patterns.env, patterns.mask, fault_a)
+        # flip one extra response bit
+        first_output = network.outputs[0]
+        responses = dict(responses)
+        responses[first_output] ^= 1
+        diagnosis = dictionary.diagnose(responses)
+        assert diagnosis.nearest[0][1] <= 2  # still close to the real fault
+
+
+class TestReportRendering:
+    def test_format_includes_rows_and_claims(self):
+        from repro.experiments.report import ExperimentResult
+
+        result = ExperimentResult(
+            experiment_id="EX",
+            title="demo",
+            rows=[{"k": 1, "v": 0.123456}],
+            claims={"holds": True, "fails": False},
+        )
+        text = result.format()
+        assert "EX" in text and "demo" in text
+        assert "[x] holds" in text and "[ ] fails" in text
+        assert not result.all_claims_hold
+
+    def test_float_formatting(self):
+        from repro.experiments.report import _fmt
+
+        assert _fmt(0.5) == "0.5"
+        assert _fmt(1.23e-7) == "1.230e-07"
+        assert _fmt("text") == "text"

@@ -1,0 +1,100 @@
+"""Every experiment must run and every paper claim must hold.
+
+E3/E4 run with reduced gate families here to keep the suite fast; the
+full families run in the benchmarks and via ``python -m repro.experiments``.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    e1_fig1_nor,
+    e2_fig2_degradation,
+    e3_dynamic_nmos_model,
+    e4_domino_model,
+    e5_fig9_library,
+    e6_protest_analysis,
+    e7_optimized_probabilities,
+    e8_test_strategies,
+    e9_selftest_at_speed,
+    e10_library_runtime,
+)
+
+
+def test_registry_covers_all_experiments():
+    assert list(ALL_EXPERIMENTS) == [f"E{k}" for k in range(1, 13)]
+
+
+def test_e11_claims():
+    from repro.experiments import e11_leakage
+
+    result = e11_leakage.run()
+    assert result.all_claims_hold, result.claims
+
+
+def test_e12_claims():
+    from repro.experiments import e12_scan_invalidation
+
+    result = e12_scan_invalidation.run()
+    assert result.all_claims_hold, result.claims
+
+
+def test_e1_claims():
+    result = e1_fig1_nor.run()
+    assert result.all_claims_hold, result.claims
+    assert len(result.rows) == 4
+
+
+def test_e2_claims():
+    result = e2_fig2_degradation.run()
+    assert result.all_claims_hold, result.claims
+
+
+def test_e3_claims_reduced_family():
+    result = e3_dynamic_nmos_model.run(expressions=("a*b", "a+b"))
+    assert result.all_claims_hold, result.claims
+    assert all(row["match"] for row in result.rows)
+
+
+def test_e4_claims_reduced_family():
+    result = e4_domino_model.run(expressions=("a*b",))
+    assert result.all_claims_hold, result.claims
+
+
+def test_e5_claims():
+    result = e5_fig9_library.run()
+    assert result.all_claims_hold, result.claims
+    assert len(result.rows) == 10
+
+
+def test_e6_claims():
+    result = e6_protest_analysis.run()
+    assert result.all_claims_hold, result.claims
+
+
+def test_e7_claims_reduced():
+    result = e7_optimized_probabilities.run(widths=(4, 6, 8), validate_width=6)
+    assert result.claims["optimized beats uniform at every width"]
+    assert result.claims["gain exceeds one order of magnitude"]
+
+
+def test_e8_claims():
+    result = e8_test_strategies.run()
+    assert result.all_claims_hold, result.claims
+
+
+def test_e9_claims():
+    result = e9_selftest_at_speed.run(cycles=32)
+    assert result.all_claims_hold, result.claims
+
+
+def test_e10_claims():
+    result = e10_library_runtime.run(sizes=(4, 8, 12))
+    assert result.claims["a 12-transistor gate takes well under a second"]
+
+
+def test_result_formatting():
+    result = e5_fig9_library.run()
+    text = result.format()
+    assert "E5" in text
+    assert "[x]" in text

@@ -1,0 +1,135 @@
+"""The heart of the reproduction: analytic classification vs simulation.
+
+For every enumerated physical fault of every gate in a family, the
+Section 3 classifier's prediction must match the measured behaviour of
+the charge-aware switch-level simulator under A1/A2 - and nothing may
+be sequential in the dynamic technologies.
+"""
+
+import pytest
+
+from repro.faults.classify import classify
+from repro.faults.collapse import collapse
+from repro.faults.enumerate import enumerate_gate_faults
+from repro.faults.logical import Classification, FaultCategory
+from repro.logic.parser import parse_expression
+from repro.logic.truthtable import TruthTable
+from repro.logic.values import X
+from repro.switchlevel.network import FaultKind, PhysicalFault
+from repro.tech import DominoCmosGate, DynamicNmosGate, StaticCmosGate, StaticNmosGate
+
+EXPRESSIONS = ["a*b", "a+b", "a*(b+c)", "a*b+c"]
+
+
+def _check_gate(gate):
+    mismatches = []
+    for entry in enumerate_gate_faults(gate):
+        prediction = classify(gate, entry.fault)
+        if prediction.category in (FaultCategory.COMBINATIONAL, FaultCategory.BENIGN):
+            table, raw = gate.faulty_function(entry.fault, allow_x=True)
+            if any(v == X for v in raw.values()) or table != prediction.predicted:
+                mismatches.append(entry.label)
+        elif prediction.category is FaultCategory.UNDETECTABLE:
+            table, raw = gate.faulty_function(entry.fault, allow_x=True)
+            if table != prediction.predicted:
+                mismatches.append(entry.label)
+    return mismatches
+
+
+@pytest.mark.parametrize("text", EXPRESSIONS)
+def test_dynamic_nmos_classification_matches_simulation(text):
+    gate = DynamicNmosGate(parse_expression(text))
+    assert _check_gate(gate) == []
+
+
+@pytest.mark.parametrize("text", EXPRESSIONS)
+def test_domino_classification_matches_simulation(text):
+    gate = DominoCmosGate(parse_expression(text))
+    assert _check_gate(gate) == []
+
+
+@pytest.mark.parametrize("text", EXPRESSIONS)
+def test_static_nmos_classification_matches_simulation(text):
+    gate = StaticNmosGate(parse_expression(text))
+    assert _check_gate(gate) == []
+
+
+def test_no_dynamic_fault_is_classified_sequential():
+    for text in EXPRESSIONS:
+        for gate in (DynamicNmosGate(parse_expression(text)), DominoCmosGate(parse_expression(text))):
+            for entry in enumerate_gate_faults(gate):
+                prediction = classify(gate, entry.fault)
+                assert prediction.category is not FaultCategory.SEQUENTIAL, entry.label
+
+
+def test_static_cmos_opens_are_sequential():
+    gate = StaticCmosGate(parse_expression("a+b"))
+    sequential = [
+        entry.label
+        for entry in enumerate_gate_faults(gate)
+        if classify(gate, entry.fault).category is FaultCategory.SEQUENTIAL
+    ]
+    # every transistor open in a NOR floats the output somewhere
+    assert len(sequential) == 4
+
+
+def test_static_cmos_closed_are_ratio_dependent():
+    gate = StaticCmosGate(parse_expression("a"))
+    prediction = classify(
+        gate, PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch="pu_T1")
+    )
+    assert prediction.category is FaultCategory.RATIO_DEPENDENT
+
+
+def test_paper_fault_numbering_dynamic_nmos():
+    gate = DynamicNmosGate(parse_expression("a*b"))
+    labels = {
+        classify(gate, entry.fault).label
+        for entry in enumerate_gate_faults(gate, include_line_opens=False)
+        if entry.group in ("SN", "precharge")
+    }
+    # n = 2: open T1/T2 -> nMOS-1/2; closed -> nMOS-3/4; T(n+1) -> nMOS-5/6.
+    assert {"nMOS-1", "nMOS-2", "nMOS-3", "nMOS-4", "nMOS-5", "nMOS-6"} <= labels
+
+
+def test_stuck_shorthand():
+    gate = DynamicNmosGate(parse_expression("a*b"))
+    prediction = classify(
+        gate, PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch="sn_T1")
+    )
+    assert prediction.stuck_name() == "s0-a"
+
+
+def test_classifier_rejects_unknown_switch():
+    gate = DominoCmosGate(parse_expression("a*b"))
+    with pytest.raises(ValueError):
+        classify(gate, PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch="nope"))
+
+
+class TestCollapse:
+    def test_fig9_collapse_structure(self):
+        gate = DominoCmosGate(parse_expression("a*(b+c)+d*e"))
+        entries = enumerate_gate_faults(gate, include_line_opens=False)
+        classified = [(e, classify(gate, e.fault)) for e in entries]
+        fault_free = TruthTable.from_expr(gate.transmission, gate.inputs)
+        result = collapse(fault_free, classified)
+        assert result.class_count() == 10
+        # CMOS-1 lands in the undetectable bucket.
+        assert any("CMOS-1" in e.label for e, _ in result.undetectable)
+
+    def test_collapse_rejects_missing_function(self):
+        from repro.faults.enumerate import FaultEntry
+
+        entry = FaultEntry("x", PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch="s"))
+        classification = Classification("x", FaultCategory.COMBINATIONAL)
+        fault_free = TruthTable(("a",), 0b10)
+        with pytest.raises(ValueError):
+            collapse(fault_free, [(entry, classification)])
+
+    def test_format_table_lists_classes(self):
+        gate = DominoCmosGate(parse_expression("a*b"))
+        entries = enumerate_gate_faults(gate, include_line_opens=False)
+        classified = [(e, classify(gate, e.fault)) for e in entries]
+        fault_free = TruthTable.from_expr(gate.transmission, gate.inputs)
+        text = collapse(fault_free, classified).format_table()
+        assert "Class" in text and "CMOS-4" in text

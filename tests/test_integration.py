@@ -1,0 +1,120 @@
+"""Cross-module integration tests: the full flows a user would run."""
+
+import itertools
+
+import pytest
+
+from repro.atpg import generate_test_set
+from repro.cells import Cell, generate_library
+from repro.circuits.generators import dual_rail_adder, adder_environment, c17
+from repro.faults import classify, enumerate_gate_faults, FaultCategory
+from repro.netlist import CellFactory, Network, NetworkFault
+from repro.protest import Protest
+from repro.selftest import logic_selftest
+from repro.simulate import PatternSet, fault_simulate
+
+
+class TestLibraryToSimulationFlow:
+    """Cell DSL -> library -> network fault sim -> PROTEST -> ATPG."""
+
+    def _network(self):
+        cell = Cell.from_text(
+            "TECHNOLOGY domino-CMOS; INPUT a,b,c,d,e; OUTPUT u;"
+            "x1 := a*(b+c); x2 := d*e; u := x1+x2;",
+            name="fig9",
+        )
+        factory = CellFactory("domino-CMOS")
+        network = Network("flow")
+        for name in ("a", "b", "c", "d", "e", "f"):
+            network.add_input(name)
+        network.add_gate(
+            "u1", cell, {k: k for k in ("a", "b", "c", "d", "e")}, "u"
+        )
+        network.add_gate("u2", factory.or_gate(2), {"i1": "u", "i2": "f"}, "z")
+        network.mark_output("z")
+        return network
+
+    def test_exhaustive_covers_all_classes(self):
+        network = self._network()
+        result = fault_simulate(network, PatternSet.exhaustive(network.inputs))
+        assert result.coverage == 1.0
+
+    def test_protest_length_then_random_validation(self):
+        network = self._network()
+        protest = Protest(network)
+        report = protest.analyse(confidence=0.99)
+        length = int(report.required_test_length)
+        validation = protest.validate(length)
+        assert validation.coverage >= 0.9  # statistical, but comfortably high
+
+    def test_podem_set_matches_exhaustive_coverage(self):
+        network = self._network()
+        test_set = generate_test_set(network)
+        patterns = PatternSet.from_vectors(network.inputs, test_set.tests)
+        assert fault_simulate(network, patterns).coverage == 1.0
+
+    def test_selftest_session_full_detection(self):
+        network = self._network()
+        for fault in network.enumerate_faults():
+            assert logic_selftest(network, fault, cycles=512).detected
+
+
+class TestPhysicalToLogicalConsistency:
+    """Library classes (analytic) equal gate-model measurements (physical)
+    for the cells instantiated in a network - the end-to-end soundness of
+    using cell faults in a gate-level simulator."""
+
+    @pytest.mark.parametrize(
+        "technology,expr",
+        [("domino-CMOS", "a*b+c"), ("dynamic-nMOS", "a*b+c"), ("nMOS", "a+b")],
+    )
+    def test_library_matches_gate_measurements(self, technology, expr):
+        cell = Cell.from_text(
+            f"TECHNOLOGY {technology}; INPUT a,b,c; OUTPUT z; z := {expr};"
+            if "c" in expr
+            else f"TECHNOLOGY {technology}; INPUT a,b; OUTPUT z; z := {expr};",
+            name="t",
+        )
+        library = generate_library(cell)
+        gate = cell.gate_model()
+        measured_tables = set()
+        for entry in enumerate_gate_faults(gate, include_line_opens=False):
+            prediction = classify(gate, entry.fault)
+            if prediction.category in (FaultCategory.COMBINATIONAL,):
+                table, _ = gate.faulty_function(entry.fault, allow_x=True)
+                measured_tables.add(table)
+        library_tables = {cls.function.table for cls in library.classes}
+        # Every physically measured combinational faulty function must be
+        # a class of the analytic library.
+        assert measured_tables <= library_tables
+
+
+class TestAdderEndToEnd:
+    def test_adder_fault_simulation(self):
+        network = dual_rail_adder(2)
+        vectors = adder_environment(2)
+        patterns = PatternSet.from_vectors(network.inputs, vectors)
+        result = fault_simulate(network, patterns)
+        # Well-formed dual-rail inputs exercise the whole adder.
+        assert result.coverage == 1.0
+
+    def test_adder_protest(self):
+        network = dual_rail_adder(1)
+        report = Protest(network).analyse(confidence=0.99)
+        # Dual-rail inputs are correlated in operation but PROTEST treats
+        # them independently; detection probabilities are still nonzero.
+        assert all(p > 0 for p in report.detection_probabilities.values())
+
+
+class TestInvertingTechnologyNetwork:
+    def test_c17_podem_and_random_agree(self):
+        network = c17()
+        deterministic = generate_test_set(network)
+        det_cov = fault_simulate(
+            network, PatternSet.from_vectors(network.inputs, deterministic.tests)
+        ).coverage
+        rand_cov = fault_simulate(
+            network, PatternSet.random(network.inputs, 128)
+        ).coverage
+        assert det_cov == 1.0
+        assert rand_cov == 1.0

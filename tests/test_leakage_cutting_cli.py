@@ -1,0 +1,151 @@
+"""Tests for the extension modules: leakage (IDDQ), cutting bounds, CLI."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.generators import random_network
+from repro.logic.parser import parse_expression
+from repro.protest import cutting_report, cutting_signal_bounds
+from repro.protest.signalprob import (
+    exact_signal_probabilities,
+    topological_signal_probabilities,
+)
+from repro.simulate.leakage import gate_leakage_profile, iddq_analysis, supply_current
+from repro.simulate.timingsim import TimingSimulator
+from repro.switchlevel.network import FaultKind, PhysicalFault
+from repro.tech import DominoCmosGate
+from repro.tech.domino_cmos import FOOT_SWITCH, PRECHARGE_SWITCH
+
+
+class TestLeakage:
+    def test_fault_free_draws_no_static_current(self):
+        gate = DominoCmosGate(parse_expression("a*b"))
+        profile = gate_leakage_profile(gate)
+        # Only the tiny A1 leak remains: orders below one conducting path.
+        assert profile.max_current < 0.01
+
+    def test_cmos3_leaks_on_discharging_vectors_only(self):
+        gate = DominoCmosGate(parse_expression("a*b"), precharge_resistance=4.0)
+        fault = PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch=PRECHARGE_SWITCH)
+        profile = gate_leakage_profile(gate, fault)
+        leaky = [
+            vector for vector, pre, evaluate in profile.per_vector
+            if max(pre, evaluate) > 0.05
+        ]
+        assert leaky == [{"a": 1, "b": 1}]  # only the conducting SN leaks
+
+    def test_cmos1_silent_under_domino_discipline(self):
+        gate = DominoCmosGate(parse_expression("a*b"))
+        fault = PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch=FOOT_SWITCH)
+        clean = gate_leakage_profile(gate)
+        faulty = gate_leakage_profile(gate, fault)
+        assert faulty.max_current == pytest.approx(clean.max_current, rel=0.2)
+
+    def test_iddq_analysis_verdicts(self):
+        gate = DominoCmosGate(parse_expression("a*b"), precharge_resistance=4.0)
+        faults = [
+            ("cmos3", PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch=PRECHARGE_SWITCH)),
+            ("cmos2", PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch=FOOT_SWITCH)),
+        ]
+        verdicts = {v.fault_label: v for v in iddq_analysis(gate, faults)}
+        assert verdicts["cmos3"].detectable
+        assert not verdicts["cmos2"].detectable
+        assert 0.0 < verdicts["cmos3"].leaky_vector_fraction < 1.0
+
+    def test_supply_current_nonnegative(self):
+        gate = DominoCmosGate(parse_expression("a+b"))
+        simulator = TimingSimulator(gate.circuit)
+        simulator.step({"phi": 0, "a": 0, "b": 0}, 10.0)
+        assert supply_current(simulator) >= 0.0
+
+
+class TestCuttingBounds:
+    def test_bounds_contain_exact_on_random_networks(self):
+        for seed in range(8):
+            network = random_network(seed=seed)
+            bounds = cutting_signal_bounds(network)
+            exact = exact_signal_probabilities(network)
+            for net in network.nets():
+                assert bounds[net].contains(exact[net]), (network.name, net)
+
+    def test_bounds_tight_on_fanout_free(self):
+        from repro.circuits.generators import and_cone
+
+        network = and_cone(4)
+        bounds = cutting_signal_bounds(network)
+        exact = exact_signal_probabilities(network)
+        for net in network.nets():
+            assert bounds[net].width < 1e-9
+            assert bounds[net].contains(exact[net])
+
+    def test_point_estimate_can_leave_bounds_violating_nothing(self):
+        # The topological estimate lies inside [0,1] but not necessarily
+        # inside the certified interval; the exact value always is.
+        network = random_network(seed=3)
+        bounds = cutting_signal_bounds(network)
+        topo = topological_signal_probabilities(network)
+        exact = exact_signal_probabilities(network)
+        for net in network.nets():
+            assert bounds[net].contains(exact[net])
+            assert 0.0 <= topo[net] <= 1.0
+
+    def test_report_renders(self):
+        network = random_network(seed=1)
+        text = cutting_report(network)
+        assert "cutting-algorithm bounds" in text
+        assert "VIOLATION" not in text
+
+    def test_interval_validation(self):
+        from repro.protest.cutting import Interval
+
+        with pytest.raises(ValueError):
+            Interval(0.7, 0.3)
+
+
+class TestCli:
+    CELL = (
+        "TECHNOLOGY domino-CMOS;\n"
+        "INPUT a,b;\n"
+        "OUTPUT z;\n"
+        "z := a*b;\n"
+    )
+
+    def test_library_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cellfile = tmp_path / "and2.cell"
+        cellfile.write_text(self.CELL)
+        emitted = tmp_path / "lib.py"
+        assert main(["library", str(cellfile), "--emit-python", str(emitted)]) == 0
+        output = capsys.readouterr().out
+        assert "Class" in output
+        namespace: dict = {}
+        exec(emitted.read_text(), namespace)  # noqa: S102
+        assert namespace["fault_free"](a=1, b=1) == 1
+
+    def test_experiments_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiments", "E5"]) == 0
+        assert "E5" in capsys.readouterr().out
+
+    def test_experiments_unknown_id(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiments", "E99"]) == 2
+
+    def test_protest_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cellfile = tmp_path / "and2.cell"
+        cellfile.write_text(self.CELL)
+        assert main(["protest", str(cellfile)]) == 0
+        assert "PROTEST report" in capsys.readouterr().out
+
+    def test_figures_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["figures"]) == 0
+        output = capsys.readouterr().out
+        assert "Z(t)" in output and "Fig. 9" in output

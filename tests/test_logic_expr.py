@@ -1,0 +1,194 @@
+"""Unit tests for the Boolean expression AST."""
+
+import pytest
+
+from repro.logic.expr import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Expr,
+    Not,
+    Or,
+    Var,
+    all_assignments,
+    literal_occurrences,
+    simplify,
+    substitute_occurrence,
+    vars_,
+)
+
+
+class TestConstruction:
+    def test_var_requires_name(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_const_requires_binary(self):
+        with pytest.raises(ValueError):
+            Const(2)
+
+    def test_nary_flattening(self):
+        a, b, c = vars_("a", "b", "c")
+        expr = And(And(a, b), c)
+        assert len(expr.operands) == 3
+
+    def test_or_flattening(self):
+        a, b, c = vars_("a", "b", "c")
+        expr = Or(a, Or(b, c))
+        assert len(expr.operands) == 3
+
+    def test_operator_overloads(self):
+        a, b = vars_("a", "b")
+        assert isinstance(a & b, And)
+        assert isinstance(a | b, Or)
+        assert isinstance(~a, Not)
+
+    def test_xor_derivation(self):
+        a, b = vars_("a", "b")
+        xor = a ^ b
+        assert xor.evaluate({"a": 0, "b": 1}) == 1
+        assert xor.evaluate({"a": 1, "b": 1}) == 0
+
+    def test_coerce_int_literals(self):
+        a = Var("a")
+        assert (a & 1).evaluate({"a": 1}) == 1
+        assert (a | 0).evaluate({"a": 0}) == 0
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            Var("a") & "nonsense"
+
+    def test_immutability(self):
+        a = Var("a")
+        with pytest.raises(AttributeError):
+            a.name = "b"
+
+
+class TestEvaluation:
+    def test_simple_and(self):
+        a, b = vars_("a", "b")
+        expr = a & b
+        assert expr.evaluate({"a": 1, "b": 1}) == 1
+        assert expr.evaluate({"a": 1, "b": 0}) == 0
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            Var("a").evaluate({})
+
+    def test_non_binary_value_raises(self):
+        with pytest.raises(ValueError):
+            Var("a").evaluate({"a": 5})
+
+    def test_bits_matches_scalar(self):
+        a, b, c = vars_("a", "b", "c")
+        expr = (a & b) | ~c
+        names = ("a", "b", "c")
+        mask = (1 << 8) - 1
+        env = {}
+        for position, name in enumerate(names):
+            bits = 0
+            for minterm in range(8):
+                if (minterm >> (2 - position)) & 1:
+                    bits |= 1 << minterm
+            env[name] = bits
+        parallel = expr.evaluate_bits(env, mask)
+        for minterm, assignment in enumerate(all_assignments(names)):
+            assert (parallel >> minterm) & 1 == expr.evaluate(assignment)
+
+    def test_const_bits(self):
+        assert TRUE.evaluate_bits({}, 0b111) == 0b111
+        assert FALSE.evaluate_bits({}, 0b111) == 0
+
+
+class TestStructure:
+    def test_variables(self):
+        expr = (Var("a") & Var("b")) | ~Var("c")
+        assert expr.variables() == {"a", "b", "c"}
+
+    def test_substitute(self):
+        a, b = vars_("a", "b")
+        expr = (a & b).substitute({"a": Const(1)})
+        assert simplify(expr) == b
+
+    def test_cofactor(self):
+        a, b = vars_("a", "b")
+        expr = a & b
+        assert simplify(expr.cofactor("a", 0)) == FALSE
+        assert simplify(expr.cofactor("a", 1)) == b
+
+    def test_size(self):
+        expr = Var("a") & Var("b")
+        assert expr.size() == 3
+
+    def test_paper_syntax_round_trip(self):
+        from repro.logic.parser import parse_expression
+
+        text = "a*(b+c)+d*e"
+        assert parse_expression(text).to_paper_syntax() == text
+
+
+class TestSimplify:
+    def test_and_zero(self):
+        assert simplify(Var("a") & FALSE) == FALSE
+
+    def test_and_one(self):
+        assert simplify(Var("a") & TRUE) == Var("a")
+
+    def test_or_one(self):
+        assert simplify(Var("a") | TRUE) == TRUE
+
+    def test_or_zero(self):
+        assert simplify(Var("a") | FALSE) == Var("a")
+
+    def test_double_negation(self):
+        assert simplify(~~Var("a")) == Var("a")
+
+    def test_duplicate_removal(self):
+        a = Var("a")
+        assert simplify(And(a, a)) == a
+        assert simplify(Or(a, a)) == a
+
+    def test_empty_and_after_constant_removal(self):
+        assert simplify(And(TRUE, TRUE)) == TRUE
+
+
+class TestOccurrences:
+    def test_occurrence_listing(self):
+        from repro.logic.parser import parse_expression
+
+        expr = parse_expression("a*(b+c)+d*e")
+        assert literal_occurrences(expr) == ("a", "b", "c", "d", "e")
+
+    def test_repeated_variable_occurrences(self):
+        from repro.logic.parser import parse_expression
+
+        expr = parse_expression("a*b+a*c")
+        assert literal_occurrences(expr) == ("a", "b", "a", "c")
+
+    def test_substitute_single_occurrence(self):
+        from repro.logic.parser import parse_expression
+
+        expr = parse_expression("a*b+a*c")
+        # Kill only the *first* a: the second product must survive.
+        faulty = simplify(substitute_occurrence(expr, 0, Const(0)))
+        assert faulty.evaluate({"a": 1, "b": 1, "c": 0}) == 0
+        assert faulty.evaluate({"a": 1, "b": 0, "c": 1}) == 1
+
+    def test_substitute_out_of_range(self):
+        with pytest.raises(IndexError):
+            substitute_occurrence(Var("a"), 3, Const(0))
+
+
+class TestAllAssignments:
+    def test_count_and_order(self):
+        rows = list(all_assignments(("a", "b")))
+        assert rows == [
+            {"a": 0, "b": 0},
+            {"a": 0, "b": 1},
+            {"a": 1, "b": 0},
+            {"a": 1, "b": 1},
+        ]
+
+    def test_empty(self):
+        assert list(all_assignments(())) == [{}]

@@ -1,0 +1,90 @@
+"""Unit and property tests for Quine-McCluskey minimisation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.expr import all_assignments
+from repro.logic.minimize import (
+    cube_to_expr,
+    literal_count,
+    minimal_cover,
+    minimal_sop,
+    minimal_sop_string,
+    prime_implicants,
+)
+from repro.logic.parser import parse_expression
+from repro.logic.truthtable import TruthTable
+
+
+def table(text, names=None):
+    return TruthTable.from_expr(parse_expression(text), names)
+
+
+class TestPrimeImplicants:
+    def test_xor_has_four_primes(self):
+        t = table("a*!b+!a*b")
+        primes = prime_implicants(t.n_vars, list(t.minterms()))
+        # XOR has no merging: the two minterms are the primes.
+        assert len(primes) == 2
+
+    def test_full_cover_single_prime(self):
+        t = table("a+!a")
+        primes = prime_implicants(t.n_vars, list(t.minterms()))
+        assert (0, 0) in primes  # the universal cube
+
+    def test_empty(self):
+        assert prime_implicants(3, []) == []
+
+
+class TestMinimalCover:
+    def test_absorption(self):
+        # a*b + a*!b minimises to a.
+        assert minimal_sop_string(table("a*b+a*!b")) == "a"
+
+    def test_constant_one(self):
+        assert minimal_sop_string(table("a+!a")) == "1"
+
+    def test_constant_zero(self):
+        assert minimal_sop_string(table("a*!a")) == "0"
+
+    def test_fig9_fault_free(self):
+        # The paper stores the Fig. 9 function in minimal disjunctive form.
+        assert minimal_sop_string(table("a*(b+c)+d*e")) == "d*e+a*c+a*b"
+
+    def test_deterministic_rendering(self):
+        t1 = table("a*b+c*d")
+        t2 = table("c*d+a*b")
+        assert minimal_sop_string(t1) == minimal_sop_string(t2)
+
+    def test_cover_is_exact(self):
+        t = table("a*b+!a*c+b*!c")
+        expr = minimal_sop(t)
+        assert TruthTable.from_expr(expr, t.names) == t
+
+    def test_literal_count(self):
+        cover = minimal_cover(table("a*b"))
+        assert literal_count(cover) == 2
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=2 ** 16 - 1))
+def test_minimal_sop_is_equivalent_and_irredundant(n_vars, bits):
+    """Property: the minimal SOP computes exactly the original function,
+    and dropping any cube breaks it (irredundancy)."""
+    bits &= (1 << (1 << n_vars)) - 1
+    names = tuple(f"v{i}" for i in range(n_vars))
+    t = TruthTable(names, bits)
+    expr = minimal_sop(t)
+    assert TruthTable.from_expr(expr, names) == t
+
+    cover = minimal_cover(t)
+    if len(cover) > 1:
+        from repro.logic.expr import Or
+
+        for drop in range(len(cover)):
+            rest = [cube_to_expr(c, names) for i, c in enumerate(cover) if i != drop]
+            reduced = rest[0] if len(rest) == 1 else Or(*rest)
+            assert TruthTable.from_expr(reduced, names) != t

@@ -1,0 +1,76 @@
+"""Unit tests for the paper-syntax expression parser."""
+
+import pytest
+
+from repro.logic.expr import And, Const, Not, Or, Var
+from repro.logic.parser import ExpressionSyntaxError, parse_expression, tokenize
+
+
+class TestTokenizer:
+    def test_tokens(self):
+        tokens = tokenize("a*(b+c)")
+        assert [t.text for t in tokens] == ["a", "*", "(", "b", "+", "c", ")"]
+
+    def test_rejects_stray_characters(self):
+        with pytest.raises(ExpressionSyntaxError):
+            tokenize("a $ b")
+
+    def test_constants(self):
+        tokens = tokenize("0+1")
+        assert [t.kind for t in tokens] == ["const", "op", "const"]
+
+
+class TestParser:
+    def test_single_variable(self):
+        assert parse_expression("a") == Var("a")
+
+    def test_precedence_and_over_or(self):
+        expr = parse_expression("a+b*c")
+        assert isinstance(expr, Or)
+        assert expr.operands[0] == Var("a")
+        assert isinstance(expr.operands[1], And)
+
+    def test_parentheses(self):
+        expr = parse_expression("(a+b)*c")
+        assert isinstance(expr, And)
+
+    def test_negation_precedence(self):
+        expr = parse_expression("!a*b")
+        assert isinstance(expr, And)
+        assert expr.operands[0] == Not(Var("a"))
+
+    def test_double_negation(self):
+        expr = parse_expression("!!a")
+        assert expr == Not(Not(Var("a")))
+
+    def test_constants(self):
+        assert parse_expression("1") == Const(1)
+        assert parse_expression("0") == Const(0)
+
+    def test_fig9_expression(self):
+        expr = parse_expression("a*(b+c)+d*e")
+        assert expr.variables() == {"a", "b", "c", "d", "e"}
+        assert expr.evaluate({"a": 1, "b": 0, "c": 1, "d": 0, "e": 0}) == 1
+        assert expr.evaluate({"a": 0, "b": 1, "c": 1, "d": 1, "e": 0}) == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ExpressionSyntaxError):
+            parse_expression("   ")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ExpressionSyntaxError):
+            parse_expression("a b")
+
+    def test_unbalanced_parenthesis_raises(self):
+        with pytest.raises(ExpressionSyntaxError):
+            parse_expression("(a+b")
+
+    def test_dangling_operator_raises(self):
+        with pytest.raises(ExpressionSyntaxError):
+            parse_expression("a*")
+
+    def test_whitespace_tolerated(self):
+        assert parse_expression(" a * b ") == parse_expression("a*b")
+
+    def test_underscored_identifiers(self):
+        assert parse_expression("x_1*x_2").variables() == {"x_1", "x_2"}

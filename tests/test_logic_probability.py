@@ -1,0 +1,72 @@
+"""Tests for exact expression-level signal probability."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.parser import parse_expression
+from repro.logic.probability import detection_probability, signal_probability
+from repro.logic.truthtable import TruthTable
+
+
+class TestSignalProbability:
+    def test_and(self):
+        assert signal_probability(parse_expression("a*b"), 0.5) == pytest.approx(0.25)
+
+    def test_or(self):
+        assert signal_probability(parse_expression("a+b"), 0.5) == pytest.approx(0.75)
+
+    def test_tautology_with_shared_variable(self):
+        # Requires Shannon expansion - naive independence gives 0.91.
+        assert signal_probability(parse_expression("a+!a"), 0.3) == pytest.approx(1.0)
+
+    def test_contradiction(self):
+        assert signal_probability(parse_expression("a*!a"), 0.7) == pytest.approx(0.0)
+
+    def test_reconvergence(self):
+        # a*b + a*c = a*(b+c): P = p_a * (1 - (1-p)(1-p))
+        p = signal_probability(parse_expression("a*b+a*c"), 0.5)
+        assert p == pytest.approx(0.5 * 0.75)
+
+    def test_weighted(self):
+        p = signal_probability(parse_expression("a*b"), {"a": 0.9, "b": 0.1})
+        assert p == pytest.approx(0.09)
+
+    def test_missing_prob_raises(self):
+        with pytest.raises(KeyError):
+            signal_probability(parse_expression("a*b"), {"a": 0.5})
+
+    def test_invalid_prob_raises(self):
+        with pytest.raises(ValueError):
+            signal_probability(parse_expression("a"), {"a": 1.2})
+
+
+class TestDetectionProbability:
+    def test_distinguishing_measure(self):
+        good = parse_expression("a*b")
+        faulty = parse_expression("a")
+        # differ exactly on a=1,b=0
+        assert detection_probability(good, faulty, 0.5) == pytest.approx(0.25)
+
+    def test_identical_functions(self):
+        e = parse_expression("a*b")
+        assert detection_probability(e, e, 0.5) == pytest.approx(0.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2 ** 8 - 1),
+    st.lists(st.floats(min_value=0.05, max_value=0.95), min_size=3, max_size=3),
+)
+def test_signal_probability_matches_truth_table(bits, probs):
+    """Property: expression-level probability equals the truth-table sum."""
+    names = ("a", "b", "c")
+    table = TruthTable(names, bits)
+    from repro.logic.minimize import minimal_sop
+
+    expr = minimal_sop(table)
+    prob_map = dict(zip(names, probs))
+    expected = table.probability(prob_map)
+    # Constant expressions have no variables: feed the map anyway.
+    actual = signal_probability(expr, prob_map if expr.variables() else 0.5)
+    assert actual == pytest.approx(expected, abs=1e-9)

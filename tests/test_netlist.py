@@ -1,0 +1,171 @@
+"""Tests for gate-level networks, builders, and the sequential fault model."""
+
+import pytest
+
+from repro.netlist import (
+    CellFactory,
+    Network,
+    NetworkError,
+    NetworkFault,
+    SequentialFaultSimulator,
+    stuck_open_faults_of_gate,
+)
+from repro.logic.values import X
+from repro.simulate.logicsim import PatternSet
+
+
+def small_network() -> Network:
+    factory = CellFactory("domino-CMOS")
+    network = Network("small")
+    for name in "abcd":
+        network.add_input(name)
+    network.add_gate("g1", factory.and_gate(2), {"i1": "a", "i2": "b"}, "n1")
+    network.add_gate("g2", factory.or_gate(2), {"i1": "n1", "i2": "c"}, "n2")
+    network.add_gate("g3", factory.and_gate(2), {"i1": "n2", "i2": "d"}, "z")
+    network.mark_output("z")
+    return network
+
+
+class TestStructure:
+    def test_levelize_order(self):
+        network = small_network()
+        order = network.levelize()
+        assert order.index("g1") < order.index("g2") < order.index("g3")
+
+    def test_depth(self):
+        assert small_network().depth() == 3
+
+    def test_cycle_detected(self):
+        factory = CellFactory("domino-CMOS")
+        network = Network("cyclic")
+        network.add_input("a")
+        network.add_gate("g1", factory.and_gate(2), {"i1": "a", "i2": "n2"}, "n1")
+        network.add_gate("g2", factory.or_gate(2), {"i1": "n1", "i2": "a"}, "n2")
+        with pytest.raises(NetworkError):
+            network.levelize()
+
+    def test_undriven_net_detected(self):
+        factory = CellFactory("domino-CMOS")
+        network = Network("undriven")
+        network.add_input("a")
+        network.add_gate("g1", factory.and_gate(2), {"i1": "a", "i2": "ghost"}, "z")
+        with pytest.raises(NetworkError):
+            network.levelize()
+
+    def test_multiple_drivers_rejected(self):
+        factory = CellFactory("domino-CMOS")
+        network = Network("multi")
+        network.add_input("a")
+        network.add_gate("g1", factory.buffer(), {"i1": "a"}, "z")
+        with pytest.raises(NetworkError):
+            network.add_gate("g2", factory.buffer(), {"i1": "a"}, "z")
+
+    def test_unconnected_pin_rejected(self):
+        factory = CellFactory("domino-CMOS")
+        network = Network("pins")
+        network.add_input("a")
+        with pytest.raises(NetworkError):
+            network.add_gate("g1", factory.and_gate(2), {"i1": "a"}, "z")
+
+    def test_fanout_query(self):
+        network = small_network()
+        assert ("g2", "i1") in network.fanout_of("n1")
+
+
+class TestEvaluation:
+    def test_single_vector(self):
+        network = small_network()
+        values = network.evaluate({"a": 1, "b": 1, "c": 0, "d": 1})
+        assert values["z"] == 1
+
+    def test_bit_parallel_matches_scalar(self):
+        network = small_network()
+        patterns = PatternSet.exhaustive(network.inputs)
+        parallel = network.output_bits(patterns.env, patterns.mask)
+        for index, vector in enumerate(patterns.vectors()):
+            scalar = network.evaluate(vector)
+            assert (parallel["z"] >> index) & 1 == scalar["z"]
+
+    def test_stuck_fault_on_input(self):
+        network = small_network()
+        fault = NetworkFault.stuck_at("a", 1)
+        values = network.evaluate({"a": 0, "b": 1, "c": 0, "d": 1}, fault)
+        assert values["z"] == 1
+
+    def test_stuck_fault_on_internal_net(self):
+        network = small_network()
+        fault = NetworkFault.stuck_at("n2", 0)
+        values = network.evaluate({"a": 1, "b": 1, "c": 1, "d": 1}, fault)
+        assert values["z"] == 0
+
+    def test_cell_fault_replaces_function(self):
+        network = small_network()
+        library = network.libraries()["g1"]
+        cls = library.classes[0]
+        fault = NetworkFault.cell_fault("g1", cls.index, cls.function)
+        good = network.evaluate_bits(
+            PatternSet.exhaustive(network.inputs).env,
+            PatternSet.exhaustive(network.inputs).mask,
+        )
+        bad = network.evaluate_bits(
+            PatternSet.exhaustive(network.inputs).env,
+            PatternSet.exhaustive(network.inputs).mask,
+            fault,
+        )
+        assert good["n1"] != bad["n1"]
+
+    def test_enumerate_faults_counts(self):
+        network = small_network()
+        cell_faults = network.enumerate_faults()
+        both = network.enumerate_faults(include_stuck_at=True)
+        assert len(both) == len(cell_faults) + 2 * len(network.nets())
+
+
+class TestSequentialModel:
+    def _static_network(self):
+        factory = CellFactory("static-CMOS")
+        network = Network("static")
+        network.add_input("a")
+        network.add_input("b")
+        network.add_gate("nor", factory.or_gate(2), {"i1": "a", "i2": "b"}, "z")
+        network.mark_output("z")
+        return network
+
+    def test_stuck_open_fault_extraction(self):
+        network = self._static_network()
+        faults = stuck_open_faults_of_gate(network, "nor")
+        assert len(faults) == 4  # two pull-down + two pull-up devices
+
+    def test_requires_static_cmos(self):
+        network = small_network()
+        with pytest.raises(ValueError):
+            stuck_open_faults_of_gate(network, "g1")
+
+    def test_memory_behaviour(self):
+        network = self._static_network()
+        faults = stuck_open_faults_of_gate(network, "nor")
+        # Find the pull-down fault floating on (a=1, b=0) - Fig. 1.
+        fault = next(
+            f for f in faults if f.float_condition.value({"i1": 1, "i2": 0}) == 1
+        )
+        simulator = SequentialFaultSimulator(network, fault)
+        simulator.apply({"a": 0, "b": 0})  # init: z driven to 1
+        outputs = simulator.apply({"a": 1, "b": 0})  # float: retains 1, good says 0
+        assert outputs["z"] == 1
+        simulator.reset()
+        simulator.apply({"a": 0, "b": 1})  # init: z driven to 0
+        outputs = simulator.apply({"a": 1, "b": 0})
+        assert outputs["z"] == 0  # same vector, different history!
+
+    def test_uninitialised_state_is_x(self):
+        network = self._static_network()
+        fault = stuck_open_faults_of_gate(network, "nor")[0]
+        simulator = SequentialFaultSimulator(network, fault)
+        floating_vector = None
+        for a in (0, 1):
+            for b in (0, 1):
+                if fault.float_condition.value({"i1": a, "i2": b}):
+                    floating_vector = {"a": a, "b": b}
+        assert floating_vector is not None
+        outputs = simulator.apply(floating_vector)
+        assert outputs["z"] == X

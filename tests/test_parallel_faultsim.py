@@ -1,0 +1,68 @@
+"""Fault-parallel simulation must agree with serial and deductive."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.generators import (
+    and_cone,
+    c17,
+    domino_carry_chain,
+    dual_rail_parity_tree,
+    random_network,
+)
+from repro.simulate import (
+    PatternSet,
+    deductive_fault_simulate,
+    fault_simulate,
+    parallel_fault_simulate,
+)
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: domino_carry_chain(3),
+        lambda: c17(),
+        lambda: and_cone(5),
+        lambda: dual_rail_parity_tree(4),
+    ],
+)
+def test_three_algorithms_agree(make):
+    """The paper's trio (parallel / deductive) against the serial oracle."""
+    network = make()
+    patterns = PatternSet.random(network.inputs, 40, seed=23)
+    faults = network.enumerate_faults(
+        include_cell_classes=True, include_stuck_at=True
+    )
+    serial = fault_simulate(network, patterns, faults)
+    parallel = parallel_fault_simulate(network, patterns, faults)
+    deductive = deductive_fault_simulate(network, patterns, faults)
+    assert serial.detected == parallel.detected == deductive.detected
+    assert (
+        serial.detection_counts
+        == parallel.detection_counts
+        == deductive.detection_counts
+    )
+
+
+def test_good_machine_preserved():
+    """The packed word's good-machine bit must equal the plain simulation."""
+    network = domino_carry_chain(2)
+    patterns = PatternSet.exhaustive(network.inputs)
+    faults = network.enumerate_faults()
+    result = parallel_fault_simulate(network, patterns, faults)
+    # indirect check: coverage identical to serial on exhaustive patterns
+    serial = fault_simulate(network, patterns, faults)
+    assert result.coverage == serial.coverage == 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10 ** 6))
+def test_equivalence_on_random_networks(seed):
+    network = random_network(n_inputs=6, n_gates=8, seed=seed)
+    patterns = PatternSet.random(network.inputs, 20, seed=seed ^ 0x5555)
+    serial = fault_simulate(network, patterns)
+    parallel = parallel_fault_simulate(network, patterns)
+    assert serial.detected == parallel.detected
+    assert serial.detection_counts == parallel.detection_counts

@@ -1,0 +1,98 @@
+"""Property-based check of the paper's central theorem.
+
+Hypothesis generates random positive series-parallel switching-network
+expressions; for each, a dynamic nMOS and a domino CMOS gate are built
+and a random physical fault injected.  The properties:
+
+1. the analytic classification equals the measured switch-level
+   behaviour for every pure-logic fault (Section 3's case analysis is
+   not special to the paper's examples),
+2. the measured faulty gate is never sequential,
+3. the library generated from the equivalent cell description contains
+   the measured faulty function among its classes (analytic library ==
+   physical reality).
+"""
+
+import random as stdlib_random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cells import Cell, generate_library
+from repro.faults.classify import classify
+from repro.faults.enumerate import enumerate_gate_faults
+from repro.faults.logical import FaultCategory
+from repro.logic.expr import And, Expr, Or, Var
+from repro.logic.values import X
+from repro.tech import DominoCmosGate, DynamicNmosGate
+
+MAX_LEAVES = 5
+
+
+@st.composite
+def positive_expressions(draw) -> Expr:
+    """Random positive series-parallel expressions over a..e, each
+    variable used at most once (the paper's gate style)."""
+    count = draw(st.integers(min_value=2, max_value=MAX_LEAVES))
+    names = ["a", "b", "c", "d", "e"][:count]
+    leaves: list = [Var(name) for name in names]
+    rng_seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+    rng = stdlib_random.Random(rng_seed)
+    while len(leaves) > 1:
+        left = leaves.pop(rng.randrange(len(leaves)))
+        right = leaves.pop(rng.randrange(len(leaves)))
+        node = And(left, right) if rng.random() < 0.5 else Or(left, right)
+        leaves.append(node)
+    return leaves[0]
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(positive_expressions(), st.integers(min_value=0, max_value=10 ** 6))
+def test_classification_matches_simulation_on_random_gates(expr, fault_seed):
+    rng = stdlib_random.Random(fault_seed)
+    for gate_class in (DynamicNmosGate, DominoCmosGate):
+        gate = gate_class(expr)
+        entries = enumerate_gate_faults(gate)
+        entry = rng.choice(entries)
+        prediction = classify(gate, entry.fault)
+        table, raw = gate.faulty_function(entry.fault, allow_x=True)
+        if prediction.category in (FaultCategory.COMBINATIONAL, FaultCategory.BENIGN):
+            assert not any(v == X for v in raw.values()), (
+                expr.to_paper_syntax(),
+                entry.label,
+            )
+            assert table == prediction.predicted, (expr.to_paper_syntax(), entry.label)
+        assert gate.is_combinational(entry.fault, trials=2), (
+            expr.to_paper_syntax(),
+            entry.label,
+        )
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(positive_expressions())
+def test_library_contains_every_measured_faulty_function(expr):
+    names = ",".join(sorted(expr.variables()))
+    cell = Cell.from_text(
+        f"TECHNOLOGY domino-CMOS; INPUT {names}; OUTPUT u; "
+        f"u := {expr.to_paper_syntax()};",
+        name="random",
+    )
+    library = generate_library(cell)
+    library_tables = {cls.function.table for cls in library.classes}
+    fault_free = library.fault_free.table
+    gate = cell.gate_model()
+    for entry in enumerate_gate_faults(gate, include_line_opens=False):
+        prediction = classify(gate, entry.fault)
+        if prediction.category is not FaultCategory.COMBINATIONAL:
+            continue
+        table, _ = gate.faulty_function(entry.fault, allow_x=True)
+        assert table in library_tables or table == fault_free, entry.label

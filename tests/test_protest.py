@@ -1,0 +1,222 @@
+"""Tests for the PROTEST probabilistic testability analyser."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.generators import and_cone, domino_carry_chain
+from repro.netlist import CellFactory, Network
+from repro.protest import (
+    Protest,
+    confidence_all_detected,
+    detection_probabilities,
+    escape_probability,
+    exact_detection_probabilities,
+    exact_signal_probabilities,
+    expected_coverage,
+    hardest_faults,
+    monte_carlo_signal_probabilities,
+    optimize_input_probabilities,
+    signal_probabilities,
+    test_length as required_test_length,
+    test_length_for_fault as required_length_for_fault,
+    topological_signal_probabilities,
+)
+from repro.simulate import PatternSet, fault_simulate
+
+
+class TestSignalProbabilities:
+    def test_exact_known_values(self):
+        network = and_cone(3)
+        exact = exact_signal_probabilities(network)
+        assert exact["w"] == pytest.approx(0.125)
+        assert exact["z"] == pytest.approx(1 - (1 - 0.125) * 0.5)
+
+    def test_weighted_inputs(self):
+        network = and_cone(2)
+        exact = exact_signal_probabilities(
+            network, {"a0": 0.9, "a1": 0.9, "bypass": 0.0}
+        )
+        assert exact["z"] == pytest.approx(0.81)
+
+    def test_topological_exact_without_reconvergence(self):
+        network = domino_carry_chain(3)
+        exact = exact_signal_probabilities(network)
+        topo = topological_signal_probabilities(network)
+        for net in exact:
+            assert topo[net] == pytest.approx(exact[net], abs=1e-12)
+
+    def test_topological_biased_with_reconvergence(self):
+        factory = CellFactory("domino-CMOS")
+        network = Network("reconv")
+        network.add_input("a")
+        network.add_input("b")
+        network.add_gate("g1", factory.and_gate(2), {"i1": "a", "i2": "b"}, "n1")
+        # z = n1 + a: reconvergent on a.
+        network.add_gate("g2", factory.or_gate(2), {"i1": "n1", "i2": "a"}, "z")
+        network.mark_output("z")
+        exact = exact_signal_probabilities(network)
+        topo = topological_signal_probabilities(network)
+        assert exact["z"] == pytest.approx(0.5)  # z = a
+        assert topo["z"] != pytest.approx(0.5)  # independence bias
+
+    def test_monte_carlo_converges(self):
+        network = domino_carry_chain(3)
+        exact = exact_signal_probabilities(network)
+        monte = monte_carlo_signal_probabilities(network, samples=16384)
+        for net in exact:
+            assert monte[net] == pytest.approx(exact[net], abs=0.02)
+
+    def test_dispatch(self):
+        network = and_cone(2)
+        assert signal_probabilities(network, method="exact") == exact_signal_probabilities(network)
+        with pytest.raises(ValueError):
+            signal_probabilities(network, method="psychic")
+
+
+class TestDetectionProbabilities:
+    def test_exact_matches_fault_simulation_frequency(self):
+        network = and_cone(4)
+        faults = network.enumerate_faults()
+        exact = exact_detection_probabilities(network, faults)
+        patterns = PatternSet.exhaustive(network.inputs)
+        result = fault_simulate(network, patterns)
+        for fault in faults:
+            label = fault.describe()
+            assert exact[label] == pytest.approx(
+                result.detection_counts.get(label, 0) / patterns.count
+            )
+
+    def test_cone_width_halves_detection(self):
+        # The AND-open class needs all inputs 1 and bypass 0.
+        for width in (3, 4, 5):
+            network = and_cone(width)
+            exact = exact_detection_probabilities(network, network.enumerate_faults())
+            hardest = min(exact.values())
+            assert hardest == pytest.approx(2.0 ** -(width + 1))
+
+    def test_topological_estimates_bounded(self):
+        network = domino_carry_chain(4)
+        estimates = detection_probabilities(network, method="topological")
+        assert all(0.0 <= p <= 1.0 for p in estimates.values())
+
+
+class TestTestLength:
+    def test_per_fault_formula(self):
+        # 1-(1-p)^N >= c  =>  N >= log(1-c)/log(1-p)
+        assert required_length_for_fault(0.5, 0.999) == 10
+        assert required_length_for_fault(1.0, 0.999) == 1
+        assert math.isinf(required_length_for_fault(0.0, 0.999))
+
+    def test_escape_probability(self):
+        assert escape_probability(0.5, 3) == pytest.approx(0.125)
+
+    def test_whole_test_longer_than_per_fault(self):
+        probabilities = {f"f{k}": 0.01 for k in range(50)}
+        per_fault = required_test_length(probabilities, 0.99, per_fault=True)
+        whole = required_test_length(probabilities, 0.99)
+        assert whole >= per_fault
+
+    def test_confidence_monotone_in_length(self):
+        probabilities = {"f1": 0.1, "f2": 0.02}
+        confidences = [confidence_all_detected(probabilities, n) for n in (10, 50, 250)]
+        assert confidences == sorted(confidences)
+
+    def test_expected_coverage(self):
+        assert expected_coverage({"f": 1.0}, 1) == pytest.approx(1.0)
+        assert expected_coverage({}, 5) == 1.0
+
+    def test_hardest_faults_sorted(self):
+        ranked = hardest_faults({"easy": 0.9, "hard": 0.001, "mid": 0.1}, count=2)
+        assert [label for label, _ in ranked] == ["hard", "mid"]
+
+    def test_undetectable_gives_infinite_length(self):
+        assert math.isinf(required_test_length({"f": 0.0}, 0.9))
+
+    def test_validation_against_simulation(self):
+        # With the computed length, random tests should indeed catch all
+        # faults in most trials.
+        network = and_cone(4)
+        exact = exact_detection_probabilities(network, network.enumerate_faults())
+        length = int(required_test_length(exact, 0.99))
+        hits = 0
+        trials = 20
+        for seed in range(trials):
+            patterns = PatternSet.random(network.inputs, length, seed=seed)
+            if fault_simulate(network, patterns).coverage == 1.0:
+                hits += 1
+        assert hits / trials >= 0.9
+
+
+class TestOptimization:
+    def test_cone_gain(self):
+        network = and_cone(8)
+        result = optimize_input_probabilities(network)
+        assert result.optimized_min_detection > result.uniform_min_detection
+        assert result.test_length_ratio > 5.0
+
+    def test_probabilities_stay_in_grid_bounds(self):
+        network = and_cone(6)
+        result = optimize_input_probabilities(network)
+        assert all(0.0 < p < 1.0 for p in result.optimized_probabilities.values())
+
+    def test_summary_renders(self):
+        network = and_cone(4)
+        result = optimize_input_probabilities(network)
+        text = result.format_summary()
+        assert "test length" in text
+
+
+class TestFacade:
+    def test_analysis_report(self):
+        network = domino_carry_chain(3)
+        protest = Protest(network)
+        report = protest.analyse(confidence=0.99)
+        assert report.required_test_length > 0
+        assert len(report.detection_probabilities) == len(protest.faults)
+        assert "PROTEST report" in report.format_summary()
+
+    def test_validate_runs_fault_simulation(self):
+        network = domino_carry_chain(3)
+        protest = Protest(network)
+        result = protest.validate(count=128)
+        assert result.pattern_count == 128
+
+    def test_generated_patterns_use_distribution(self):
+        network = and_cone(4)
+        protest = Protest(network)
+        patterns = protest.generate_patterns(
+            2048, probs={name: 0.9 for name in network.inputs}
+        )
+        ones = patterns.env["a0"].bit_count() / patterns.count
+        assert ones == pytest.approx(0.9, abs=0.04)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.floats(min_value=0.01, max_value=0.99),
+    st.floats(min_value=0.5, max_value=0.999),
+)
+def test_test_length_meets_confidence(p, confidence):
+    """Property: the computed per-fault length actually achieves the
+    demanded confidence, and one fewer pattern does not."""
+    length = required_length_for_fault(p, confidence)
+    assert 1.0 - (1.0 - p) ** length >= confidence - 1e-12
+    if length > 1:
+        assert 1.0 - (1.0 - p) ** (length - 1) < confidence
+
+
+class TestProtocol:
+    def test_format_protocol_lists_every_fault(self):
+        from repro.circuits.generators import and_cone
+
+        network = and_cone(4)
+        protest = Protest(network)
+        report = protest.analyse(confidence=0.99)
+        text = report.format_protocol()
+        assert "protocol of necessary test length" in text
+        # one line per fault plus header/footer
+        assert len(text.splitlines()) == len(protest.faults) + 3
+        assert "whole test" in text

@@ -1,0 +1,183 @@
+"""Tests for the self-test hardware: LFSR, MISR, BILBO, NLFSR, sessions."""
+
+import pytest
+
+from repro.circuits.generators import domino_carry_chain
+from repro.logic.parser import parse_expression
+from repro.selftest import (
+    Bilbo,
+    BilboMode,
+    Lfsr,
+    Misr,
+    PRIMITIVE_TAPS,
+    WeightedPatternGenerator,
+    at_speed_gate_selftest,
+    closest_dyadic_weight,
+    logic_selftest,
+)
+from repro.switchlevel.network import FaultKind, PhysicalFault
+from repro.tech import DominoCmosGate
+
+
+class TestLfsr:
+    @pytest.mark.parametrize("degree", [2, 3, 4, 5, 8, 10, 12])
+    def test_maximal_period(self, degree):
+        assert Lfsr(degree).period() == (1 << degree) - 1
+
+    def test_never_all_zero(self):
+        lfsr = Lfsr(6)
+        for _ in range(200):
+            lfsr.step()
+            assert lfsr.state != 0
+
+    def test_reset(self):
+        lfsr = Lfsr(5, seed=7)
+        lfsr.step()
+        lfsr.reset()
+        assert lfsr.state == 7
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(ValueError):
+            Lfsr(4, seed=0)
+        with pytest.raises(ValueError):
+            Lfsr(4, seed=16)
+
+    def test_pattern_width_bounded(self):
+        with pytest.raises(ValueError):
+            Lfsr(4).pattern(5)
+
+    def test_tabulated_degrees(self):
+        assert set(range(2, 33)) == set(PRIMITIVE_TAPS)
+
+    def test_balanced_output(self):
+        lfsr = Lfsr(10)
+        ones = sum(lfsr.step() for _ in range(1023))
+        assert ones == 512  # maximal-length sequences have 2^(n-1) ones
+
+
+class TestMisr:
+    def test_signature_deterministic(self):
+        m1, m2 = Misr(8), Misr(8)
+        stream = [[1, 0, 1], [0, 1, 1], [1, 1, 0]]
+        assert m1.absorb_all(stream) == m2.absorb_all(stream)
+
+    def test_signature_sensitive_to_single_bit(self):
+        good = Misr(8)
+        bad = Misr(8)
+        good.absorb_all([[1, 0], [0, 1], [1, 1]])
+        bad.absorb_all([[1, 0], [0, 0], [1, 1]])
+        assert good.signature != bad.signature
+
+    def test_width_guard(self):
+        with pytest.raises(ValueError):
+            Misr(8).absorb([1] * 9)
+
+    def test_aliasing_probability(self):
+        assert Misr(16).aliasing_probability() == pytest.approx(2.0 ** -16)
+
+
+class TestBilbo:
+    def test_normal_mode_loads(self):
+        bilbo = Bilbo(4)
+        assert bilbo.clock(parallel_in=[1, 0, 1, 0]) == [1, 0, 1, 0]
+
+    def test_shift_mode(self):
+        bilbo = Bilbo(4, seed=0)
+        bilbo.set_mode(BilboMode.SHIFT)
+        for bit in (1, 0, 1, 1):
+            bilbo.clock(serial_in=bit)
+        # First bit in ends up in the MSB after four shifts.
+        assert bilbo.state == 0b1011
+
+    def test_prpg_mode_cycles(self):
+        bilbo = Bilbo(4)
+        bilbo.set_mode(BilboMode.PRPG)
+        seen = set()
+        for _ in range(15):
+            bilbo.clock()
+            seen.add(bilbo.state)
+        assert len(seen) == 15  # maximal length
+
+    def test_misr_mode_compacts(self):
+        bilbo = Bilbo(4)
+        bilbo.set_mode(BilboMode.MISR)
+        bilbo.clock(parallel_in=[1, 0, 0, 1])
+        state_a = bilbo.state
+        bilbo.clock(parallel_in=[0, 1, 1, 0])
+        assert bilbo.state != state_a
+
+    def test_mode_requirements(self):
+        bilbo = Bilbo(4)
+        with pytest.raises(ValueError):
+            bilbo.clock()  # NORMAL needs data
+        bilbo.set_mode(BilboMode.MISR)
+        with pytest.raises(ValueError):
+            bilbo.clock()
+
+    def test_scan_out(self):
+        bilbo = Bilbo(4, seed=0b1010)
+        assert bilbo.scan_out() == [1, 0, 1, 0]
+
+
+class TestWeightedGenerator:
+    def test_dyadic_weights(self):
+        assert closest_dyadic_weight(0.5) == (1, False, 0.5)
+        k, inverted, realised = closest_dyadic_weight(0.9)
+        assert inverted and realised == pytest.approx(0.875)
+        k, inverted, realised = closest_dyadic_weight(0.1)
+        assert not inverted and realised == pytest.approx(0.125)
+
+    def test_empirical_frequencies(self):
+        generator = WeightedPatternGenerator({"a": 0.75, "b": 0.125, "c": 0.5})
+        empirical = generator.empirical_probabilities(4096)
+        realised = generator.realised_probabilities()
+        for name in empirical:
+            assert empirical[name] == pytest.approx(realised[name], abs=0.03)
+
+    def test_weight_bounds(self):
+        with pytest.raises(ValueError):
+            closest_dyadic_weight(0.0)
+
+    def test_wide_generator_uses_multiple_banks(self):
+        generator = WeightedPatternGenerator(
+            {f"x{i}": 0.02 for i in range(10)}, max_k=6
+        )
+        assert len(generator.banks) >= 2
+        empirical = generator.empirical_probabilities(8192)
+        for name, frequency in empirical.items():
+            assert frequency == pytest.approx(1 / 64, abs=0.01)
+
+
+class TestSessions:
+    def test_fault_free_signature_matches(self):
+        network = domino_carry_chain(3)
+        outcome = logic_selftest(network, None, cycles=128)
+        assert not outcome.detected
+
+    def test_detects_every_library_fault(self):
+        network = domino_carry_chain(3)
+        for fault in network.enumerate_faults():
+            outcome = logic_selftest(network, fault, cycles=256)
+            assert outcome.detected, fault.describe()
+
+    def test_weighted_session(self):
+        network = domino_carry_chain(3)
+        fault = network.enumerate_faults()[0]
+        outcome = logic_selftest(
+            network, fault, cycles=256,
+            probabilities={name: 0.7 for name in network.inputs},
+        )
+        assert outcome.detected
+
+    def test_at_speed_catches_delay_fault(self):
+        gate = DominoCmosGate(parse_expression("a*b"), precharge_resistance=4.0)
+        fault = PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch="T1")
+        at_speed = at_speed_gate_selftest(gate, fault, cycles=32)
+        slow = at_speed_gate_selftest(gate, fault, cycles=32, period=48.0)
+        assert at_speed.detected
+        assert not slow.detected
+
+    def test_at_speed_fault_free_clean(self):
+        gate = DominoCmosGate(parse_expression("a*b"))
+        outcome = at_speed_gate_selftest(gate, None, cycles=24)
+        assert not outcome.detected

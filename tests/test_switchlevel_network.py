@@ -1,0 +1,150 @@
+"""Unit tests for switch-level circuit structures and fault injection."""
+
+import pytest
+
+from repro.switchlevel.network import (
+    VDD,
+    VSS,
+    DeviceType,
+    FaultKind,
+    NodeKind,
+    PhysicalFault,
+    Switch,
+    SwitchCircuit,
+)
+
+
+def simple_inverter() -> SwitchCircuit:
+    circuit = SwitchCircuit("inv")
+    circuit.add_port("a")
+    circuit.add_internal("z")
+    circuit.add_switch("p", DeviceType.PMOS, "a", VDD, "z")
+    circuit.add_switch("n", DeviceType.NMOS, "a", "z", VSS)
+    return circuit
+
+
+class TestSwitch:
+    def test_nmos_conduction(self):
+        switch = Switch("t", DeviceType.NMOS, "g", "a", "b")
+        assert switch.conducts(1) is True
+        assert switch.conducts(0) is False
+        assert switch.conducts(2) is None  # X gate
+
+    def test_pmos_conduction(self):
+        switch = Switch("t", DeviceType.PMOS, "g", "a", "b")
+        assert switch.conducts(0) is True
+        assert switch.conducts(1) is False
+
+    def test_always_and_never(self):
+        assert Switch("w", DeviceType.ALWAYS_ON, None, "a", "b").conducts(0) is True
+        assert Switch("w", DeviceType.NEVER_ON, None, "a", "b").conducts(1) is False
+
+    def test_gate_required(self):
+        with pytest.raises(ValueError):
+            Switch("t", DeviceType.NMOS, None, "a", "b")
+
+
+class TestCircuitConstruction:
+    def test_supplies_exist(self):
+        circuit = SwitchCircuit()
+        assert circuit.nodes[VDD] is NodeKind.SUPPLY_VDD
+        assert circuit.nodes[VSS] is NodeKind.SUPPLY_VSS
+
+    def test_duplicate_switch_rejected(self):
+        circuit = simple_inverter()
+        with pytest.raises(ValueError):
+            circuit.add_switch("p", DeviceType.PMOS, "a", VDD, "z")
+
+    def test_unknown_node_rejected(self):
+        circuit = SwitchCircuit()
+        with pytest.raises(KeyError):
+            circuit.add_switch("t", DeviceType.NMOS, "ghost", VDD, VSS)
+
+    def test_kind_conflict_rejected(self):
+        circuit = SwitchCircuit()
+        circuit.add_port("a")
+        with pytest.raises(ValueError):
+            circuit.add_internal("a")
+
+    def test_depletion_is_weak(self):
+        circuit = SwitchCircuit()
+        circuit.add_internal("z")
+        switch = circuit.add_switch("load", DeviceType.DEPLETION, None, VDD, "z")
+        assert switch.weak
+
+    def test_transistor_count_ignores_wires(self):
+        circuit = simple_inverter()
+        circuit.add_switch("w", DeviceType.ALWAYS_ON, None, "z", "z")
+        assert circuit.transistor_count() == 2
+
+
+class TestFaultInjection:
+    def test_transistor_open(self):
+        circuit = simple_inverter()
+        faulty = circuit.with_fault(PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch="n"))
+        assert faulty.switch("n").dtype is DeviceType.NEVER_ON
+        # Original untouched.
+        assert circuit.switch("n").dtype is DeviceType.NMOS
+
+    def test_transistor_closed(self):
+        circuit = simple_inverter()
+        faulty = circuit.with_fault(PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch="p"))
+        assert faulty.switch("p").dtype is DeviceType.ALWAYS_ON
+
+    def test_terminal_open_creates_dangling_node(self):
+        circuit = simple_inverter()
+        fault = PhysicalFault(FaultKind.LINE_OPEN_TERMINAL, switch="n", terminal="a")
+        faulty = circuit.with_fault(fault)
+        assert faulty.switch("n").a != "z"
+        assert faulty.switch("n").a in faulty.nodes
+
+    def test_gate_open_creates_floating_gate(self):
+        circuit = simple_inverter()
+        fault = PhysicalFault(FaultKind.LINE_OPEN_GATE, switch="n")
+        faulty = circuit.with_fault(fault)
+        assert faulty.switch("n").gate != "a"
+
+    def test_node_open_detaches_everything(self):
+        circuit = simple_inverter()
+        faulty = circuit.with_fault(PhysicalFault(FaultKind.NODE_OPEN, node="z"))
+        assert faulty.switch("n").a != "z"
+        assert faulty.switch("p").b != "z"
+
+    def test_fault_validation(self):
+        with pytest.raises(ValueError):
+            PhysicalFault(FaultKind.TRANSISTOR_OPEN)
+        with pytest.raises(ValueError):
+            PhysicalFault(FaultKind.LINE_OPEN_TERMINAL, switch="n", terminal="c")
+        with pytest.raises(ValueError):
+            PhysicalFault(FaultKind.NODE_OPEN)
+
+    def test_enumerate_faults(self):
+        circuit = simple_inverter()
+        faults = list(circuit.enumerate_faults())
+        kinds = [f.kind for f in faults]
+        assert kinds.count(FaultKind.TRANSISTOR_OPEN) == 2
+        assert kinds.count(FaultKind.TRANSISTOR_CLOSED) == 2
+        assert kinds.count(FaultKind.LINE_OPEN_GATE) == 2
+        assert kinds.count(FaultKind.LINE_OPEN_TERMINAL) == 4
+
+    def test_describe(self):
+        fault = PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch="n")
+        assert "n" in fault.describe()
+
+
+class TestMerge:
+    def test_merge_renames_and_binds(self):
+        inv1 = simple_inverter()
+        inv2 = simple_inverter()
+        top = SwitchCircuit("buf")
+        top.add_port("x")
+        mapping1 = top.merge(inv1, "u1_", bindings={"a": "x"})
+        mapping2 = top.merge(inv2, "u2_", bindings={"a": mapping1["z"]})
+        assert mapping1["z"] == "u1_z"
+        assert top.switch("u2_n").gate == "u1_z"
+        assert top.switch("u1_n").gate == "x"
+
+    def test_merge_bad_binding(self):
+        top = SwitchCircuit()
+        with pytest.raises(KeyError):
+            top.merge(simple_inverter(), "u_", bindings={"a": "nonexistent"})

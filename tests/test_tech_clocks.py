@@ -1,0 +1,56 @@
+"""Tests for the clock schedule helpers."""
+
+from repro.tech.clocks import (
+    domino_cycle,
+    domino_schedule,
+    two_phase_cycle,
+    two_phase_schedule,
+)
+
+
+class TestDominoSchedule:
+    def test_cycle_shape(self):
+        steps = domino_cycle({"a": 1, "b": 0})
+        assert len(steps) == 2
+        precharge, evaluate = steps
+        assert precharge["phi"] == 0 and evaluate["phi"] == 1
+        # Domino discipline: inputs low during precharge.
+        assert precharge["a"] == 0 and precharge["b"] == 0
+        assert evaluate["a"] == 1 and evaluate["b"] == 0
+
+    def test_schedule_concatenates(self):
+        steps = domino_schedule([{"a": 1}, {"a": 0}])
+        assert len(steps) == 4
+        assert [s["phi"] for s in steps] == [0, 1, 0, 1]
+
+
+class TestTwoPhaseSchedule:
+    def test_non_overlap(self):
+        steps = two_phase_cycle({"x": 1})
+        assert len(steps) == 4
+        for step in steps:
+            assert not (step["phi1"] == 1 and step["phi2"] == 1)
+        assert [s["phi1"] for s in steps] == [1, 0, 0, 0]
+        assert [s["phi2"] for s in steps] == [0, 0, 1, 0]
+
+    def test_inputs_held(self):
+        steps = two_phase_cycle({"x": 1})
+        assert all(step["x"] == 1 for step in steps)
+
+    def test_cycles_per_vector(self):
+        steps = two_phase_schedule([{"x": 0}], cycles_per_vector=3)
+        assert len(steps) == 12
+
+    def test_drives_fig7_network(self):
+        from repro.circuits.figures import fig7_network
+        from repro.switchlevel import SwitchSimulator
+
+        network = fig7_network()
+        sim = SwitchSimulator(network.circuit, decay_steps=24)
+        vector = {"i1": 1, "i2": 1, "i3": 0}
+        steps = two_phase_schedule([vector], cycles_per_vector=network.stage_count + 1)
+        result = {}
+        for step in steps:
+            result = sim.step(step)
+        # z2 = i1*i2 + !i3 = 1
+        assert result[network.outputs[1]] == 1

@@ -1,0 +1,173 @@
+"""Tests for the technology gate models (Figs. 4-7 constructions)."""
+
+import pytest
+
+from repro.logic.expr import all_assignments
+from repro.logic.parser import parse_expression
+from repro.logic.truthtable import TruthTable
+from repro.switchlevel.network import FaultKind, PhysicalFault
+from repro.tech import (
+    BipolarGate,
+    DominoCmosGate,
+    DynamicNmosGate,
+    StaticCmosGate,
+    StaticNmosGate,
+    TECHNOLOGIES,
+    static_cmos_nor,
+)
+
+EXPRESSIONS = ["a", "a*b", "a+b", "a*(b+c)", "a*b+c*d"]
+
+
+class TestFaultFreeFunctions:
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_domino_computes_transmission(self, text):
+        expr = parse_expression(text)
+        gate = DominoCmosGate(expr)
+        table, raw = gate.faulty_function()
+        assert table == TruthTable.from_expr(expr, gate.inputs)
+        assert all(v in (0, 1) for v in raw.values())
+
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_dynamic_nmos_computes_inverse(self, text):
+        expr = parse_expression(text)
+        gate = DynamicNmosGate(expr)
+        table, _ = gate.faulty_function()
+        assert table == ~TruthTable.from_expr(expr, gate.inputs)
+
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_static_nmos_computes_inverse(self, text):
+        expr = parse_expression(text)
+        gate = StaticNmosGate(expr)
+        table, _ = gate.faulty_function()
+        assert table == ~TruthTable.from_expr(expr, gate.inputs)
+
+    @pytest.mark.parametrize("text", EXPRESSIONS)
+    def test_static_cmos_computes_inverse(self, text):
+        expr = parse_expression(text)
+        gate = StaticCmosGate(expr)
+        table, _ = gate.faulty_function()
+        assert table == ~TruthTable.from_expr(expr, gate.inputs)
+
+    def test_bipolar_evaluates_directly(self):
+        gate = BipolarGate(parse_expression("!a*b+c"))
+        table, _ = gate.faulty_function()
+        assert table == TruthTable.from_expr(parse_expression("!a*b+c"), gate.inputs)
+
+    def test_bipolar_rejects_physical_faults(self):
+        gate = BipolarGate(parse_expression("a*b"))
+        with pytest.raises(ValueError):
+            gate.measure({"a": 1, "b": 1}, PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch="x"))
+
+
+class TestCombinationality:
+    @pytest.mark.parametrize(
+        "gate_class", [DominoCmosGate, DynamicNmosGate, StaticNmosGate, StaticCmosGate]
+    )
+    def test_fault_free_gates_are_combinational(self, gate_class):
+        gate = gate_class(parse_expression("a*b+c"))
+        assert gate.is_combinational(trials=4)
+
+    def test_fig1_fault_is_sequential(self):
+        gate = static_cmos_nor()
+        fault = PhysicalFault(FaultKind.LINE_OPEN_TERMINAL, switch="pd_T1", terminal="a")
+        assert not gate.is_combinational(fault, decay_steps=0)
+
+
+class TestDominoDiscipline:
+    def test_output_low_during_precharge(self):
+        gate = DominoCmosGate(parse_expression("a+b"))
+        sim = gate.simulator()
+        steps = gate.cycle_steps({"a": 1, "b": 1})
+        sim.step(steps[0])  # precharge
+        assert sim.value("z") == 0  # "the output nodes of all gates are low"
+
+    def test_inputs_low_during_precharge(self):
+        gate = DominoCmosGate(parse_expression("a*b"))
+        precharge = gate.cycle_steps({"a": 1, "b": 1})[0]
+        assert precharge["a"] == 0 and precharge["b"] == 0
+
+    def test_monotone_rise_during_evaluation(self):
+        # Once z rises during evaluation it stays up: no races/spikes.
+        gate = DominoCmosGate(parse_expression("a"))
+        sim = gate.simulator()
+        sim.step({"phi": 0, "a": 0})
+        first = sim.step({"phi": 1, "a": 1})["z"]
+        second = sim.step({"phi": 1, "a": 1})["z"]
+        assert first == 1 and second == 1
+
+
+class TestKeyFaultBehaviours:
+    """The signature Section 3 results, one per fault class."""
+
+    def test_cmos2_s0z(self):
+        gate = DominoCmosGate(parse_expression("a*b"))
+        table, _ = gate.faulty_function(PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch="T2"))
+        assert table.constant_value() == 0
+
+    def test_cmos4_s1z(self):
+        gate = DominoCmosGate(parse_expression("a*b"))
+        table, _ = gate.faulty_function(PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch="T1"))
+        assert table.constant_value() == 1
+
+    def test_cmos1_invisible(self):
+        gate = DominoCmosGate(parse_expression("a*b"))
+        table, _ = gate.faulty_function(
+            PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch="T2")
+        )
+        good, _ = gate.faulty_function()
+        assert table == good
+
+    def test_cmos3_measures_x_on_fight_rows(self):
+        gate = DominoCmosGate(parse_expression("a*b"))
+        with pytest.raises(ValueError):
+            gate.faulty_function(
+                PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch="T1"), allow_x=False
+            )
+
+    def test_dynamic_precharge_open_and_closed_same_class(self):
+        # "a very interesting fact": both are s0-z.
+        gate = DynamicNmosGate(parse_expression("a*b"))
+        open_table, _ = gate.faulty_function(
+            PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch="T_pre")
+        )
+        closed_table, _ = gate.faulty_function(
+            PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch="T_pre")
+        )
+        assert open_table.constant_value() == 0
+        assert closed_table.constant_value() == 0
+
+    def test_dynamic_terminal_wires_s1z(self):
+        gate = DynamicNmosGate(parse_expression("a*b"))
+        for wire in ("S_top", "S_bot"):
+            table, _ = gate.faulty_function(
+                PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch=wire)
+            )
+            assert table.constant_value() == 1
+
+    def test_pass_device_open_is_s0_input(self):
+        gate = DynamicNmosGate(parse_expression("a*b"))
+        table, _ = gate.faulty_function(
+            PhysicalFault(FaultKind.TRANSISTOR_OPEN, switch="pass_a")
+        )
+        # z = !(0*b) = 1 everywhere
+        assert table.constant_value() == 1
+
+    def test_sn_fault_is_local_stuck(self):
+        gate = DominoCmosGate(parse_expression("a*(b+c)+d*e"))
+        table, _ = gate.faulty_function(
+            PhysicalFault(FaultKind.TRANSISTOR_CLOSED, switch="sn_T2")
+        )
+        expected = parse_expression("a*(1+c)+d*e")
+        assert table == TruthTable.from_expr(expected, gate.inputs)
+
+
+class TestRegistry:
+    def test_all_five_technologies_registered(self):
+        assert set(TECHNOLOGIES) == {
+            "nMOS",
+            "static-CMOS",
+            "bipolar",
+            "dynamic-nMOS",
+            "domino-CMOS",
+        }
