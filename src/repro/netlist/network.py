@@ -93,6 +93,11 @@ class Network:
         self.gates: Dict[str, GateInstance] = {}
         self._driver: Dict[str, str] = {}  # net -> gate name
         self._order: Optional[List[str]] = None
+        self._fanout: Optional[Dict[str, List[Tuple[str, str]]]] = None
+        self._generation: int = 0
+        """Structural revision counter; bumped on every mutation so the
+        compiled-engine cache (:mod:`repro.simulate.compiled`) can tell a
+        stale compilation from a current one."""
 
     # -- construction -----------------------------------------------------------
 
@@ -102,6 +107,7 @@ class Network:
         if net in self._driver:
             raise NetworkError(f"net {net!r} is already driven by a gate")
         self.inputs.append(net)
+        self._generation += 1
         return net
 
     def add_gate(
@@ -129,11 +135,14 @@ class Network:
         self.gates[name] = gate
         self._driver[output] = name
         self._order = None
+        self._fanout = None
+        self._generation += 1
         return gate
 
     def mark_output(self, net: str) -> None:
         if net not in self.outputs:
             self.outputs.append(net)
+            self._generation += 1
 
     # -- structure ---------------------------------------------------------------
 
@@ -151,14 +160,23 @@ class Network:
         gate_name = self._driver.get(net)
         return self.gates[gate_name] if gate_name else None
 
+    def fanout_index(self) -> Dict[str, List[Tuple[str, str]]]:
+        """net -> (gate name, cell pin) readers, built once per structure.
+
+        Cached and invalidated alongside ``_order``; turns per-net fanout
+        queries from a scan over every gate into one dict lookup.
+        """
+        if self._fanout is None:
+            index: Dict[str, List[Tuple[str, str]]] = {}
+            for gate in self.gates.values():
+                for pin, connected in gate.connections.items():
+                    index.setdefault(connected, []).append((gate.name, pin))
+            self._fanout = index
+        return self._fanout
+
     def fanout_of(self, net: str) -> List[Tuple[str, str]]:
         """(gate name, cell pin) pairs reading a net."""
-        readers: List[Tuple[str, str]] = []
-        for gate in self.gates.values():
-            for pin, connected in gate.connections.items():
-                if connected == net:
-                    readers.append((gate.name, pin))
-        return readers
+        return list(self.fanout_index().get(net, ()))
 
     def levelize(self) -> List[str]:
         """Topological gate order; raises on combinational cycles."""

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..logic.probability import signal_probability as expr_probability
 from ..netlist.network import Network, NetworkFault
+from ..simulate.compiled import compile_network
 from ..simulate.logicsim import PatternSet
 from .signalprob import (
     MAX_EXACT_INPUTS,
@@ -34,13 +35,17 @@ from .signalprob import (
 
 
 def difference_bits(network: Network, fault: NetworkFault, patterns: PatternSet) -> int:
-    """Bit vector marking the patterns that detect ``fault``."""
-    good = network.output_bits(patterns.env, patterns.mask)
-    faulty = network.output_bits(patterns.env, patterns.mask, fault)
-    difference = 0
-    for net in network.outputs:
-        difference |= good[net] ^ faulty[net]
-    return difference
+    """Bit vector marking the patterns that detect ``fault``.
+
+    Runs on the compiled engine: each call costs one good-circuit pass
+    plus one fanout-cone pass (only the compilation is cached).  When
+    looping over many faults, hoist the good pass instead::
+
+        sim = compile_network(network).simulate(patterns.env, patterns.mask)
+        words = [sim.difference(fault) for fault in faults]
+    """
+    sim = compile_network(network).simulate(patterns.env, patterns.mask)
+    return sim.difference(fault)
 
 
 def exact_detection_probabilities(
@@ -59,9 +64,10 @@ def exact_detection_probabilities(
     patterns = PatternSet.exhaustive(network.inputs)
     ordered = [input_probs[name] for name in reversed(network.inputs)]
     weights = minterm_weights(ordered)
+    sim = compile_network(network).simulate(patterns.env, patterns.mask)
     result: Dict[str, float] = {}
     for fault in faults:
-        difference = difference_bits(network, fault, patterns)
+        difference = sim.difference(fault)
         result[fault.describe()] = float(
             weights[bits_to_bool_array(difference, patterns.count)].sum()
         )
@@ -79,9 +85,10 @@ def monte_carlo_detection_probabilities(
     patterns = PatternSet.random(
         network.inputs, samples, seed=seed, probabilities=input_probs
     )
+    sim = compile_network(network).simulate(patterns.env, patterns.mask)
     result: Dict[str, float] = {}
     for fault in faults:
-        difference = difference_bits(network, fault, patterns)
+        difference = sim.difference(fault)
         result[fault.describe()] = difference.bit_count() / samples
     return result
 
@@ -103,19 +110,36 @@ def observability_estimates(
     observability: Dict[str, float] = {net: 0.0 for net in network.nets()}
     for net in network.outputs:
         observability[net] = 1.0
-    for gate_name in reversed(network.levelize()):
-        gate = network.gates[gate_name]
-        out_obs = observability[gate.output]
-        expr = gate.function_expr()
-        pin_probs = {
-            pin: signal_probs[net] for pin, net in gate.connections.items()
-        }
-        for pin, net in gate.connections.items():
-            cof0 = expr.cofactor(pin, 0)
-            cof1 = expr.cofactor(pin, 1)
-            sensitised = cof0 ^ cof1  # Boolean difference d expr / d pin
+    # Reverse-topological net sweep over the cached fanout index: each
+    # net's readers come from one dict lookup instead of a scan over
+    # every gate, and by the time a net is processed the observability
+    # of every reader's output (strictly downstream) is final.  Boolean
+    # differences are cached per (cell, pin) so repeated cells cost one
+    # cofactor computation, not one per instance.
+    fanout = network.fanout_index()
+    order = network.levelize()
+    net_order = list(network.inputs) + [network.gates[name].output for name in order]
+    sensitisation_cache: Dict[tuple, object] = {}
+    pin_probs_of_gate: Dict[str, Dict[str, float]] = {}
+    for net in reversed(net_order):
+        for gate_name, pin in fanout.get(net, ()):
+            gate = network.gates[gate_name]
+            key = (id(gate.cell), pin)
+            sensitised = sensitisation_cache.get(key)
+            if sensitised is None:
+                expr = gate.function_expr()
+                cof0 = expr.cofactor(pin, 0)
+                cof1 = expr.cofactor(pin, 1)
+                sensitised = cof0 ^ cof1  # Boolean difference d expr / d pin
+                sensitisation_cache[key] = sensitised
+            pin_probs = pin_probs_of_gate.get(gate_name)
+            if pin_probs is None:
+                pin_probs = {
+                    p: signal_probs[n] for p, n in gate.connections.items()
+                }
+                pin_probs_of_gate[gate_name] = pin_probs
             p_sens = expr_probability(sensitised, pin_probs)
-            through = out_obs * p_sens
+            through = observability[gate.output] * p_sens
             # Union over fanout branches: 1 - prod(1 - o_branch).
             observability[net] = 1.0 - (1.0 - observability[net]) * (1.0 - through)
     return observability

@@ -26,8 +26,9 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..netlist.network import Network, NetworkFault
+from ..simulate.compiled import compile_network
 from ..simulate.logicsim import PatternSet
-from .detectprob import difference_bits, monte_carlo_detection_probabilities
+from .detectprob import monte_carlo_detection_probabilities
 from .signalprob import MAX_EXACT_INPUTS, bits_to_bool_array, minterm_weights
 from .testlength import test_length
 
@@ -85,10 +86,10 @@ class _ExactEvaluator:
         self.network = network
         self.names = list(network.inputs)
         patterns = PatternSet.exhaustive(self.names)
+        sim = compile_network(network).simulate(patterns.env, patterns.mask)
         rows = []
         for fault in faults:
-            bits = difference_bits(network, fault, patterns)
-            rows.append(bits_to_bool_array(bits, patterns.count))
+            rows.append(bits_to_bool_array(sim.difference(fault), patterns.count))
         self.matrix = np.array(rows, dtype=float)
 
     def detection(self, probs: Mapping[str, float]) -> np.ndarray:

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..logic.probability import signal_probability as expr_probability
 from ..netlist.network import Network
+from ..simulate.compiled import compile_network
 from ..simulate.logicsim import PatternSet
 
 MAX_EXACT_INPUTS = 20
@@ -76,7 +77,7 @@ def exact_signal_probabilities(
         )
     input_probs = _input_probs(network, probs)
     patterns = PatternSet.exhaustive(network.inputs)
-    values = network.evaluate_bits(patterns.env, patterns.mask)
+    values = compile_network(network).evaluate_bits(patterns.env, patterns.mask)
     # Weight of minterm m: product over inputs of p or (1-p).
     ordered = [input_probs[name] for name in reversed(network.inputs)]
     weights = minterm_weights(ordered)
@@ -116,7 +117,7 @@ def monte_carlo_signal_probabilities(
     """Empirical frequencies over weighted random patterns."""
     input_probs = _input_probs(network, probs)
     patterns = PatternSet.random(network.inputs, samples, seed=seed, probabilities=input_probs)
-    values = network.evaluate_bits(patterns.env, patterns.mask)
+    values = compile_network(network).evaluate_bits(patterns.env, patterns.mask)
     return {net: bits.bit_count() / samples for net, bits in values.items()}
 
 

@@ -137,11 +137,17 @@ class Protest:
         count: int,
         probs: Mapping[str, float] | float = 0.5,
         seed: int = 1986,
+        engine: str = "compiled",
     ) -> FaultSimResult:
         """Static fault simulation of generated patterns - the validation
-        step before committing self-test logic to the chip."""
+        step before committing self-test logic to the chip.
+
+        ``engine`` selects the cone-restricted compiled simulator
+        (default) or the interpreted reference path; see
+        :func:`repro.simulate.faultsim.fault_simulate`.
+        """
         patterns = self.generate_patterns(count, probs, seed)
-        return fault_simulate(self.network, patterns, self.faults)
+        return fault_simulate(self.network, patterns, self.faults, engine=engine)
 
     # -- one-call analysis -----------------------------------------------------------
 

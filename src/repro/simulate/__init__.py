@@ -1,5 +1,6 @@
 """Simulation: true-value, static fault simulation, RC timing."""
 
+from .compiled import CompiledNetwork, GoodSimulation, compile_network
 from .deductive import deductive_fault_simulate
 from .dictionary import Diagnosis, FaultDictionary
 from .faultsim import FaultSimResult, coverage_curve, fault_simulate
@@ -15,6 +16,9 @@ from .timingsim import (
 )
 
 __all__ = [
+    "CompiledNetwork",
+    "GoodSimulation",
+    "compile_network",
     "deductive_fault_simulate",
     "Diagnosis",
     "FaultDictionary",

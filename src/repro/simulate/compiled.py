@@ -1,0 +1,451 @@
+"""Compiled bit-parallel simulation engine.
+
+:meth:`Network.evaluate_bits` is the workhorse of everything downstream
+(fault simulation, PROTEST's estimators, PODEM, all twelve experiments)
+- and it re-interprets expression ASTs gate by gate through per-gate
+dict environments on every call, re-simulating the *entire* network
+once per fault and re-running ``minimal_sop`` for every cell fault on
+every pass.  This module compiles a :class:`Network` once into a flat,
+slot-indexed program:
+
+* every net gets an integer **slot**; values live in a plain Python
+  list instead of a dict keyed by net names;
+* every gate's cached cell expression is compiled (via ``compile``)
+  into a single Python lambda ``f(v, m)`` reading its input slots
+  directly - the big-int bitwise operators then run at C speed with no
+  AST walk and no per-gate environment construction;
+* every fault's patch point is precomputed: a stuck fault is (slot,
+  forced word); a cell fault is (gate index, compiled faulty function),
+  with ``minimal_sop`` results cached per fault-class truth table so a
+  faulty function is minimised and compiled exactly once per (cell,
+  fault class) - not once per fault per pattern set.
+
+On top of the flat program sits **fault-cone-restricted single-fault
+propagation** (:meth:`GoodSimulation.difference`): the good circuit is
+simulated once, then each fault re-evaluates only gates downstream of
+its injection site, event-driven in levelized order, with early exit
+when every faulty word has converged back to the good word.  For
+shallow cones this turns the per-fault cost from O(network) into
+O(cone), which is what makes million-pattern fault-simulation workloads
+routine.
+
+The interpreted path (:meth:`Network.evaluate_bits`) is kept untouched
+as the reference oracle; ``tests/test_compiled_engine.py`` asserts
+bit-identical results between the two engines.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+from ..logic.expr import And, Const, Expr, Not, Or, Var
+from ..logic.minimize import minimal_sop
+from ..logic.truthtable import TruthTable
+from ..netlist.network import Network, NetworkError, NetworkFault
+
+__all__ = ["CompiledGate", "CompiledNetwork", "GoodSimulation", "compile_network"]
+
+
+# -- expression -> python source -----------------------------------------------------
+
+def _expr_source(expr: Expr, source_of_var: Mapping[str, str]) -> str:
+    """Render an expression as Python source over a mask ``m``.
+
+    ``source_of_var`` maps each variable to its source snippet (a slot
+    lookup like ``v[3]`` or a positional parameter like ``p0``).  All
+    values are subsets of the mask, so NOT is ``m ^ x`` (cheaper than
+    ``m & ~x`` and equivalent on masked words).
+    """
+    if isinstance(expr, Const):
+        return "m" if expr.value else "0"
+    if isinstance(expr, Var):
+        return source_of_var[expr.name]
+    if isinstance(expr, Not):
+        return f"(m ^ {_expr_source(expr.operand, source_of_var)})"
+    if isinstance(expr, And):
+        return "(" + " & ".join(_expr_source(op, source_of_var) for op in expr.operands) + ")"
+    if isinstance(expr, Or):
+        return "(" + " | ".join(_expr_source(op, source_of_var) for op in expr.operands) + ")"
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+_CODE_CACHE: Dict[str, Callable] = {}
+
+
+def _compile_source(params: str, source: str) -> Callable:
+    key = f"{params}:{source}"
+    function = _CODE_CACHE.get(key)
+    if function is None:
+        function = eval(compile(f"lambda {params}: {source}", "<compiled-gate>", "eval"))
+        _CODE_CACHE[key] = function
+    return function
+
+
+def compile_gate_function(expr: Expr, slot_of_pin: Mapping[str, int]):
+    """Compile one gate function to a flat ``f(values, mask)`` callable."""
+    sources = {pin: f"v[{slot}]" for pin, slot in slot_of_pin.items()}
+    return _compile_source("v, m", _expr_source(expr, sources))
+
+
+def compile_pin_function(expr: Expr, pins: Sequence[str]) -> Callable:
+    """Compile a cell function to ``f(m, p0, p1, ...)`` over positional pins.
+
+    Unlike :func:`compile_gate_function` the result carries no slot
+    indices, so one compilation serves every gate instance of the cell;
+    callers bind slots with a cheap closure.
+    """
+    sources = {pin: f"p{index}" for index, pin in enumerate(pins)}
+    params = ", ".join(["m"] + [f"p{index}" for index in range(len(pins))])
+    return _compile_source(params, _expr_source(expr, sources))
+
+
+# -- minimal-SOP cache per fault-class table ------------------------------------------
+
+_SOP_CACHE: Dict[Tuple[Tuple[str, ...], int], Expr] = {}
+
+
+def minimal_sop_cached(table: TruthTable) -> Expr:
+    """``minimal_sop`` memoised on the table's identity.
+
+    Fault classes of equal cells share tables, so across a network this
+    runs Quine-McCluskey once per distinct (cell, fault class) instead
+    of once per fault per simulation pass.
+    """
+    key = (table.names, table.bits)
+    expr = _SOP_CACHE.get(key)
+    if expr is None:
+        expr = minimal_sop(table)
+        _SOP_CACHE[key] = expr
+    return expr
+
+
+def fault_class_expr(function) -> Expr:
+    """An expression computing a :class:`LibraryFunction`, cached per table.
+
+    The library generator already stored each class's minimal SOP as a
+    string, so the common path is a parse of that string (validated
+    against the table) rather than a fresh Quine-McCluskey run; only an
+    inconsistent or unparsable ``sop`` falls back to
+    :func:`minimal_sop_cached`.
+    """
+    table = function.table
+    key = (table.names, table.bits)
+    expr = _SOP_CACHE.get(key)
+    if expr is None:
+        from ..logic.parser import parse_expression
+
+        try:
+            expr = parse_expression(function.sop)
+            if TruthTable.from_expr(expr, table.names) != table:
+                expr = minimal_sop(table)
+        except Exception:
+            expr = minimal_sop(table)
+        _SOP_CACHE[key] = expr
+    return expr
+
+
+_FAULT_PIN_FNS: Dict[Tuple[Tuple[str, ...], int, Tuple[str, ...]], Callable] = {}
+"""Compiled pin-level faulty functions, shared per (fault-class table,
+cell pin order) - the pin order fixes the compiled function's arity."""
+
+
+# -- the compiled program --------------------------------------------------------------
+
+class CompiledGate:
+    """One gate of the flat program.
+
+    ``in_slots`` follows ``cell.inputs`` order, which is also the
+    variable order of library truth tables - parallel.py exploits this
+    for direct minterm indexing.
+    """
+
+    __slots__ = ("name", "index", "out_slot", "in_slots", "fn", "cell")
+
+    def __init__(self, name, index, out_slot, in_slots, fn, cell):
+        self.name = name
+        self.index = index
+        self.out_slot = out_slot
+        self.in_slots = in_slots
+        self.fn = fn
+        self.cell = cell
+
+
+class CompiledNetwork:
+    """A :class:`Network` flattened into a slot-indexed program."""
+
+    def __init__(self, network: Network):
+        # Only plain data is kept from the network - holding the Network
+        # itself would pin it (and this compilation) in the weak-keyed
+        # compile cache forever.
+        self.name = network.name
+        self.input_nets: Tuple[str, ...] = tuple(network.inputs)
+        self.output_nets: Tuple[str, ...] = tuple(network.outputs)
+        order = network.levelize()
+
+        slot_of_net: Dict[str, int] = {}
+        for net in network.inputs:
+            slot_of_net[net] = len(slot_of_net)
+        self.num_input_slots = len(slot_of_net)
+        for gate_name in order:
+            output = network.gates[gate_name].output
+            slot_of_net[output] = len(slot_of_net)
+        self.slot_of_net = slot_of_net
+        self.num_slots = len(slot_of_net)
+        self.net_of_slot: List[str] = [""] * self.num_slots
+        for net, slot in slot_of_net.items():
+            self.net_of_slot[slot] = net
+
+        self.gates: List[CompiledGate] = []
+        self.gate_index: Dict[str, int] = {}
+        self.readers: List[List[int]] = [[] for _ in range(self.num_slots)]
+        for index, gate_name in enumerate(order):
+            gate = network.gates[gate_name]
+            pins = gate.cell.inputs
+            slot_of_pin = {pin: slot_of_net[gate.connections[pin]] for pin in pins}
+            fn = compile_gate_function(gate.function_expr(), slot_of_pin)
+            compiled = CompiledGate(
+                name=gate_name,
+                index=index,
+                out_slot=slot_of_net[gate.output],
+                in_slots=tuple(slot_of_pin[pin] for pin in pins),
+                fn=fn,
+                cell=gate.cell,
+            )
+            self.gates.append(compiled)
+            self.gate_index[gate_name] = index
+            for slot in set(compiled.in_slots):
+                self.readers[slot].append(index)
+
+        self.out_slots: Tuple[int, ...] = tuple(
+            slot_of_net[net] for net in self.output_nets
+        )
+        # Parallel arrays for the hot cone-pass loop (no attribute lookups).
+        self._gate_out = [gate.out_slot for gate in self.gates]
+        self._gate_fn = [gate.fn for gate in self.gates]
+        self._is_out_slot = bytearray(self.num_slots)
+        for slot in self.out_slots:
+            self._is_out_slot[slot] = 1
+        # Per-fault patch points, filled lazily (faulty functions compiled
+        # once per distinct fault-class table, bound to gate slots with a
+        # cheap closure).  Keyed by the stable (gate, table) identity so
+        # re-enumerated fault lists reuse entries instead of growing the
+        # cache; hashing a whole NetworkFault (nested dataclasses) would
+        # be far slower.
+        self._faulty_fns: Dict[Tuple, Callable] = {}
+
+    # -- fault patch points ---------------------------------------------------------
+
+    def faulty_function(self, fault: NetworkFault):
+        """The compiled faulty gate function of a cell fault.
+
+        The pin-level compilation is shared between every fault with the
+        same class table (and every gate instance of the cell); only a
+        slot-binding closure is created per fault.
+        """
+        table = fault.function.table
+        key = (fault.gate, table.names, table.bits)
+        fn = self._faulty_fns.get(key)
+        if fn is None:
+            gate = self.gates[self.gate_index[fault.gate]]
+            pins = tuple(gate.cell.inputs)
+            pin_key = (table.names, table.bits, pins)
+            generic = _FAULT_PIN_FNS.get(pin_key)
+            if generic is None:
+                if table.names == pins:
+                    expr = fault_class_expr(fault.function)
+                else:
+                    # Off-library fault: re-tabulate on the gate's pins.
+                    expr = minimal_sop_cached(table.expand(pins))
+                generic = compile_pin_function(expr, pins)
+                _FAULT_PIN_FNS[pin_key] = generic
+            slots = gate.in_slots
+
+            def fn(v, m, _fn=generic, _slots=slots):
+                return _fn(m, *[v[s] for s in _slots])
+
+            self._faulty_fns[key] = fn
+        return fn
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def _input_values(self, env: Mapping[str, int], mask: int) -> List[int]:
+        values = [0] * self.num_slots
+        for slot, net in enumerate(self.input_nets):
+            try:
+                values[slot] = env[net] & mask
+            except KeyError:
+                raise NetworkError(f"no value for primary input {net!r}") from None
+        return values
+
+    def simulate(self, env: Mapping[str, int], mask: int) -> "GoodSimulation":
+        """Fault-free simulation; the result hosts per-fault cone passes."""
+        values = self._input_values(env, mask)
+        for gate in self.gates:
+            values[gate.out_slot] = gate.fn(values, mask)
+        return GoodSimulation(self, values, mask)
+
+    def evaluate_bits(
+        self,
+        env: Mapping[str, int],
+        mask: int,
+        fault: Optional[NetworkFault] = None,
+    ) -> Dict[str, int]:
+        """Drop-in replacement for :meth:`Network.evaluate_bits`."""
+        values = self._input_values(env, mask)
+        stuck_slot = -1
+        stuck_word = 0
+        fault_gate = -1
+        if fault is not None:
+            if fault.kind == "stuck":
+                stuck_slot = self.slot_of_net.get(fault.net, -1)
+                stuck_word = mask if fault.value else 0
+                if 0 <= stuck_slot < self.num_input_slots:
+                    values[stuck_slot] = stuck_word
+            else:
+                fault_gate = self.gate_index.get(fault.gate, -1)
+        for gate in self.gates:
+            if gate.index == fault_gate:
+                values[gate.out_slot] = self.faulty_function(fault)(values, mask)
+            else:
+                values[gate.out_slot] = gate.fn(values, mask)
+            if gate.out_slot == stuck_slot:
+                values[gate.out_slot] = stuck_word
+        return {self.net_of_slot[slot]: values[slot] for slot in range(self.num_slots)}
+
+    def output_bits(
+        self,
+        env: Mapping[str, int],
+        mask: int,
+        fault: Optional[NetworkFault] = None,
+    ) -> Dict[str, int]:
+        if fault is None:
+            sim = self.simulate(env, mask)
+            return {net: sim.values[self.slot_of_net[net]] for net in self.output_nets}
+        values = self.evaluate_bits(env, mask, fault)
+        return {net: values[net] for net in self.output_nets}
+
+
+class GoodSimulation:
+    """One fault-free valuation plus scratch space for cone passes."""
+
+    __slots__ = ("compiled", "values", "mask", "_scratch", "_heap", "_scheduled")
+
+    def __init__(self, compiled: CompiledNetwork, values: List[int], mask: int):
+        self.compiled = compiled
+        self.values = values
+        self.mask = mask
+        self._scratch = values[:]
+        # Pooled per-pass buffers: the heap drains to empty and the
+        # scheduled flags are reset from the pop list, so no per-fault
+        # allocation survives a pass.
+        self._heap: List[int] = []
+        self._scheduled = bytearray(len(compiled.gates))
+
+    def value_of(self, net: str) -> int:
+        return self.values[self.compiled.slot_of_net[net]]
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            net: self.values[slot] for net, slot in self.compiled.slot_of_net.items()
+        }
+
+    def output_dict(self) -> Dict[str, int]:
+        compiled = self.compiled
+        return {
+            net: self.values[compiled.slot_of_net[net]]
+            for net in compiled.output_nets
+        }
+
+    def difference(self, fault: NetworkFault) -> int:
+        """Bit word marking the patterns on which ``fault`` is detected.
+
+        Event-driven cone pass: only gates downstream of the injection
+        site re-evaluate, in levelized order, and propagation stops as
+        soon as every changed word has converged back to the good word.
+        """
+        compiled = self.compiled
+        good = self.values
+        scratch = self._scratch
+        mask = self.mask
+        readers = compiled.readers
+        gate_out = compiled._gate_out
+        gate_fn = compiled._gate_fn
+        is_out_slot = compiled._is_out_slot
+
+        heap = self._heap  # empty between passes
+        scheduled = self._scheduled  # all-zero between passes
+        popped: List[int] = []
+        touched: List[int] = []
+        difference = 0
+        stuck_slot = -1
+        fault_gate = -1
+
+        if fault.kind == "stuck":
+            stuck_slot = compiled.slot_of_net.get(fault.net, -1)
+            if stuck_slot < 0:
+                return 0
+            forced = mask if fault.value else 0
+            if scratch[stuck_slot] != forced:
+                scratch[stuck_slot] = forced
+                touched.append(stuck_slot)
+                if is_out_slot[stuck_slot]:
+                    difference = forced ^ good[stuck_slot]
+                for gi in readers[stuck_slot]:
+                    if not scheduled[gi]:
+                        scheduled[gi] = 1
+                        heappush(heap, gi)
+        else:
+            fault_gate = compiled.gate_index.get(fault.gate, -1)
+            if fault_gate < 0:
+                return 0
+            scheduled[fault_gate] = 1
+            heappush(heap, fault_gate)
+            faulty_fn = compiled.faulty_function(fault)
+
+        while heap:
+            gi = heappop(heap)
+            popped.append(gi)
+            out = gate_out[gi]
+            if out == stuck_slot:
+                continue  # the forced net shadows its driver
+            if gi == fault_gate:
+                word = faulty_fn(scratch, mask)
+            else:
+                word = gate_fn[gi](scratch, mask)
+            if word != scratch[out]:
+                scratch[out] = word
+                touched.append(out)
+                if is_out_slot[out]:
+                    difference |= word ^ good[out]
+                for reader in readers[out]:
+                    if not scheduled[reader]:
+                        scheduled[reader] = 1
+                        heappush(heap, reader)
+
+        for slot in touched:
+            scratch[slot] = good[slot]
+        for gi in popped:
+            scheduled[gi] = 0
+        return difference
+
+
+# -- per-network compile cache ---------------------------------------------------------
+
+_COMPILED: "WeakKeyDictionary[Network, Tuple[int, CompiledNetwork]]" = WeakKeyDictionary()
+
+
+def compile_network(network: Network) -> CompiledNetwork:
+    """Compile (or fetch the cached compilation of) a network.
+
+    The cache is invalidated by the network's structural generation
+    counter, which :meth:`Network.add_gate` bumps alongside ``_order``.
+    """
+    generation = getattr(network, "_generation", 0)
+    cached = _COMPILED.get(network)
+    if cached is not None and cached[0] == generation:
+        return cached[1]
+    compiled = CompiledNetwork(network)
+    _COMPILED[network] = (generation, compiled)
+    return compiled

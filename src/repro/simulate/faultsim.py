@@ -10,7 +10,16 @@ defeat "the fault injection algorithms of parallel, deductive or
 concurrent fault simulators".
 
 One pass evaluates the fault-free network over all patterns at once
-(big-int bit-parallel); each fault then costs one more pass.
+(big-int bit-parallel).  Two engines then price the per-fault passes:
+
+* ``engine="compiled"`` (default) - the flat slot program of
+  :mod:`repro.simulate.compiled`: the good circuit is simulated once
+  and each fault re-evaluates only the gates in its fanout cone,
+  event-driven, with early exit on convergence.
+* ``engine="interpreted"`` - the original reference path through
+  :meth:`Network.evaluate_bits`, one full network pass per fault.
+  Kept as the oracle the equivalence suite checks the compiled engine
+  against; both produce bit-identical results.
 """
 
 from __future__ import annotations
@@ -19,7 +28,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..netlist.network import Network, NetworkFault
+from .compiled import compile_network
 from .logicsim import PatternSet
+
+#: Pattern-window width used when ``stop_at_first_detection`` chunks the
+#: pattern sequence; a fault detected in window k never simulates window
+#: k+1.
+FIRST_DETECTION_CHUNK = 256
 
 
 @dataclass
@@ -63,39 +78,114 @@ class FaultSimResult:
         return "\n".join(lines)
 
 
+def _difference_interpreted(
+    network: Network,
+    env: Dict[str, int],
+    mask: int,
+    good: Dict[str, int],
+    fault: NetworkFault,
+) -> int:
+    faulty = network.output_bits(env, mask, fault)
+    difference = 0
+    for net in network.outputs:
+        difference |= good[net] ^ faulty[net]
+    return difference
+
+
 def fault_simulate(
     network: Network,
     patterns: PatternSet,
     faults: Optional[Sequence[NetworkFault]] = None,
     stop_at_first_detection: bool = False,
+    engine: str = "compiled",
 ) -> FaultSimResult:
     """Simulate every fault against every pattern.
 
-    With ``stop_at_first_detection`` the per-fault detection *count* is
-    not meaningful (only first detection is recorded); leave it off when
-    the empirical detection probabilities are wanted.
+    ``stop_at_first_detection`` semantics: the pattern sequence is
+    processed in windows of :data:`FIRST_DETECTION_CHUNK` patterns and a
+    fault leaves the simulation at the end of its first detecting
+    window - patterns after that window are genuinely never simulated
+    for it.  ``detected`` still records the exact index of the first
+    detecting pattern, but ``detection_counts`` is pinned to 1 per
+    detected fault and is *not* the empirical detection count; leave
+    the flag off when empirical detection probabilities are wanted.
+
+    ``engine`` selects ``"compiled"`` (cone-restricted passes, default)
+    or ``"interpreted"`` (the reference oracle); results are
+    bit-identical.
     """
     if faults is None:
         faults = network.enumerate_faults()
-    mask = patterns.mask
-    good = network.output_bits(patterns.env, mask)
+    if engine not in ("compiled", "interpreted"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if stop_at_first_detection:
+        return _simulate_first_detection(network, patterns, faults, engine)
 
     detected: Dict[str, int] = {}
     counts: Dict[str, int] = {}
     undetected: List[str] = []
-    for fault in faults:
-        faulty = network.output_bits(patterns.env, mask, fault)
-        difference = 0
-        for net in network.outputs:
-            difference |= good[net] ^ faulty[net]
+    if engine == "compiled":
+        sim = compile_network(network).simulate(patterns.env, patterns.mask)
+        differences = ((fault, sim.difference(fault)) for fault in faults)
+    else:
+        mask = patterns.mask
+        good = network.output_bits(patterns.env, mask)
+        differences = (
+            (fault, _difference_interpreted(network, patterns.env, mask, good, fault))
+            for fault in faults
+        )
+    for fault, difference in differences:
         if difference == 0:
             undetected.append(fault.describe())
             continue
         first = (difference & -difference).bit_length() - 1
         detected[fault.describe()] = first
         counts[fault.describe()] = difference.bit_count()
-        if stop_at_first_detection:
-            counts[fault.describe()] = 1
+    return FaultSimResult(
+        network_name=network.name,
+        pattern_count=patterns.count,
+        detected=detected,
+        detection_counts=counts,
+        undetected=undetected,
+    )
+
+
+def _simulate_first_detection(
+    network: Network,
+    patterns: PatternSet,
+    faults: Sequence[NetworkFault],
+    engine: str,
+) -> FaultSimResult:
+    """Chunked pass that drops each fault after its first detection."""
+    detected: Dict[str, int] = {}
+    counts: Dict[str, int] = {}
+    active: List[NetworkFault] = list(faults)
+    compiled = compile_network(network) if engine == "compiled" else None
+    for start in range(0, patterns.count, FIRST_DETECTION_CHUNK):
+        width = min(FIRST_DETECTION_CHUNK, patterns.count - start)
+        chunk_mask = (1 << width) - 1
+        env = {net: (bits >> start) & chunk_mask for net, bits in patterns.env.items()}
+        if compiled is not None:
+            sim = compiled.simulate(env, chunk_mask)
+            difference_of = sim.difference
+        else:
+            good = network.output_bits(env, chunk_mask)
+            difference_of = lambda fault: _difference_interpreted(  # noqa: E731
+                network, env, chunk_mask, good, fault
+            )
+        remaining: List[NetworkFault] = []
+        for fault in active:
+            difference = difference_of(fault)
+            if difference:
+                first = (difference & -difference).bit_length() - 1
+                detected[fault.describe()] = start + first
+                counts[fault.describe()] = 1
+            else:
+                remaining.append(fault)
+        active = remaining
+        if not active:
+            break
+    undetected = [fault.describe() for fault in active]
     return FaultSimResult(
         network_name=network.name,
         pattern_count=patterns.count,
@@ -110,6 +200,7 @@ def coverage_curve(
     patterns: PatternSet,
     faults: Optional[Sequence[NetworkFault]] = None,
     points: int = 32,
+    engine: str = "compiled",
 ) -> List[Tuple[int, float]]:
     """(pattern count, fault coverage) samples along a pattern sequence.
 
@@ -117,7 +208,7 @@ def coverage_curve(
     run once over the full set, then read off when each fault first
     fell.
     """
-    result = fault_simulate(network, patterns, faults)
+    result = fault_simulate(network, patterns, faults, engine=engine)
     total = result.fault_count
     if total == 0:
         return [(patterns.count, 1.0)]

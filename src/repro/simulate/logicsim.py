@@ -12,6 +12,25 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
+_WEIGHTED_CHUNK = 1 << 16
+"""Patterns drawn per vectorized sampling round for weighted inputs."""
+
+
+def _weighted_bits(seed: int, count: int, p: float) -> int:
+    """``count`` Bernoulli(p) bits as a big-int, sampled in vectorized chunks."""
+    rng = np.random.default_rng(seed)
+    bits = 0
+    offset = 0
+    while offset < count:
+        width = min(_WEIGHTED_CHUNK, count - offset)
+        drawn = rng.random(width) < p
+        packed = np.packbits(drawn, bitorder="little").tobytes()
+        bits |= int.from_bytes(packed, "little") << offset
+        offset += width
+    return bits
+
 
 @dataclass
 class PatternSet:
@@ -50,13 +69,16 @@ class PatternSet:
             raise ValueError(f"exhaustive set over {n} inputs is unreasonable")
         count = 1 << n
         env: Dict[str, int] = {}
+        all_ones = (1 << count) - 1
         for position, name in enumerate(names):
-            shift = n - 1 - position
-            pattern = 0
-            for index in range(count):
-                if (index >> shift) & 1:
-                    pattern |= 1 << index
-            env[name] = pattern
+            # Column `position` is periodic: 2^shift zeros then 2^shift
+            # ones, repeating.  Closed form: one marker bit per period
+            # (exact division - the period divides the pattern count),
+            # each multiplied into a block of ones in the period's upper
+            # half.
+            block = 1 << (n - 1 - position)
+            markers = all_ones // ((1 << (2 * block)) - 1)
+            env[name] = markers * (((1 << block) - 1) << block)
         return cls(names, env, count)
 
     @classmethod
@@ -77,12 +99,22 @@ class PatternSet:
         names = tuple(names)
         rng = random.Random(seed)
         probabilities = probabilities or {}
-        env = {name: 0 for name in names}
-        for index in range(count):
-            for name in names:
-                p = probabilities.get(name, 0.5)
-                if rng.random() < p:
-                    env[name] |= 1 << index
+        env: Dict[str, int] = {}
+        mask = (1 << count) - 1
+        for name in names:
+            p = probabilities.get(name, 0.5)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"probability of {name!r} must be in [0,1], got {p}")
+            if p == 0.5:
+                # One getrandbits call per input instead of one rng.random()
+                # call per (input, pattern).
+                env[name] = rng.getrandbits(count) if count else 0
+            elif p <= 0.0:
+                env[name] = 0
+            elif p >= 1.0:
+                env[name] = mask
+            else:
+                env[name] = _weighted_bits(rng.getrandbits(64), count, p)
         return cls(names, env, count)
 
     # -- access ----------------------------------------------------------------------
@@ -116,9 +148,13 @@ class PatternSet:
 
 def simulate(network, patterns: PatternSet) -> Dict[str, int]:
     """Fault-free output bit-vectors of a network under a pattern set."""
-    return network.output_bits(patterns.env, patterns.mask)
+    from .compiled import compile_network
+
+    return compile_network(network).output_bits(patterns.env, patterns.mask)
 
 
 def simulate_all_nets(network, patterns: PatternSet) -> Dict[str, int]:
     """Bit-vectors of *every* net (used by PROTEST's exact estimators)."""
-    return network.evaluate_bits(patterns.env, patterns.mask)
+    from .compiled import compile_network
+
+    return compile_network(network).evaluate_bits(patterns.env, patterns.mask)

@@ -9,6 +9,11 @@ combinational fault model makes the technique sound for dynamic MOS,
 and Python big-ints remove the historical word-size batching: all
 faults ride in a single integer.
 
+The per-pattern network pass runs on the flat slot program of
+:mod:`repro.simulate.compiled` (compiled gate functions over a values
+list) rather than re-walking expression ASTs through per-gate dict
+environments.
+
 Injection per machine:
 
 * a stuck net forces its bit after the driver (or primary input)
@@ -21,9 +26,10 @@ Injection per machine:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..netlist.network import Network, NetworkFault
+from .compiled import compile_network
 from .faultsim import FaultSimResult
 from .logicsim import PatternSet
 
@@ -41,48 +47,63 @@ def parallel_fault_simulate(
     good_bit = len(faults)
     mask = (1 << machine_count) - 1
 
-    stuck_of_net: Dict[str, List[int]] = {}
-    cells_of_gate: Dict[str, List[int]] = {}
+    compiled = compile_network(network)
+    stuck_of_slot: Dict[int, List[int]] = {}
+    cells_of_gate: Dict[int, List[int]] = {}
     for index, fault in enumerate(faults):
         if fault.kind == "stuck":
-            stuck_of_net.setdefault(fault.net, []).append(index)
+            slot = compiled.slot_of_net.get(fault.net)
+            if slot is not None:
+                stuck_of_slot.setdefault(slot, []).append(index)
         else:
-            cells_of_gate.setdefault(fault.gate, []).append(index)
+            gate_index = compiled.gate_index.get(fault.gate)
+            if gate_index is not None:
+                cells_of_gate.setdefault(gate_index, []).append(index)
 
-    def apply_stucks(net: str, word: int) -> int:
-        for index in stuck_of_net.get(net, ()):
+    def apply_stucks(slot: int, word: int) -> int:
+        for index in stuck_of_slot.get(slot, ()):
             if faults[index].value:
                 word |= 1 << index
             else:
                 word &= ~(1 << index)
         return word
 
+    # Per machine-fault: (fault index, truth table, pin order as slots).
+    patches_of_gate: Dict[int, List[Tuple[int, object, Tuple[int, ...]]]] = {}
+    for gate_index, indices in cells_of_gate.items():
+        gate = compiled.gates[gate_index]
+        entries = []
+        pins = tuple(gate.cell.inputs)
+        for index in indices:
+            table = faults[index].function.table
+            if table.names != pins:
+                table = table.expand(pins)  # off-library fault: re-tabulate
+            entries.append((index, table, gate.in_slots))
+        patches_of_gate[gate_index] = entries
+
     detected: Dict[str, int] = {}
     counts: Dict[str, int] = {}
-    order = network.levelize()
+    num_inputs = compiled.num_input_slots
     for pattern_index, vector in enumerate(patterns.vectors()):
-        words: Dict[str, int] = {}
-        for net in network.inputs:
-            word = mask if vector[net] else 0
-            words[net] = apply_stucks(net, word)
-        for gate_name in order:
-            gate = network.gates[gate_name]
-            local = {pin: words[net] for pin, net in gate.connections.items()}
-            word = gate.function_expr().evaluate_bits(local, mask)
-            for index in cells_of_gate.get(gate_name, ()):
-                machine_inputs = {
-                    pin: (local[pin] >> index) & 1 for pin in local
-                }
-                bad = faults[index].function.table.value(machine_inputs)
-                if bad:
+        words: List[int] = [0] * compiled.num_slots
+        for slot in range(num_inputs):
+            word = mask if vector[compiled.net_of_slot[slot]] else 0
+            words[slot] = apply_stucks(slot, word)
+        for gate in compiled.gates:
+            word = gate.fn(words, mask)
+            for index, table, in_slots in patches_of_gate.get(gate.index, ()):
+                minterm = 0
+                for slot in in_slots:
+                    minterm = (minterm << 1) | ((words[slot] >> index) & 1)
+                if table.value_at(minterm):
                     word |= 1 << index
                 else:
                     word &= ~(1 << index)
-            words[gate.output] = apply_stucks(gate.output, word)
+            words[gate.out_slot] = apply_stucks(gate.out_slot, word)
         # A machine differs from the good machine on some output -> detected.
         difference = 0
-        for net in network.outputs:
-            word = words[net]
+        for slot in compiled.out_slots:
+            word = words[slot]
             good_value = (word >> good_bit) & 1
             reference = mask if good_value else 0
             difference |= word ^ reference

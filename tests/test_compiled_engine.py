@@ -1,0 +1,290 @@
+"""Compiled engine vs. interpreted oracle - bit-identical or bust.
+
+The compiled slot program and its fault-cone-restricted passes
+(:mod:`repro.simulate.compiled`) must agree with the interpreted
+reference path (:meth:`Network.evaluate_bits`) on every net value,
+every detection set, and every first-detection index, across randomly
+generated circuits, every technology's fault universe, and both fault
+kinds (cell classes and net stuck-ats).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.generators import (
+    and_cone,
+    c17,
+    domino_carry_chain,
+    dual_rail_parity_tree,
+    random_network,
+)
+from repro.netlist import CellFactory, Network, NetworkFault
+from repro.simulate import PatternSet, compile_network, fault_simulate
+from repro.simulate.compiled import minimal_sop_cached
+from repro.simulate.faultsim import FIRST_DETECTION_CHUNK
+
+
+def all_faults(network):
+    return network.enumerate_faults(include_cell_classes=True, include_stuck_at=True)
+
+
+def interpreted_difference(network, patterns, fault):
+    good = network.output_bits(patterns.env, patterns.mask)
+    faulty = network.output_bits(patterns.env, patterns.mask, fault)
+    difference = 0
+    for net in network.outputs:
+        difference |= good[net] ^ faulty[net]
+    return difference
+
+
+CIRCUITS = [
+    and_cone(5),
+    domino_carry_chain(4),
+    dual_rail_parity_tree(4),
+    c17(),
+    random_network(n_inputs=6, n_gates=14, seed=11),
+    random_network(n_inputs=5, n_gates=10, technology="dynamic-nMOS", seed=23),
+    random_network(n_inputs=5, n_gates=10, technology="static-CMOS", seed=37),
+    random_network(n_inputs=5, n_gates=9, technology="nMOS", seed=41),
+]
+
+
+@pytest.mark.parametrize("network", CIRCUITS, ids=lambda n: n.name)
+class TestEngineEquivalence:
+    def test_good_values_identical_on_every_net(self, network):
+        patterns = PatternSet.random(network.inputs, 96, seed=5)
+        interpreted = network.evaluate_bits(patterns.env, patterns.mask)
+        compiled = compile_network(network).evaluate_bits(patterns.env, patterns.mask)
+        assert compiled == interpreted
+
+    def test_faulty_values_identical_on_every_net(self, network):
+        patterns = PatternSet.random(network.inputs, 48, seed=6)
+        compiled = compile_network(network)
+        for fault in all_faults(network):
+            interpreted = network.evaluate_bits(patterns.env, patterns.mask, fault)
+            assert (
+                compiled.evaluate_bits(patterns.env, patterns.mask, fault)
+                == interpreted
+            ), fault.describe()
+
+    def test_cone_difference_matches_full_resimulation(self, network):
+        patterns = PatternSet.random(network.inputs, 128, seed=7)
+        sim = compile_network(network).simulate(patterns.env, patterns.mask)
+        for fault in all_faults(network):
+            assert sim.difference(fault) == interpreted_difference(
+                network, patterns, fault
+            ), fault.describe()
+
+    def test_fault_simulate_results_identical(self, network):
+        patterns = PatternSet.random(network.inputs, 128, seed=8)
+        faults = all_faults(network)
+        compiled = fault_simulate(network, patterns, faults, engine="compiled")
+        interpreted = fault_simulate(network, patterns, faults, engine="interpreted")
+        assert compiled.detected == interpreted.detected
+        assert compiled.detection_counts == interpreted.detection_counts
+        assert compiled.undetected == interpreted.undetected
+
+    def test_first_detection_indices_identical(self, network):
+        # More patterns than one chunk so the early-exit path is exercised.
+        patterns = PatternSet.random(network.inputs, FIRST_DETECTION_CHUNK + 64, seed=9)
+        faults = all_faults(network)
+        first_compiled = fault_simulate(
+            network, patterns, faults, stop_at_first_detection=True, engine="compiled"
+        )
+        first_interpreted = fault_simulate(
+            network, patterns, faults, stop_at_first_detection=True, engine="interpreted"
+        )
+        full = fault_simulate(network, patterns, faults)
+        assert first_compiled.detected == first_interpreted.detected
+        assert first_compiled.detected == full.detected
+        assert first_compiled.undetected == full.undetected
+        # Documented semantics: counts are pinned to 1 per detected fault.
+        assert all(c == 1 for c in first_compiled.detection_counts.values())
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_inputs=st.integers(min_value=2, max_value=7),
+    n_gates=st.integers(min_value=1, max_value=16),
+    pattern_seed=st.integers(min_value=0, max_value=255),
+    count=st.integers(min_value=1, max_value=300),
+)
+def test_property_random_circuits_agree(seed, n_inputs, n_gates, pattern_seed, count):
+    """Property: engines agree on arbitrary random circuits and pattern sets."""
+    network = random_network(n_inputs=n_inputs, n_gates=n_gates, seed=seed)
+    patterns = PatternSet.random(network.inputs, count, seed=pattern_seed)
+    sim = compile_network(network).simulate(patterns.env, patterns.mask)
+    for fault in all_faults(network):
+        assert sim.difference(fault) == interpreted_difference(network, patterns, fault)
+
+
+class TestStuckAtEdgeCases:
+    def test_stuck_input_that_is_also_output(self):
+        factory = CellFactory("domino-CMOS")
+        network = Network("passthrough")
+        network.add_input("a")
+        network.add_input("b")
+        network.add_gate("g", factory.and_gate(2), {"i1": "a", "i2": "b"}, "z")
+        network.mark_output("z")
+        network.mark_output("a")  # a primary input observed directly
+        patterns = PatternSet.exhaustive(network.inputs)
+        sim = compile_network(network).simulate(patterns.env, patterns.mask)
+        for fault in [NetworkFault.stuck_at("a", 0), NetworkFault.stuck_at("a", 1)]:
+            assert sim.difference(fault) == interpreted_difference(
+                network, patterns, fault
+            )
+
+    def test_stuck_on_unknown_net_is_a_no_op(self):
+        network = domino_carry_chain(2)
+        patterns = PatternSet.exhaustive(network.inputs)
+        sim = compile_network(network).simulate(patterns.env, patterns.mask)
+        fault = NetworkFault.stuck_at("ghost", 1)
+        assert sim.difference(fault) == 0
+        assert interpreted_difference(network, patterns, fault) == 0
+
+    def test_stuck_matching_good_value_is_undetected(self):
+        network = and_cone(3)
+        # Single pattern driving the cone output to 0; s0 on it changes nothing.
+        vector = {net: 0 for net in network.inputs}
+        patterns = PatternSet.from_vectors(network.inputs, [vector])
+        sim = compile_network(network).simulate(patterns.env, patterns.mask)
+        assert sim.difference(NetworkFault.stuck_at("w", 0)) == 0
+
+
+class TestOffLibraryFaults:
+    def test_shared_table_across_cells_of_different_arity(self):
+        """An off-library fault table (names != cell.inputs) must work on
+        gates of different arity despite the shared pin-function cache."""
+        from repro.cells.library import LibraryFunction
+        from repro.logic.parser import parse_expression
+        from repro.logic.truthtable import TruthTable
+
+        table = TruthTable.from_expr(parse_expression("i2"), ("i2",))
+        function = LibraryFunction(name="pass_i2", table=table, sop="i2")
+        factory = CellFactory("domino-CMOS")
+        network = Network("arity_mix")
+        for name in ("a", "b", "c"):
+            network.add_input(name)
+        network.add_gate("g2", factory.and_gate(2), {"i1": "a", "i2": "b"}, "n1")
+        network.add_gate(
+            "g3", factory.and_gate(3), {"i1": "n1", "i2": "b", "i3": "c"}, "z"
+        )
+        network.mark_output("z")
+        patterns = PatternSet.exhaustive(network.inputs)
+        sim = compile_network(network).simulate(patterns.env, patterns.mask)
+        for gate_name in ("g2", "g3"):
+            fault = NetworkFault.cell_fault(gate_name, 99, function)
+            assert sim.difference(fault) == interpreted_difference(
+                network, patterns, fault
+            ), gate_name
+
+
+class TestCompileCache:
+    def test_cache_hit_and_invalidation_on_mutation(self):
+        factory = CellFactory("domino-CMOS")
+        network = Network("grow")
+        network.add_input("a")
+        network.add_input("b")
+        network.add_gate("g1", factory.and_gate(2), {"i1": "a", "i2": "b"}, "n1")
+        network.mark_output("n1")
+        first = compile_network(network)
+        assert compile_network(network) is first
+        network.add_gate("g2", factory.or_gate(2), {"i1": "n1", "i2": "b"}, "z")
+        network.mark_output("z")
+        second = compile_network(network)
+        assert second is not first
+        patterns = PatternSet.exhaustive(network.inputs)
+        assert second.output_bits(patterns.env, patterns.mask) == network.output_bits(
+            patterns.env, patterns.mask
+        )
+
+    def test_minimal_sop_cache_returns_equivalent_expr(self):
+        network = domino_carry_chain(2)
+        for fault in network.enumerate_faults():
+            expr = minimal_sop_cached(fault.function.table)
+            again = minimal_sop_cached(fault.function.table)
+            assert again is expr  # memoised
+
+    def test_compiled_networks_are_garbage_collected(self):
+        """The compile cache must not pin networks for the process life."""
+        import gc
+        import weakref
+
+        refs = []
+        for seed in range(3):
+            network = random_network(n_inputs=4, n_gates=5, seed=seed + 1000)
+            compile_network(network)
+            refs.append(weakref.ref(network))
+        del network  # the loop variable pins the last one
+        gc.collect()
+        assert all(ref() is None for ref in refs)
+
+    def test_faulty_fn_cache_stable_across_reenumeration(self):
+        """Freshly enumerated fault lists must reuse cached faulty
+        functions instead of growing the cache per call."""
+        network = c17()
+        patterns = PatternSet.random(network.inputs, 32, seed=4)
+        compiled = compile_network(network)
+        sim = compiled.simulate(patterns.env, patterns.mask)
+        for fault in network.enumerate_faults():
+            sim.difference(fault)
+        size = len(compiled._faulty_fns)
+        for _ in range(2):
+            for fault in network.enumerate_faults():
+                sim.difference(fault)
+        assert len(compiled._faulty_fns) == size
+
+    def test_scratch_state_restored_between_faults(self):
+        network = domino_carry_chain(3)
+        patterns = PatternSet.random(network.inputs, 64, seed=3)
+        sim = compile_network(network).simulate(patterns.env, patterns.mask)
+        faults = all_faults(network)
+        once = [sim.difference(f) for f in faults]
+        # Re-running in any order must give the same words (scratch clean).
+        twice = [sim.difference(f) for f in reversed(faults)]
+        assert once == list(reversed(twice))
+
+
+class TestPatternSetFastPaths:
+    def test_exhaustive_closed_form_matches_binary_counting(self):
+        for n in range(1, 7):
+            names = tuple(f"x{k}" for k in range(n))
+            patterns = PatternSet.exhaustive(names)
+            for index in range(patterns.count):
+                expected = {
+                    name: (index >> (n - 1 - position)) & 1
+                    for position, name in enumerate(names)
+                }
+                assert patterns.vector(index) == expected
+
+    def test_weighted_random_reproducible_and_extreme_probs(self):
+        p1 = PatternSet.random(("a", "b"), 512, seed=9, probabilities={"a": 0.25})
+        p2 = PatternSet.random(("a", "b"), 512, seed=9, probabilities={"a": 0.25})
+        assert p1.env == p2.env
+        degenerate = PatternSet.random(
+            ("a", "b"), 100, seed=1, probabilities={"a": 0.0, "b": 1.0}
+        )
+        assert degenerate.env["a"] == 0
+        assert degenerate.env["b"] == (1 << 100) - 1
+
+    def test_random_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            PatternSet.random(("a",), 8, probabilities={"a": 1.5})
+
+
+class TestFanoutIndex:
+    def test_index_matches_scan_and_invalidates(self):
+        factory = CellFactory("domino-CMOS")
+        network = Network("fan")
+        network.add_input("a")
+        network.add_input("b")
+        network.add_gate("g1", factory.and_gate(2), {"i1": "a", "i2": "b"}, "n1")
+        network.add_gate("g2", factory.or_gate(2), {"i1": "n1", "i2": "a"}, "z")
+        network.mark_output("z")
+        assert sorted(network.fanout_of("a")) == [("g1", "i1"), ("g2", "i2")]
+        assert network.fanout_of("n1") == [("g2", "i1")]
+        assert network.fanout_of("z") == []
+        network.add_gate("g3", factory.buffer(), {"i1": "n1"}, "z2")
+        assert sorted(network.fanout_of("n1")) == [("g2", "i1"), ("g3", "i1")]
