@@ -69,10 +69,33 @@ def _results_identical(a, b) -> bool:
     )
 
 
-def _time(run: Callable[[], object]) -> Tuple[float, object]:
-    start = time.perf_counter()
-    result = run()
-    return time.perf_counter() - start, result
+def _time(
+    run: Callable[[], object],
+    min_seconds: float = 0.5,
+    max_repeats: int = 5,
+) -> Tuple[float, object]:
+    """Best-of-N wall time (timeit-style min, applied to both engines
+    alike): millisecond-sized measurements on a loaded host otherwise
+    swing the recorded speedup by +-20%.  Fast runs repeat until
+    ``min_seconds`` of samples accumulate; slow runs pay one pass.
+
+    Only sound where one-time setup (network compilation, SOP-cache
+    fills) is amortised *within* a single measurement - repetitions hit
+    warm global caches and would otherwise overstate the ratio.  Pass
+    ``max_repeats=1`` for workloads where a measurement is one cold
+    pass (e.g. E10, one ``fault_simulate`` per network)."""
+    best = float("inf")
+    total = 0.0
+    result: object = None
+    for _ in range(max_repeats):
+        start = time.perf_counter()
+        result = run()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        total += elapsed
+        if total >= min_seconds:
+            break
+    return best, result
 
 
 def _workload_record(
@@ -112,11 +135,17 @@ def bench_e10_library_runtime(
         faults = network.enumerate_faults()
         fault_counts[size] = len(faults)
         patterns = PatternSet.random(network.inputs, pattern_count, seed=size)
+        # Single cold measurements: one fault_simulate per network means
+        # repetitions would reuse the warm compile/SOP caches and hide
+        # the compiled engine's one-time costs (the 1000x-scale ratio
+        # has margin to spare over timing noise anyway).
         seconds_c, result_c = _time(
-            lambda: fault_simulate(network, patterns, faults, engine="compiled")
+            lambda: fault_simulate(network, patterns, faults, engine="compiled"),
+            max_repeats=1,
         )
         seconds_i, result_i = _time(
-            lambda: fault_simulate(network, patterns, faults, engine="interpreted")
+            lambda: fault_simulate(network, patterns, faults, engine="interpreted"),
+            max_repeats=1,
         )
         identical = identical and _results_identical(result_c, result_i)
         interpreted_total += seconds_i
@@ -200,17 +229,32 @@ def bench_e8_test_strategies(
 
 
 def run_benchmarks() -> Dict:
+    """Re-measure this benchmark's workloads, preserving any other
+    entries already in the record (BENCH_engine.json is a trajectory
+    shared with e.g. bench_perf_shard.py, not a snapshot)."""
     workloads = [bench_e10_library_runtime(), bench_e8_test_strategies()]
+    names = {w["name"] for w in workloads}
     record = {
         "benchmark": "compiled vs interpreted simulation engine",
         "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "min_required_speedup": MIN_REQUIRED_SPEEDUP,
         "workloads": workloads,
-        "all_pass": all(
-            w["speedup"] >= MIN_REQUIRED_SPEEDUP and w["identical_results"]
-            for w in workloads
-        ),
     }
+    if BENCH_PATH.exists():
+        previous = json.loads(BENCH_PATH.read_text())
+        record["created_utc"] = previous.get("created_utc", record["created_utc"])
+        record["updated_utc"] = datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        )
+        record["workloads"] = workloads + [
+            w for w in previous.get("workloads", []) if w.get("name") not in names
+        ]
+    record["all_pass"] = all(
+        w.get("identical_results", False)
+        and w.get("speedup", 0.0)
+        >= w.get("min_required_speedup", MIN_REQUIRED_SPEEDUP)
+        for w in record["workloads"]
+    )
     return record
 
 
@@ -218,6 +262,9 @@ def main() -> int:
     record = run_benchmarks()
     BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
     for workload in record["workloads"]:
+        if "interpreted_seconds" not in workload:
+            print(f"{workload['name']}: kept (other benchmark's entry)")
+            continue
         print(
             f"{workload['name']}: interpreted {workload['interpreted_seconds']}s, "
             f"compiled {workload['compiled_seconds']}s "

@@ -1,0 +1,176 @@
+"""Shard-count scaling benchmark: sharded engine vs whole-set compiled.
+
+Extends ``BENCH_engine.json`` (the perf trajectory started by the
+compiled-vs-interpreted benchmark - existing workload records are
+preserved, never replaced) with an ``e10_shard_scaling`` entry: an
+E10-style workload (a DAG of 10-transistor AND-OR cells, full
+cell-fault universe) under a *huge* random pattern sequence, fault
+simulation sharded over 1, 2 and 4 worker processes with streaming
+pattern windows, against the single-process whole-set compiled engine
+as the baseline.
+
+Two effects stack in the measured speedup:
+
+* **streaming windows** - the whole-set pass drags megabyte-wide
+  big-ints through every cone while the windowed pass stays
+  cache-resident and converges per window, which is why even 1 worker
+  beats the baseline;
+* **sharding** - on multi-core hosts the shards genuinely run in
+  parallel (the recorded ``cpu_count`` qualifies how much of that this
+  host could express).
+
+Every timed configuration is checked bit-identical to the baseline
+before a speedup is recorded.  Run with::
+
+    PYTHONPATH=src python benchmarks/bench_perf_shard.py [--quick]
+
+``--quick`` runs a seconds-sized smoke workload (CI) and skips the
+JSON update.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from bench_perf_engine import library_runtime_network  # noqa: E402
+from repro.simulate import PatternSet, fault_simulate  # noqa: E402
+from repro.simulate.sharded import DEFAULT_WINDOW  # noqa: E402
+
+BENCH_PATH = REPO_ROOT / "BENCH_engine.json"
+WORKLOAD_NAME = "e10_shard_scaling"
+MIN_REQUIRED_SPEEDUP = 1.0
+JOB_COUNTS = (1, 2, 4)
+
+
+def _results_identical(a, b) -> bool:
+    return (
+        a.detected == b.detected
+        and a.detection_counts == b.detection_counts
+        and a.undetected == b.undetected
+    )
+
+
+def run_scaling(
+    size: int = 10,
+    n_gates: int = 48,
+    pattern_count: int = 1 << 22,
+    job_counts=JOB_COUNTS,
+) -> Dict:
+    network = library_runtime_network(size, n_gates=n_gates)
+    faults = network.enumerate_faults()
+    patterns = PatternSet.random(network.inputs, pattern_count, seed=size)
+
+    start = time.perf_counter()
+    baseline = fault_simulate(network, patterns, faults, engine="compiled")
+    compiled_seconds = time.perf_counter() - start
+    print(
+        f"{WORKLOAD_NAME}: {len(faults)} faults x {pattern_count} patterns, "
+        f"whole-set compiled {compiled_seconds:.2f}s"
+    )
+
+    identical = True
+    shards: List[Dict] = []
+    for jobs in job_counts:
+        start = time.perf_counter()
+        result = fault_simulate(
+            network, patterns, faults, engine="sharded", jobs=jobs
+        )
+        seconds = time.perf_counter() - start
+        identical = identical and _results_identical(result, baseline)
+        speedup = round(compiled_seconds / seconds, 2)
+        shards.append({"jobs": jobs, "seconds": round(seconds, 4), "speedup": speedup})
+        print(
+            f"  sharded jobs={jobs}: {seconds:.2f}s -> {speedup}x "
+            f"(identical={identical})"
+        )
+
+    at_max_jobs = shards[-1]["speedup"]
+    return {
+        "name": WORKLOAD_NAME,
+        "description": (
+            "fault simulation of an E10-style AND-OR cell DAG under a huge "
+            "random pattern sequence: sharded worker pool with streaming "
+            "pattern windows vs the single-process whole-set compiled engine"
+        ),
+        "params": {
+            "cell_transistors": size,
+            "gates": n_gates,
+            "faults": len(faults),
+            "patterns": pattern_count,
+            "window": DEFAULT_WINDOW,
+            "cpu_count": os.cpu_count(),
+        },
+        "compiled_seconds": round(compiled_seconds, 4),
+        "sharded": shards,
+        "min_required_speedup": MIN_REQUIRED_SPEEDUP,
+        "speedup": at_max_jobs,
+        "identical_results": identical,
+    }
+
+
+def update_record(entry: Dict) -> Dict:
+    """Merge the scaling entry into BENCH_engine.json, preserving the
+    existing workload trajectory (only a previous run of *this*
+    workload is replaced)."""
+    record = json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {
+        "benchmark": "simulation engine perf trajectory",
+        "workloads": [],
+    }
+    record["workloads"] = [
+        workload
+        for workload in record.get("workloads", [])
+        if workload.get("name") != entry["name"]
+    ] + [entry]
+    record["updated_utc"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    record["all_pass"] = all(
+        workload.get("identical_results", False)
+        and workload.get("speedup", 0.0)
+        >= workload.get(
+            "min_required_speedup", record.get("min_required_speedup", 1.0)
+        )
+        for workload in record["workloads"]
+    )
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="seconds-sized smoke run (correctness + plumbing only); "
+        "does not touch BENCH_engine.json",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        # Sized just past MIN_POOL_WORK so the smoke run exercises the
+        # real worker pool, not only the in-process fallback.
+        entry = run_scaling(
+            size=8, n_gates=12, pattern_count=1 << 19, job_counts=(1, 2)
+        )
+        if not entry["identical_results"]:
+            print("FAIL: sharded results diverged from the compiled engine")
+            return 1
+        print("quick smoke ok (JSON untouched)")
+        return 0
+    entry = run_scaling()
+    record = update_record(entry)
+    print(f"wrote {BENCH_PATH}")
+    ok = entry["identical_results"] and entry["speedup"] >= MIN_REQUIRED_SPEEDUP
+    return 0 if ok and record.get("all_pass", False) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

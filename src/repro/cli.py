@@ -9,9 +9,13 @@ Subcommands::
     python -m repro experiments [E1 E2 ...]
         Regenerate the paper's tables and figures (all by default).
 
-    python -m repro protest CELLFILE --confidence 0.999
+    python -m repro protest CELLFILE --confidence 0.999 \
+            [--engine interpreted|compiled|sharded] [--jobs N]
         Wrap the cell in a single-gate network and run the PROTEST
         pipeline: probabilities, test length, optimized weights.
+        ``--engine`` picks the simulation engine for the estimators and
+        the validation fault simulation; ``--jobs`` the worker count of
+        the sharded engine.
 
     python -m repro figures
         Print the executable versions of Figs. 1, 5, 7 and 9.
@@ -23,6 +27,11 @@ import argparse
 
 from pathlib import Path
 from typing import List, Optional
+
+ENGINE_CHOICES = ("compiled", "interpreted", "sharded")
+"""The registered engine names, spelled out so parser construction (and
+``--help``) stays free of the simulate-package import cost; a test
+holds this tuple equal to ``repro.simulate.available_engines()``."""
 
 
 def _load_cell(path: str):
@@ -77,7 +86,7 @@ def command_protest(args: argparse.Namespace) -> int:
 
     cell = _load_cell(args.cellfile)
     network = _cell_network(cell)
-    protest = Protest(network)
+    protest = Protest(network, engine=args.engine, jobs=args.jobs)
     report = protest.analyse(confidence=args.confidence)
     print(report.format_summary())
     print()
@@ -140,6 +149,21 @@ def build_parser() -> argparse.ArgumentParser:
     protest.add_argument("cellfile")
     protest.add_argument("--confidence", type=float, default=0.999)
     protest.add_argument("--validate", action="store_true")
+    protest.add_argument(
+        "--engine",
+        choices=ENGINE_CHOICES,
+        default="compiled",
+        help="simulation engine for estimators and validation "
+        "(default: compiled)",
+    )
+    protest.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the sharded engine "
+        "(default: one per CPU)",
+    )
     protest.set_defaults(func=command_protest)
 
     figures = subparsers.add_parser("figures", help="print the executable figures")

@@ -305,13 +305,23 @@ class Network:
             libraries = self.libraries()
             for name in self.levelize():
                 library = libraries[name]
+                # Physical fault labels need not be unique across classes
+                # (one literal can gate several transistors, and "nc
+                # closed" names all of them), but *network* fault labels
+                # key simulation results, so colliding class labels are
+                # disambiguated with the class index.
+                label_uses: Dict[str, int] = {}
                 for cls in library.classes:
+                    base = "|".join(cls.labels)
+                    label_uses[base] = label_uses.get(base, 0) + 1
+                for cls in library.classes:
+                    base = "|".join(cls.labels)
+                    label = f"{name}:{base}"
+                    if label_uses[base] > 1:
+                        label = f"{label}#{cls.index}"
                     faults.append(
                         NetworkFault.cell_fault(
-                            name,
-                            cls.index,
-                            cls.function,
-                            label=f"{name}:{'|'.join(cls.labels)}",
+                            name, cls.index, cls.function, label=label
                         )
                     )
         if include_stuck_at:

@@ -50,6 +50,12 @@ class Interval:
 
 FULL = Interval(0.0, 1.0)
 
+CORNER_BUDGET = 4096
+"""Most corners enumerated per cell.  A cell whose wide-interval pins
+span more corners than this gets the sound fallback :data:`FULL` -
+never a truncated (and therefore unsound) min/max over a corner
+prefix."""
+
 
 def cutting_signal_bounds(
     network: Network, probs: Mapping[str, float] | float = 0.5
@@ -77,12 +83,24 @@ def cutting_signal_bounds(
         expr = gate.function_expr()
         pins = list(gate.connections)
         pin_intervals = {pin: read(gate.connections[pin]) for pin in pins}
+        # Point intervals contribute one corner, wide intervals two; the
+        # enumeration is exact only if it is complete, so a cell past
+        # the budget must widen to [0, 1] (still a certified enclosure)
+        # rather than stop mid-walk with a truncated min/max.
+        choices = [
+            (iv.low,) if iv.high == iv.low else (iv.low, iv.high)
+            for iv in pin_intervals.values()
+        ]
+        corner_count = 1
+        for values in choices:
+            corner_count *= len(values)
+        if corner_count > CORNER_BUDGET:
+            intervals[gate.output] = FULL
+            continue
         corners: List[float] = []
-        for corner in itertools.product(*((iv.low, iv.high) for iv in pin_intervals.values())):
+        for corner in itertools.product(*choices):
             corner_probs = dict(zip(pin_intervals.keys(), corner))
             corners.append(expr_probability(expr, corner_probs))
-            if len(corners) > 4096:  # cells never get this wide here
-                break
         intervals[gate.output] = Interval(min(corners), max(corners))
     return intervals
 

@@ -24,7 +24,9 @@ import numpy as np
 from ..logic.probability import signal_probability as expr_probability
 from ..netlist.network import Network, NetworkFault
 from ..simulate.compiled import compile_network
+from ..simulate.faultsim import check_injectable, dedupe_faults
 from ..simulate.logicsim import PatternSet
+from ..simulate.registry import get_engine
 from .signalprob import (
     MAX_EXACT_INPUTS,
     _input_probs,
@@ -60,6 +62,8 @@ def exact_detection_probabilities(
             f"exact detection probabilities over {n} inputs are infeasible; "
             "use the Monte-Carlo estimator"
         )
+    faults = dedupe_faults(faults)
+    check_injectable(network, faults)
     input_probs = _input_probs(network, probs)
     patterns = PatternSet.exhaustive(network.inputs)
     ordered = [input_probs[name] for name in reversed(network.inputs)]
@@ -80,17 +84,28 @@ def monte_carlo_detection_probabilities(
     probs: Mapping[str, float] | float = 0.5,
     samples: int = 4096,
     seed: int = 1986,
+    engine: str = "compiled",
+    jobs: Optional[int] = None,
 ) -> Dict[str, float]:
+    """Empirical detection frequency per fault.
+
+    ``engine``/``jobs`` select a registered simulation engine for the
+    per-fault difference passes (``"sharded"`` spreads the fault list
+    over ``jobs`` worker processes); results are engine-independent.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    faults = dedupe_faults(faults)
+    check_injectable(network, faults)
     input_probs = _input_probs(network, probs)
     patterns = PatternSet.random(
         network.inputs, samples, seed=seed, probabilities=input_probs
     )
-    sim = compile_network(network).simulate(patterns.env, patterns.mask)
-    result: Dict[str, float] = {}
-    for fault in faults:
-        difference = sim.difference(fault)
-        result[fault.describe()] = difference.bit_count() / samples
-    return result
+    words = get_engine(engine).difference_words(network, patterns, faults, jobs=jobs)
+    return {
+        fault.describe(): word.bit_count() / samples
+        for fault, word in zip(faults, words)
+    }
 
 
 # -- topological (COP-style) estimate -------------------------------------------------
@@ -153,6 +168,8 @@ def topological_detection_probabilities(
     """Activation x observability estimate for each fault."""
     signal_probs = topological_signal_probabilities(network, probs)
     observability = observability_estimates(network, signal_probs)
+    faults = dedupe_faults(faults)
+    check_injectable(network, faults)
     result: Dict[str, float] = {}
     for fault in faults:
         if fault.kind == "stuck":
@@ -180,6 +197,8 @@ def detection_probabilities(
     method: str = "auto",
     samples: int = 4096,
     seed: int = 1986,
+    engine: str = "compiled",
+    jobs: Optional[int] = None,
 ) -> Dict[str, float]:
     """Dispatch over the three estimators (``auto``: exact when feasible)."""
     if faults is None:
@@ -191,5 +210,7 @@ def detection_probabilities(
     if method == "topological":
         return topological_detection_probabilities(network, faults, probs)
     if method == "monte_carlo":
-        return monte_carlo_detection_probabilities(network, faults, probs, samples, seed)
+        return monte_carlo_detection_probabilities(
+            network, faults, probs, samples, seed, engine, jobs
+        )
     raise ValueError(f"unknown method {method!r}")

@@ -107,15 +107,25 @@ class _MonteCarloEvaluator:
         faults: Sequence[NetworkFault],
         samples: int = 2048,
         seed: int = 1986,
+        engine: str = "compiled",
+        jobs: Optional[int] = None,
     ):
         self.network = network
         self.faults = list(faults)
         self.samples = samples
         self.seed = seed
+        self.engine = engine
+        self.jobs = jobs
 
     def detection(self, probs: Mapping[str, float]) -> np.ndarray:
         values = monte_carlo_detection_probabilities(
-            self.network, self.faults, probs, self.samples, self.seed
+            self.network,
+            self.faults,
+            probs,
+            self.samples,
+            self.seed,
+            self.engine,
+            self.jobs,
         )
         return np.array([values[f.describe()] for f in self.faults])
 
@@ -127,8 +137,15 @@ def optimize_input_probabilities(
     grid: Sequence[float] = DEFAULT_GRID,
     max_sweeps: int = 4,
     samples: int = 2048,
+    engine: str = "compiled",
+    jobs: Optional[int] = None,
 ) -> OptimizationResult:
-    """Coordinate search maximising the minimum detection probability."""
+    """Coordinate search maximising the minimum detection probability.
+
+    ``engine``/``jobs`` select the simulation engine for the
+    Monte-Carlo evaluator on wide circuits (the exact fault-difference
+    matrix of narrow circuits is a single compiled pass either way).
+    """
     if faults is None:
         faults = network.enumerate_faults()
     faults = list(faults)
@@ -137,7 +154,7 @@ def optimize_input_probabilities(
     if len(network.inputs) <= MAX_EXACT_INPUTS - 4:
         evaluator = _ExactEvaluator(network, faults)
     else:
-        evaluator = _MonteCarloEvaluator(network, faults, samples)
+        evaluator = _MonteCarloEvaluator(network, faults, samples, engine=engine, jobs=jobs)
 
     labels = [f.describe() for f in faults]
     uniform = {name: 0.5 for name in network.inputs}

@@ -28,6 +28,7 @@ from ..logic.probability import signal_probability as expr_probability
 from ..netlist.network import Network
 from ..simulate.compiled import compile_network
 from ..simulate.logicsim import PatternSet
+from ..simulate.registry import get_engine
 
 MAX_EXACT_INPUTS = 20
 
@@ -113,11 +114,19 @@ def monte_carlo_signal_probabilities(
     probs: Mapping[str, float] | float = 0.5,
     samples: int = 4096,
     seed: int = 1986,
+    engine: str = "compiled",
 ) -> Dict[str, float]:
-    """Empirical frequencies over weighted random patterns."""
+    """Empirical frequencies over weighted random patterns.
+
+    ``engine`` names a registered simulation engine
+    (:mod:`repro.simulate.registry`); all engines agree bit-exactly, so
+    the choice only prices the single fault-free pass.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
     input_probs = _input_probs(network, probs)
     patterns = PatternSet.random(network.inputs, samples, seed=seed, probabilities=input_probs)
-    values = compile_network(network).evaluate_bits(patterns.env, patterns.mask)
+    values = get_engine(engine).evaluate_bits(network, patterns.env, patterns.mask)
     return {net: bits.bit_count() / samples for net, bits in values.items()}
 
 
@@ -127,6 +136,7 @@ def signal_probabilities(
     method: str = "auto",
     samples: int = 4096,
     seed: int = 1986,
+    engine: str = "compiled",
 ) -> Dict[str, float]:
     """Dispatch: ``exact``, ``topological``, ``monte_carlo`` or ``auto``
     (exact when feasible, else Monte Carlo)."""
@@ -137,5 +147,5 @@ def signal_probabilities(
     if method == "topological":
         return topological_signal_probabilities(network, probs)
     if method == "monte_carlo":
-        return monte_carlo_signal_probabilities(network, probs, samples, seed)
+        return monte_carlo_signal_probabilities(network, probs, samples, seed, engine)
     raise ValueError(f"unknown method {method!r}")

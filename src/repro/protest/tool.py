@@ -88,23 +88,54 @@ class ProtestReport:
 
 
 class Protest:
-    """Probabilistic testability analysis of a combinational network."""
+    """Probabilistic testability analysis of a combinational network.
 
-    def __init__(self, network: Network, faults: Optional[Sequence[NetworkFault]] = None):
+    ``engine``/``jobs`` pick the simulation engine
+    (:mod:`repro.simulate.registry`: ``"interpreted"``, ``"compiled"``,
+    ``"sharded"``) and worker count used by every simulation-backed
+    step - the Monte-Carlo estimators and the validation fault
+    simulation.  Per-call ``engine=`` arguments override the instance
+    default.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        faults: Optional[Sequence[NetworkFault]] = None,
+        engine: str = "compiled",
+        jobs: Optional[int] = None,
+    ):
         self.network = network
         self.faults = list(faults) if faults is not None else network.enumerate_faults()
+        self.engine = engine
+        self.jobs = jobs
 
     # -- the Fig. 8 pipeline, feature by feature ---------------------------------
 
     def signal_probabilities(
-        self, probs: Mapping[str, float] | float = 0.5, method: str = "auto"
+        self,
+        probs: Mapping[str, float] | float = 0.5,
+        method: str = "auto",
+        engine: Optional[str] = None,
     ) -> Dict[str, float]:
-        return signal_probabilities(self.network, probs, method)
+        return signal_probabilities(
+            self.network, probs, method, engine=engine or self.engine
+        )
 
     def detection_probabilities(
-        self, probs: Mapping[str, float] | float = 0.5, method: str = "auto"
+        self,
+        probs: Mapping[str, float] | float = 0.5,
+        method: str = "auto",
+        engine: Optional[str] = None,
     ) -> Dict[str, float]:
-        return detection_probabilities(self.network, self.faults, probs, method)
+        return detection_probabilities(
+            self.network,
+            self.faults,
+            probs,
+            method,
+            engine=engine or self.engine,
+            jobs=self.jobs,
+        )
 
     def required_test_length(
         self,
@@ -118,7 +149,12 @@ class Protest:
         self, confidence: float = 0.999, max_sweeps: int = 4
     ) -> OptimizationResult:
         return optimize_input_probabilities(
-            self.network, self.faults, confidence, max_sweeps=max_sweeps
+            self.network,
+            self.faults,
+            confidence,
+            max_sweeps=max_sweeps,
+            engine=self.engine,
+            jobs=self.jobs,
         )
 
     def generate_patterns(
@@ -137,17 +173,25 @@ class Protest:
         count: int,
         probs: Mapping[str, float] | float = 0.5,
         seed: int = 1986,
-        engine: str = "compiled",
+        engine: Optional[str] = None,
+        jobs: Optional[int] = None,
     ) -> FaultSimResult:
         """Static fault simulation of generated patterns - the validation
         step before committing self-test logic to the chip.
 
-        ``engine`` selects the cone-restricted compiled simulator
-        (default) or the interpreted reference path; see
-        :func:`repro.simulate.faultsim.fault_simulate`.
+        ``engine`` names a registered engine (``"compiled"``,
+        ``"interpreted"``, ``"sharded"``) and ``jobs`` the worker count
+        for the sharded engine; both default to the instance settings.
+        See :func:`repro.simulate.faultsim.fault_simulate`.
         """
         patterns = self.generate_patterns(count, probs, seed)
-        return fault_simulate(self.network, patterns, self.faults, engine=engine)
+        return fault_simulate(
+            self.network,
+            patterns,
+            self.faults,
+            engine=engine or self.engine,
+            jobs=jobs if jobs is not None else self.jobs,
+        )
 
     # -- one-call analysis -----------------------------------------------------------
 

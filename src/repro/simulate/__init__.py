@@ -6,6 +6,13 @@ from .dictionary import Diagnosis, FaultDictionary
 from .faultsim import FaultSimResult, coverage_curve, fault_simulate
 from .parallel import parallel_fault_simulate
 from .logicsim import PatternSet, simulate, simulate_all_nets
+from .registry import Engine, available_engines, get_engine, register_engine
+from .sharded import (
+    DEFAULT_WINDOW,
+    merge_results,
+    sharded_fault_simulate,
+    windowed_outcomes,
+)
 from .timingsim import (
     DegradationPoint,
     TimingConfig,
@@ -29,6 +36,14 @@ __all__ = [
     "PatternSet",
     "simulate",
     "simulate_all_nets",
+    "Engine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+    "DEFAULT_WINDOW",
+    "merge_results",
+    "sharded_fault_simulate",
+    "windowed_outcomes",
     "DegradationPoint",
     "TimingConfig",
     "TimingSimulator",

@@ -10,7 +10,8 @@ defeat "the fault injection algorithms of parallel, deductive or
 concurrent fault simulators".
 
 One pass evaluates the fault-free network over all patterns at once
-(big-int bit-parallel).  Two engines then price the per-fault passes:
+(big-int bit-parallel).  The per-fault passes are priced by the engine
+registry (:mod:`repro.simulate.registry`):
 
 * ``engine="compiled"`` (default) - the flat slot program of
   :mod:`repro.simulate.compiled`: the good circuit is simulated once
@@ -18,8 +19,15 @@ One pass evaluates the fault-free network over all patterns at once
   event-driven, with early exit on convergence.
 * ``engine="interpreted"`` - the original reference path through
   :meth:`Network.evaluate_bits`, one full network pass per fault.
-  Kept as the oracle the equivalence suite checks the compiled engine
-  against; both produce bit-identical results.
+  Kept as the oracle the equivalence suite checks the other engines
+  against; all engines produce bit-identical results.
+* ``engine="sharded"`` - :mod:`repro.simulate.sharded`: the compiled
+  engine sharded across a ``multiprocessing`` worker pool with
+  streaming pattern windows; ``jobs`` selects the worker count.
+
+Results are keyed by fault *label* (``fault.describe()``) but computed
+per fault: a fault list in which two **distinct** faults share a label
+raises instead of silently merging their detection records.
 """
 
 from __future__ import annotations
@@ -30,11 +38,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..netlist.network import Network, NetworkFault
 from .compiled import compile_network
 from .logicsim import PatternSet
+from .registry import Engine, get_engine, register_engine
 
 #: Pattern-window width used when ``stop_at_first_detection`` chunks the
 #: pattern sequence; a fault detected in window k never simulates window
 #: k+1.
 FIRST_DETECTION_CHUNK = 256
+
+#: Per-fault outcome: ``None`` when undetected, else
+#: ``(first detecting pattern index, number of detecting patterns)``.
+FaultOutcome = Optional[Tuple[int, int]]
 
 
 @dataclass
@@ -78,6 +91,101 @@ class FaultSimResult:
         return "\n".join(lines)
 
 
+def _register_label(seen: Dict[str, NetworkFault], fault: NetworkFault) -> bool:
+    """Claim a fault's label: ``True`` if new, ``False`` for a literal
+    duplicate of an already-seen fault, ``ValueError`` when a *distinct*
+    fault already holds the label (its results would silently merge)."""
+    label = fault.describe()
+    prior = seen.get(label)
+    if prior is not None:
+        if prior == fault:
+            return False
+        raise ValueError(
+            f"fault label {label!r} is shared by two distinct faults; "
+            "their results would silently merge - give them unique labels"
+        )
+    seen[label] = fault
+    return True
+
+
+def dedupe_faults(faults: Sequence[NetworkFault]) -> List[NetworkFault]:
+    """Drop literal duplicates; raise when distinct faults share a label.
+
+    The one collision policy every label-keyed consumer shares - the
+    fault-simulation engines, the sharded shards, the detection
+    estimators."""
+    seen: Dict[str, NetworkFault] = {}
+    return [fault for fault in faults if _register_label(seen, fault)]
+
+
+def check_injectable(network: Network, faults: Sequence[NetworkFault]) -> None:
+    """Raise when a fault cannot be injected into ``network``.
+
+    A stuck fault on a net the network does not drive (or a cell fault
+    on an absent gate) would otherwise ride along never-injected and be
+    reported "undetected", silently deflating coverage.  Shared by
+    every engine, by parallel fault simulation and by the
+    detection-probability estimators so they agree on the error instead
+    of each tolerating ghosts differently.
+    """
+    injectable: Optional[set] = None
+    for fault in faults:
+        if fault.kind == "stuck":
+            if injectable is None:
+                injectable = set(network.inputs)
+                injectable.update(gate.output for gate in network.gates.values())
+            if fault.net not in injectable:
+                raise ValueError(
+                    f"fault {fault.describe()!r} cannot be injected: "
+                    f"net {fault.net!r} is not in the network"
+                )
+        elif fault.gate not in network.gates:
+            raise ValueError(
+                f"fault {fault.describe()!r} cannot be injected: "
+                f"gate {fault.gate!r} is not in the network"
+            )
+
+
+def build_result(
+    network_name: str,
+    pattern_count: int,
+    faults: Sequence[NetworkFault],
+    outcomes: Sequence[FaultOutcome],
+) -> FaultSimResult:
+    """Assemble a :class:`FaultSimResult` from per-fault outcomes.
+
+    Results are computed per fault and only *keyed* by label here, so a
+    label shared by two distinct faults is detected and raised instead
+    of silently collapsing both faults into one record.  A literal
+    duplicate of the same fault is tolerated (its outcome is identical
+    by construction) and reported once.
+    """
+    detected: Dict[str, int] = {}
+    counts: Dict[str, int] = {}
+    undetected: List[str] = []
+    seen: Dict[str, NetworkFault] = {}
+    for fault, outcome in zip(faults, outcomes):
+        if not _register_label(seen, fault):
+            continue
+        label = fault.describe()
+        if outcome is None:
+            undetected.append(label)
+        else:
+            first, count = outcome
+            detected[label] = first
+            counts[label] = count
+    return FaultSimResult(
+        network_name=network_name,
+        pattern_count=pattern_count,
+        detected=detected,
+        detection_counts=counts,
+        undetected=undetected,
+    )
+
+
+# -- the interpreted and compiled engines ---------------------------------------------
+
+
 def _difference_interpreted(
     network: Network,
     env: Dict[str, int],
@@ -92,12 +200,97 @@ def _difference_interpreted(
     return difference
 
 
+def interpreted_difference_words(
+    network: Network,
+    patterns: PatternSet,
+    faults: Sequence[NetworkFault],
+    jobs: Optional[int] = None,
+) -> List[int]:
+    """One detection word per fault via full interpreted re-simulation."""
+    good = network.output_bits(patterns.env, patterns.mask)
+    return [
+        _difference_interpreted(network, patterns.env, patterns.mask, good, fault)
+        for fault in faults
+    ]
+
+
+def compiled_difference_words(
+    network: Network,
+    patterns: PatternSet,
+    faults: Sequence[NetworkFault],
+    jobs: Optional[int] = None,
+) -> List[int]:
+    """One detection word per fault via cone-restricted compiled passes."""
+    sim = compile_network(network).simulate(patterns.env, patterns.mask)
+    return [sim.difference(fault) for fault in faults]
+
+
+def _single_process_simulate(engine_name: str):
+    """Build a ``simulate_faults`` callable for a one-process engine.
+
+    Both modes stream through :func:`windowed_outcomes` - the whole-set
+    pass is simply one window spanning every pattern, holding one
+    difference word at a time instead of materialising all of them -
+    and ``stop_at_first_detection`` uses
+    :data:`FIRST_DETECTION_CHUNK`-wide windows with per-fault early
+    exit.
+    """
+
+    def simulate_faults(
+        network: Network,
+        patterns: PatternSet,
+        faults: Sequence[NetworkFault],
+        stop_at_first_detection: bool = False,
+        jobs: Optional[int] = None,
+    ) -> FaultSimResult:
+        window = (
+            FIRST_DETECTION_CHUNK
+            if stop_at_first_detection
+            else max(patterns.count, 1)
+        )
+        outcomes = windowed_outcomes(
+            network, patterns, faults, window, stop_at_first_detection, engine_name
+        )
+        return build_result(network.name, patterns.count, faults, outcomes)
+
+    return simulate_faults
+
+
+def _compiled_evaluate_bits(network: Network, env, mask) -> Dict[str, int]:
+    return compile_network(network).evaluate_bits(env, mask)
+
+
+register_engine(
+    Engine(
+        name="interpreted",
+        description="gate-by-gate AST walk (reference oracle)",
+        simulate_faults=_single_process_simulate("interpreted"),
+        difference_words=interpreted_difference_words,
+        evaluate_bits=lambda network, env, mask: network.evaluate_bits(env, mask),
+    )
+)
+
+register_engine(
+    Engine(
+        name="compiled",
+        description="flat slot program with fault-cone-restricted passes",
+        simulate_faults=_single_process_simulate("compiled"),
+        difference_words=compiled_difference_words,
+        evaluate_bits=_compiled_evaluate_bits,
+    )
+)
+
+
+# -- the public entry points ----------------------------------------------------------
+
+
 def fault_simulate(
     network: Network,
     patterns: PatternSet,
     faults: Optional[Sequence[NetworkFault]] = None,
     stop_at_first_detection: bool = False,
     engine: str = "compiled",
+    jobs: Optional[int] = None,
 ) -> FaultSimResult:
     """Simulate every fault against every pattern.
 
@@ -110,89 +303,88 @@ def fault_simulate(
     detected fault and is *not* the empirical detection count; leave
     the flag off when empirical detection probabilities are wanted.
 
-    ``engine`` selects ``"compiled"`` (cone-restricted passes, default)
-    or ``"interpreted"`` (the reference oracle); results are
-    bit-identical.
+    ``engine`` names a registered engine (``"compiled"`` by default,
+    ``"interpreted"``, ``"sharded"``; see
+    :mod:`repro.simulate.registry`); all engines are bit-identical.
+    ``jobs`` sets the worker count for multi-process engines and is
+    ignored by the single-process ones.
     """
+    resolved = get_engine(engine)
     if faults is None:
         faults = network.enumerate_faults()
-    if engine not in ("compiled", "interpreted"):
-        raise ValueError(f"unknown engine {engine!r}")
-    if stop_at_first_detection:
-        return _simulate_first_detection(network, patterns, faults, engine)
-
-    detected: Dict[str, int] = {}
-    counts: Dict[str, int] = {}
-    undetected: List[str] = []
-    if engine == "compiled":
-        sim = compile_network(network).simulate(patterns.env, patterns.mask)
-        differences = ((fault, sim.difference(fault)) for fault in faults)
-    else:
-        mask = patterns.mask
-        good = network.output_bits(patterns.env, mask)
-        differences = (
-            (fault, _difference_interpreted(network, patterns.env, mask, good, fault))
-            for fault in faults
-        )
-    for fault, difference in differences:
-        if difference == 0:
-            undetected.append(fault.describe())
-            continue
-        first = (difference & -difference).bit_length() - 1
-        detected[fault.describe()] = first
-        counts[fault.describe()] = difference.bit_count()
-    return FaultSimResult(
-        network_name=network.name,
-        pattern_count=patterns.count,
-        detected=detected,
-        detection_counts=counts,
-        undetected=undetected,
+    # Validate up front - a bad fault list should raise before the
+    # simulation burns time, not in build_result afterwards.
+    faults = dedupe_faults(faults)
+    check_injectable(network, faults)
+    return resolved.simulate_faults(
+        network,
+        patterns,
+        faults,
+        stop_at_first_detection=stop_at_first_detection,
+        jobs=jobs,
     )
 
 
-def _simulate_first_detection(
+def _window_difference_factory(network: Network, engine: str):
+    """``window -> (fault -> difference word)`` for a one-process engine."""
+    if engine == "compiled":
+        compiled = compile_network(network)
+
+        def for_window(window: PatternSet):
+            return compiled.simulate(window.env, window.mask).difference
+
+    else:
+
+        def for_window(window: PatternSet):
+            good = network.output_bits(window.env, window.mask)
+            return lambda fault: _difference_interpreted(
+                network, window.env, window.mask, good, fault
+            )
+
+    return for_window
+
+
+def windowed_outcomes(
     network: Network,
     patterns: PatternSet,
     faults: Sequence[NetworkFault],
-    engine: str,
-) -> FaultSimResult:
-    """Chunked pass that drops each fault after its first detection."""
-    detected: Dict[str, int] = {}
-    counts: Dict[str, int] = {}
-    active: List[NetworkFault] = list(faults)
-    compiled = compile_network(network) if engine == "compiled" else None
-    for start in range(0, patterns.count, FIRST_DETECTION_CHUNK):
-        width = min(FIRST_DETECTION_CHUNK, patterns.count - start)
-        chunk_mask = (1 << width) - 1
-        env = {net: (bits >> start) & chunk_mask for net, bits in patterns.env.items()}
-        if compiled is not None:
-            sim = compiled.simulate(env, chunk_mask)
-            difference_of = sim.difference
-        else:
-            good = network.output_bits(env, chunk_mask)
-            difference_of = lambda fault: _difference_interpreted(  # noqa: E731
-                network, env, chunk_mask, good, fault
-            )
-        remaining: List[NetworkFault] = []
-        for fault in active:
-            difference = difference_of(fault)
-            if difference:
-                first = (difference & -difference).bit_length() - 1
-                detected[fault.describe()] = start + first
-                counts[fault.describe()] = 1
-            else:
-                remaining.append(fault)
+    window: int,
+    stop_at_first_detection: bool = False,
+    engine: str = "compiled",
+) -> List[FaultOutcome]:
+    """Per-fault (first index, count) outcomes, one window at a time.
+
+    The streaming core shared by ``stop_at_first_detection`` and the
+    sharded engine's workers.  Accumulating per-window detection words
+    is exact: the first nonzero window fixes the first-detection index
+    and the counts add up to the whole-set ``bit_count``.  With
+    ``stop_at_first_detection`` a fault leaves the pass at the end of
+    its first detecting window (count pinned to 1).
+    """
+    for_window = _window_difference_factory(network, engine)
+    firsts = [-1] * len(faults)
+    counts = [0] * len(faults)
+    active = list(range(len(faults)))
+    for start, chunk in patterns.windows(window):
+        difference_of = for_window(chunk)
+        remaining: List[int] = []
+        for index in active:
+            word = difference_of(faults[index])
+            if word:
+                if firsts[index] < 0:
+                    firsts[index] = start + (word & -word).bit_length() - 1
+                counts[index] += word.bit_count()
+                if stop_at_first_detection:
+                    counts[index] = 1
+                    continue
+            remaining.append(index)
         active = remaining
         if not active:
             break
-    undetected = [fault.describe() for fault in active]
-    return FaultSimResult(
-        network_name=network.name,
-        pattern_count=patterns.count,
-        detected=detected,
-        detection_counts=counts,
-        undetected=undetected,
-    )
+    return [
+        (firsts[index], counts[index]) if counts[index] else None
+        for index in range(len(faults))
+    ]
 
 
 def coverage_curve(
@@ -201,6 +393,7 @@ def coverage_curve(
     faults: Optional[Sequence[NetworkFault]] = None,
     points: int = 32,
     engine: str = "compiled",
+    jobs: Optional[int] = None,
 ) -> List[Tuple[int, float]]:
     """(pattern count, fault coverage) samples along a pattern sequence.
 
@@ -208,7 +401,7 @@ def coverage_curve(
     run once over the full set, then read off when each fault first
     fell.
     """
-    result = fault_simulate(network, patterns, faults, engine=engine)
+    result = fault_simulate(network, patterns, faults, engine=engine, jobs=jobs)
     total = result.fault_count
     if total == 0:
         return [(patterns.count, 1.0)]

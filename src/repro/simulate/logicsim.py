@@ -140,10 +140,42 @@ class PatternSet:
     def repeat(self, times: int) -> "PatternSet":
         """The set applied ``times`` times in sequence (the paper applies
         a deterministic test set *twice* to establish A2)."""
+        if times < 0:
+            raise ValueError(f"cannot repeat a pattern set {times} times")
+        if times == 0:
+            return PatternSet(self.names, {name: 0 for name in self.names}, 0)
         result = self
         for _ in range(times - 1):
             result = result.concat(self)
         return result
+
+    def slice(self, start: int, stop: int) -> "PatternSet":
+        """Patterns ``start`` (inclusive) to ``stop`` (exclusive)."""
+        if not 0 <= start <= stop <= self.count:
+            raise ValueError(
+                f"bad slice [{start}, {stop}) of a {self.count}-pattern set"
+            )
+        if start == 0 and stop == self.count:
+            return self  # whole-set slice: no point copying the env
+        width = stop - start
+        chunk_mask = (1 << width) - 1
+        env = {name: (bits >> start) & chunk_mask for name, bits in self.env.items()}
+        return PatternSet(self.names, env, width)
+
+    def windows(self, width: int) -> Iterator[Tuple[int, "PatternSet"]]:
+        """Stream the set as ``(start, window)`` pairs of at most ``width``
+        patterns (the last window may be narrower).
+
+        This is the bounded-memory substrate of the streaming engines: a
+        consumer touching one window at a time holds big-ints of
+        ``width`` bits instead of ``count`` bits, and accumulating a
+        per-window difference word ``w_k`` as ``sum(w_k << start_k)``
+        reproduces the whole-set word bit-exactly.
+        """
+        if width < 1:
+            raise ValueError(f"window width must be >= 1, got {width}")
+        for start in range(0, self.count, width):
+            yield start, self.slice(start, min(start + width, self.count))
 
 
 def simulate(network, patterns: PatternSet) -> Dict[str, int]:

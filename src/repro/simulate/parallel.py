@@ -30,7 +30,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..netlist.network import Network, NetworkFault
 from .compiled import compile_network
-from .faultsim import FaultSimResult
+from .faultsim import (
+    FaultSimResult,
+    build_result,
+    check_injectable,
+    dedupe_faults,
+)
 from .logicsim import PatternSet
 
 
@@ -39,26 +44,36 @@ def parallel_fault_simulate(
     patterns: PatternSet,
     faults: Optional[Sequence[NetworkFault]] = None,
 ) -> FaultSimResult:
-    """All faults per pattern in one bit-parallel network pass."""
+    """All faults per pattern in one bit-parallel network pass.
+
+    Every fault must be injectable: a stuck fault on a net the compiled
+    program does not know, or a cell fault on an absent gate, raises
+    instead of silently riding along never-injected (which would report
+    the fault "undetected" while its machine just mirrors the good
+    one).
+    """
     if faults is None:
         faults = network.enumerate_faults()
-    faults = list(faults)
+    # Validate before packing machines: duplicates would waste bit
+    # positions and colliding labels should raise before simulation.
+    faults = dedupe_faults(faults)
     machine_count = len(faults) + 1  # +1: the good machine (highest bit)
     good_bit = len(faults)
     mask = (1 << machine_count) - 1
 
+    check_injectable(network, faults)
     compiled = compile_network(network)
     stuck_of_slot: Dict[int, List[int]] = {}
     cells_of_gate: Dict[int, List[int]] = {}
     for index, fault in enumerate(faults):
         if fault.kind == "stuck":
-            slot = compiled.slot_of_net.get(fault.net)
-            if slot is not None:
-                stuck_of_slot.setdefault(slot, []).append(index)
+            stuck_of_slot.setdefault(
+                compiled.slot_of_net[fault.net], []
+            ).append(index)
         else:
-            gate_index = compiled.gate_index.get(fault.gate)
-            if gate_index is not None:
-                cells_of_gate.setdefault(gate_index, []).append(index)
+            cells_of_gate.setdefault(
+                compiled.gate_index[fault.gate], []
+            ).append(index)
 
     def apply_stucks(slot: int, word: int) -> int:
         for index in stuck_of_slot.get(slot, ()):
@@ -81,8 +96,10 @@ def parallel_fault_simulate(
             entries.append((index, table, gate.in_slots))
         patches_of_gate[gate_index] = entries
 
-    detected: Dict[str, int] = {}
-    counts: Dict[str, int] = {}
+    # Keyed per fault *index* (labels only at result build time, where
+    # colliding labels of distinct faults raise instead of merging).
+    firsts: List[int] = [-1] * len(faults)
+    fault_counts: List[int] = [0] * len(faults)
     num_inputs = compiled.num_input_slots
     for pattern_index, vector in enumerate(patterns.vectors()):
         words: List[int] = [0] * compiled.num_slots
@@ -107,17 +124,14 @@ def parallel_fault_simulate(
             good_value = (word >> good_bit) & 1
             reference = mask if good_value else 0
             difference |= word ^ reference
-        for index, fault in enumerate(faults):
+        for index in range(len(faults)):
             if (difference >> index) & 1:
-                label = fault.describe()
-                counts[label] = counts.get(label, 0) + 1
-                detected.setdefault(label, pattern_index)
+                fault_counts[index] += 1
+                if firsts[index] < 0:
+                    firsts[index] = pattern_index
 
-    undetected = [f.describe() for f in faults if f.describe() not in detected]
-    return FaultSimResult(
-        network_name=network.name,
-        pattern_count=patterns.count,
-        detected=detected,
-        detection_counts=counts,
-        undetected=undetected,
-    )
+    outcomes = [
+        (firsts[index], fault_counts[index]) if fault_counts[index] else None
+        for index in range(len(faults))
+    ]
+    return build_result(network.name, patterns.count, faults, outcomes)

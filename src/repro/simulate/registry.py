@@ -1,0 +1,88 @@
+"""The simulation-engine registry.
+
+Every consumer that used to branch on an ad-hoc ``engine: str`` -
+:func:`repro.simulate.faultsim.fault_simulate`, the Monte-Carlo
+estimators of :mod:`repro.protest`, the PROTEST facade, the CLI -
+now resolves the name through this registry.  An engine bundles the
+three primitives the rest of the system needs:
+
+* ``simulate_faults`` - a full fault-simulation run returning a
+  :class:`~repro.simulate.faultsim.FaultSimResult`;
+* ``difference_words`` - one detection bit-word per fault (the
+  Monte-Carlo detection estimator's primitive);
+* ``evaluate_bits`` - fault-free bit-parallel valuation of every net
+  (the Monte-Carlo signal estimator's primitive).
+
+Three engines register themselves on import:
+
+* ``"interpreted"`` - the gate-by-gate AST walk through
+  :meth:`Network.evaluate_bits`; the reference oracle.
+* ``"compiled"`` - the flat slot program of
+  :mod:`repro.simulate.compiled` with cone-restricted fault passes.
+* ``"sharded"`` - :mod:`repro.simulate.sharded`: the compiled engine
+  run over a multi-process fault-list shard pool with streaming
+  pattern windows.  Accepts ``jobs``.
+
+All three are bit-identical on every result; they differ only in cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+__all__ = ["Engine", "register_engine", "get_engine", "available_engines"]
+
+
+@dataclass(frozen=True)
+class Engine:
+    """One registered simulation engine.
+
+    ``simulate_faults(network, patterns, faults, *,
+    stop_at_first_detection=False, jobs=None)`` returns a
+    ``FaultSimResult``; ``difference_words(network, patterns, faults,
+    jobs=None)`` returns one detection word per fault in fault-list
+    order; ``evaluate_bits(network, env, mask)`` returns the fault-free
+    valuation of every net.  Engines that cannot use ``jobs`` ignore
+    it.
+    """
+
+    name: str
+    description: str
+    simulate_faults: Callable = field(repr=False)
+    difference_words: Callable = field(repr=False)
+    evaluate_bits: Callable = field(repr=False)
+
+
+_ENGINES: Dict[str, Engine] = {}
+
+
+def register_engine(engine: Engine) -> Engine:
+    """Register (or idempotently re-register) an engine by name."""
+    _ENGINES[engine.name] = engine
+    return engine
+
+
+def _ensure_builtin_engines() -> None:
+    # The built-in engines register themselves as a side effect of
+    # import; importing here (not at module load) avoids a cycle with
+    # faultsim, which imports this module at its top.
+    from . import faultsim, sharded  # noqa: F401
+
+
+def get_engine(name: str) -> Engine:
+    """Resolve an engine name, with the available names in the error."""
+    _ensure_builtin_engines()
+    engine = _ENGINES.get(name)
+    if engine is None:
+        raise ValueError(
+            f"unknown engine {name!r}; available engines: "
+            + ", ".join(sorted(_ENGINES))
+        )
+    return engine
+
+
+def available_engines() -> Tuple[str, ...]:
+    """The registered engine names, sorted."""
+    _ensure_builtin_engines()
+    return tuple(sorted(_ENGINES))

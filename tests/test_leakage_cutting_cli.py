@@ -102,6 +102,50 @@ class TestCuttingBounds:
         with pytest.raises(ValueError):
             Interval(0.7, 0.3)
 
+    def test_wide_cell_past_corner_budget_stays_sound(self):
+        """Regression: a cell whose wide-interval pins span more corners
+        than the budget used to get a silently *truncated* min/max -
+        not an enclosure.  It must widen to FULL instead.
+
+        One stem feeding all 14 pins of a wide AND gives 13 cut (FULL)
+        pins after the first branch: 2^13 = 8192 corners, past the 4096
+        budget.  The true function collapses to the stem itself, so the
+        exact probability is 0.5 - which the truncated corner walk
+        excluded (every enumerated corner had some pin at 0, yielding
+        the unsound interval [0, 0])."""
+        from repro.netlist import CellFactory, Network
+        from repro.protest import FULL
+
+        factory = CellFactory("domino-CMOS")
+        wide = factory.and_gate(14)
+        network = Network("wide_cell")
+        network.add_input("s")
+        network.add_gate("g", wide, {pin: "s" for pin in wide.inputs}, "z")
+        network.mark_output("z")
+        bounds = cutting_signal_bounds(network)
+        assert bounds["z"] == FULL
+        assert bounds["z"].contains(0.5)  # exact P(z=1) = P(s=1) = 0.5
+
+    def test_corner_budget_counts_only_wide_pins(self):
+        """Point intervals contribute one corner, so a wide gate with
+        few *cut* pins still gets the exact (non-FULL) enclosure."""
+        from repro.netlist import CellFactory, Network
+
+        factory = CellFactory("domino-CMOS")
+        wide = factory.and_gate(14)
+        network = Network("wide_cell_free")
+        connections = {}
+        for position, pin in enumerate(wide.inputs):
+            net = f"s{position}"
+            network.add_input(net)
+            connections[pin] = net
+        network.add_gate("g", wide, connections, "z")
+        network.mark_output("z")
+        bounds = cutting_signal_bounds(network)
+        # Fanout-free: every pin keeps its point interval -> exact point.
+        assert bounds["z"].width < 1e-9
+        assert bounds["z"].contains(0.5 ** 14)
+
 
 class TestCli:
     CELL = (

@@ -11,6 +11,7 @@ from repro.circuits.generators import (
     dual_rail_parity_tree,
     random_network,
 )
+from repro.netlist import NetworkFault
 from repro.simulate import (
     PatternSet,
     deductive_fault_simulate,
@@ -55,6 +56,49 @@ def test_good_machine_preserved():
     # indirect check: coverage identical to serial on exhaustive patterns
     serial = fault_simulate(network, patterns, faults)
     assert result.coverage == serial.coverage == 1.0
+
+
+class TestInjectability:
+    """Un-injectable faults must raise, never ride along undetected."""
+
+    def test_stuck_on_unknown_net_raises(self):
+        network = domino_carry_chain(2)
+        patterns = PatternSet.exhaustive(network.inputs)
+        ghost = NetworkFault.stuck_at("ghost", 1)
+        with pytest.raises(ValueError, match="cannot be injected"):
+            parallel_fault_simulate(network, patterns, [ghost])
+
+    def test_cell_fault_on_unknown_gate_raises(self):
+        network = domino_carry_chain(2)
+        patterns = PatternSet.exhaustive(network.inputs)
+        template = network.enumerate_faults()[0]
+        orphan = NetworkFault.cell_fault(
+            "no_such_gate", template.class_index, template.function
+        )
+        with pytest.raises(ValueError, match="cannot be injected"):
+            parallel_fault_simulate(network, patterns, [orphan])
+
+
+class TestLabelCollisions:
+    def test_distinct_faults_sharing_a_label_raise(self):
+        network = and_cone(3)
+        patterns = PatternSet.exhaustive(network.inputs)
+        colliding = [
+            NetworkFault.stuck_at("a0", 0),
+            NetworkFault(kind="stuck", net="a1", value=0, label="s0-a0"),
+        ]
+        with pytest.raises(ValueError, match="shared by two distinct"):
+            parallel_fault_simulate(network, patterns, colliding)
+
+    def test_duplicate_of_same_fault_reported_once(self):
+        network = and_cone(3)
+        patterns = PatternSet.exhaustive(network.inputs)
+        fault = NetworkFault.stuck_at("a0", 0)
+        single = parallel_fault_simulate(network, patterns, [fault])
+        doubled = parallel_fault_simulate(network, patterns, [fault, fault])
+        assert doubled.detected == single.detected
+        assert doubled.detection_counts == single.detection_counts
+        assert doubled.fault_count == single.fault_count
 
 
 @settings(max_examples=15, deadline=None)

@@ -75,6 +75,19 @@ class TestSignalProbabilities:
         with pytest.raises(ValueError):
             signal_probabilities(network, method="psychic")
 
+    def test_zero_samples_raises(self):
+        """Regression: samples=0 used to divide by zero (and negative
+        counts produced empty, silently meaningless estimates)."""
+        network = and_cone(2)
+        for samples in (0, -4):
+            with pytest.raises(ValueError, match="samples"):
+                monte_carlo_signal_probabilities(network, samples=samples)
+
+    def test_one_sample_is_valid(self):
+        network = and_cone(2)
+        estimates = monte_carlo_signal_probabilities(network, samples=1)
+        assert all(value in (0.0, 1.0) for value in estimates.values())
+
 
 class TestDetectionProbabilities:
     def test_exact_matches_fault_simulation_frequency(self):
@@ -101,6 +114,58 @@ class TestDetectionProbabilities:
         network = domino_carry_chain(4)
         estimates = detection_probabilities(network, method="topological")
         assert all(0.0 <= p <= 1.0 for p in estimates.values())
+
+    def test_monte_carlo_zero_samples_raises(self):
+        """Regression: samples=0 used to divide by zero."""
+        from repro.protest import monte_carlo_detection_probabilities
+
+        network = and_cone(2)
+        faults = network.enumerate_faults()
+        for samples in (0, -1):
+            with pytest.raises(ValueError, match="samples"):
+                monte_carlo_detection_probabilities(network, faults, samples=samples)
+
+    def test_monte_carlo_one_sample_is_valid(self):
+        from repro.protest import monte_carlo_detection_probabilities
+
+        network = and_cone(2)
+        faults = network.enumerate_faults()
+        estimates = monte_carlo_detection_probabilities(network, faults, samples=1)
+        assert all(value in (0.0, 1.0) for value in estimates.values())
+
+    def test_estimators_reject_colliding_fault_labels(self):
+        """Distinct faults sharing a label must raise here too, not just
+        in fault_simulate - a silent dict merge would shrink the fault
+        universe under test_length/hardest_faults."""
+        from repro.netlist import NetworkFault
+        from repro.protest import monte_carlo_detection_probabilities
+
+        network = and_cone(3)
+        colliding = [
+            NetworkFault.stuck_at("a0", 0),
+            NetworkFault(kind="stuck", net="a1", value=0, label="s0-a0"),
+        ]
+        with pytest.raises(ValueError, match="shared by two distinct"):
+            monte_carlo_detection_probabilities(network, colliding, samples=16)
+        with pytest.raises(ValueError, match="shared by two distinct"):
+            exact_detection_probabilities(network, colliding)
+        with pytest.raises(ValueError, match="shared by two distinct"):
+            detection_probabilities(network, colliding, method="topological")
+
+    def test_estimators_reject_ghost_faults(self):
+        """A fault on a net the network does not drive must raise, not
+        silently score detection probability 0.0."""
+        from repro.netlist import NetworkFault
+        from repro.protest import monte_carlo_detection_probabilities
+
+        network = and_cone(3)
+        ghost = [NetworkFault.stuck_at("ghost", 1)]
+        with pytest.raises(ValueError, match="cannot be injected"):
+            monte_carlo_detection_probabilities(network, ghost, samples=16)
+        with pytest.raises(ValueError, match="cannot be injected"):
+            exact_detection_probabilities(network, ghost)
+        with pytest.raises(ValueError, match="cannot be injected"):
+            detection_probabilities(network, ghost, method="topological")
 
 
 class TestTestLength:

@@ -1,0 +1,370 @@
+"""Sharded engine, streaming windows, shard merge - bit-identical or bust.
+
+The sharded multi-process engine (:mod:`repro.simulate.sharded`) must
+agree with the single-process compiled engine on every detection set,
+detection count and first-detection index; its streaming-window core
+must be exact for arbitrary window widths (including uneven final
+windows); and the per-shard merge must be a verified, lossless union.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.generators import (
+    and_cone,
+    c17,
+    domino_carry_chain,
+    dual_rail_parity_tree,
+    random_network,
+)
+from repro.netlist import NetworkFault
+from repro.simulate import (
+    PatternSet,
+    available_engines,
+    coverage_curve,
+    fault_simulate,
+    get_engine,
+    merge_results,
+    sharded_fault_simulate,
+)
+from repro.simulate.faultsim import FaultSimResult, build_result
+from repro.simulate.sharded import (
+    shard_bounds,
+    sharded_difference_words,
+    windowed_difference_words,
+    windowed_outcomes,
+)
+
+
+def all_faults(network):
+    return network.enumerate_faults(include_cell_classes=True, include_stuck_at=True)
+
+
+def results_identical(a, b):
+    assert a.detected == b.detected
+    assert a.detection_counts == b.detection_counts
+    assert a.undetected == b.undetected
+    assert a.pattern_count == b.pattern_count
+
+
+CIRCUITS = [
+    and_cone(5),
+    domino_carry_chain(4),
+    dual_rail_parity_tree(4),
+    c17(),
+    random_network(n_inputs=6, n_gates=14, seed=11),
+    random_network(n_inputs=5, n_gates=10, technology="dynamic-nMOS", seed=23),
+]
+
+
+class TestWindowIterator:
+    def test_windows_cover_the_set_with_uneven_tail(self):
+        patterns = PatternSet.random(("a", "b", "c"), 1000, seed=1)
+        seen = []
+        for start, window in patterns.windows(256):
+            assert window.count == (256 if start + 256 <= 1000 else 1000 - start)
+            for name in patterns.names:
+                expected = (patterns.env[name] >> start) & window.mask
+                assert window.env[name] == expected
+            seen.append(start)
+        assert seen == [0, 256, 512, 768]
+
+    def test_single_window_when_wider_than_set(self):
+        patterns = PatternSet.random(("a",), 10, seed=2)
+        windows = list(patterns.windows(64))
+        assert len(windows) == 1
+        assert windows[0][0] == 0
+        assert windows[0][1].env == patterns.env
+
+    def test_empty_set_yields_no_windows(self):
+        empty = PatternSet(("a",), {"a": 0}, 0)
+        assert list(empty.windows(16)) == []
+
+    def test_bad_width_raises(self):
+        patterns = PatternSet.random(("a",), 8, seed=3)
+        with pytest.raises(ValueError):
+            list(patterns.windows(0))
+
+    def test_slice_bounds_checked(self):
+        patterns = PatternSet.random(("a",), 8, seed=4)
+        with pytest.raises(ValueError):
+            patterns.slice(4, 12)
+
+    @pytest.mark.parametrize("network", CIRCUITS, ids=lambda n: n.name)
+    @pytest.mark.parametrize("width", [1, 7, 64, 333])
+    def test_windowed_words_bit_identical_to_whole_pass(self, network, width):
+        """Accumulated per-window difference words == one whole-set pass,
+        across circuits, fault kinds and uneven final windows."""
+        from repro.simulate.faultsim import compiled_difference_words
+
+        patterns = PatternSet.random(network.inputs, 150, seed=17)
+        faults = all_faults(network)
+        whole = compiled_difference_words(network, patterns, faults)
+        windowed = windowed_difference_words(network, patterns, faults, width)
+        assert windowed == whole
+
+    @pytest.mark.parametrize("width", [1, 5, 37, 100])
+    def test_windowed_outcomes_match_whole_pass(self, width):
+        network = domino_carry_chain(4)
+        patterns = PatternSet.random(network.inputs, 100, seed=9)
+        faults = all_faults(network)
+        outcomes = windowed_outcomes(network, patterns, faults, width)
+        reference = fault_simulate(network, patterns, faults, engine="compiled")
+        rebuilt = build_result(network.name, patterns.count, faults, outcomes)
+        results_identical(rebuilt, reference)
+
+
+@pytest.mark.parametrize("network", CIRCUITS, ids=lambda n: n.name)
+class TestShardedEquivalence:
+    def test_sharded_identical_to_compiled(self, network):
+        patterns = PatternSet.random(network.inputs, 220, seed=5)
+        faults = all_faults(network)
+        compiled = fault_simulate(network, patterns, faults, engine="compiled")
+        for jobs in (1, 2, 3):
+            # The registry path (small sets fall back in-process)...
+            sharded = fault_simulate(
+                network, patterns, faults, engine="sharded", jobs=jobs
+            )
+            results_identical(sharded, compiled)
+            # ...and the genuine worker pool (min_pool_work=0 forces it).
+            pooled = sharded_fault_simulate(
+                network, patterns, faults, jobs=jobs, min_pool_work=0
+            )
+            results_identical(pooled, compiled)
+
+    def test_sharded_first_detection_identical(self, network):
+        patterns = PatternSet.random(network.inputs, 400, seed=6)
+        faults = all_faults(network)
+        compiled = fault_simulate(
+            network, patterns, faults, stop_at_first_detection=True, engine="compiled"
+        )
+        sharded = sharded_fault_simulate(
+            network,
+            patterns,
+            faults,
+            stop_at_first_detection=True,
+            jobs=2,
+            min_pool_work=0,
+        )
+        results_identical(sharded, compiled)
+
+    def test_sharded_difference_words_identical(self, network):
+        from repro.simulate.faultsim import compiled_difference_words
+
+        patterns = PatternSet.random(network.inputs, 130, seed=7)
+        faults = all_faults(network)
+        assert sharded_difference_words(
+            network, patterns, faults, jobs=2, min_pool_work=0
+        ) == compiled_difference_words(network, patterns, faults)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    count=st.integers(min_value=1, max_value=200),
+    window=st.integers(min_value=1, max_value=64),
+)
+def test_property_windowed_simulation_exact(seed, count, window):
+    """Property: windowed == whole-set on arbitrary circuits/windows."""
+    network = random_network(n_inputs=5, n_gates=9, seed=seed)
+    patterns = PatternSet.random(network.inputs, count, seed=seed ^ 0xAAAA)
+    faults = all_faults(network)
+    outcomes = windowed_outcomes(network, patterns, faults, window)
+    rebuilt = build_result(network.name, patterns.count, faults, outcomes)
+    results_identical(rebuilt, fault_simulate(network, patterns, faults))
+
+
+class TestShardMerge:
+    def _result(self, **kw):
+        base = dict(
+            network_name="n",
+            pattern_count=64,
+            detected={},
+            detection_counts={},
+            undetected=[],
+        )
+        base.update(kw)
+        return FaultSimResult(**base)
+
+    def test_merge_preserves_indices_and_counts(self):
+        network = domino_carry_chain(4)
+        patterns = PatternSet.random(network.inputs, 96, seed=8)
+        faults = all_faults(network)
+        whole = fault_simulate(network, patterns, faults)
+        parts = []
+        for lo, hi in shard_bounds(len(faults), 3):
+            parts.append(fault_simulate(network, patterns, faults[lo:hi]))
+        merged = merge_results(parts)
+        results_identical(merged, whole)
+
+    def test_shard_bounds_partition(self):
+        for count, shards in [(10, 3), (7, 7), (5, 16), (1, 4), (0, 2)]:
+            bounds = shard_bounds(count, shards)
+            covered = [i for lo, hi in bounds for i in range(lo, hi)]
+            assert covered == list(range(count))
+            assert len(bounds) <= max(1, min(shards, count))
+
+    def test_merge_rejects_mismatched_pattern_counts(self):
+        a = self._result(pattern_count=64)
+        b = self._result(pattern_count=32)
+        with pytest.raises(ValueError):
+            merge_results([a, b])
+
+    def test_merge_rejects_mismatched_networks(self):
+        a = self._result()
+        b = self._result(network_name="other")
+        with pytest.raises(ValueError):
+            merge_results([a, b])
+
+    def test_merge_rejects_overlapping_labels(self):
+        a = self._result(detected={"f": 3}, detection_counts={"f": 1})
+        b = self._result(undetected=["f"])
+        with pytest.raises(ValueError):
+            merge_results([a, b])
+
+    def test_merge_of_nothing_raises(self):
+        with pytest.raises(ValueError):
+            merge_results([])
+
+
+class TestEngineRegistry:
+    def test_all_three_engines_registered(self):
+        names = available_engines()
+        assert set(names) >= {"interpreted", "compiled", "sharded"}
+
+    def test_unknown_engine_error_lists_available(self):
+        with pytest.raises(ValueError, match="compiled"):
+            get_engine("turbo")
+
+    def test_fault_simulate_rejects_unknown_engine(self):
+        network = and_cone(3)
+        patterns = PatternSet.exhaustive(network.inputs)
+        with pytest.raises(ValueError, match="unknown engine"):
+            fault_simulate(network, patterns, engine="turbo")
+
+    def test_coverage_curve_engine_threading(self):
+        network = domino_carry_chain(3)
+        patterns = PatternSet.random(network.inputs, 128, seed=10)
+        compiled = coverage_curve(network, patterns, points=8)
+        sharded = coverage_curve(
+            network, patterns, points=8, engine="sharded", jobs=2
+        )
+        assert sharded == compiled
+
+    def test_estimators_identical_across_engines(self):
+        from repro.protest import (
+            monte_carlo_detection_probabilities,
+            monte_carlo_signal_probabilities,
+        )
+
+        network = domino_carry_chain(3)
+        faults = network.enumerate_faults()
+        reference = monte_carlo_detection_probabilities(
+            network, faults, samples=512, engine="compiled"
+        )
+        sharded = monte_carlo_detection_probabilities(
+            network, faults, samples=512, engine="sharded", jobs=2
+        )
+        assert sharded == reference
+        assert monte_carlo_signal_probabilities(
+            network, samples=512, engine="sharded"
+        ) == monte_carlo_signal_probabilities(network, samples=512, engine="compiled")
+
+
+class TestInjectability:
+    """Every engine must reject ghost faults instead of silently
+    reporting them 'undetected' (which deflates coverage)."""
+
+    def test_stuck_on_unknown_net_raises_on_all_engines(self):
+        network = domino_carry_chain(2)
+        patterns = PatternSet.exhaustive(network.inputs)
+        ghost = NetworkFault.stuck_at("ghost", 1)
+        for engine in available_engines():
+            with pytest.raises(ValueError, match="cannot be injected"):
+                fault_simulate(network, patterns, [ghost], engine=engine)
+
+    def test_cell_fault_on_unknown_gate_raises(self):
+        network = domino_carry_chain(2)
+        patterns = PatternSet.exhaustive(network.inputs)
+        template = network.enumerate_faults()[0]
+        orphan = NetworkFault.cell_fault(
+            "no_such_gate", template.class_index, template.function
+        )
+        with pytest.raises(ValueError, match="cannot be injected"):
+            fault_simulate(network, patterns, [orphan])
+        with pytest.raises(ValueError, match="cannot be injected"):
+            sharded_fault_simulate(network, patterns, [orphan], jobs=2)
+
+
+class TestLabelCollisions:
+    def test_distinct_faults_sharing_a_label_raise(self):
+        network = and_cone(3)
+        patterns = PatternSet.exhaustive(network.inputs)
+        colliding = [
+            NetworkFault.stuck_at("a0", 0),
+            NetworkFault(kind="stuck", net="a1", value=0, label="s0-a0"),
+        ]
+        for engine in ("compiled", "interpreted", "sharded"):
+            with pytest.raises(ValueError, match="shared by two distinct"):
+                fault_simulate(network, patterns, colliding, engine=engine)
+
+    def test_duplicate_of_same_fault_reported_once(self):
+        network = and_cone(3)
+        patterns = PatternSet.exhaustive(network.inputs)
+        fault = NetworkFault.stuck_at("a0", 0)
+        single = fault_simulate(network, patterns, [fault])
+        doubled = fault_simulate(network, patterns, [fault, fault])
+        results_identical(doubled, single)
+        sharded = fault_simulate(
+            network, patterns, [fault, fault], engine="sharded", jobs=2
+        )
+        results_identical(sharded, single)
+
+    def test_enumerated_fault_labels_are_unique(self):
+        """The dual-rail sum cell has distinct fault classes whose
+        physical labels collide ('nc' gates two transistors); the
+        network-level fault list must disambiguate them."""
+        from repro.circuits.generators import dual_rail_adder
+
+        network = dual_rail_adder(1)
+        faults = network.enumerate_faults()
+        labels = [fault.describe() for fault in faults]
+        assert len(labels) == len(set(labels))
+        patterns = PatternSet.random(network.inputs, 64, seed=12)
+        fault_simulate(network, patterns, faults)  # must not raise
+
+
+class TestProtestAndCli:
+    def test_protest_validate_sharded_matches_compiled(self):
+        from repro.protest import Protest
+
+        network = domino_carry_chain(3)
+        compiled = Protest(network).validate(200, seed=7)
+        sharded = Protest(network, engine="sharded", jobs=2).validate(200, seed=7)
+        results_identical(sharded, compiled)
+
+    def test_cli_engine_and_jobs_flags(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["protest", "cell.txt", "--engine", "sharded", "--jobs", "2"]
+        )
+        assert args.engine == "sharded"
+        assert args.jobs == 2
+
+    def test_cli_rejects_unknown_engine(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["protest", "cell.txt", "--engine", "turbo"])
+
+    def test_cli_engine_choices_match_registry(self):
+        """ENGINE_CHOICES is spelled out in cli.py (to keep --help free
+        of the simulate import cost); it must not drift from the
+        registry."""
+        from repro.cli import ENGINE_CHOICES
+
+        assert tuple(sorted(ENGINE_CHOICES)) == available_engines()

@@ -53,6 +53,25 @@ class TestPatternSet:
         assert doubled.count == 4
         assert [v["a"] for v in doubled.vectors()] == [1, 0, 1, 0]
 
+    def test_repeat_zero_is_empty(self):
+        patterns = PatternSet.from_vectors(("a",), [{"a": 1}, {"a": 0}])
+        empty = patterns.repeat(0)
+        assert empty.count == 0
+        assert empty.names == patterns.names
+        assert all(bits == 0 for bits in empty.env.values())
+        assert list(empty.vectors()) == []
+
+    def test_repeat_one_is_identity(self):
+        patterns = PatternSet.from_vectors(("a",), [{"a": 1}, {"a": 0}])
+        once = patterns.repeat(1)
+        assert once.count == 2
+        assert once.env == patterns.env
+
+    def test_repeat_negative_raises(self):
+        patterns = PatternSet.from_vectors(("a",), [{"a": 1}])
+        with pytest.raises(ValueError):
+            patterns.repeat(-1)
+
     def test_concat_incompatible(self):
         with pytest.raises(ValueError):
             PatternSet.exhaustive(("a",)).concat(PatternSet.exhaustive(("b",)))
