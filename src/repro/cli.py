@@ -10,12 +10,14 @@ Subcommands::
         Regenerate the paper's tables and figures (all by default).
 
     python -m repro protest CELLFILE --confidence 0.999 \
-            [--engine interpreted|compiled|sharded] [--jobs N]
+            [--engine compiled|interpreted|sharded|sharded+vector|vector] \
+            [--jobs N]
         Wrap the cell in a single-gate network and run the PROTEST
         pipeline: probabilities, test length, optimized weights.
         ``--engine`` picks the simulation engine for the estimators and
-        the validation fault simulation; ``--jobs`` the worker count of
-        the sharded engine.
+        the validation fault simulation (any registered engine name;
+        bad names fail with the registry's error); ``--jobs`` the
+        worker count of the sharded engines.
 
     python -m repro figures
         Print the executable versions of Figs. 1, 5, 7 and 9.
@@ -28,10 +30,27 @@ import argparse
 from pathlib import Path
 from typing import List, Optional
 
-ENGINE_CHOICES = ("compiled", "interpreted", "sharded")
+ENGINE_CHOICES = ("compiled", "interpreted", "sharded", "sharded+vector", "vector")
 """The registered engine names, spelled out so parser construction (and
 ``--help``) stays free of the simulate-package import cost; a test
 holds this tuple equal to ``repro.simulate.available_engines()``."""
+
+
+def _engine_name(name: str) -> str:
+    """argparse type for ``--engine``: validate against the registry.
+
+    Bad names fail with the registry's own message (including the
+    sorted list of available engines), so the CLI and the library agree
+    on the error; the registry import happens only when the flag is
+    actually parsed, keeping ``--help`` import-free.
+    """
+    from .simulate.registry import get_engine
+
+    try:
+        get_engine(name)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return name
 
 
 def _load_cell(path: str):
@@ -151,8 +170,9 @@ def build_parser() -> argparse.ArgumentParser:
     protest.add_argument("--validate", action="store_true")
     protest.add_argument(
         "--engine",
-        choices=ENGINE_CHOICES,
+        type=_engine_name,
         default="compiled",
+        metavar="|".join(ENGINE_CHOICES),
         help="simulation engine for estimators and validation "
         "(default: compiled)",
     )
@@ -161,7 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="worker processes for the sharded engine "
+        help="worker processes for the sharded engines "
         "(default: one per CPU)",
     )
     protest.set_defaults(func=command_protest)

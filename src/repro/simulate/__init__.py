@@ -13,6 +13,13 @@ from .sharded import (
     sharded_fault_simulate,
     windowed_outcomes,
 )
+from .vector import (
+    VECTOR_WINDOW,
+    VectorNetwork,
+    VectorSimulation,
+    vector_compile,
+    vector_fault_simulate,
+)
 from .timingsim import (
     DegradationPoint,
     TimingConfig,
@@ -44,6 +51,11 @@ __all__ = [
     "merge_results",
     "sharded_fault_simulate",
     "windowed_outcomes",
+    "VECTOR_WINDOW",
+    "VectorNetwork",
+    "VectorSimulation",
+    "vector_compile",
+    "vector_fault_simulate",
     "DegradationPoint",
     "TimingConfig",
     "TimingSimulator",

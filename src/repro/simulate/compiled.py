@@ -158,18 +158,22 @@ class CompiledGate:
 
     ``in_slots`` follows ``cell.inputs`` order, which is also the
     variable order of library truth tables - parallel.py exploits this
-    for direct minterm indexing.
+    for direct minterm indexing.  ``expr`` keeps the minimal-SOP
+    expression the function was compiled from, so backends that
+    re-specialise kernels (the vector engine's batched cone passes)
+    lower the exact same expression instead of re-deriving it.
     """
 
-    __slots__ = ("name", "index", "out_slot", "in_slots", "fn", "cell")
+    __slots__ = ("name", "index", "out_slot", "in_slots", "fn", "cell", "expr")
 
-    def __init__(self, name, index, out_slot, in_slots, fn, cell):
+    def __init__(self, name, index, out_slot, in_slots, fn, cell, expr):
         self.name = name
         self.index = index
         self.out_slot = out_slot
         self.in_slots = in_slots
         self.fn = fn
         self.cell = cell
+        self.expr = expr
 
 
 class CompiledNetwork:
@@ -204,7 +208,8 @@ class CompiledNetwork:
             gate = network.gates[gate_name]
             pins = gate.cell.inputs
             slot_of_pin = {pin: slot_of_net[gate.connections[pin]] for pin in pins}
-            fn = compile_gate_function(gate.function_expr(), slot_of_pin)
+            expr = gate.function_expr()
+            fn = compile_gate_function(expr, slot_of_pin)
             compiled = CompiledGate(
                 name=gate_name,
                 index=index,
@@ -212,6 +217,7 @@ class CompiledNetwork:
                 in_slots=tuple(slot_of_pin[pin] for pin in pins),
                 fn=fn,
                 cell=gate.cell,
+                expr=expr,
             )
             self.gates.append(compiled)
             self.gate_index[gate_name] = index

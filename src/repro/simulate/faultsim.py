@@ -21,9 +21,14 @@ registry (:mod:`repro.simulate.registry`):
   :meth:`Network.evaluate_bits`, one full network pass per fault.
   Kept as the oracle the equivalence suite checks the other engines
   against; all engines produce bit-identical results.
-* ``engine="sharded"`` - :mod:`repro.simulate.sharded`: the compiled
-  engine sharded across a ``multiprocessing`` worker pool with
-  streaming pattern windows; ``jobs`` selects the worker count.
+* ``engine="vector"`` - :mod:`repro.simulate.vector`: the same slot
+  program lowered onto numpy ``uint64`` lane arrays; the gate kernels
+  run as vectorized SIMD ops, which wins past a few thousand patterns
+  per pass.
+* ``engine="sharded"`` / ``engine="sharded+vector"`` -
+  :mod:`repro.simulate.sharded`: an inner engine (compiled or vector)
+  sharded across a ``multiprocessing`` worker pool with streaming
+  pattern windows; ``jobs`` selects the worker count.
 
 Results are keyed by fault *label* (``fault.describe()``) but computed
 per fault: a fault list in which two **distinct** faults share a label
@@ -304,8 +309,9 @@ def fault_simulate(
     the flag off when empirical detection probabilities are wanted.
 
     ``engine`` names a registered engine (``"compiled"`` by default,
-    ``"interpreted"``, ``"sharded"``; see
-    :mod:`repro.simulate.registry`); all engines are bit-identical.
+    ``"interpreted"``, ``"vector"``, ``"sharded"``,
+    ``"sharded+vector"``; see :mod:`repro.simulate.registry`); all
+    engines are bit-identical.
     ``jobs`` sets the worker count for multi-process engines and is
     ignored by the single-process ones.
     """
@@ -325,21 +331,41 @@ def fault_simulate(
     )
 
 
-def _window_difference_factory(network: Network, engine: str):
-    """``window -> (fault -> difference word)`` for a one-process engine."""
+def window_difference_factory(network: Network, engine: str):
+    """``window -> (fault -> difference word)`` for a one-process engine.
+
+    The single-process window core shared by :func:`windowed_outcomes`
+    and the sharded engine's workers; ``engine`` picks the per-window
+    pass (``"compiled"`` slot program, ``"vector"`` numpy lane arrays,
+    ``"interpreted"`` full AST re-simulation).
+    """
     if engine == "compiled":
         compiled = compile_network(network)
 
         def for_window(window: PatternSet):
             return compiled.simulate(window.env, window.mask).difference
 
-    else:
+    elif engine == "vector":
+        from .vector import vector_compile
+
+        vector = vector_compile(network)
+
+        def for_window(window: PatternSet):
+            return vector.simulate(window).difference
+
+    elif engine == "interpreted":
 
         def for_window(window: PatternSet):
             good = network.output_bits(window.env, window.mask)
             return lambda fault: _difference_interpreted(
                 network, window.env, window.mask, good, fault
             )
+
+    else:
+        raise ValueError(
+            f"engine {engine!r} has no single-process window core; "
+            "expected one of: compiled, interpreted, vector"
+        )
 
     return for_window
 
@@ -354,14 +380,25 @@ def windowed_outcomes(
 ) -> List[FaultOutcome]:
     """Per-fault (first index, count) outcomes, one window at a time.
 
-    The streaming core shared by ``stop_at_first_detection`` and the
-    sharded engine's workers.  Accumulating per-window detection words
-    is exact: the first nonzero window fixes the first-detection index
-    and the counts add up to the whole-set ``bit_count``.  With
-    ``stop_at_first_detection`` a fault leaves the pass at the end of
-    its first detecting window (count pinned to 1).
+    The streaming core shared by ``stop_at_first_detection``, the
+    vector engine and the sharded engine's workers.  Accumulating
+    per-window detection words is exact: the first nonzero window fixes
+    the first-detection index and the counts add up to the whole-set
+    ``bit_count``.  With ``stop_at_first_detection`` a fault leaves the
+    pass at the end of its first detecting window (count pinned to 1).
+
+    ``engine="vector"`` delegates to the lane engine's batched window
+    core (:func:`repro.simulate.vector.vector_windowed_outcomes`) -
+    same semantics, but faults sharing an injection site propagate
+    through their fanout cone as one numpy batch.
     """
-    for_window = _window_difference_factory(network, engine)
+    if engine == "vector":
+        from .vector import vector_windowed_outcomes
+
+        return vector_windowed_outcomes(
+            network, patterns, faults, window, stop_at_first_detection
+        )
+    for_window = window_difference_factory(network, engine)
     firsts = [-1] * len(faults)
     counts = [0] * len(faults)
     active = list(range(len(faults)))

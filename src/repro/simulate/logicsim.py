@@ -17,6 +17,30 @@ import numpy as np
 _WEIGHTED_CHUNK = 1 << 16
 """Patterns drawn per vectorized sampling round for weighted inputs."""
 
+WORD_BITS = 64
+"""Lane width of the word-array pattern form (one ``uint64`` = 64
+patterns); shared with the vector engine."""
+
+
+def pack_words(bits: int, count: int) -> "np.ndarray":
+    """A ``count``-bit big-int as a ``uint64`` lane array.
+
+    Bit ``k`` of the big-int lands in bit ``k % 64`` of word ``k // 64``
+    - the layout every bridge in this module and the vector engine
+    agrees on.  Bits at or above ``count`` are masked off, so the array
+    is always an exact image of the masked value.
+    """
+    n_words = (count + WORD_BITS - 1) // WORD_BITS
+    bits &= (1 << count) - 1
+    raw = bits.to_bytes(n_words * 8, "little")
+    return np.frombuffer(raw, dtype="<u8").astype(np.uint64, copy=False)
+
+
+def unpack_words(words: "np.ndarray", count: int) -> int:
+    """Inverse of :func:`pack_words`: lane array back to a big-int."""
+    bits = int.from_bytes(np.ascontiguousarray(words, dtype="<u8").tobytes(), "little")
+    return bits & ((1 << count) - 1)
+
 
 def _weighted_bits(seed: int, count: int, p: float) -> int:
     """``count`` Bernoulli(p) bits as a big-int, sampled in vectorized chunks."""
@@ -171,11 +195,55 @@ class PatternSet:
         ``width`` bits instead of ``count`` bits, and accumulating a
         per-window difference word ``w_k`` as ``sum(w_k << start_k)``
         reproduces the whole-set word bit-exactly.
+
+        A width at or beyond the set's size yields exactly one window -
+        the whole set itself (this includes the empty set); no empty
+        tail window is ever produced.
         """
         if width < 1:
             raise ValueError(f"window width must be >= 1, got {width}")
+        if width >= self.count:
+            yield 0, self
+            return
         for start in range(0, self.count, width):
             yield start, self.slice(start, min(start + width, self.count))
+
+    # -- word-array bridges ------------------------------------------------------------
+
+    def to_words(self) -> "np.ndarray":
+        """The set as a ``uint64`` lane array of shape ``[n_inputs, n_words]``.
+
+        Row order follows ``names``; bit ``k`` of lane word ``w`` in a
+        row is the input's value under pattern ``w * 64 + k`` (the
+        layout of :func:`pack_words`).  This is the bridge into the
+        vector engine and any future array/accelerator backend.
+        """
+        n_words = (self.count + WORD_BITS - 1) // WORD_BITS
+        words = np.empty((len(self.names), n_words), dtype=np.uint64)
+        for row, name in enumerate(self.names):
+            words[row] = pack_words(self.env[name], self.count)
+        return words
+
+    @classmethod
+    def from_words(
+        cls, names: Sequence[str], words: "np.ndarray", count: int
+    ) -> "PatternSet":
+        """Inverse of :meth:`to_words`: lane arrays back to a pattern set.
+
+        ``words`` must have one row per name and enough 64-bit lanes for
+        ``count`` patterns; lane bits at or above ``count`` are ignored.
+        """
+        names = tuple(names)
+        words = np.asarray(words, dtype=np.uint64)
+        expected = (len(names), (count + WORD_BITS - 1) // WORD_BITS)
+        if words.shape != expected:
+            raise ValueError(
+                f"word array of shape {words.shape} does not hold "
+                f"{count} patterns over {len(names)} inputs "
+                f"(expected shape {expected})"
+            )
+        env = {name: unpack_words(words[row], count) for row, name in enumerate(names)}
+        return cls(names, env, count)
 
 
 def simulate(network, patterns: PatternSet) -> Dict[str, int]:

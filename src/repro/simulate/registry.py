@@ -13,17 +13,25 @@ three primitives the rest of the system needs:
 * ``evaluate_bits`` - fault-free bit-parallel valuation of every net
   (the Monte-Carlo signal estimator's primitive).
 
-Three engines register themselves on import:
+Five engines register themselves on import:
 
 * ``"interpreted"`` - the gate-by-gate AST walk through
   :meth:`Network.evaluate_bits`; the reference oracle.
 * ``"compiled"`` - the flat slot program of
   :mod:`repro.simulate.compiled` with cone-restricted fault passes.
+* ``"vector"`` - :mod:`repro.simulate.vector`: the same slot program
+  lowered onto numpy ``uint64`` lane arrays; the gate kernels run as
+  vectorized SIMD ops over streamed pattern windows.
 * ``"sharded"`` - :mod:`repro.simulate.sharded`: the compiled engine
   run over a multi-process fault-list shard pool with streaming
   pattern windows.  Accepts ``jobs``.
+* ``"sharded+vector"`` - the shard pool with the vector engine inside
+  each worker (shards x lanes).  Accepts ``jobs``.
 
-All three are bit-identical on every result; they differ only in cost.
+All engines are bit-identical on every result; they differ only in
+cost.  ``tests/test_engine_equivalence.py`` is the registry-driven
+differential harness holding every registered engine - including any
+future one - to that contract against the interpreted oracle.
 """
 
 from __future__ import annotations
@@ -67,7 +75,7 @@ def _ensure_builtin_engines() -> None:
     # The built-in engines register themselves as a side effect of
     # import; importing here (not at module load) avoids a cycle with
     # faultsim, which imports this module at its top.
-    from . import faultsim, sharded  # noqa: F401
+    from . import faultsim, sharded, vector  # noqa: F401
 
 
 def get_engine(name: str) -> Engine:

@@ -25,6 +25,13 @@ Workers are spawned through the ``fork`` start method so the network,
 pattern set and fault list are inherited copy-on-write instead of
 pickled; on platforms without ``fork`` the engine transparently falls
 back to a single-process windowed run (same results, no scale-out).
+
+The per-window pass inside each worker is an **inner engine**
+(``engine="compiled"`` by default): any single-process window core of
+:func:`repro.simulate.faultsim.window_difference_factory` composes
+with the shard pool.  ``"sharded+vector"`` registers the composition
+with the numpy lane engine of :mod:`repro.simulate.vector` - shards
+across processes, lanes within each worker.
 """
 
 from __future__ import annotations
@@ -78,21 +85,29 @@ def windowed_difference_words(
     patterns: PatternSet,
     faults: Sequence[NetworkFault],
     window: int = DEFAULT_WINDOW,
+    engine: str = "compiled",
 ) -> List[int]:
     """Whole-set detection words assembled from per-window words.
 
-    Note: the *result* is one whole-set-width big-int per fault by
-    construction (callers want the full detection words), so only the
-    per-window simulation is bounded-memory here - unlike
+    ``engine`` picks the single-process window core (compiled, vector
+    or interpreted).  Note: the *result* is one whole-set-width big-int
+    per fault by construction (callers want the full detection words),
+    so only the per-window simulation is bounded-memory here - unlike
     :func:`repro.simulate.faultsim.windowed_outcomes`, which stays
     constant-memory end to end.
     """
-    compiled = compile_network(network)
+    if engine == "vector":
+        from .vector import vector_difference_words
+
+        return vector_difference_words(network, patterns, faults, window=window)
+    from .faultsim import window_difference_factory
+
+    for_window = window_difference_factory(network, engine)
     words = [0] * len(faults)
     for start, chunk in patterns.windows(window):
-        sim = compiled.simulate(chunk.env, chunk.mask)
+        difference_of = for_window(chunk)
         for index, fault in enumerate(faults):
-            word = sim.difference(fault)
+            word = difference_of(fault)
             if word:
                 words[index] |= word << start
     return words
@@ -162,20 +177,21 @@ def merge_results(parts: Sequence[FaultSimResult]) -> FaultSimResult:
 # -- the worker pool -------------------------------------------------------------------
 
 _SHARD_CONTEXT: Optional[Tuple] = None
-"""(network, patterns, faults, window, stop) - set in the parent just
-before the pool forks, inherited copy-on-write by the workers."""
+"""(network, patterns, faults, window, stop, engine) - set in the
+parent just before the pool forks, inherited copy-on-write by the
+workers; ``engine`` is the inner single-process window core."""
 
 
 def _outcomes_worker(bounds: Tuple[int, int]) -> List[FaultOutcome]:
-    network, patterns, faults, window, stop = _SHARD_CONTEXT
+    network, patterns, faults, window, stop, engine = _SHARD_CONTEXT
     lo, hi = bounds
-    return windowed_outcomes(network, patterns, faults[lo:hi], window, stop)
+    return windowed_outcomes(network, patterns, faults[lo:hi], window, stop, engine)
 
 
 def _words_worker(bounds: Tuple[int, int]) -> List[int]:
-    network, patterns, faults, window, _stop = _SHARD_CONTEXT
+    network, patterns, faults, window, _stop, engine = _SHARD_CONTEXT
     lo, hi = bounds
-    return windowed_difference_words(network, patterns, faults[lo:hi], window)
+    return windowed_difference_words(network, patterns, faults[lo:hi], window, engine)
 
 
 def _fork_context():
@@ -193,7 +209,10 @@ def _resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def _map_shards(worker, network, patterns, faults, window, stop, jobs, min_pool_work):
+def _map_shards(
+    worker, network, patterns, faults, window, stop, jobs, min_pool_work,
+    engine="compiled",
+):
     """Run ``worker`` over fault shards; per-shard result lists in order.
 
     Returns ``None`` when pooling is pointless (one shard, or less
@@ -211,7 +230,7 @@ def _map_shards(worker, network, patterns, faults, window, stop, jobs, min_pool_
         or patterns.count * len(faults) < min_pool_work
     ):
         return None
-    _SHARD_CONTEXT = (network, patterns, faults, window, stop)
+    _SHARD_CONTEXT = (network, patterns, faults, window, stop, engine)
     try:
         with context.Pool(processes=len(bounds)) as pool:
             return list(zip(bounds, pool.map(worker, bounds)))
@@ -230,6 +249,7 @@ def sharded_fault_simulate(
     jobs: Optional[int] = None,
     window: int = DEFAULT_WINDOW,
     min_pool_work: Optional[int] = None,
+    engine: str = "compiled",
 ) -> FaultSimResult:
     """Fault simulation sharded across ``jobs`` worker processes.
 
@@ -237,7 +257,8 @@ def sharded_fault_simulate(
     every field; ``jobs=None`` uses one worker per CPU.  Workloads
     under ``min_pool_work`` (default :data:`MIN_POOL_WORK` pattern x
     fault bits) run in-process, where the pool would cost more than it
-    saves.
+    saves.  ``engine`` names the inner single-process window core each
+    worker runs (``"compiled"``, ``"vector"`` or ``"interpreted"``).
     """
     if faults is None:
         faults = network.enumerate_faults()
@@ -248,11 +269,11 @@ def sharded_fault_simulate(
     jobs = _resolve_jobs(jobs)
     sharded = _map_shards(
         _outcomes_worker, network, patterns, faults,
-        window, stop_at_first_detection, jobs, min_pool_work,
+        window, stop_at_first_detection, jobs, min_pool_work, engine,
     )
     if sharded is None:
         outcomes = windowed_outcomes(
-            network, patterns, faults, window, stop_at_first_detection
+            network, patterns, faults, window, stop_at_first_detection, engine
         )
         return build_result(network.name, patterns.count, faults, outcomes)
     parts = [
@@ -269,6 +290,7 @@ def sharded_difference_words(
     jobs: Optional[int] = None,
     window: int = DEFAULT_WINDOW,
     min_pool_work: Optional[int] = None,
+    engine: str = "compiled",
 ) -> List[int]:
     """Per-fault detection words computed across the worker pool
     (in-process below ``min_pool_work``, like
@@ -276,30 +298,51 @@ def sharded_difference_words(
     faults = list(faults)
     jobs = _resolve_jobs(jobs)
     sharded = _map_shards(
-        _words_worker, network, patterns, faults, window, False, jobs, min_pool_work
+        _words_worker, network, patterns, faults, window, False, jobs,
+        min_pool_work, engine,
     )
     if sharded is None:
-        return windowed_difference_words(network, patterns, faults, window)
+        return windowed_difference_words(network, patterns, faults, window, engine)
     words: List[int] = []
     for _bounds, shard_words in sharded:
         words.extend(shard_words)
     return words
 
 
-def _sharded_simulate_faults(
-    network: Network,
-    patterns: PatternSet,
-    faults: Sequence[NetworkFault],
-    stop_at_first_detection: bool = False,
-    jobs: Optional[int] = None,
-) -> FaultSimResult:
-    return sharded_fault_simulate(
-        network,
-        patterns,
-        faults,
-        stop_at_first_detection=stop_at_first_detection,
-        jobs=jobs,
-    )
+def _sharded_simulate_faults(inner: str):
+    """The registry ``simulate_faults`` of a shard pool over ``inner``."""
+
+    def simulate_faults(
+        network: Network,
+        patterns: PatternSet,
+        faults: Sequence[NetworkFault],
+        stop_at_first_detection: bool = False,
+        jobs: Optional[int] = None,
+    ) -> FaultSimResult:
+        return sharded_fault_simulate(
+            network,
+            patterns,
+            faults,
+            stop_at_first_detection=stop_at_first_detection,
+            jobs=jobs,
+            engine=inner,
+        )
+
+    return simulate_faults
+
+
+def _sharded_difference_words(inner: str):
+    def difference_words(
+        network: Network,
+        patterns: PatternSet,
+        faults: Sequence[NetworkFault],
+        jobs: Optional[int] = None,
+    ) -> List[int]:
+        return sharded_difference_words(
+            network, patterns, faults, jobs=jobs, engine=inner
+        )
+
+    return difference_words
 
 
 def _sharded_evaluate_bits(network: Network, env, mask) -> Dict[str, int]:
@@ -309,6 +352,12 @@ def _sharded_evaluate_bits(network: Network, env, mask) -> Dict[str, int]:
     return compile_network(network).evaluate_bits(env, mask)
 
 
+def _sharded_vector_evaluate_bits(network: Network, env, mask) -> Dict[str, int]:
+    from .vector import vector_evaluate_bits
+
+    return vector_evaluate_bits(network, env, mask)
+
+
 register_engine(
     Engine(
         name="sharded",
@@ -316,8 +365,21 @@ register_engine(
             "compiled engine over a multi-process fault-shard pool with "
             "streaming pattern windows"
         ),
-        simulate_faults=_sharded_simulate_faults,
-        difference_words=sharded_difference_words,
+        simulate_faults=_sharded_simulate_faults("compiled"),
+        difference_words=_sharded_difference_words("compiled"),
         evaluate_bits=_sharded_evaluate_bits,
+    )
+)
+
+register_engine(
+    Engine(
+        name="sharded+vector",
+        description=(
+            "vector lane engine inside a multi-process fault-shard pool "
+            "(shards x lanes)"
+        ),
+        simulate_faults=_sharded_simulate_faults("vector"),
+        difference_words=_sharded_difference_words("vector"),
+        evaluate_bits=_sharded_vector_evaluate_bits,
     )
 )

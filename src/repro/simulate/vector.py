@@ -1,0 +1,556 @@
+"""NumPy wide-word "vector" engine over the compiled slot program.
+
+The compiled engine (:mod:`repro.simulate.compiled`) packs every
+pattern of a set into one arbitrary-precision Python int per net.
+That is unbeatable up to a few thousand patterns, but past that each
+per-fault cone pass drags megabyte-wide big-ints through DRAM - and
+the PROTEST estimators want millions of weighted random patterns.
+This module lowers the *same* slot program onto **uint64 lane
+arrays**:
+
+* net values live in per-slot ``numpy`` lane rows - slot *s*, word
+  *w*, bit *k* is the value of net *s* under pattern ``w * 64 + k``
+  (the :func:`~.logicsim.pack_words` layout, bridged from
+  :class:`PatternSet` by ``to_words`` / ``from_words``);
+* the gate kernels are the very lambdas
+  :func:`~.compiled.compile_gate_function` built from each cell's
+  minimal-SOP expression - they contain nothing but ``&``, ``|`` and
+  ``m ^ x``, so handed lane arrays they execute as vectorized uint64
+  SIMD ops instead of big-int arithmetic.  One compilation serves both
+  engines by construction, which makes bit-identity a structural
+  property rather than a testing goal;
+* per-fault patch points are lane masks: a stuck fault forces a slot
+  row to the mask (or zero) lanes, a cell fault stacks the compiled
+  faulty kernel's output (from the compiled engine's shared
+  per-fault-class cache) into its batch row.
+
+What makes the lane form *faster* than big-ints (whose C digit loops
+are themselves auto-vectorized) is the shape of the fault pass, not
+the element ops:
+
+* **fault batching** - faults sharing an injection site (every class
+  fault of a gate, both polarities of a stuck net) share one fanout
+  cone, so their faulty words stack into a ``[k, n_words]`` block and
+  the whole batch propagates through the cone in one kernel call per
+  gate; numpy's per-call overhead is amortised k ways, which a big-int
+  engine cannot do at all;
+* **cone restriction + window convergence** - only gates downstream of
+  the injection site re-evaluate, batches are filtered per window to
+  the rows that actually differ from the good value (a fault inactive
+  in a window costs one faulty-kernel call and drops out), and
+  patterns stream through :data:`VECTOR_WINDOW`-wide windows;
+* **column chunking** - inside a window the batch propagates in
+  :data:`VECTOR_CHUNK`-word column chunks, so the ``[k, chunk]``
+  working set of a cone stays cache-resident instead of streaming the
+  full window through DRAM once per gate;
+* **lane-native detection counts** - the fault-simulation path reduces
+  difference rows with ``np.bitwise_count`` instead of materialising
+  whole-set big-ints.
+
+The registry entry is ``"vector"``; :mod:`repro.simulate.sharded`
+composes it with the fault-shard worker pool as ``"sharded+vector"``
+(shards x lanes).  All engines remain bit-identical to the interpreted
+oracle - ``tests/test_engine_equivalence.py`` holds every registered
+engine to that contract.  The lane-array form is also the substrate a
+future GPU/accelerator backend would consume unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from ..logic.expr import And, Const, Not, Or, Var
+from ..netlist.network import Network, NetworkError, NetworkFault
+from .compiled import CompiledNetwork, _compile_source, compile_network
+from .logicsim import PatternSet, pack_words, unpack_words
+from .registry import Engine, register_engine
+
+__all__ = [
+    "VECTOR_CHUNK",
+    "VECTOR_WINDOW",
+    "VectorNetwork",
+    "VectorSimulation",
+    "vector_compile",
+    "vector_difference_words",
+    "vector_evaluate_bits",
+    "vector_fault_simulate",
+    "vector_windowed_outcomes",
+]
+
+VECTOR_WINDOW = 1 << 20
+"""Patterns per streaming window (16 Ki uint64 lanes = 128 KiB per
+net).  Wide enough that the per-window costs (input packing, one
+faulty-kernel call per fault per window) are amortised; the cone
+passes inside a window are column-chunked by :data:`VECTOR_CHUNK`, so
+the window size does not bound the hot working set.  Measured best on
+the ``bench_perf_vector`` workload sweep."""
+
+VECTOR_CHUNK = 1536
+"""Lane words per cone-pass column chunk.  A batched cone touches
+``~cone_size`` rows of ``[batch, VECTOR_CHUNK]`` words, so the chunk
+bounds the pass's working set and keeps it near-cache-resident where a
+full-window pass would stream every gate through DRAM; smaller chunks
+lose more to numpy's per-call overhead than they gain in residency
+(measured sweep in ``bench_perf_vector``)."""
+
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+
+    def _row_counts(rows: "np.ndarray") -> "np.ndarray":
+        """Per-row population count of a uint64 lane block."""
+        return np.bitwise_count(rows).sum(axis=1)
+
+else:  # pragma: no cover - exercised only on old numpy
+
+    _POPCOUNT8 = np.array(
+        [bin(value).count("1") for value in range(256)], dtype=np.uint16
+    )
+
+    def _row_counts(rows: "np.ndarray") -> "np.ndarray":
+        flat = rows.reshape(rows.shape[0], -1).view(np.uint8)
+        return _POPCOUNT8[flat].sum(axis=1, dtype=np.int64)
+
+
+def _batched_gate_source(expr, slot_of_pin, faulty_slots) -> str:
+    """Render a gate expression for a batched cone pass.
+
+    Same semantics as :func:`repro.simulate.compiled._expr_source`
+    (AND/OR are commutative, NOT is ``m ^ x`` on masked words), but the
+    operands of every AND/OR are reordered so subtrees free of faulty
+    slots come first: Python chains the ops left to right, so the pure
+    prefix evaluates on cheap ``(chunk,)`` good rows and only the ops
+    from the first faulty operand onward run over the ``[batch, chunk]``
+    block.  On typical cones this roughly halves the batched element
+    work per gate - the big-int engine has no equivalent, since its
+    words never carry a batch dimension.
+    """
+
+    def render(node):
+        if isinstance(node, Const):
+            return ("m" if node.value else "0"), True
+        if isinstance(node, Var):
+            slot = slot_of_pin[node.name]
+            return f"v[{slot}]", slot not in faulty_slots
+        if isinstance(node, Not):
+            source, pure = render(node.operand)
+            return f"(m ^ {source})", pure
+        if isinstance(node, (And, Or)):
+            rendered = [render(operand) for operand in node.operands]
+            rendered.sort(key=lambda pair: not pair[1])  # stable: pure first
+            joiner = " & " if isinstance(node, And) else " | "
+            return (
+                "(" + joiner.join(source for source, _pure in rendered) + ")",
+                all(pure for _source, pure in rendered),
+            )
+        raise TypeError(f"unknown expression node {node!r}")
+
+    return render(expr)[0]
+
+
+class VectorNetwork:
+    """The compiled slot program, executed over uint64 lane arrays."""
+
+    __slots__ = ("compiled", "_cones")
+
+    def __init__(self, compiled: CompiledNetwork):
+        self.compiled = compiled
+        # (site slot, stuck slot) -> (cone gate/out pairs, diff out
+        # slots, read-only slots the cone consumes).  Faults sharing an
+        # injection site share the cone, so this is one BFS per site,
+        # not one per fault.
+        self._cones: Dict[Tuple[int, int], Tuple] = {}
+
+    # -- cone geometry ----------------------------------------------------------------
+
+    def _cone(self, site: int, stuck_slot: int):
+        key = (site, stuck_slot)
+        cached = self._cones.get(key)
+        if cached is not None:
+            return cached
+        compiled = self.compiled
+        gate_out = compiled._gate_out
+        seen = set(compiled.readers[site])
+        work = list(seen)
+        while work:
+            index = work.pop()
+            for reader in compiled.readers[gate_out[index]]:
+                if reader not in seen:
+                    seen.add(reader)
+                    work.append(reader)
+        # Levelized order; a gate driving the forced net is shadowed.
+        # Each cone gate gets a kernel specialised to which of its input
+        # slots carry a batch dimension at this point of the cone (see
+        # :func:`_batched_gate_source`); identical sources share one
+        # compilation through the engine-wide code cache.
+        faulty = {site}
+        pairs = []
+        outs = set()
+        reads = set()
+        if compiled._is_out_slot[site]:
+            outs.add(site)
+        for index in sorted(seen):
+            out = gate_out[index]
+            if out == stuck_slot:
+                continue
+            gate = compiled.gates[index]
+            slot_of_pin = dict(zip(gate.cell.inputs, gate.in_slots))
+            source = _batched_gate_source(
+                gate.expr, slot_of_pin, faulty.intersection(gate.in_slots)
+            )
+            pairs.append((_compile_source("v, m", source), out))
+            reads.update(gate.in_slots)
+            faulty.add(out)
+            if compiled._is_out_slot[out]:
+                outs.add(out)
+        reads -= faulty
+        cached = (tuple(pairs), tuple(sorted(outs)), tuple(sorted(reads)))
+        self._cones[key] = cached
+        return cached
+
+    # -- evaluation -------------------------------------------------------------------
+
+    def good_values(self, env, mask: int):
+        """Good-circuit lane pass: ``(values rows, mask row, count)``.
+
+        ``count`` is the mask's bit *length*, not its population: a
+        sparse mask (legal for ``evaluate_bits``, where it just selects
+        pattern positions) keeps its positional layout - inputs are
+        masked positionally and the masked-word algebra (NOT as
+        ``m ^ x``) holds bit for bit, exactly like the big-int engines.
+        """
+        compiled = self.compiled
+        count = mask.bit_length()
+        mask_row = pack_words(mask, count)
+        zero_row = np.zeros_like(mask_row)
+        values: List = [None] * compiled.num_slots
+        for slot, net in enumerate(compiled.input_nets):
+            try:
+                bits = env[net]
+            except KeyError:
+                raise NetworkError(f"no value for primary input {net!r}") from None
+            values[slot] = pack_words(bits & mask, count)
+        for gate in compiled.gates:
+            word = gate.fn(values, mask_row)
+            values[gate.out_slot] = (
+                word if isinstance(word, np.ndarray) else zero_row
+            )
+        return values, mask_row, count
+
+    def simulate(self, patterns: PatternSet) -> "VectorSimulation":
+        """Fault-free lane simulation; the result hosts per-fault passes."""
+        values, mask_row, count = self.good_values(patterns.env, patterns.mask)
+        return VectorSimulation(self, values, mask_row, count)
+
+    def evaluate_bits(self, env, mask: int) -> Dict[str, int]:
+        """Drop-in for :meth:`Network.evaluate_bits` (big-int results)."""
+        compiled = self.compiled
+        values, _mask_row, count = self.good_values(env, mask)
+        return {
+            compiled.net_of_slot[slot]: unpack_words(values[slot], count)
+            for slot in range(compiled.num_slots)
+        }
+
+    # -- batched fault passes ---------------------------------------------------------
+
+    def group_faults(
+        self, indexed_faults: Sequence[Tuple[int, NetworkFault]]
+    ) -> List[Tuple[int, int, List[Tuple[int, NetworkFault]]]]:
+        """Group ``(index, fault)`` pairs by injection site.
+
+        Every class fault of a gate (and both polarities of a stuck
+        net) lands in one batch; faults that cannot be injected (ghost
+        nets/gates) are dropped, matching the compiled engine's
+        zero-difference treatment.
+        """
+        compiled = self.compiled
+        groups: Dict[Tuple[int, int], List[Tuple[int, NetworkFault]]] = {}
+        for index, fault in indexed_faults:
+            if fault.kind == "stuck":
+                site = compiled.slot_of_net.get(fault.net, -1)
+                if site < 0:
+                    continue
+                groups.setdefault((site, site), []).append((index, fault))
+            else:
+                gate_index = compiled.gate_index.get(fault.gate, -1)
+                if gate_index < 0:
+                    continue
+                site = compiled._gate_out[gate_index]
+                groups.setdefault((site, -1), []).append((index, fault))
+        return [(site, stuck, members) for (site, stuck), members in groups.items()]
+
+    def group_difference_rows(
+        self, values, mask_row, group
+    ) -> Tuple[List[int], Optional["np.ndarray"]]:
+        """Difference lane rows of one injection-site batch.
+
+        Returns ``(live fault indices, rows)`` where row *j* marks the
+        patterns on which fault ``live[j]`` is detected; a batch none of
+        whose faults activate anywhere in the window is dropped after
+        the injection check (``rows`` is ``None``), and a batch that is
+        mostly inactive is compressed to its active rows.  The cone
+        propagates in :data:`VECTOR_CHUNK`-word column chunks to stay
+        cache-resident; good rows enter the kernels as ``(chunk,)``
+        broadcast operands (a ``[batch, chunk]`` materialisation was
+        measured slower - the k-fold extra read traffic costs more than
+        numpy's per-row broadcast dispatch saves).
+        """
+        site, stuck_slot, members = group
+        compiled = self.compiled
+        n_words = mask_row.shape[0]
+        batch = len(members)
+        injected = np.empty((batch, n_words), dtype=np.uint64)
+        for j, (_index, fault) in enumerate(members):
+            if fault.kind == "stuck":
+                injected[j] = mask_row if fault.value else 0
+            else:
+                injected[j] = compiled.faulty_function(fault)(values, mask_row)
+        active = np.bitwise_or.reduce(injected ^ values[site], axis=1) != 0
+        live_count = int(active.sum())
+        if not live_count:
+            return [], None
+        if live_count <= batch // 2:
+            # Mostly-inactive batch: the cone work saved on dropped rows
+            # outweighs re-tiling for the smaller batch size.
+            injected = injected[active]
+            live = [members[j][0] for j in range(batch) if active[j]]
+            batch = live_count
+        else:
+            live = [index for index, _fault in members]
+        pairs, outs, reads = self._cone(site, stuck_slot)
+        rows = np.empty((batch, n_words), dtype=np.uint64)
+        scratch: List = [None] * compiled.num_slots
+        for start in range(0, n_words, VECTOR_CHUNK) if n_words else ():
+            stop = min(start + VECTOR_CHUNK, n_words)
+            mask_chunk = mask_row[start:stop]
+            for slot in reads:
+                scratch[slot] = values[slot][start:stop]
+            scratch[site] = injected[:, start:stop]
+            for kernel, out in pairs:
+                # Constant kernels yield scalars; they broadcast through
+                # the remaining ops and the diff just as well as rows.
+                scratch[out] = kernel(scratch, mask_chunk)
+            chunk = rows[:, start:stop]
+            if outs:
+                chunk[:] = scratch[outs[0]] ^ values[outs[0]][start:stop]
+                for out in outs[1:]:
+                    chunk |= scratch[out] ^ values[out][start:stop]
+            else:
+                chunk[:] = 0
+        return live, rows
+
+
+class VectorSimulation:
+    """One fault-free lane valuation plus per-fault difference passes.
+
+    The per-fault API mirrors :class:`GoodSimulation` (a ``difference``
+    word per fault); internally each call is a batch of one through the
+    grouped cone pass, so single-fault and batched results are the same
+    code path.
+    """
+
+    __slots__ = ("network", "values", "mask_row", "count")
+
+    def __init__(self, network: VectorNetwork, values, mask_row, count: int):
+        self.network = network
+        self.values = values
+        self.mask_row = mask_row
+        self.count = count
+
+    def value_of(self, net: str) -> int:
+        slot = self.network.compiled.slot_of_net[net]
+        return unpack_words(self.values[slot], self.count)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            net: unpack_words(self.values[slot], self.count)
+            for net, slot in self.network.compiled.slot_of_net.items()
+        }
+
+    def difference(self, fault: NetworkFault) -> int:
+        """Bit word marking the patterns on which ``fault`` is detected."""
+        groups = self.network.group_faults([(0, fault)])
+        if not groups:
+            return 0
+        live, rows = self.network.group_difference_rows(
+            self.values, self.mask_row, groups[0]
+        )
+        if not live:
+            return 0
+        return unpack_words(rows[0], self.count)
+
+
+_VECTORIZED: "WeakKeyDictionary[CompiledNetwork, VectorNetwork]" = WeakKeyDictionary()
+
+
+def vector_compile(network: Network) -> VectorNetwork:
+    """The vector view of a network's (cached) compiled slot program.
+
+    Cached per compilation: the cone plans and specialised kernels in
+    :attr:`VectorNetwork._cones` survive across calls (the PROTEST
+    pipeline resolves the engine several times per run), and the entry
+    dies with its :class:`CompiledNetwork`, whose own cache already
+    invalidates on structural mutation.
+    """
+    compiled = compile_network(network)
+    vector = _VECTORIZED.get(compiled)
+    if vector is None:
+        vector = VectorNetwork(compiled)
+        _VECTORIZED[compiled] = vector
+    return vector
+
+
+# -- the engine primitives -------------------------------------------------------------
+
+
+def vector_windowed_outcomes(
+    network: Network,
+    patterns: PatternSet,
+    faults: Sequence[NetworkFault],
+    window: int,
+    stop_at_first_detection: bool = False,
+) -> List:
+    """Per-fault (first index, count) outcomes via batched lane passes.
+
+    Same semantics as :func:`repro.simulate.faultsim.windowed_outcomes`
+    (which delegates here for ``engine="vector"``): exact first
+    detection indices and whole-set detection counts, with
+    ``stop_at_first_detection`` retiring a fault after its first
+    detecting window (count pinned to 1).  Detection counts come from
+    ``np.bitwise_count`` over the difference rows - no whole-set
+    big-int is ever materialised.
+    """
+    vector = vector_compile(network)
+    firsts = [-1] * len(faults)
+    counts = [0] * len(faults)
+    active = list(range(len(faults)))
+    groups = None
+    for start, chunk in patterns.windows(window):
+        if groups is None:
+            groups = vector.group_faults([(i, faults[i]) for i in active])
+        values, mask_row, count = vector.good_values(chunk.env, chunk.mask)
+        retired = False
+        for group in groups:
+            live, rows = vector.group_difference_rows(values, mask_row, group)
+            if not live:
+                continue
+            row_counts = _row_counts(rows)
+            for j, index in enumerate(live):
+                detected = int(row_counts[j])
+                if not detected:
+                    continue
+                if firsts[index] < 0:
+                    row = rows[j]
+                    word_index = int(np.flatnonzero(row)[0])
+                    word = int(row[word_index])
+                    firsts[index] = (
+                        start + 64 * word_index + (word & -word).bit_length() - 1
+                    )
+                if stop_at_first_detection:
+                    counts[index] = 1
+                    retired = True
+                else:
+                    counts[index] += detected
+        if stop_at_first_detection and retired:
+            active = [index for index in active if counts[index] == 0]
+            groups = None
+            if not active:
+                break
+    return [
+        (firsts[index], counts[index]) if counts[index] else None
+        for index in range(len(faults))
+    ]
+
+
+def vector_fault_simulate(
+    network: Network,
+    patterns: PatternSet,
+    faults: Optional[Sequence[NetworkFault]] = None,
+    stop_at_first_detection: bool = False,
+    jobs: Optional[int] = None,
+    window: int = VECTOR_WINDOW,
+):
+    """Fault simulation on the lane engine, streamed through windows.
+
+    Bit-identical to every other registered engine; ``jobs`` is
+    ignored (compose with the shard pool as ``"sharded+vector"`` for
+    multi-process scale-out).
+    """
+    from .faultsim import (
+        FIRST_DETECTION_CHUNK,
+        build_result,
+        check_injectable,
+        dedupe_faults,
+    )
+
+    if faults is None:
+        faults = network.enumerate_faults()
+    faults = dedupe_faults(faults)
+    check_injectable(network, faults)
+    width = FIRST_DETECTION_CHUNK if stop_at_first_detection else window
+    outcomes = vector_windowed_outcomes(
+        network, patterns, faults, width, stop_at_first_detection
+    )
+    return build_result(network.name, patterns.count, faults, outcomes)
+
+
+def vector_difference_words(
+    network: Network,
+    patterns: PatternSet,
+    faults: Sequence[NetworkFault],
+    jobs: Optional[int] = None,
+    window: int = VECTOR_WINDOW,
+) -> List[int]:
+    """One whole-set detection word per fault via windowed lane passes."""
+    vector = vector_compile(network)
+    indexed = list(enumerate(faults))
+    groups = vector.group_faults(indexed)
+    words = [0] * len(faults)
+    for start, chunk in patterns.windows(window):
+        values, mask_row, count = vector.good_values(chunk.env, chunk.mask)
+        for group in groups:
+            live, rows = vector.group_difference_rows(values, mask_row, group)
+            if not live:
+                continue
+            for j, index in enumerate(live):
+                word = unpack_words(rows[j], count)
+                if word:
+                    words[index] |= word << start
+    return words
+
+
+def vector_evaluate_bits(network: Network, env, mask: int) -> Dict[str, int]:
+    """Fault-free valuation of every net on the lane engine."""
+    return vector_compile(network).evaluate_bits(env, mask)
+
+
+def _vector_simulate_faults(
+    network: Network,
+    patterns: PatternSet,
+    faults: Sequence[NetworkFault],
+    stop_at_first_detection: bool = False,
+    jobs: Optional[int] = None,
+):
+    return vector_fault_simulate(
+        network,
+        patterns,
+        faults,
+        stop_at_first_detection=stop_at_first_detection,
+        jobs=jobs,
+    )
+
+
+register_engine(
+    Engine(
+        name="vector",
+        description=(
+            "numpy uint64 lane arrays over the compiled slot program: "
+            "site-batched, cache-chunked cone passes with streaming windows"
+        ),
+        simulate_faults=_vector_simulate_faults,
+        difference_words=vector_difference_words,
+        evaluate_bits=vector_evaluate_bits,
+    )
+)

@@ -1,0 +1,36 @@
+"""Shared test configuration: pinned, deterministic hypothesis profiles.
+
+Property tests must behave identically on every CI run and on every
+developer machine - a flaky shrink or a fresh random seed would make
+the engine-equivalence harness (bit-identical or bust) impossible to
+triage.  ``derandomize=True`` fixes the example stream to a
+deterministic derivation from each test's signature (no ambient
+randomness, no inter-run variance), and deadlines are disabled because
+the differential harness legitimately simulates whole fault universes
+per example.
+
+Profiles:
+
+* ``ci`` - the count CI budgets for (loaded when ``$CI`` is set).
+* ``dev`` - same determinism, slightly larger example counts for local
+  runs.
+
+``$HYPOTHESIS_PROFILE`` overrides the automatic choice.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+_COMMON = dict(
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+settings.register_profile("ci", max_examples=20, **_COMMON)
+settings.register_profile("dev", max_examples=30, **_COMMON)
+
+settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "dev")
+)

@@ -1,0 +1,44 @@
+"""Shared helpers for the engine test files.
+
+The equivalence harness, sharded, vector and estimator-invariant test
+files import these instead of each keeping a copy (a plain module, not
+``conftest.py``: the bare ``conftest`` import would collide with
+``benchmarks/conftest.py`` when pytest collects both trees).
+"""
+
+
+def all_faults(network):
+    """The full fault universe - cell classes and net stuck-ats."""
+    return network.enumerate_faults(include_cell_classes=True, include_stuck_at=True)
+
+
+def results_identical(a, b):
+    """Assert two FaultSimResults are bit-identical on every field."""
+    assert a.detected == b.detected
+    assert a.detection_counts == b.detection_counts
+    assert a.undetected == b.undetected
+    assert a.pattern_count == b.pattern_count
+
+
+def differential_circuits():
+    """The canonical circuit zoo of the differential harness: the fixed
+    generators plus random networks of every technology.  Returned
+    fresh per call so test files can't mutate shared networks."""
+    from repro.circuits.generators import (
+        and_cone,
+        c17,
+        domino_carry_chain,
+        dual_rail_parity_tree,
+        random_network,
+    )
+
+    return [
+        and_cone(5),
+        domino_carry_chain(4),
+        dual_rail_parity_tree(4),
+        c17(),
+        random_network(n_inputs=6, n_gates=14, seed=11),
+        random_network(n_inputs=5, n_gates=10, technology="dynamic-nMOS", seed=23),
+        random_network(n_inputs=5, n_gates=10, technology="static-CMOS", seed=37),
+        random_network(n_inputs=5, n_gates=9, technology="nMOS", seed=41),
+    ]

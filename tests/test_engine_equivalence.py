@@ -1,0 +1,350 @@
+"""Registry-driven differential harness: every engine vs the oracle.
+
+Every engine registered in :mod:`repro.simulate.registry` - today
+``interpreted``, ``compiled``, ``vector``, ``sharded`` and
+``sharded+vector``, and automatically any engine a future PR registers
+- must be bit-identical to the interpreted oracle
+(:meth:`Network.evaluate_bits`) on every detection set, detection
+count, first-detection index, difference word and net valuation,
+across fixed circuits, hypothesis-generated circuits, both fault
+kinds, pattern-window widths and weighted pattern sets.
+
+Engine-specific mechanics stay in their own files
+(``test_compiled_engine.py`` for the slot program's internals,
+``test_sharded_engine.py`` for pools/windows/merge,
+``test_vector_engine.py`` for lane arrays); the cross-engine
+equivalence cases that used to be duplicated there are folded in here.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from engine_test_utils import all_faults, differential_circuits, results_identical
+
+from repro.circuits.generators import and_cone, domino_carry_chain, random_network
+from repro.netlist import NetworkFault
+from repro.simulate import (
+    PatternSet,
+    available_engines,
+    coverage_curve,
+    fault_simulate,
+    get_engine,
+    register_engine,
+    sharded_fault_simulate,
+)
+from repro.simulate.faultsim import (
+    FIRST_DETECTION_CHUNK,
+    build_result,
+    interpreted_difference_words,
+    windowed_outcomes,
+)
+
+ENGINES = available_engines()
+
+#: Engines with a single-process window core (windowed_outcomes path).
+WINDOW_ENGINES = ("compiled", "interpreted", "vector")
+
+
+CIRCUITS = differential_circuits()
+
+
+def oracle_result(network, patterns, faults, **kwargs):
+    return fault_simulate(network, patterns, faults, engine="interpreted", **kwargs)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("network", CIRCUITS, ids=lambda n: n.name)
+class TestEveryEngineMatchesOracle:
+    """The registry contract, engine by engine, circuit by circuit."""
+
+    def test_fault_simulate_identical(self, engine, network):
+        patterns = PatternSet.random(network.inputs, 128, seed=8)
+        faults = all_faults(network)
+        results_identical(
+            fault_simulate(network, patterns, faults, engine=engine),
+            oracle_result(network, patterns, faults),
+        )
+
+    def test_first_detection_identical(self, engine, network):
+        # More patterns than one chunk so the early-exit path is exercised.
+        patterns = PatternSet.random(
+            network.inputs, FIRST_DETECTION_CHUNK + 64, seed=9
+        )
+        faults = all_faults(network)
+        first = fault_simulate(
+            network, patterns, faults, stop_at_first_detection=True, engine=engine
+        )
+        results_identical(
+            first,
+            oracle_result(network, patterns, faults, stop_at_first_detection=True),
+        )
+        full = fault_simulate(network, patterns, faults, engine=engine)
+        assert first.detected == full.detected
+        assert first.undetected == full.undetected
+        # Documented semantics: counts are pinned to 1 per detected fault.
+        assert all(count == 1 for count in first.detection_counts.values())
+
+    def test_difference_words_identical(self, engine, network):
+        patterns = PatternSet.random(network.inputs, 130, seed=7)
+        faults = all_faults(network)
+        assert get_engine(engine).difference_words(
+            network, patterns, faults
+        ) == interpreted_difference_words(network, patterns, faults)
+
+    def test_evaluate_bits_identical_on_every_net(self, engine, network):
+        patterns = PatternSet.random(network.inputs, 96, seed=5)
+        assert get_engine(engine).evaluate_bits(
+            network, patterns.env, patterns.mask
+        ) == network.evaluate_bits(patterns.env, patterns.mask)
+
+    def test_evaluate_bits_identical_under_sparse_mask(self, engine, network):
+        """Regression (PR 3): a non-contiguous mask is legal for
+        evaluate_bits (it selects pattern positions) and must keep its
+        positional layout on every engine."""
+        patterns = PatternSet.random(network.inputs, 64, seed=15)
+        sparse = patterns.mask & 0xA5A5_A5A5_A5A5_A5A5
+        reference = network.evaluate_bits(patterns.env, sparse)
+        assert (
+            get_engine(engine).evaluate_bits(network, patterns.env, sparse)
+            == reference
+        )
+
+    def test_weighted_pattern_sets_identical(self, engine, network):
+        probabilities = {
+            name: probability
+            for name, probability in zip(network.inputs, (0.1, 0.9, 0.35, 0.5, 0.75))
+        }
+        patterns = PatternSet.random(
+            network.inputs, 200, seed=13, probabilities=probabilities
+        )
+        faults = all_faults(network)
+        results_identical(
+            fault_simulate(network, patterns, faults, engine=engine),
+            oracle_result(network, patterns, faults),
+        )
+
+    def test_empty_pattern_set_identical(self, engine, network):
+        empty = PatternSet(tuple(network.inputs), {n: 0 for n in network.inputs}, 0)
+        faults = all_faults(network)
+        result = fault_simulate(network, empty, faults, engine=engine)
+        assert result.detected == {}
+        assert result.pattern_count == 0
+        assert len(result.undetected) == len({f.describe() for f in faults})
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@settings(max_examples=12)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_inputs=st.integers(min_value=2, max_value=7),
+    n_gates=st.integers(min_value=1, max_value=16),
+    pattern_seed=st.integers(min_value=0, max_value=255),
+    count=st.integers(min_value=1, max_value=300),
+    weight=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_property_engines_agree_on_random_circuits(
+    engine, seed, n_inputs, n_gates, pattern_seed, count, weight
+):
+    """Property: every engine agrees with the oracle on arbitrary random
+    circuits, fault kinds and (weighted) pattern sets."""
+    network = random_network(n_inputs=n_inputs, n_gates=n_gates, seed=seed)
+    patterns = PatternSet.random(
+        network.inputs,
+        count,
+        seed=pattern_seed,
+        probabilities={network.inputs[0]: weight},
+    )
+    faults = all_faults(network)
+    results_identical(
+        fault_simulate(network, patterns, faults, engine=engine),
+        oracle_result(network, patterns, faults),
+    )
+
+
+@pytest.mark.parametrize("engine", WINDOW_ENGINES)
+@settings(max_examples=10)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    count=st.integers(min_value=1, max_value=200),
+    window=st.integers(min_value=1, max_value=64),
+)
+def test_property_window_widths_exact(engine, seed, count, window):
+    """Property: windowed == whole-set for every single-process window
+    core, on arbitrary circuits and window widths (uneven tails
+    included)."""
+    network = random_network(n_inputs=5, n_gates=9, seed=seed)
+    patterns = PatternSet.random(network.inputs, count, seed=seed ^ 0xAAAA)
+    faults = all_faults(network)
+    outcomes = windowed_outcomes(network, patterns, faults, window, False, engine)
+    rebuilt = build_result(network.name, patterns.count, faults, outcomes)
+    results_identical(rebuilt, oracle_result(network, patterns, faults))
+
+
+@settings(max_examples=8)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    count=st.integers(min_value=1, max_value=200),
+    window=st.integers(min_value=1, max_value=64),
+    inner=st.sampled_from(WINDOW_ENGINES),
+)
+def test_property_sharded_window_widths_exact(seed, count, window, inner):
+    """Property: the shard pool composes exactly with any inner window
+    core at any window width."""
+    network = random_network(n_inputs=5, n_gates=9, seed=seed)
+    patterns = PatternSet.random(network.inputs, count, seed=seed ^ 0x5555)
+    faults = all_faults(network)
+    sharded = sharded_fault_simulate(
+        network, patterns, faults, window=window, jobs=2, engine=inner
+    )
+    results_identical(sharded, oracle_result(network, patterns, faults))
+
+
+class TestEngineContracts:
+    """Per-engine input-validation contracts, over the whole registry."""
+
+    def test_stuck_on_unknown_net_raises_on_all_engines(self):
+        network = domino_carry_chain(2)
+        patterns = PatternSet.exhaustive(network.inputs)
+        ghost = NetworkFault.stuck_at("ghost", 1)
+        for engine in ENGINES:
+            with pytest.raises(ValueError, match="cannot be injected"):
+                fault_simulate(network, patterns, [ghost], engine=engine)
+
+    def test_cell_fault_on_unknown_gate_raises_on_all_engines(self):
+        network = domino_carry_chain(2)
+        patterns = PatternSet.exhaustive(network.inputs)
+        template = network.enumerate_faults()[0]
+        orphan = NetworkFault.cell_fault(
+            "no_such_gate", template.class_index, template.function
+        )
+        for engine in ENGINES:
+            with pytest.raises(ValueError, match="cannot be injected"):
+                fault_simulate(network, patterns, [orphan], engine=engine)
+
+    def test_distinct_faults_sharing_a_label_raise_on_all_engines(self):
+        network = and_cone(3)
+        patterns = PatternSet.exhaustive(network.inputs)
+        colliding = [
+            NetworkFault.stuck_at("a0", 0),
+            NetworkFault(kind="stuck", net="a1", value=0, label="s0-a0"),
+        ]
+        for engine in ENGINES:
+            with pytest.raises(ValueError, match="shared by two distinct"):
+                fault_simulate(network, patterns, colliding, engine=engine)
+
+    def test_duplicate_of_same_fault_reported_once_on_all_engines(self):
+        network = and_cone(3)
+        patterns = PatternSet.exhaustive(network.inputs)
+        fault = NetworkFault.stuck_at("a0", 0)
+        single = fault_simulate(network, patterns, [fault], engine="interpreted")
+        for engine in ENGINES:
+            doubled = fault_simulate(network, patterns, [fault, fault], engine=engine)
+            results_identical(doubled, single)
+
+
+class TestRegistryErrorPaths:
+    def test_unknown_engine_message_lists_sorted_available_engines(self):
+        with pytest.raises(ValueError) as excinfo:
+            get_engine("turbo")
+        message = str(excinfo.value)
+        assert message == (
+            "unknown engine 'turbo'; available engines: " + ", ".join(ENGINES)
+        )
+        assert list(ENGINES) == sorted(ENGINES)
+
+    def test_fault_simulate_rejects_unknown_engine(self):
+        network = and_cone(3)
+        patterns = PatternSet.exhaustive(network.inputs)
+        with pytest.raises(ValueError, match="unknown engine"):
+            fault_simulate(network, patterns, engine="turbo")
+
+    def test_register_engine_is_idempotent(self):
+        engine = get_engine("compiled")
+        before = available_engines()
+        assert register_engine(engine) is engine
+        assert register_engine(engine) is engine
+        assert available_engines() == before
+        assert get_engine("compiled") is engine
+
+    def test_cli_engine_choices_match_registry(self):
+        """ENGINE_CHOICES is spelled out in cli.py (to keep --help free
+        of the simulate import cost); it must not drift from the
+        registry."""
+        from repro.cli import ENGINE_CHOICES
+
+        assert tuple(sorted(ENGINE_CHOICES)) == ENGINES
+
+    def test_cli_rejects_unknown_engine_with_registry_message(self, capsys):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["protest", "cell.txt", "--engine", "turbo"])
+        stderr = capsys.readouterr().err
+        assert "unknown engine 'turbo'; available engines: " + ", ".join(
+            ENGINES
+        ) in stderr
+
+    def test_cli_accepts_every_registered_engine(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for engine in ENGINES:
+            args = parser.parse_args(["protest", "cell.txt", "--engine", engine])
+            assert args.engine == engine
+
+    def test_cli_jobs_flag(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["protest", "cell.txt", "--engine", "sharded", "--jobs", "2"]
+        )
+        assert args.engine == "sharded"
+        assert args.jobs == 2
+
+
+class TestEstimatorsAcrossEngines:
+    def test_monte_carlo_estimators_identical_across_engines(self):
+        from repro.protest import (
+            monte_carlo_detection_probabilities,
+            monte_carlo_signal_probabilities,
+        )
+
+        network = domino_carry_chain(3)
+        faults = network.enumerate_faults()
+        reference_detect = monte_carlo_detection_probabilities(
+            network, faults, samples=512, engine="interpreted"
+        )
+        reference_signal = monte_carlo_signal_probabilities(
+            network, samples=512, engine="interpreted"
+        )
+        for engine in ENGINES:
+            assert monte_carlo_detection_probabilities(
+                network, faults, samples=512, engine=engine
+            ) == reference_detect, engine
+            assert monte_carlo_signal_probabilities(
+                network, samples=512, engine=engine
+            ) == reference_signal, engine
+
+    def test_coverage_curve_identical_across_engines(self):
+        network = domino_carry_chain(3)
+        patterns = PatternSet.random(network.inputs, 128, seed=10)
+        reference = coverage_curve(network, patterns, points=8, engine="interpreted")
+        for engine in ENGINES:
+            assert (
+                coverage_curve(network, patterns, points=8, engine=engine)
+                == reference
+            ), engine
+
+    def test_protest_facade_identical_across_engines(self):
+        from repro.protest import Protest
+
+        network = domino_carry_chain(3)
+        reference = Protest(network, engine="interpreted").validate(200, seed=7)
+        for engine in ENGINES:
+            results_identical(
+                Protest(network, engine=engine, jobs=2).validate(200, seed=7),
+                reference,
+            )

@@ -1,30 +1,22 @@
-"""Sharded engine, streaming windows, shard merge - bit-identical or bust.
+"""Sharded engine mechanics: pools, streaming windows, shard merge.
 
-The sharded multi-process engine (:mod:`repro.simulate.sharded`) must
-agree with the single-process compiled engine on every detection set,
-detection count and first-detection index; its streaming-window core
-must be exact for arbitrary window widths (including uneven final
-windows); and the per-shard merge must be a verified, lossless union.
+Cross-engine bit-identity is held by the registry-driven differential
+harness in ``test_engine_equivalence.py``; this file keeps what is
+specific to the scale-out layer: the window iterator (including the
+whole-set-window guarantee), the windowed difference-word core, shard
+bounds, the verified merge, and equivalence through a *genuine* worker
+pool (``min_pool_work=0`` forces forking, which the registry path
+skips for small workloads).
 """
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
-from repro.circuits.generators import (
-    and_cone,
-    c17,
-    domino_carry_chain,
-    dual_rail_parity_tree,
-    random_network,
-)
-from repro.netlist import NetworkFault
+from engine_test_utils import all_faults, differential_circuits, results_identical
+
+from repro.circuits.generators import domino_carry_chain
 from repro.simulate import (
     PatternSet,
-    available_engines,
-    coverage_curve,
     fault_simulate,
-    get_engine,
     merge_results,
     sharded_fault_simulate,
 )
@@ -37,25 +29,7 @@ from repro.simulate.sharded import (
 )
 
 
-def all_faults(network):
-    return network.enumerate_faults(include_cell_classes=True, include_stuck_at=True)
-
-
-def results_identical(a, b):
-    assert a.detected == b.detected
-    assert a.detection_counts == b.detection_counts
-    assert a.undetected == b.undetected
-    assert a.pattern_count == b.pattern_count
-
-
-CIRCUITS = [
-    and_cone(5),
-    domino_carry_chain(4),
-    dual_rail_parity_tree(4),
-    c17(),
-    random_network(n_inputs=6, n_gates=14, seed=11),
-    random_network(n_inputs=5, n_gates=10, technology="dynamic-nMOS", seed=23),
-]
+CIRCUITS = differential_circuits()[:6]
 
 
 class TestWindowIterator:
@@ -70,16 +44,33 @@ class TestWindowIterator:
             seen.append(start)
         assert seen == [0, 256, 512, 768]
 
-    def test_single_window_when_wider_than_set(self):
-        patterns = PatternSet.random(("a",), 10, seed=2)
-        windows = list(patterns.windows(64))
-        assert len(windows) == 1
-        assert windows[0][0] == 0
-        assert windows[0][1].env == patterns.env
+    def test_exact_division_has_no_empty_tail_window(self):
+        patterns = PatternSet.random(("a",), 512, seed=7)
+        windows = list(patterns.windows(128))
+        assert [start for start, _w in windows] == [0, 128, 256, 384]
+        assert all(window.count == 128 for _s, window in windows)
 
-    def test_empty_set_yields_no_windows(self):
+    def test_width_larger_than_set_yields_one_whole_set_window(self):
+        """Regression (PR 3): a width at or past the set's size must
+        yield exactly one window that *is* the whole set - never an
+        empty tail window."""
+        patterns = PatternSet.random(("a",), 10, seed=2)
+        for width in (10, 11, 64, 1 << 20):
+            windows = list(patterns.windows(width))
+            assert len(windows) == 1
+            start, window = windows[0]
+            assert start == 0
+            assert window.count == patterns.count
+            assert window.env == patterns.env
+
+    def test_empty_set_yields_one_empty_whole_set_window(self):
+        """Regression (PR 3): the empty set is its own (single) window -
+        consumers see one zero-pattern window, not an absent stream."""
         empty = PatternSet(("a",), {"a": 0}, 0)
-        assert list(empty.windows(16)) == []
+        windows = list(empty.windows(16))
+        assert len(windows) == 1
+        start, window = windows[0]
+        assert start == 0 and window.count == 0 and window.env == {"a": 0}
 
     def test_bad_width_raises(self):
         patterns = PatternSet.random(("a",), 8, seed=3)
@@ -114,32 +105,62 @@ class TestWindowIterator:
         rebuilt = build_result(network.name, patterns.count, faults, outcomes)
         results_identical(rebuilt, reference)
 
+    def test_windowed_words_inner_engine_threading(self):
+        """The words core accepts any single-process inner engine."""
+        network = domino_carry_chain(3)
+        patterns = PatternSet.random(network.inputs, 120, seed=19)
+        faults = all_faults(network)
+        reference = windowed_difference_words(network, patterns, faults, 64)
+        for inner in ("compiled", "vector", "interpreted"):
+            assert (
+                windowed_difference_words(network, patterns, faults, 64, inner)
+                == reference
+            ), inner
+
+    def test_unknown_inner_engine_raises(self):
+        from repro.simulate.faultsim import window_difference_factory
+
+        with pytest.raises(ValueError, match="window core"):
+            window_difference_factory(domino_carry_chain(2), "sharded")
+
+    def test_factory_vector_core_matches_compiled(self):
+        """The factory's per-fault vector path (for external callers -
+        the engine's own entry points use the batched cores) must agree
+        with the compiled window core."""
+        from repro.simulate.faultsim import window_difference_factory
+
+        network = domino_carry_chain(3)
+        patterns = PatternSet.random(network.inputs, 90, seed=23)
+        faults = all_faults(network)
+        compiled_of = window_difference_factory(network, "compiled")(patterns)
+        vector_of = window_difference_factory(network, "vector")(patterns)
+        for fault in faults:
+            assert vector_of(fault) == compiled_of(fault), fault.describe()
+
 
 @pytest.mark.parametrize("network", CIRCUITS, ids=lambda n: n.name)
-class TestShardedEquivalence:
-    def test_sharded_identical_to_compiled(self, network):
+class TestPooledEquivalence:
+    """Equivalence through a genuine forked worker pool (the registry
+    path falls back in-process for small workloads, so these force the
+    pool with ``min_pool_work=0``)."""
+
+    def test_pooled_identical_to_compiled(self, network):
         patterns = PatternSet.random(network.inputs, 220, seed=5)
         faults = all_faults(network)
         compiled = fault_simulate(network, patterns, faults, engine="compiled")
         for jobs in (1, 2, 3):
-            # The registry path (small sets fall back in-process)...
-            sharded = fault_simulate(
-                network, patterns, faults, engine="sharded", jobs=jobs
-            )
-            results_identical(sharded, compiled)
-            # ...and the genuine worker pool (min_pool_work=0 forces it).
             pooled = sharded_fault_simulate(
                 network, patterns, faults, jobs=jobs, min_pool_work=0
             )
             results_identical(pooled, compiled)
 
-    def test_sharded_first_detection_identical(self, network):
+    def test_pooled_first_detection_identical(self, network):
         patterns = PatternSet.random(network.inputs, 400, seed=6)
         faults = all_faults(network)
         compiled = fault_simulate(
             network, patterns, faults, stop_at_first_detection=True, engine="compiled"
         )
-        sharded = sharded_fault_simulate(
+        pooled = sharded_fault_simulate(
             network,
             patterns,
             faults,
@@ -147,9 +168,9 @@ class TestShardedEquivalence:
             jobs=2,
             min_pool_work=0,
         )
-        results_identical(sharded, compiled)
+        results_identical(pooled, compiled)
 
-    def test_sharded_difference_words_identical(self, network):
+    def test_pooled_difference_words_identical(self, network):
         from repro.simulate.faultsim import compiled_difference_words
 
         patterns = PatternSet.random(network.inputs, 130, seed=7)
@@ -158,21 +179,15 @@ class TestShardedEquivalence:
             network, patterns, faults, jobs=2, min_pool_work=0
         ) == compiled_difference_words(network, patterns, faults)
 
-
-@settings(max_examples=10, deadline=None)
-@given(
-    seed=st.integers(min_value=0, max_value=10_000),
-    count=st.integers(min_value=1, max_value=200),
-    window=st.integers(min_value=1, max_value=64),
-)
-def test_property_windowed_simulation_exact(seed, count, window):
-    """Property: windowed == whole-set on arbitrary circuits/windows."""
-    network = random_network(n_inputs=5, n_gates=9, seed=seed)
-    patterns = PatternSet.random(network.inputs, count, seed=seed ^ 0xAAAA)
-    faults = all_faults(network)
-    outcomes = windowed_outcomes(network, patterns, faults, window)
-    rebuilt = build_result(network.name, patterns.count, faults, outcomes)
-    results_identical(rebuilt, fault_simulate(network, patterns, faults))
+    def test_pooled_vector_inner_engine_identical(self, network):
+        """shards x lanes: the vector engine inside pool workers."""
+        patterns = PatternSet.random(network.inputs, 220, seed=8)
+        faults = all_faults(network)
+        compiled = fault_simulate(network, patterns, faults, engine="compiled")
+        pooled = sharded_fault_simulate(
+            network, patterns, faults, jobs=2, min_pool_work=0, engine="vector"
+        )
+        results_identical(pooled, compiled)
 
 
 class TestShardMerge:
@@ -228,99 +243,7 @@ class TestShardMerge:
             merge_results([])
 
 
-class TestEngineRegistry:
-    def test_all_three_engines_registered(self):
-        names = available_engines()
-        assert set(names) >= {"interpreted", "compiled", "sharded"}
-
-    def test_unknown_engine_error_lists_available(self):
-        with pytest.raises(ValueError, match="compiled"):
-            get_engine("turbo")
-
-    def test_fault_simulate_rejects_unknown_engine(self):
-        network = and_cone(3)
-        patterns = PatternSet.exhaustive(network.inputs)
-        with pytest.raises(ValueError, match="unknown engine"):
-            fault_simulate(network, patterns, engine="turbo")
-
-    def test_coverage_curve_engine_threading(self):
-        network = domino_carry_chain(3)
-        patterns = PatternSet.random(network.inputs, 128, seed=10)
-        compiled = coverage_curve(network, patterns, points=8)
-        sharded = coverage_curve(
-            network, patterns, points=8, engine="sharded", jobs=2
-        )
-        assert sharded == compiled
-
-    def test_estimators_identical_across_engines(self):
-        from repro.protest import (
-            monte_carlo_detection_probabilities,
-            monte_carlo_signal_probabilities,
-        )
-
-        network = domino_carry_chain(3)
-        faults = network.enumerate_faults()
-        reference = monte_carlo_detection_probabilities(
-            network, faults, samples=512, engine="compiled"
-        )
-        sharded = monte_carlo_detection_probabilities(
-            network, faults, samples=512, engine="sharded", jobs=2
-        )
-        assert sharded == reference
-        assert monte_carlo_signal_probabilities(
-            network, samples=512, engine="sharded"
-        ) == monte_carlo_signal_probabilities(network, samples=512, engine="compiled")
-
-
-class TestInjectability:
-    """Every engine must reject ghost faults instead of silently
-    reporting them 'undetected' (which deflates coverage)."""
-
-    def test_stuck_on_unknown_net_raises_on_all_engines(self):
-        network = domino_carry_chain(2)
-        patterns = PatternSet.exhaustive(network.inputs)
-        ghost = NetworkFault.stuck_at("ghost", 1)
-        for engine in available_engines():
-            with pytest.raises(ValueError, match="cannot be injected"):
-                fault_simulate(network, patterns, [ghost], engine=engine)
-
-    def test_cell_fault_on_unknown_gate_raises(self):
-        network = domino_carry_chain(2)
-        patterns = PatternSet.exhaustive(network.inputs)
-        template = network.enumerate_faults()[0]
-        orphan = NetworkFault.cell_fault(
-            "no_such_gate", template.class_index, template.function
-        )
-        with pytest.raises(ValueError, match="cannot be injected"):
-            fault_simulate(network, patterns, [orphan])
-        with pytest.raises(ValueError, match="cannot be injected"):
-            sharded_fault_simulate(network, patterns, [orphan], jobs=2)
-
-
-class TestLabelCollisions:
-    def test_distinct_faults_sharing_a_label_raise(self):
-        network = and_cone(3)
-        patterns = PatternSet.exhaustive(network.inputs)
-        colliding = [
-            NetworkFault.stuck_at("a0", 0),
-            NetworkFault(kind="stuck", net="a1", value=0, label="s0-a0"),
-        ]
-        for engine in ("compiled", "interpreted", "sharded"):
-            with pytest.raises(ValueError, match="shared by two distinct"):
-                fault_simulate(network, patterns, colliding, engine=engine)
-
-    def test_duplicate_of_same_fault_reported_once(self):
-        network = and_cone(3)
-        patterns = PatternSet.exhaustive(network.inputs)
-        fault = NetworkFault.stuck_at("a0", 0)
-        single = fault_simulate(network, patterns, [fault])
-        doubled = fault_simulate(network, patterns, [fault, fault])
-        results_identical(doubled, single)
-        sharded = fault_simulate(
-            network, patterns, [fault, fault], engine="sharded", jobs=2
-        )
-        results_identical(sharded, single)
-
+class TestFaultEnumeration:
     def test_enumerated_fault_labels_are_unique(self):
         """The dual-rail sum cell has distinct fault classes whose
         physical labels collide ('nc' gates two transistors); the
@@ -333,38 +256,3 @@ class TestLabelCollisions:
         assert len(labels) == len(set(labels))
         patterns = PatternSet.random(network.inputs, 64, seed=12)
         fault_simulate(network, patterns, faults)  # must not raise
-
-
-class TestProtestAndCli:
-    def test_protest_validate_sharded_matches_compiled(self):
-        from repro.protest import Protest
-
-        network = domino_carry_chain(3)
-        compiled = Protest(network).validate(200, seed=7)
-        sharded = Protest(network, engine="sharded", jobs=2).validate(200, seed=7)
-        results_identical(sharded, compiled)
-
-    def test_cli_engine_and_jobs_flags(self):
-        from repro.cli import build_parser
-
-        parser = build_parser()
-        args = parser.parse_args(
-            ["protest", "cell.txt", "--engine", "sharded", "--jobs", "2"]
-        )
-        assert args.engine == "sharded"
-        assert args.jobs == 2
-
-    def test_cli_rejects_unknown_engine(self):
-        from repro.cli import build_parser
-
-        parser = build_parser()
-        with pytest.raises(SystemExit):
-            parser.parse_args(["protest", "cell.txt", "--engine", "turbo"])
-
-    def test_cli_engine_choices_match_registry(self):
-        """ENGINE_CHOICES is spelled out in cli.py (to keep --help free
-        of the simulate import cost); it must not drift from the
-        registry."""
-        from repro.cli import ENGINE_CHOICES
-
-        assert tuple(sorted(ENGINE_CHOICES)) == available_engines()
