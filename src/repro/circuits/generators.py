@@ -232,6 +232,43 @@ def c17(technology: str = "dynamic-nMOS") -> Network:
     return network
 
 
+def skewed_cone_network(
+    depth: int = 12, islands: int = 8, technology: str = "domino-CMOS"
+) -> Network:
+    """One huge fanout cone next to many tiny ones - the scheduling
+    adversary.
+
+    A ``depth``-gate spine chain (faults near its head re-evaluate the
+    whole chain, so their cone cost is ~``depth``) sits beside
+    ``islands`` independent two-input single-gate islands (cone cost 1
+    for their inputs, 0 for their outputs).  Contiguous fault sharding
+    lands the entire expensive spine in one worker while the island
+    workers idle - exactly what cost-weighted scheduling fixes - and
+    the island stuck-at pairs are the underfilled two-lane vector
+    batches the cross-site coalescer merges.  Gates alternate AND/OR so
+    neither constant saturates the chain.
+    """
+    if depth < 1:
+        raise ValueError("the spine needs at least 1 gate")
+    factory = CellFactory(technology)
+    network = Network(f"skewed_{depth}x{islands}_{technology}")
+    spine = network.add_input("s0")
+    shared = network.add_input("u")
+    for k in range(depth):
+        cell = factory.and_gate(2) if k % 2 == 0 else factory.or_gate(2)
+        out = f"c{k + 1}"
+        network.add_gate(f"spine{k}", cell, {"i1": spine, "i2": shared}, out)
+        spine = out
+    network.mark_output(spine)
+    for j in range(islands):
+        a = network.add_input(f"t{j}a")
+        b = network.add_input(f"t{j}b")
+        cell = factory.or_gate(2) if j % 2 == 0 else factory.and_gate(2)
+        network.add_gate(f"island{j}", cell, {"i1": a, "i2": b}, f"z{j}")
+        network.mark_output(f"z{j}")
+    return network
+
+
 def random_network(
     n_inputs: int = 8,
     n_gates: int = 12,

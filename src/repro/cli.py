@@ -11,13 +11,15 @@ Subcommands::
 
     python -m repro protest CELLFILE --confidence 0.999 \
             [--engine compiled|interpreted|sharded|sharded+vector|vector] \
-            [--jobs N]
+            [--jobs N] [--schedule contiguous|cost|interleaved]
         Wrap the cell in a single-gate network and run the PROTEST
         pipeline: probabilities, test length, optimized weights.
         ``--engine`` picks the simulation engine for the estimators and
         the validation fault simulation (any registered engine name;
         bad names fail with the registry's error); ``--jobs`` the
-        worker count of the sharded engines.
+        worker count of the sharded engines; ``--schedule`` the
+        fault-scheduling policy (cost-weighted cone scheduling by
+        default - never changes results, only throughput).
 
     python -m repro figures
         Print the executable versions of Figs. 1, 5, 7 and 9.
@@ -35,6 +37,11 @@ ENGINE_CHOICES = ("compiled", "interpreted", "sharded", "sharded+vector", "vecto
 ``--help``) stays free of the simulate-package import cost; a test
 holds this tuple equal to ``repro.simulate.available_engines()``."""
 
+SCHEDULE_CHOICES = ("contiguous", "cost", "interleaved")
+"""The registered fault-schedule names, spelled out for the same
+reason; a test holds this tuple equal to
+``repro.simulate.available_schedules()``."""
+
 
 def _engine_name(name: str) -> str:
     """argparse type for ``--engine``: validate against the registry.
@@ -48,6 +55,18 @@ def _engine_name(name: str) -> str:
 
     try:
         get_engine(name)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return name
+
+
+def _schedule_name(name: str) -> str:
+    """argparse type for ``--schedule``: validate like ``--engine``,
+    reusing the schedule registry's exact error message."""
+    from .simulate.schedule import get_schedule
+
+    try:
+        get_schedule(name)
     except ValueError as error:
         raise argparse.ArgumentTypeError(str(error)) from None
     return name
@@ -105,7 +124,9 @@ def command_protest(args: argparse.Namespace) -> int:
 
     cell = _load_cell(args.cellfile)
     network = _cell_network(cell)
-    protest = Protest(network, engine=args.engine, jobs=args.jobs)
+    protest = Protest(
+        network, engine=args.engine, jobs=args.jobs, schedule=args.schedule
+    )
     report = protest.analyse(confidence=args.confidence)
     print(report.format_summary())
     print()
@@ -183,6 +204,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for the sharded engines "
         "(default: one per CPU)",
+    )
+    protest.add_argument(
+        "--schedule",
+        type=_schedule_name,
+        default=None,
+        metavar="|".join(SCHEDULE_CHOICES),
+        help="fault-scheduling policy for shard partitioning and lane "
+        "batching (default: cost-weighted cone scheduling; results are "
+        "schedule-independent)",
     )
     protest.set_defaults(func=command_protest)
 

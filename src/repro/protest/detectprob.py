@@ -86,12 +86,14 @@ def monte_carlo_detection_probabilities(
     seed: int = 1986,
     engine: str = "compiled",
     jobs: Optional[int] = None,
+    schedule: Optional[str] = None,
 ) -> Dict[str, float]:
     """Empirical detection frequency per fault.
 
-    ``engine``/``jobs`` select a registered simulation engine for the
-    per-fault difference passes (``"sharded"`` spreads the fault list
-    over ``jobs`` worker processes); results are engine-independent.
+    ``engine``/``jobs``/``schedule`` select a registered simulation
+    engine and fault-scheduling policy for the per-fault difference
+    passes (``"sharded"`` spreads the fault list over ``jobs`` worker
+    processes); results are engine- and schedule-independent.
     """
     if samples < 1:
         raise ValueError(f"samples must be >= 1, got {samples}")
@@ -101,7 +103,9 @@ def monte_carlo_detection_probabilities(
     patterns = PatternSet.random(
         network.inputs, samples, seed=seed, probabilities=input_probs
     )
-    words = get_engine(engine).difference_words(network, patterns, faults, jobs=jobs)
+    words = get_engine(engine).difference_words(
+        network, patterns, faults, jobs=jobs, schedule=schedule
+    )
     return {
         fault.describe(): word.bit_count() / samples
         for fault, word in zip(faults, words)
@@ -199,6 +203,7 @@ def detection_probabilities(
     seed: int = 1986,
     engine: str = "compiled",
     jobs: Optional[int] = None,
+    schedule: Optional[str] = None,
 ) -> Dict[str, float]:
     """Dispatch over the three estimators (``auto``: exact when feasible)."""
     if faults is None:
@@ -211,6 +216,6 @@ def detection_probabilities(
         return topological_detection_probabilities(network, faults, probs)
     if method == "monte_carlo":
         return monte_carlo_detection_probabilities(
-            network, faults, probs, samples, seed, engine, jobs
+            network, faults, probs, samples, seed, engine, jobs, schedule
         )
     raise ValueError(f"unknown method {method!r}")

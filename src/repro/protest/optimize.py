@@ -109,6 +109,7 @@ class _MonteCarloEvaluator:
         seed: int = 1986,
         engine: str = "compiled",
         jobs: Optional[int] = None,
+        schedule: Optional[str] = None,
     ):
         self.network = network
         self.faults = list(faults)
@@ -116,6 +117,7 @@ class _MonteCarloEvaluator:
         self.seed = seed
         self.engine = engine
         self.jobs = jobs
+        self.schedule = schedule
 
     def detection(self, probs: Mapping[str, float]) -> np.ndarray:
         values = monte_carlo_detection_probabilities(
@@ -126,6 +128,7 @@ class _MonteCarloEvaluator:
             self.seed,
             self.engine,
             self.jobs,
+            self.schedule,
         )
         return np.array([values[f.describe()] for f in self.faults])
 
@@ -139,12 +142,14 @@ def optimize_input_probabilities(
     samples: int = 2048,
     engine: str = "compiled",
     jobs: Optional[int] = None,
+    schedule: Optional[str] = None,
 ) -> OptimizationResult:
     """Coordinate search maximising the minimum detection probability.
 
-    ``engine``/``jobs`` select the simulation engine for the
-    Monte-Carlo evaluator on wide circuits (the exact fault-difference
-    matrix of narrow circuits is a single compiled pass either way).
+    ``engine``/``jobs``/``schedule`` select the simulation engine and
+    fault schedule for the Monte-Carlo evaluator on wide circuits (the
+    exact fault-difference matrix of narrow circuits is a single
+    compiled pass either way).
     """
     if faults is None:
         faults = network.enumerate_faults()
@@ -154,7 +159,9 @@ def optimize_input_probabilities(
     if len(network.inputs) <= MAX_EXACT_INPUTS - 4:
         evaluator = _ExactEvaluator(network, faults)
     else:
-        evaluator = _MonteCarloEvaluator(network, faults, samples, engine=engine, jobs=jobs)
+        evaluator = _MonteCarloEvaluator(
+            network, faults, samples, engine=engine, jobs=jobs, schedule=schedule
+        )
 
     labels = [f.describe() for f in faults]
     uniform = {name: 0.5 for name in network.inputs}

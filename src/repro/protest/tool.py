@@ -90,12 +90,14 @@ class ProtestReport:
 class Protest:
     """Probabilistic testability analysis of a combinational network.
 
-    ``engine``/``jobs`` pick the simulation engine
+    ``engine``/``jobs``/``schedule`` pick the simulation engine
     (:mod:`repro.simulate.registry`: ``"interpreted"``, ``"compiled"``,
-    ``"sharded"``) and worker count used by every simulation-backed
-    step - the Monte-Carlo estimators and the validation fault
-    simulation.  Per-call ``engine=`` arguments override the instance
-    default.
+    ``"vector"``, ``"sharded"``, ``"sharded+vector"``), the worker
+    count, and the fault-scheduling policy
+    (:mod:`repro.simulate.schedule`: ``"cost"``, ``"contiguous"``,
+    ``"interleaved"``) used by every simulation-backed step - the
+    Monte-Carlo estimators and the validation fault simulation.
+    Per-call ``engine=`` arguments override the instance default.
     """
 
     def __init__(
@@ -104,11 +106,13 @@ class Protest:
         faults: Optional[Sequence[NetworkFault]] = None,
         engine: str = "compiled",
         jobs: Optional[int] = None,
+        schedule: Optional[str] = None,
     ):
         self.network = network
         self.faults = list(faults) if faults is not None else network.enumerate_faults()
         self.engine = engine
         self.jobs = jobs
+        self.schedule = schedule
 
     # -- the Fig. 8 pipeline, feature by feature ---------------------------------
 
@@ -135,6 +139,7 @@ class Protest:
             method,
             engine=engine or self.engine,
             jobs=self.jobs,
+            schedule=self.schedule,
         )
 
     def required_test_length(
@@ -155,6 +160,7 @@ class Protest:
             max_sweeps=max_sweeps,
             engine=self.engine,
             jobs=self.jobs,
+            schedule=self.schedule,
         )
 
     def generate_patterns(
@@ -175,14 +181,16 @@ class Protest:
         seed: int = 1986,
         engine: Optional[str] = None,
         jobs: Optional[int] = None,
+        schedule: Optional[str] = None,
     ) -> FaultSimResult:
         """Static fault simulation of generated patterns - the validation
         step before committing self-test logic to the chip.
 
         ``engine`` names a registered engine (``"compiled"``,
-        ``"interpreted"``, ``"sharded"``) and ``jobs`` the worker count
-        for the sharded engine; both default to the instance settings.
-        See :func:`repro.simulate.faultsim.fault_simulate`.
+        ``"interpreted"``, ``"sharded"``), ``jobs`` the worker count
+        for the sharded engines and ``schedule`` the fault-scheduling
+        policy; all default to the instance settings.  See
+        :func:`repro.simulate.faultsim.fault_simulate`.
         """
         patterns = self.generate_patterns(count, probs, seed)
         return fault_simulate(
@@ -191,6 +199,7 @@ class Protest:
             self.faults,
             engine=engine or self.engine,
             jobs=jobs if jobs is not None else self.jobs,
+            schedule=schedule if schedule is not None else self.schedule,
         )
 
     # -- one-call analysis -----------------------------------------------------------

@@ -7,6 +7,13 @@ from .faultsim import FaultSimResult, coverage_curve, fault_simulate
 from .parallel import parallel_fault_simulate
 from .logicsim import PatternSet, simulate, simulate_all_nets
 from .registry import Engine, available_engines, get_engine, register_engine
+from .schedule import (
+    DEFAULT_SCHEDULE,
+    available_schedules,
+    fault_costs,
+    get_schedule,
+    partition_faults,
+)
 from .sharded import (
     DEFAULT_WINDOW,
     merge_results,
@@ -47,6 +54,11 @@ __all__ = [
     "available_engines",
     "get_engine",
     "register_engine",
+    "DEFAULT_SCHEDULE",
+    "available_schedules",
+    "fault_costs",
+    "get_schedule",
+    "partition_faults",
     "DEFAULT_WINDOW",
     "merge_results",
     "sharded_fault_simulate",

@@ -44,6 +44,7 @@ from ..netlist.network import Network, NetworkFault
 from .compiled import compile_network
 from .logicsim import PatternSet
 from .registry import Engine, get_engine, register_engine
+from .schedule import get_schedule
 
 #: Pattern-window width used when ``stop_at_first_detection`` chunks the
 #: pattern sequence; a fault detected in window k never simulates window
@@ -210,8 +211,16 @@ def interpreted_difference_words(
     patterns: PatternSet,
     faults: Sequence[NetworkFault],
     jobs: Optional[int] = None,
+    schedule: Optional[str] = None,
 ) -> List[int]:
-    """One detection word per fault via full interpreted re-simulation."""
+    """One detection word per fault via full interpreted re-simulation.
+
+    Serial fault-by-fault passes have nothing to schedule, but
+    ``schedule`` is still validated so every registry engine rejects
+    bad names identically - on this entry point too, not only through
+    ``fault_simulate``.
+    """
+    get_schedule(schedule)
     good = network.output_bits(patterns.env, patterns.mask)
     return [
         _difference_interpreted(network, patterns.env, patterns.mask, good, fault)
@@ -224,8 +233,10 @@ def compiled_difference_words(
     patterns: PatternSet,
     faults: Sequence[NetworkFault],
     jobs: Optional[int] = None,
+    schedule: Optional[str] = None,
 ) -> List[int]:
     """One detection word per fault via cone-restricted compiled passes."""
+    get_schedule(schedule)
     sim = compile_network(network).simulate(patterns.env, patterns.mask)
     return [sim.difference(fault) for fault in faults]
 
@@ -247,6 +258,7 @@ def _single_process_simulate(engine_name: str):
         faults: Sequence[NetworkFault],
         stop_at_first_detection: bool = False,
         jobs: Optional[int] = None,
+        schedule: Optional[str] = None,
     ) -> FaultSimResult:
         window = (
             FIRST_DETECTION_CHUNK
@@ -254,7 +266,8 @@ def _single_process_simulate(engine_name: str):
             else max(patterns.count, 1)
         )
         outcomes = windowed_outcomes(
-            network, patterns, faults, window, stop_at_first_detection, engine_name
+            network, patterns, faults, window, stop_at_first_detection,
+            engine_name, schedule,
         )
         return build_result(network.name, patterns.count, faults, outcomes)
 
@@ -296,6 +309,7 @@ def fault_simulate(
     stop_at_first_detection: bool = False,
     engine: str = "compiled",
     jobs: Optional[int] = None,
+    schedule: Optional[str] = None,
 ) -> FaultSimResult:
     """Simulate every fault against every pattern.
 
@@ -314,8 +328,16 @@ def fault_simulate(
     engines are bit-identical.
     ``jobs`` sets the worker count for multi-process engines and is
     ignored by the single-process ones.
+    ``schedule`` names a fault-scheduling policy
+    (:mod:`repro.simulate.schedule`: ``"cost"`` by default,
+    ``"contiguous"``, ``"interleaved"``); it steers how the sharded
+    engines partition the fault list and how the vector engines batch
+    injection sites, and never changes a single result bit.  Unknown
+    names raise here with the list of available schedules, on every
+    engine - including the serial ones that have nothing to schedule.
     """
     resolved = get_engine(engine)
+    get_schedule(schedule)  # reject bad names before any engine runs
     if faults is None:
         faults = network.enumerate_faults()
     # Validate up front - a bad fault list should raise before the
@@ -328,6 +350,7 @@ def fault_simulate(
         faults,
         stop_at_first_detection=stop_at_first_detection,
         jobs=jobs,
+        schedule=schedule,
     )
 
 
@@ -377,6 +400,7 @@ def windowed_outcomes(
     window: int,
     stop_at_first_detection: bool = False,
     engine: str = "compiled",
+    schedule: Optional[str] = None,
 ) -> List[FaultOutcome]:
     """Per-fault (first index, count) outcomes, one window at a time.
 
@@ -390,13 +414,16 @@ def windowed_outcomes(
     ``engine="vector"`` delegates to the lane engine's batched window
     core (:func:`repro.simulate.vector.vector_windowed_outcomes`) -
     same semantics, but faults sharing an injection site propagate
-    through their fanout cone as one numpy batch.
+    through their fanout cone as one numpy batch; ``schedule`` reaches
+    its batch planner (``"cost"`` coalesces underfilled same-cone site
+    batches) and is irrelevant to the serial per-fault cores.
     """
     if engine == "vector":
         from .vector import vector_windowed_outcomes
 
         return vector_windowed_outcomes(
-            network, patterns, faults, window, stop_at_first_detection
+            network, patterns, faults, window, stop_at_first_detection,
+            schedule=schedule,
         )
     for_window = window_difference_factory(network, engine)
     firsts = [-1] * len(faults)
@@ -431,6 +458,7 @@ def coverage_curve(
     points: int = 32,
     engine: str = "compiled",
     jobs: Optional[int] = None,
+    schedule: Optional[str] = None,
 ) -> List[Tuple[int, float]]:
     """(pattern count, fault coverage) samples along a pattern sequence.
 
@@ -438,7 +466,9 @@ def coverage_curve(
     run once over the full set, then read off when each fault first
     fell.
     """
-    result = fault_simulate(network, patterns, faults, engine=engine, jobs=jobs)
+    result = fault_simulate(
+        network, patterns, faults, engine=engine, jobs=jobs, schedule=schedule
+    )
     total = result.fault_count
     if total == 0:
         return [(patterns.count, 1.0)]

@@ -28,10 +28,18 @@ Five engines register themselves on import:
 * ``"sharded+vector"`` - the shard pool with the vector engine inside
   each worker (shards x lanes).  Accepts ``jobs``.
 
-All engines are bit-identical on every result; they differ only in
-cost.  ``tests/test_engine_equivalence.py`` is the registry-driven
-differential harness holding every registered engine - including any
-future one - to that contract against the interpreted oracle.
+Engines also accept a **schedule** name (resolved through
+:mod:`repro.simulate.schedule`, the registry's sibling for fault
+scheduling policies): ``"cost"`` (the default) prices faults by
+fanout-cone size to LPT-balance shards and coalesce underfilled vector
+batches, ``"contiguous"`` and ``"interleaved"`` are the mechanical
+partitions.  Scheduling only re-orders work.
+
+All engines are bit-identical on every result - across every schedule;
+they differ only in cost.  ``tests/test_engine_equivalence.py`` is the
+registry-driven differential harness holding every registered engine -
+including any future one - to that contract against the interpreted
+oracle, over the full engine x schedule sweep.
 """
 
 from __future__ import annotations
@@ -47,12 +55,14 @@ class Engine:
     """One registered simulation engine.
 
     ``simulate_faults(network, patterns, faults, *,
-    stop_at_first_detection=False, jobs=None)`` returns a
-    ``FaultSimResult``; ``difference_words(network, patterns, faults,
-    jobs=None)`` returns one detection word per fault in fault-list
-    order; ``evaluate_bits(network, env, mask)`` returns the fault-free
-    valuation of every net.  Engines that cannot use ``jobs`` ignore
-    it.
+    stop_at_first_detection=False, jobs=None, schedule=None)`` returns
+    a ``FaultSimResult``; ``difference_words(network, patterns, faults,
+    jobs=None, schedule=None)`` returns one detection word per fault in
+    fault-list order; ``evaluate_bits(network, env, mask)`` returns the
+    fault-free valuation of every net.  Engines that cannot use
+    ``jobs`` or ``schedule`` accept and ignore them (``fault_simulate``
+    validates the schedule name up front so every engine rejects bad
+    names identically).
     """
 
     name: str

@@ -1,0 +1,283 @@
+"""Cone-cost fault scheduling: cost-weighted partitioning plans.
+
+The parallel substrates split fault lists mechanically: the sharded
+engine hands each worker a *contiguous* slice, and the vector engine
+batches faults per injection site.  Both leave throughput on the table
+when fanout-cone sizes vary - a contiguous slice that happens to hold
+the deep-cone faults straggles while the other workers idle, and a
+stuck-at pair site fills only two lanes of a batch.  This module is the
+scheduling layer both substrates resolve through:
+
+* **cone-cost model** - a fault's simulation cost is dominated by the
+  gates downstream of its injection site (the fanout cone the compiled
+  engine re-evaluates per pass), so the per-fault cost is
+  ``1 + cone_gate_count(site)`` (the injection-site evaluation plus the
+  cone), and the cost of an injection-site *batch* is that cone count
+  times the batch width.  The cone metadata comes straight from the
+  compiled slot program's reader lists (:mod:`repro.simulate.compiled`)
+  and is memoised per compilation.
+
+* **schedulers** - three registered partitioning policies, resolved by
+  name exactly like engines are (``get_schedule`` mirrors
+  ``get_engine``'s error contract):
+
+  - ``"contiguous"`` - the historical contiguous slices;
+  - ``"interleaved"`` - round-robin striping, which decorrelates cost
+    from position without needing a cost model;
+  - ``"cost"`` - LPT (longest-processing-time) greedy bin packing over
+    the cone costs, falling back to interleaved striping when the cost
+    vector is flat (every fault equally expensive - LPT would add
+    nothing over striping).
+
+  Every scheduler returns an **exact disjoint cover** of the fault
+  indices - a permutation of the input, no loss, no duplication, and
+  *never an empty shard* (``shards > count`` produces ``count`` shards;
+  an empty fault list produces no shards at all).
+  ``tests/test_schedule.py`` holds all three to those invariants by
+  hypothesis property.
+
+* :func:`partition_faults` - the entry the sharded engine uses: it
+  prices a concrete fault list against a concrete network and bins
+  whole injection-site groups (all faults sharing a site share one
+  fanout cone and batch together on the vector engine, so splitting a
+  site across workers would destroy lane fill in ``sharded+vector``).
+
+Scheduling is a pure re-ordering: every engine x schedule combination
+is bit-identical to the interpreted oracle, which
+``tests/test_engine_equivalence.py`` enforces across the whole sweep.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Dict, FrozenSet, List, Optional, Sequence
+from weakref import WeakKeyDictionary
+
+from ..netlist.network import Network, NetworkFault
+from .compiled import CompiledNetwork, compile_network
+
+__all__ = [
+    "DEFAULT_SCHEDULE",
+    "available_schedules",
+    "cone_gate_count",
+    "cone_gates",
+    "contiguous_schedule",
+    "cost_schedule",
+    "fault_costs",
+    "fault_site",
+    "get_schedule",
+    "interleaved_schedule",
+    "partition_faults",
+    "site_cost",
+]
+
+DEFAULT_SCHEDULE = "cost"
+"""The schedule engines resolve when the caller passes ``None``."""
+
+
+# -- cone metadata over the compiled slot program --------------------------------------
+
+_CONE_GATES: "WeakKeyDictionary[CompiledNetwork, Dict[int, FrozenSet[int]]]" = (
+    WeakKeyDictionary()
+)
+"""Per-compilation cache of fanout-cone gate sets, keyed by site slot.
+Lives exactly as long as the compilation itself (which already
+invalidates on structural mutation), and is shared by the sharded
+partitioner and the vector engine's batch coalescer."""
+
+
+def cone_gates(compiled: CompiledNetwork, slot: int) -> FrozenSet[int]:
+    """Gate indices downstream of ``slot`` - the fault's fanout cone.
+
+    One BFS over the compiled program's reader lists per site, memoised
+    per compilation; this is the same closure the per-fault cone passes
+    walk, so the cost model prices exactly the work the engines do.
+    """
+    cones = _CONE_GATES.setdefault(compiled, {})
+    cached = cones.get(slot)
+    if cached is not None:
+        return cached
+    gate_out = compiled._gate_out
+    seen = set(compiled.readers[slot])
+    work = list(seen)
+    while work:
+        index = work.pop()
+        for reader in compiled.readers[gate_out[index]]:
+            if reader not in seen:
+                seen.add(reader)
+                work.append(reader)
+    cone = frozenset(seen)
+    cones[slot] = cone
+    return cone
+
+
+def cone_gate_count(compiled: CompiledNetwork, slot: int) -> int:
+    """Number of gates in the fanout cone of ``slot``."""
+    return len(cone_gates(compiled, slot))
+
+
+def fault_site(compiled: CompiledNetwork, fault: NetworkFault) -> int:
+    """Injection-site slot of a fault, or ``-1`` when not injectable.
+
+    A stuck fault injects at its net's slot; a cell fault at the faulty
+    gate's output slot - the same site keys the vector engine's batch
+    grouping, so costing and batching agree on what a "site" is.
+    """
+    if fault.kind == "stuck":
+        return compiled.slot_of_net.get(fault.net, -1)
+    gate_index = compiled.gate_index.get(fault.gate, -1)
+    return -1 if gate_index < 0 else compiled._gate_out[gate_index]
+
+
+def site_cost(compiled: CompiledNetwork, site: int) -> int:
+    """Per-fault cone cost of one injection site:
+    ``1 + cone_gate_count(site)``.
+
+    The ``1`` is the injection-site evaluation itself (a stuck force or
+    one faulty-kernel call), which keeps zero-cone faults - stuck-ats
+    on unread output nets - from pricing at zero.  A fault that cannot
+    be injected (``site < 0``) costs 1: the engines treat it as
+    zero-difference.  The one formula :func:`fault_costs` and
+    :func:`partition_faults` both price with.
+    """
+    return 1 if site < 0 else 1 + cone_gate_count(compiled, site)
+
+
+def fault_costs(network: Network, faults: Sequence[NetworkFault]) -> List[int]:
+    """Per-fault cone cost (:func:`site_cost` of each injection site)."""
+    compiled = compile_network(network)
+    return [site_cost(compiled, fault_site(compiled, fault)) for fault in faults]
+
+
+# -- the schedulers --------------------------------------------------------------------
+
+
+def contiguous_schedule(costs: Sequence[int], shards: int) -> List[List[int]]:
+    """Contiguous index slices, sizes as even as possible."""
+    count = len(costs)
+    shards = min(shards, count)
+    if shards <= 0:
+        return []
+    base, extra = divmod(count, shards)
+    parts: List[List[int]] = []
+    start = 0
+    for shard in range(shards):
+        width = base + (1 if shard < extra else 0)
+        parts.append(list(range(start, start + width)))
+        start += width
+    return parts
+
+
+def interleaved_schedule(costs: Sequence[int], shards: int) -> List[List[int]]:
+    """Round-robin striping: shard *k* gets indices ``k, k+shards, ...``.
+
+    Decorrelates cost from list position (enumeration order clusters a
+    gate's faults together) without needing the cost vector at all.
+    """
+    count = len(costs)
+    shards = min(shards, count)
+    if shards <= 0:
+        return []
+    return [list(range(shard, count, shards)) for shard in range(shards)]
+
+
+def cost_schedule(costs: Sequence[int], shards: int) -> List[List[int]]:
+    """LPT greedy bin packing over the cost vector.
+
+    Items are placed heaviest-first onto the least-loaded shard, which
+    bounds the spread: ``max load <= min load + max cost`` (the classic
+    LPT guarantee, property-tested).  Ties prefer the emptiest shard so
+    no shard is ever left empty while others hold multiple items - even
+    with zero-cost entries.  A flat cost vector falls back to
+    :func:`interleaved_schedule`, where LPT's sort buys nothing.
+    """
+    count = len(costs)
+    shards = min(shards, count)
+    if shards <= 0:
+        return []
+    if len(set(costs)) <= 1:
+        return interleaved_schedule(costs, shards)
+    # (load, items, shard): the item count breaks load ties toward the
+    # emptiest shard, which is what guarantees no shard stays empty.
+    heap = [(0, 0, shard) for shard in range(shards)]
+    parts: List[List[int]] = [[] for _ in range(shards)]
+    for index in sorted(range(count), key=lambda i: (-costs[i], i)):
+        load, items, shard = heappop(heap)
+        parts[shard].append(index)
+        heappush(heap, (load + costs[index], items + 1, shard))
+    for part in parts:
+        part.sort()
+    return parts
+
+
+SCHEDULES = {
+    "contiguous": contiguous_schedule,
+    "cost": cost_schedule,
+    "interleaved": interleaved_schedule,
+}
+
+
+def available_schedules() -> tuple:
+    """The registered schedule names, sorted."""
+    return tuple(sorted(SCHEDULES))
+
+
+def get_schedule(name: Optional[str]):
+    """Resolve a schedule name (``None`` means :data:`DEFAULT_SCHEDULE`).
+
+    Mirrors :func:`repro.simulate.registry.get_engine`: bad names raise
+    with the sorted list of available schedules, and the CLI reuses the
+    exact message.
+    """
+    if name is None:
+        name = DEFAULT_SCHEDULE
+    scheduler = SCHEDULES.get(name)
+    if scheduler is None:
+        raise ValueError(
+            f"unknown schedule {name!r}; available schedules: "
+            + ", ".join(sorted(SCHEDULES))
+        )
+    return scheduler
+
+
+# -- fault-list partitioning -----------------------------------------------------------
+
+
+def partition_faults(
+    network: Network,
+    faults: Sequence[NetworkFault],
+    shards: int,
+    schedule: Optional[str] = None,
+) -> List[List[int]]:
+    """Shard a fault list into index lists under the named schedule.
+
+    ``"contiguous"`` and ``"interleaved"`` partition positions only.
+    ``"cost"`` prices each fault with :func:`fault_costs` and LPT-packs
+    **whole injection-site groups** (group cost = cone gate count x
+    batch width): faults sharing a site share a fanout cone and batch
+    together on the vector engine, so keeping them in one shard both
+    prices them as the one cone pass they are and preserves lane fill
+    under ``sharded+vector``.  Site grouping can return fewer shards
+    than requested when there are fewer sites than workers - never an
+    empty shard, exactly like the raw schedulers.
+    """
+    scheduler = get_schedule(schedule)
+    count = len(faults)
+    if scheduler is not cost_schedule:
+        return scheduler([1] * count, shards)
+    compiled = compile_network(network)
+    members_of_site: Dict[int, List[int]] = {}
+    for index, fault in enumerate(faults):
+        members_of_site.setdefault(fault_site(compiled, fault), []).append(index)
+    sites = sorted(members_of_site)
+    group_costs = [
+        site_cost(compiled, site) * len(members_of_site[site]) for site in sites
+    ]
+    parts: List[List[int]] = []
+    for group_part in cost_schedule(group_costs, shards):
+        indices = [
+            index for group in group_part for index in members_of_site[sites[group]]
+        ]
+        indices.sort()
+        parts.append(indices)
+    return parts

@@ -1,12 +1,15 @@
 """Sharded multi-process fault simulation with streaming pattern windows.
 
 The scale-out layer on top of the compiled slot-program engine
-(:mod:`repro.simulate.compiled`): the fault list is split into
-contiguous shards across a ``multiprocessing`` worker pool, each worker
-compiles the network once and runs fault-cone-restricted passes over
-its shard, and the per-shard :class:`FaultSimResult`\\ s are merged
-exactly - detection counts, first-detection indices and fault order are
-bit-identical to a single-process compiled run.
+(:mod:`repro.simulate.compiled`): the fault list is partitioned into
+shards across a ``multiprocessing`` worker pool by a named **schedule**
+(:mod:`repro.simulate.schedule`: cost-weighted LPT over fanout-cone
+sizes by default, contiguous and interleaved stripes as alternatives),
+each worker compiles the network once and runs fault-cone-restricted
+passes over its shard, and the per-fault outcomes are scattered back to
+their original list positions - detection counts, first-detection
+indices and fault order are bit-identical to a single-process compiled
+run under *every* schedule.
 
 Patterns stream through bounded-memory **windows**
 (:meth:`PatternSet.windows`): on the fault-simulation path a worker
@@ -52,6 +55,7 @@ from .faultsim import (
 )
 from .logicsim import PatternSet
 from .registry import Engine, register_engine
+from .schedule import contiguous_schedule, get_schedule, partition_faults
 
 __all__ = [
     "DEFAULT_WINDOW",
@@ -86,20 +90,25 @@ def windowed_difference_words(
     faults: Sequence[NetworkFault],
     window: int = DEFAULT_WINDOW,
     engine: str = "compiled",
+    schedule: Optional[str] = None,
 ) -> List[int]:
     """Whole-set detection words assembled from per-window words.
 
     ``engine`` picks the single-process window core (compiled, vector
-    or interpreted).  Note: the *result* is one whole-set-width big-int
-    per fault by construction (callers want the full detection words),
-    so only the per-window simulation is bounded-memory here - unlike
+    or interpreted); ``schedule`` reaches the vector core's batch
+    planner (``"cost"`` coalesces underfilled same-cone site batches).
+    Note: the *result* is one whole-set-width big-int per fault by
+    construction (callers want the full detection words), so only the
+    per-window simulation is bounded-memory here - unlike
     :func:`repro.simulate.faultsim.windowed_outcomes`, which stays
     constant-memory end to end.
     """
     if engine == "vector":
         from .vector import vector_difference_words
 
-        return vector_difference_words(network, patterns, faults, window=window)
+        return vector_difference_words(
+            network, patterns, faults, window=window, schedule=schedule
+        )
     from .faultsim import window_difference_factory
 
     for_window = window_difference_factory(network, engine)
@@ -117,16 +126,18 @@ def windowed_difference_words(
 
 
 def shard_bounds(count: int, shards: int) -> List[Tuple[int, int]]:
-    """Split ``count`` faults into at most ``shards`` contiguous ranges."""
-    shards = max(1, min(shards, count))
-    base, extra = divmod(count, shards)
-    bounds: List[Tuple[int, int]] = []
-    start = 0
-    for shard in range(shards):
-        width = base + (1 if shard < extra else 0)
-        bounds.append((start, start + width))
-        start += width
-    return bounds
+    """Split ``count`` faults into at most ``shards`` contiguous ranges.
+
+    The ``(lo, hi)`` view of :func:`repro.simulate.schedule.
+    contiguous_schedule` (one source of truth for the split), so no
+    range is ever empty: ``shards > count`` yields ``count`` one-fault
+    ranges and ``count == 0`` yields no ranges at all (a worker is
+    never handed an empty shard).
+    """
+    return [
+        (part[0], part[-1] + 1)
+        for part in contiguous_schedule([1] * count, max(1, shards))
+    ]
 
 
 def merge_results(parts: Sequence[FaultSimResult]) -> FaultSimResult:
@@ -136,6 +147,9 @@ def merge_results(parts: Sequence[FaultSimResult]) -> FaultSimResult:
     but it *verifies* disjointness: a label occurring in two parts means
     two distinct faults collided on a label (or a shard ran twice), and
     silently keeping one record would corrupt coverage, so it raises.
+    (The engine itself now scatters per-fault outcomes back to list
+    positions - exact under any schedule's partition - but this stays
+    the public merge for callers who fault-simulate shards themselves.)
     """
     if not parts:
         raise ValueError("no shard results to merge")
@@ -174,24 +188,60 @@ def merge_results(parts: Sequence[FaultSimResult]) -> FaultSimResult:
     )
 
 
+def _scatter(sharded, size: int, empty) -> List:
+    """Scatter per-shard result lists back to fault-list positions.
+
+    *Verifies* the partition rather than assuming it (the same policy
+    :func:`merge_results` applies to labels): a scheduler that assigned
+    an index twice or lost one would otherwise silently corrupt
+    coverage - ``None``/``0`` are legal per-fault values, so a lost
+    index would masquerade as "undetected".
+    """
+    values: List = [empty] * size
+    seen = bytearray(size)
+    for indices, part in sharded:
+        if len(part) != len(indices):
+            raise ValueError(
+                f"shard returned {len(part)} results for {len(indices)} faults"
+            )
+        for index, value in zip(indices, part):
+            if seen[index]:
+                raise ValueError(
+                    f"schedule partition assigned fault index {index} twice"
+                )
+            seen[index] = 1
+            values[index] = value
+    missing = size - sum(seen)
+    if missing:
+        raise ValueError(f"schedule partition lost {missing} fault indices")
+    return values
+
+
 # -- the worker pool -------------------------------------------------------------------
 
 _SHARD_CONTEXT: Optional[Tuple] = None
-"""(network, patterns, faults, window, stop, engine) - set in the
-parent just before the pool forks, inherited copy-on-write by the
-workers; ``engine`` is the inner single-process window core."""
+"""(network, patterns, faults, window, stop, engine, schedule) - set in
+the parent just before the pool forks, inherited copy-on-write by the
+workers; ``engine`` is the inner single-process window core and
+``schedule`` reaches its batch planner.  Workers receive their shard as
+a list of fault-list indices (any partition the scheduler produced, not
+just contiguous slices)."""
 
 
-def _outcomes_worker(bounds: Tuple[int, int]) -> List[FaultOutcome]:
-    network, patterns, faults, window, stop, engine = _SHARD_CONTEXT
-    lo, hi = bounds
-    return windowed_outcomes(network, patterns, faults[lo:hi], window, stop, engine)
+def _outcomes_worker(indices: Sequence[int]) -> List[FaultOutcome]:
+    network, patterns, faults, window, stop, engine, schedule = _SHARD_CONTEXT
+    subset = [faults[index] for index in indices]
+    return windowed_outcomes(
+        network, patterns, subset, window, stop, engine, schedule
+    )
 
 
-def _words_worker(bounds: Tuple[int, int]) -> List[int]:
-    network, patterns, faults, window, _stop, engine = _SHARD_CONTEXT
-    lo, hi = bounds
-    return windowed_difference_words(network, patterns, faults[lo:hi], window, engine)
+def _words_worker(indices: Sequence[int]) -> List[int]:
+    network, patterns, faults, window, _stop, engine, schedule = _SHARD_CONTEXT
+    subset = [faults[index] for index in indices]
+    return windowed_difference_words(
+        network, patterns, subset, window, engine, schedule
+    )
 
 
 def _fork_context():
@@ -211,10 +261,12 @@ def _resolve_jobs(jobs: Optional[int]) -> int:
 
 def _map_shards(
     worker, network, patterns, faults, window, stop, jobs, min_pool_work,
-    engine="compiled",
+    engine="compiled", schedule=None,
 ):
-    """Run ``worker`` over fault shards; per-shard result lists in order.
+    """Run ``worker`` over fault shards; (indices, results) per shard.
 
+    Shards come from :func:`repro.simulate.schedule.partition_faults`
+    under the named ``schedule`` (cost-weighted LPT by default).
     Returns ``None`` when pooling is pointless (one shard, or less
     total work than ``min_pool_work``) or unavailable (no ``fork``),
     signalling the caller to run in-process.
@@ -222,18 +274,24 @@ def _map_shards(
     global _SHARD_CONTEXT
     if min_pool_work is None:
         min_pool_work = MIN_POOL_WORK
-    bounds = shard_bounds(len(faults), jobs)
+    # The cheap disqualifiers come first: below min_pool_work (the
+    # common interactive case) or without fork there is no point
+    # pricing cones and packing shards for a partition that would be
+    # thrown away.
     context = _fork_context()
     if (
-        len(bounds) <= 1
+        jobs <= 1
         or context is None
         or patterns.count * len(faults) < min_pool_work
     ):
         return None
-    _SHARD_CONTEXT = (network, patterns, faults, window, stop, engine)
+    shards = partition_faults(network, faults, jobs, schedule)
+    if len(shards) <= 1:
+        return None
+    _SHARD_CONTEXT = (network, patterns, faults, window, stop, engine, schedule)
     try:
-        with context.Pool(processes=len(bounds)) as pool:
-            return list(zip(bounds, pool.map(worker, bounds)))
+        with context.Pool(processes=len(shards)) as pool:
+            return list(zip(shards, pool.map(worker, shards)))
     finally:
         _SHARD_CONTEXT = None
 
@@ -250,6 +308,7 @@ def sharded_fault_simulate(
     window: int = DEFAULT_WINDOW,
     min_pool_work: Optional[int] = None,
     engine: str = "compiled",
+    schedule: Optional[str] = None,
 ) -> FaultSimResult:
     """Fault simulation sharded across ``jobs`` worker processes.
 
@@ -258,29 +317,34 @@ def sharded_fault_simulate(
     under ``min_pool_work`` (default :data:`MIN_POOL_WORK` pattern x
     fault bits) run in-process, where the pool would cost more than it
     saves.  ``engine`` names the inner single-process window core each
-    worker runs (``"compiled"``, ``"vector"`` or ``"interpreted"``).
+    worker runs (``"compiled"``, ``"vector"`` or ``"interpreted"``);
+    ``schedule`` names the fault-partitioning policy
+    (:mod:`repro.simulate.schedule`; cost-weighted LPT by default).
+    Per-fault outcomes are scattered back to original list positions
+    before one :func:`build_result` assembles the result, so every
+    schedule - contiguous or not - reproduces the single-process result
+    bit for bit, label order included.
     """
+    get_schedule(schedule)  # reject bad names on every path, pooled or not
     if faults is None:
         faults = network.enumerate_faults()
     # Dedupe up front (one shared collision policy with build_result) so
-    # shard labels are globally unique, which merge_results re-verifies.
+    # the scattered outcomes key one record per distinct fault.
     faults = dedupe_faults(faults)
     check_injectable(network, faults)
     jobs = _resolve_jobs(jobs)
     sharded = _map_shards(
         _outcomes_worker, network, patterns, faults,
-        window, stop_at_first_detection, jobs, min_pool_work, engine,
+        window, stop_at_first_detection, jobs, min_pool_work, engine, schedule,
     )
     if sharded is None:
         outcomes = windowed_outcomes(
-            network, patterns, faults, window, stop_at_first_detection, engine
+            network, patterns, faults, window, stop_at_first_detection,
+            engine, schedule,
         )
         return build_result(network.name, patterns.count, faults, outcomes)
-    parts = [
-        build_result(network.name, patterns.count, faults[lo:hi], outcomes)
-        for (lo, hi), outcomes in sharded
-    ]
-    return merge_results(parts)
+    outcomes = _scatter(sharded, len(faults), None)
+    return build_result(network.name, patterns.count, faults, outcomes)
 
 
 def sharded_difference_words(
@@ -291,22 +355,24 @@ def sharded_difference_words(
     window: int = DEFAULT_WINDOW,
     min_pool_work: Optional[int] = None,
     engine: str = "compiled",
+    schedule: Optional[str] = None,
 ) -> List[int]:
     """Per-fault detection words computed across the worker pool
     (in-process below ``min_pool_work``, like
-    :func:`sharded_fault_simulate`)."""
+    :func:`sharded_fault_simulate`); words are scattered back to fault
+    order whatever partition ``schedule`` produced."""
+    get_schedule(schedule)  # reject bad names on every path, pooled or not
     faults = list(faults)
     jobs = _resolve_jobs(jobs)
     sharded = _map_shards(
         _words_worker, network, patterns, faults, window, False, jobs,
-        min_pool_work, engine,
+        min_pool_work, engine, schedule,
     )
     if sharded is None:
-        return windowed_difference_words(network, patterns, faults, window, engine)
-    words: List[int] = []
-    for _bounds, shard_words in sharded:
-        words.extend(shard_words)
-    return words
+        return windowed_difference_words(
+            network, patterns, faults, window, engine, schedule
+        )
+    return _scatter(sharded, len(faults), 0)
 
 
 def _sharded_simulate_faults(inner: str):
@@ -318,6 +384,7 @@ def _sharded_simulate_faults(inner: str):
         faults: Sequence[NetworkFault],
         stop_at_first_detection: bool = False,
         jobs: Optional[int] = None,
+        schedule: Optional[str] = None,
     ) -> FaultSimResult:
         return sharded_fault_simulate(
             network,
@@ -326,6 +393,7 @@ def _sharded_simulate_faults(inner: str):
             stop_at_first_detection=stop_at_first_detection,
             jobs=jobs,
             engine=inner,
+            schedule=schedule,
         )
 
     return simulate_faults
@@ -337,9 +405,11 @@ def _sharded_difference_words(inner: str):
         patterns: PatternSet,
         faults: Sequence[NetworkFault],
         jobs: Optional[int] = None,
+        schedule: Optional[str] = None,
     ) -> List[int]:
         return sharded_difference_words(
-            network, patterns, faults, jobs=jobs, engine=inner
+            network, patterns, faults, jobs=jobs, engine=inner,
+            schedule=schedule,
         )
 
     return difference_words

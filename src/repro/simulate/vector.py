@@ -33,7 +33,12 @@ the element ops:
   cone, so their faulty words stack into a ``[k, n_words]`` block and
   the whole batch propagates through the cone in one kernel call per
   gate; numpy's per-call overhead is amortised k ways, which a big-int
-  engine cannot do at all;
+  engine cannot do at all.  Under ``schedule="cost"`` (the default)
+  batching goes **cross-site**: underfilled groups - a stuck-at pair
+  fills two lanes - coalesce with same-cone neighbours into one block
+  when the cone-cost model (:mod:`repro.simulate.schedule`) prices the
+  merged pass cheaper, so small sites no longer pay a whole cone pass
+  each;
 * **cone restriction + window convergence** - only gates downstream of
   the injection site re-evaluate, batches are filtered per window to
   the rows that actually differ from the good value (a fault inactive
@@ -67,8 +72,12 @@ from ..netlist.network import Network, NetworkError, NetworkFault
 from .compiled import CompiledNetwork, _compile_source, compile_network
 from .logicsim import PatternSet, pack_words, unpack_words
 from .registry import Engine, register_engine
+from .schedule import DEFAULT_SCHEDULE, cone_gates, get_schedule
 
 __all__ = [
+    "COALESCE_MAX_BATCH",
+    "COALESCE_MIN_FILL",
+    "COALESCE_OVERHEAD_WORDS",
     "VECTOR_CHUNK",
     "VECTOR_WINDOW",
     "VectorNetwork",
@@ -95,6 +104,29 @@ bounds the pass's working set and keeps it near-cache-resident where a
 full-window pass would stream every gate through DRAM; smaller chunks
 lose more to numpy's per-call overhead than they gain in residency
 (measured sweep in ``bench_perf_vector``)."""
+
+COALESCE_MIN_FILL = 8
+"""Site batches at least this wide run alone; narrower ones (a stuck-at
+pair fills two lanes of a batch) are offered to the cross-site
+coalescer under ``schedule="cost"``."""
+
+COALESCE_MAX_BATCH = 64
+"""Upper bound on a coalesced batch's row count - wide enough to
+amortise kernel dispatch, narrow enough that the ``[batch, chunk]``
+working set stays cache-resident."""
+
+COALESCE_OVERHEAD_WORDS = 2048
+"""Modelled per-kernel-call overhead, in uint64-word-equivalents.  The
+coalescer merges site groups only when the cone-cost model says the
+merged pass is cheaper: each cone gate costs ``OVERHEAD + batch x
+VECTOR_CHUNK`` words per chunk call, and a *multi-site* batch
+additionally pays ``sites x batch x VECTOR_CHUNK`` to materialise the
+good-or-injected row blocks.  So same-site groups (the stuck-at pair
+and the cell faults of the driving gate) always merge - one shared
+cone pass, no block to build - identical deep cones merge cross-site
+(one OVERHEAD per shared gate dwarfs the block build), and
+disjoint-cone or shallow-cone cross-site pairs never do (the merged
+block would drag every row through foreign cones for no saved call)."""
 
 
 if hasattr(np, "bitwise_count"):  # numpy >= 2.0
@@ -157,44 +189,53 @@ class VectorNetwork:
 
     def __init__(self, compiled: CompiledNetwork):
         self.compiled = compiled
-        # (site slot, stuck slot) -> (cone gate/out pairs, diff out
+        # site slots (sorted tuple) -> (cone gate/out pairs, diff out
         # slots, read-only slots the cone consumes).  Faults sharing an
-        # injection site share the cone, so this is one BFS per site,
-        # not one per fault.
-        self._cones: Dict[Tuple[int, int], Tuple] = {}
+        # injection site share the cone, so this is one plan per site
+        # set - one per site in the common singleton case - not one per
+        # fault.
+        self._cones: Dict[Tuple[int, ...], Tuple] = {}
 
     # -- cone geometry ----------------------------------------------------------------
 
-    def _cone(self, site: int, stuck_slot: int):
-        key = (site, stuck_slot)
-        cached = self._cones.get(key)
+    def _merged_cone(self, sites: Tuple[int, ...]):
+        """The union fanout-cone plan of one or more injection sites.
+
+        Each cone gate gets a kernel specialised to which of its input
+        slots carry a batch dimension at this point of the cone (see
+        :func:`_batched_gate_source`); identical sources share one
+        compilation through the engine-wide code cache.  No gate of the
+        union cone may drive one of the sites - re-evaluating a site
+        slot would clobber its injected rows - which is structurally
+        impossible for a single site in a DAG and enforced by the
+        coalescer's eligibility rule for merged ones.
+        """
+        cached = self._cones.get(sites)
         if cached is not None:
             return cached
         compiled = self.compiled
         gate_out = compiled._gate_out
-        seen = set(compiled.readers[site])
-        work = list(seen)
-        while work:
-            index = work.pop()
-            for reader in compiled.readers[gate_out[index]]:
-                if reader not in seen:
-                    seen.add(reader)
-                    work.append(reader)
-        # Levelized order; a gate driving the forced net is shadowed.
-        # Each cone gate gets a kernel specialised to which of its input
-        # slots carry a batch dimension at this point of the cone (see
-        # :func:`_batched_gate_source`); identical sources share one
-        # compilation through the engine-wide code cache.
-        faulty = {site}
+        # The union cone is the union of the per-site closures, which
+        # schedule.cone_gates already memoises per compilation - the
+        # cost model and the cone plans walk one shared structure.
+        seen: set = set()
+        for site in sites:
+            seen |= cone_gates(compiled, site)
+        faulty = set(sites)
         pairs = []
         outs = set()
         reads = set()
-        if compiled._is_out_slot[site]:
-            outs.add(site)
-        for index in sorted(seen):
+        for site in sites:
+            if compiled._is_out_slot[site]:
+                outs.add(site)
+        for index in sorted(seen):  # levelized order
             out = gate_out[index]
-            if out == stuck_slot:
-                continue
+            if out in sites:
+                raise ValueError(
+                    f"cone gate {compiled.gates[index].name!r} drives "
+                    f"injection site slot {out}; these sites cannot share "
+                    "a batch"
+                )
             gate = compiled.gates[index]
             slot_of_pin = dict(zip(gate.cell.inputs, gate.in_slots))
             source = _batched_gate_source(
@@ -207,7 +248,7 @@ class VectorNetwork:
                 outs.add(out)
         reads -= faulty
         cached = (tuple(pairs), tuple(sorted(outs)), tuple(sorted(reads)))
-        self._cones[key] = cached
+        self._cones[sites] = cached
         return cached
 
     # -- evaluation -------------------------------------------------------------------
@@ -311,15 +352,22 @@ class VectorNetwork:
         live_count = int(active.sum())
         if not live_count:
             return [], None
-        if live_count <= batch // 2:
-            # Mostly-inactive batch: the cone work saved on dropped rows
-            # outweighs re-tiling for the smaller batch size.
+        pairs, outs, reads = self._merged_cone((site,))
+        if (batch - live_count) * (len(pairs) + 1) >= batch:
+            # Cone-cost call: dropping the inactive rows saves one
+            # [1, chunk] row per cone gate each, re-tiling the batch
+            # costs one [batch, n_words] copy - compress whenever the
+            # saved cone work outweighs the copy.  (With the +1 for the
+            # difference accumulation this reduces to the old
+            # half-inactive rule on single-gate cones, compresses far
+            # more eagerly in front of deep cones - where a coalesced
+            # batch would otherwise drag dead rows through every gate -
+            # and never pays the copy on zero-cone batches.)
             injected = injected[active]
             live = [members[j][0] for j in range(batch) if active[j]]
             batch = live_count
         else:
             live = [index for index, _fault in members]
-        pairs, outs, reads = self._cone(site, stuck_slot)
         rows = np.empty((batch, n_words), dtype=np.uint64)
         scratch: List = [None] * compiled.num_slots
         for start in range(0, n_words, VECTOR_CHUNK) if n_words else ():
@@ -331,6 +379,203 @@ class VectorNetwork:
             for kernel, out in pairs:
                 # Constant kernels yield scalars; they broadcast through
                 # the remaining ops and the diff just as well as rows.
+                scratch[out] = kernel(scratch, mask_chunk)
+            chunk = rows[:, start:stop]
+            if outs:
+                chunk[:] = scratch[outs[0]] ^ values[outs[0]][start:stop]
+                for out in outs[1:]:
+                    chunk |= scratch[out] ^ values[out][start:stop]
+            else:
+                chunk[:] = 0
+        return live, rows
+
+    # -- cross-site batch coalescing --------------------------------------------------
+
+    def plan_batches(
+        self, groups: Sequence[Tuple], schedule: Optional[str] = None
+    ) -> List[List[Tuple]]:
+        """Arrange injection-site groups into batch plans.
+
+        A *plan* is a list of groups simulated as one ``[batch,
+        n_words]`` block.  Under ``schedule="cost"`` (the default)
+        underfilled same-cone groups coalesce cross-site
+        (:data:`COALESCE_MIN_FILL`); the other schedules keep the
+        historical one-group-per-batch form.  Planning is a pure
+        re-grouping - plan membership never changes a result bit, which
+        the engine x schedule sweep of the differential harness holds.
+        """
+        get_schedule(schedule)  # same rejection contract as the engines
+        name = DEFAULT_SCHEDULE if schedule is None else schedule
+        if name != "cost" or len(groups) <= 1:
+            return [[group] for group in groups]
+        return self._coalesce_groups(groups)
+
+    def _coalesce_groups(self, groups: Sequence[Tuple]) -> List[List[Tuple]]:
+        """Greedy cost-model coalescing of underfilled site groups.
+
+        Small groups are sorted by cone signature so identical and
+        heavily-overlapping cones sit next to each other (a stuck-at
+        pair and the cell faults of the driving gate share a site; the
+        input pair of one gate shares that gate's cone), then merged
+        while the cone-cost model prices the merged pass cheaper than
+        the separate ones and the merge stays *sound*: no site may lie
+        in a partner cone's output slots, or the cone would re-evaluate
+        the injected rows away.
+        """
+        compiled = self.compiled
+        gate_out = compiled._gate_out
+        alone: List[List[Tuple]] = []
+        small = []
+        for group in groups:
+            site, _stuck_slot, members = group
+            gates = cone_gates(compiled, site)
+            if len(members) >= COALESCE_MIN_FILL:
+                alone.append([group])
+                continue
+            outs = frozenset(gate_out[index] for index in gates)
+            small.append((tuple(sorted(gates)), site, group, gates, outs))
+        small.sort(key=lambda info: (info[0], info[1]))
+
+        def call_cost(gate_count: int, batch: int) -> int:
+            return gate_count * (COALESCE_OVERHEAD_WORDS + batch * VECTOR_CHUNK)
+
+        def merged_cost(gate_count: int, batch: int, sites: int) -> int:
+            # Multi-site batches materialise one good-or-injected block
+            # per site; a single-site batch is the stacked injected rows
+            # themselves, so its block term is zero.
+            blocks = sites * batch * VECTOR_CHUNK if sites > 1 else 0
+            return call_cost(gate_count, batch) + blocks
+
+        def flush(current: dict) -> List[Tuple]:
+            # A batch whose groups all share one site (the common merge:
+            # stuck pair + cell faults of the driving gate) is collapsed
+            # to one wider group here, once at planning time, so every
+            # window takes the optimised single-site pass directly.
+            merged = current["groups"]
+            if len(merged) > 1 and len(current["sites"]) == 1:
+                site = next(iter(current["sites"]))
+                members = [
+                    member
+                    for _site, _stuck_slot, group_members in merged
+                    for member in group_members
+                ]
+                return [(site, site, members)]
+            return merged
+
+        plans = alone
+        current: Optional[dict] = None
+        for _signature, site, group, gates, outs in small:
+            batch = len(group[2])
+            separate = call_cost(len(gates), batch)
+            if current is not None:
+                union_gates = current["gates"] | gates
+                union_sites = current["sites"] | {site}
+                total = current["batch"] + batch
+                if (
+                    total <= COALESCE_MAX_BATCH
+                    and site not in current["outs"]
+                    and not (current["sites"] & outs)
+                    and merged_cost(len(union_gates), total, len(union_sites))
+                    <= current["separate"] + separate
+                ):
+                    current["groups"].append(group)
+                    current["sites"].add(site)
+                    current["gates"] = union_gates
+                    current["outs"] |= outs
+                    current["batch"] = total
+                    current["separate"] += separate
+                    continue
+                plans.append(flush(current))
+            current = {
+                "groups": [group],
+                "sites": {site},
+                "gates": set(gates),
+                "outs": set(outs),
+                "batch": batch,
+                "separate": separate,
+            }
+        if current is not None:
+            plans.append(flush(current))
+        return plans
+
+    def plan_difference_rows(
+        self, values, mask_row, plan: Sequence[Tuple]
+    ) -> Tuple[List[int], Optional["np.ndarray"]]:
+        """Difference rows of one batch plan (single-site or coalesced).
+
+        Same-site merges were already collapsed to one wider group by
+        the coalescer, so a multi-group plan here is genuinely
+        cross-site (identical deep cones) and takes the merged block
+        pass; everything else is the optimised single-site path.
+        """
+        if len(plan) == 1:
+            return self.group_difference_rows(values, mask_row, plan[0])
+        return self.merged_difference_rows(values, mask_row, plan)
+
+    def merged_difference_rows(
+        self, values, mask_row, batch_groups: Sequence[Tuple]
+    ) -> Tuple[List[int], Optional["np.ndarray"]]:
+        """Difference rows of a coalesced multi-site batch.
+
+        Every row injects at its own group's site while holding the
+        *good* value at every partner site, so each row propagates
+        exactly its own single-fault difference through the union cone:
+        gates outside a row's own cone reproduce the good value for it
+        and contribute nothing to its difference.  Rows inactive in the
+        window are dropped up front (a merged batch re-tiles its site
+        blocks per chunk anyway, so there is no re-tiling penalty to
+        trade off as in the single-site path).
+        """
+        compiled = self.compiled
+        n_words = mask_row.shape[0]
+        live: List[int] = []
+        entry_sites: List[int] = []
+        entry_rows: List["np.ndarray"] = []
+        for site, _stuck_slot, members in batch_groups:
+            injected = np.empty((len(members), n_words), dtype=np.uint64)
+            for j, (_index, fault) in enumerate(members):
+                if fault.kind == "stuck":
+                    injected[j] = mask_row if fault.value else 0
+                else:
+                    injected[j] = compiled.faulty_function(fault)(values, mask_row)
+            active = np.bitwise_or.reduce(injected ^ values[site], axis=1) != 0
+            for j, (index, _fault) in enumerate(members):
+                if active[j]:
+                    live.append(index)
+                    entry_sites.append(site)
+                    entry_rows.append(injected[j])
+        if not live:
+            return [], None
+        batch = len(live)
+        sites = tuple(sorted(set(entry_sites)))
+        pairs, outs, reads = self._merged_cone(sites)
+        positions_of_site: Dict[int, List[int]] = {site: [] for site in sites}
+        for position, site in enumerate(entry_sites):
+            positions_of_site[site].append(position)
+        injected_of_site = {
+            site: (
+                np.array(positions, dtype=np.intp),
+                np.stack([entry_rows[position] for position in positions]),
+            )
+            for site, positions in positions_of_site.items()
+        }
+        rows = np.empty((batch, n_words), dtype=np.uint64)
+        scratch: List = [None] * compiled.num_slots
+        for start in range(0, n_words, VECTOR_CHUNK):
+            stop = min(start + VECTOR_CHUNK, n_words)
+            mask_chunk = mask_row[start:stop]
+            for slot in reads:
+                scratch[slot] = values[slot][start:stop]
+            for site in sites:
+                positions, injected = injected_of_site[site]
+                if len(positions) == batch:
+                    # Single-site batch: the block *is* the injected rows.
+                    scratch[site] = injected[:, start:stop]
+                else:
+                    block = np.tile(values[site][start:stop], (batch, 1))
+                    block[positions] = injected[:, start:stop]
+                    scratch[site] = block
+            for kernel, out in pairs:
                 scratch[out] = kernel(scratch, mask_chunk)
             chunk = rows[:, start:stop]
             if outs:
@@ -411,6 +656,7 @@ def vector_windowed_outcomes(
     faults: Sequence[NetworkFault],
     window: int,
     stop_at_first_detection: bool = False,
+    schedule: Optional[str] = None,
 ) -> List:
     """Per-fault (first index, count) outcomes via batched lane passes.
 
@@ -420,20 +666,22 @@ def vector_windowed_outcomes(
     ``stop_at_first_detection`` retiring a fault after its first
     detecting window (count pinned to 1).  Detection counts come from
     ``np.bitwise_count`` over the difference rows - no whole-set
-    big-int is ever materialised.
+    big-int is ever materialised.  ``schedule`` picks the batch plan
+    (``"cost"`` coalesces underfilled same-cone site groups).
     """
     vector = vector_compile(network)
     firsts = [-1] * len(faults)
     counts = [0] * len(faults)
     active = list(range(len(faults)))
-    groups = None
+    plans = None
     for start, chunk in patterns.windows(window):
-        if groups is None:
+        if plans is None:
             groups = vector.group_faults([(i, faults[i]) for i in active])
+            plans = vector.plan_batches(groups, schedule)
         values, mask_row, count = vector.good_values(chunk.env, chunk.mask)
         retired = False
-        for group in groups:
-            live, rows = vector.group_difference_rows(values, mask_row, group)
+        for plan in plans:
+            live, rows = vector.plan_difference_rows(values, mask_row, plan)
             if not live:
                 continue
             row_counts = _row_counts(rows)
@@ -455,7 +703,7 @@ def vector_windowed_outcomes(
                     counts[index] += detected
         if stop_at_first_detection and retired:
             active = [index for index in active if counts[index] == 0]
-            groups = None
+            plans = None
             if not active:
                 break
     return [
@@ -471,12 +719,13 @@ def vector_fault_simulate(
     stop_at_first_detection: bool = False,
     jobs: Optional[int] = None,
     window: int = VECTOR_WINDOW,
+    schedule: Optional[str] = None,
 ):
     """Fault simulation on the lane engine, streamed through windows.
 
     Bit-identical to every other registered engine; ``jobs`` is
     ignored (compose with the shard pool as ``"sharded+vector"`` for
-    multi-process scale-out).
+    multi-process scale-out) and ``schedule`` picks the batch plan.
     """
     from .faultsim import (
         FIRST_DETECTION_CHUNK,
@@ -491,7 +740,7 @@ def vector_fault_simulate(
     check_injectable(network, faults)
     width = FIRST_DETECTION_CHUNK if stop_at_first_detection else window
     outcomes = vector_windowed_outcomes(
-        network, patterns, faults, width, stop_at_first_detection
+        network, patterns, faults, width, stop_at_first_detection, schedule
     )
     return build_result(network.name, patterns.count, faults, outcomes)
 
@@ -502,16 +751,17 @@ def vector_difference_words(
     faults: Sequence[NetworkFault],
     jobs: Optional[int] = None,
     window: int = VECTOR_WINDOW,
+    schedule: Optional[str] = None,
 ) -> List[int]:
     """One whole-set detection word per fault via windowed lane passes."""
     vector = vector_compile(network)
     indexed = list(enumerate(faults))
-    groups = vector.group_faults(indexed)
+    plans = vector.plan_batches(vector.group_faults(indexed), schedule)
     words = [0] * len(faults)
     for start, chunk in patterns.windows(window):
         values, mask_row, count = vector.good_values(chunk.env, chunk.mask)
-        for group in groups:
-            live, rows = vector.group_difference_rows(values, mask_row, group)
+        for plan in plans:
+            live, rows = vector.plan_difference_rows(values, mask_row, plan)
             if not live:
                 continue
             for j, index in enumerate(live):
@@ -532,6 +782,7 @@ def _vector_simulate_faults(
     faults: Sequence[NetworkFault],
     stop_at_first_detection: bool = False,
     jobs: Optional[int] = None,
+    schedule: Optional[str] = None,
 ):
     return vector_fault_simulate(
         network,
@@ -539,6 +790,7 @@ def _vector_simulate_faults(
         faults,
         stop_at_first_detection=stop_at_first_detection,
         jobs=jobs,
+        schedule=schedule,
     )
 
 

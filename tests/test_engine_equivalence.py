@@ -7,7 +7,9 @@ Every engine registered in :mod:`repro.simulate.registry` - today
 (:meth:`Network.evaluate_bits`) on every detection set, detection
 count, first-detection index, difference word and net valuation,
 across fixed circuits, hypothesis-generated circuits, both fault
-kinds, pattern-window widths and weighted pattern sets.
+kinds, pattern-window widths, weighted pattern sets - and every
+registered fault **schedule** (``contiguous``/``cost``/``interleaved``,
+swept on skewed-cone circuits where scheduling reorders work hardest).
 
 Engine-specific mechanics stay in their own files
 (``test_compiled_engine.py`` for the slot program's internals,
@@ -22,11 +24,17 @@ from hypothesis import strategies as st
 
 from engine_test_utils import all_faults, differential_circuits, results_identical
 
-from repro.circuits.generators import and_cone, domino_carry_chain, random_network
+from repro.circuits.generators import (
+    and_cone,
+    domino_carry_chain,
+    random_network,
+    skewed_cone_network,
+)
 from repro.netlist import NetworkFault
 from repro.simulate import (
     PatternSet,
     available_engines,
+    available_schedules,
     coverage_curve,
     fault_simulate,
     get_engine,
@@ -41,6 +49,7 @@ from repro.simulate.faultsim import (
 )
 
 ENGINES = available_engines()
+SCHEDULES = available_schedules()
 
 #: Engines with a single-process window core (windowed_outcomes path).
 WINDOW_ENGINES = ("compiled", "interpreted", "vector")
@@ -162,6 +171,80 @@ def test_property_engines_agree_on_random_circuits(
     )
 
 
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("schedule", SCHEDULES)
+class TestEveryEngineScheduleCombination:
+    """The schedule sweep: scheduling re-orders work, never results.
+
+    Skewed-cone circuits (one huge fanout cone next to many tiny ones)
+    are the adversarial topology - cost-weighted partitioning reorders
+    the fault list hardest and the cross-site coalescer has the most
+    two-lane stuck-at-pair batches to merge - so every engine x
+    schedule combination is held bit-identical to the interpreted
+    oracle on exactly that shape.
+    """
+
+    def test_fault_simulate_identical_on_skewed_cones(self, engine, schedule):
+        network = skewed_cone_network(depth=9, islands=6)
+        patterns = PatternSet.random(network.inputs, 160, seed=29)
+        faults = all_faults(network)
+        results_identical(
+            fault_simulate(
+                network, patterns, faults, engine=engine, schedule=schedule
+            ),
+            oracle_result(network, patterns, faults),
+        )
+
+    def test_first_detection_identical_on_skewed_cones(self, engine, schedule):
+        network = skewed_cone_network(depth=6, islands=4)
+        patterns = PatternSet.random(
+            network.inputs, FIRST_DETECTION_CHUNK + 32, seed=33
+        )
+        faults = all_faults(network)
+        results_identical(
+            fault_simulate(
+                network,
+                patterns,
+                faults,
+                stop_at_first_detection=True,
+                engine=engine,
+                schedule=schedule,
+            ),
+            oracle_result(network, patterns, faults, stop_at_first_detection=True),
+        )
+
+    def test_difference_words_identical_on_skewed_cones(self, engine, schedule):
+        network = skewed_cone_network(depth=7, islands=5)
+        patterns = PatternSet.random(network.inputs, 130, seed=37)
+        faults = all_faults(network)
+        assert get_engine(engine).difference_words(
+            network, patterns, faults, schedule=schedule
+        ) == interpreted_difference_words(network, patterns, faults)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("schedule", SCHEDULES)
+@settings(max_examples=6)
+@given(
+    depth=st.integers(min_value=1, max_value=12),
+    islands=st.integers(min_value=0, max_value=8),
+    count=st.integers(min_value=1, max_value=220),
+    seed=st.integers(min_value=0, max_value=255),
+)
+def test_property_engine_schedule_identical_on_skewed_circuits(
+    engine, schedule, depth, islands, count, seed
+):
+    """Property: every engine x schedule combination matches the oracle
+    on hypothesis-generated skewed circuits and pattern sets."""
+    network = skewed_cone_network(depth=depth, islands=islands)
+    patterns = PatternSet.random(network.inputs, count, seed=seed)
+    faults = all_faults(network)
+    results_identical(
+        fault_simulate(network, patterns, faults, engine=engine, schedule=schedule),
+        oracle_result(network, patterns, faults),
+    )
+
+
 @pytest.mark.parametrize("engine", WINDOW_ENGINES)
 @settings(max_examples=10)
 @given(
@@ -187,15 +270,17 @@ def test_property_window_widths_exact(engine, seed, count, window):
     count=st.integers(min_value=1, max_value=200),
     window=st.integers(min_value=1, max_value=64),
     inner=st.sampled_from(WINDOW_ENGINES),
+    schedule=st.sampled_from(SCHEDULES),
 )
-def test_property_sharded_window_widths_exact(seed, count, window, inner):
+def test_property_sharded_window_widths_exact(seed, count, window, inner, schedule):
     """Property: the shard pool composes exactly with any inner window
-    core at any window width."""
+    core at any window width, under any schedule."""
     network = random_network(n_inputs=5, n_gates=9, seed=seed)
     patterns = PatternSet.random(network.inputs, count, seed=seed ^ 0x5555)
     faults = all_faults(network)
     sharded = sharded_fault_simulate(
-        network, patterns, faults, window=window, jobs=2, engine=inner
+        network, patterns, faults, window=window, jobs=2, engine=inner,
+        schedule=schedule,
     )
     results_identical(sharded, oracle_result(network, patterns, faults))
 
@@ -267,6 +352,40 @@ class TestRegistryErrorPaths:
         assert available_engines() == before
         assert get_engine("compiled") is engine
 
+    def test_fault_simulate_rejects_unknown_schedule_on_every_engine(self):
+        network = and_cone(3)
+        patterns = PatternSet.exhaustive(network.inputs)
+        for engine in ENGINES:
+            with pytest.raises(ValueError, match="unknown schedule"):
+                fault_simulate(
+                    network, patterns, engine=engine, schedule="turbo"
+                )
+
+    def test_difference_words_rejects_unknown_schedule_on_every_engine(self):
+        """Regression: the estimator path enters through
+        ``Engine.difference_words``, which bypasses ``fault_simulate``'s
+        up-front check - the serial engines must still reject bad
+        schedule names there instead of silently ignoring them."""
+        network = and_cone(3)
+        patterns = PatternSet.exhaustive(network.inputs)
+        faults = all_faults(network)
+        for engine in ENGINES:
+            with pytest.raises(ValueError, match="unknown schedule"):
+                get_engine(engine).difference_words(
+                    network, patterns, faults, schedule="turbo"
+                )
+
+    def test_unknown_schedule_message_lists_sorted_available_schedules(self):
+        from repro.simulate import get_schedule
+
+        with pytest.raises(ValueError) as excinfo:
+            get_schedule("turbo")
+        assert str(excinfo.value) == (
+            "unknown schedule 'turbo'; available schedules: "
+            + ", ".join(SCHEDULES)
+        )
+        assert list(SCHEDULES) == sorted(SCHEDULES)
+
     def test_cli_engine_choices_match_registry(self):
         """ENGINE_CHOICES is spelled out in cli.py (to keep --help free
         of the simulate import cost); it must not drift from the
@@ -274,6 +393,11 @@ class TestRegistryErrorPaths:
         from repro.cli import ENGINE_CHOICES
 
         assert tuple(sorted(ENGINE_CHOICES)) == ENGINES
+
+    def test_cli_schedule_choices_match_registry(self):
+        from repro.cli import SCHEDULE_CHOICES
+
+        assert tuple(sorted(SCHEDULE_CHOICES)) == SCHEDULES
 
     def test_cli_rejects_unknown_engine_with_registry_message(self, capsys):
         from repro.cli import build_parser
@@ -303,6 +427,28 @@ class TestRegistryErrorPaths:
         )
         assert args.engine == "sharded"
         assert args.jobs == 2
+
+    def test_cli_accepts_every_registered_schedule(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for schedule in SCHEDULES:
+            args = parser.parse_args(
+                ["protest", "cell.txt", "--schedule", schedule]
+            )
+            assert args.schedule == schedule
+        assert parser.parse_args(["protest", "cell.txt"]).schedule is None
+
+    def test_cli_rejects_unknown_schedule_with_registry_message(self, capsys):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["protest", "cell.txt", "--schedule", "turbo"])
+        stderr = capsys.readouterr().err
+        assert "unknown schedule 'turbo'; available schedules: " + ", ".join(
+            SCHEDULES
+        ) in stderr
 
 
 class TestEstimatorsAcrossEngines:
@@ -348,3 +494,17 @@ class TestEstimatorsAcrossEngines:
                 Protest(network, engine=engine, jobs=2).validate(200, seed=7),
                 reference,
             )
+
+    def test_protest_facade_identical_across_schedules(self):
+        from repro.protest import Protest
+
+        network = skewed_cone_network(depth=5, islands=3)
+        reference = Protest(network, engine="interpreted").validate(200, seed=7)
+        for schedule in SCHEDULES:
+            for engine in ("vector", "sharded+vector"):
+                results_identical(
+                    Protest(
+                        network, engine=engine, jobs=2, schedule=schedule
+                    ).validate(200, seed=7),
+                    reference,
+                )

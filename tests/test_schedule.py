@@ -1,0 +1,426 @@
+"""Scheduler invariants: cone costs, partitions, batch coalescing.
+
+Three layers of the cone-cost scheduler
+(:mod:`repro.simulate.schedule`) are pinned here:
+
+* the **cost model** - cone gate counts must match an independent BFS
+  over :class:`Network` fanout (the scheduler walks the *compiled*
+  program's reader lists; the two structures must agree gate for gate);
+* the **schedulers** - by hypothesis property, every scheduler output
+  is an exact disjoint cover of the fault list (a permutation of the
+  input: no loss, no duplication) with no empty shard, for arbitrary
+  fault counts, shard counts and cost vectors - ``shards > count`` and
+  the empty fault list included - plus the LPT balance guarantee;
+* the **vector coalescer** - plans cover every fault exactly once,
+  respect the batch bound, only merge sound site sets (no site driven
+  from inside the union cone), and the merged pass is bit-identical to
+  the per-group passes it replaces.
+
+Cross-engine bit-identity of every engine x schedule combination lives
+in the differential harness (``test_engine_equivalence.py``).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from engine_test_utils import all_faults
+
+from repro.circuits.figures import fig9_cell
+from repro.circuits.generators import (
+    and_cone,
+    c17,
+    domino_carry_chain,
+    skewed_cone_network,
+)
+from repro.netlist import Network
+from repro.simulate import PatternSet, fault_costs, partition_faults
+from repro.simulate.compiled import compile_network
+from repro.simulate.schedule import (
+    DEFAULT_SCHEDULE,
+    SCHEDULES,
+    available_schedules,
+    cone_gate_count,
+    contiguous_schedule,
+    cost_schedule,
+    fault_site,
+    get_schedule,
+    interleaved_schedule,
+)
+from repro.simulate.sharded import shard_bounds
+from repro.simulate.vector import (
+    COALESCE_MAX_BATCH,
+    vector_compile,
+)
+from repro.simulate.schedule import cone_gates
+
+
+FIXED_CIRCUITS = [
+    and_cone(5),
+    c17(),
+    domino_carry_chain(4),
+    skewed_cone_network(depth=7, islands=5),
+]
+
+
+def fig9_network() -> Network:
+    """The Fig. 9 example cell wrapped as a one-gate network."""
+    cell = fig9_cell()
+    network = Network("fig9_cell")
+    for name in cell.inputs:
+        network.add_input(name)
+    network.add_gate("u1", cell, {name: name for name in cell.inputs}, cell.output)
+    network.mark_output(cell.output)
+    return network
+
+
+def bfs_cone_gate_names(network: Network, net: str) -> set:
+    """Independent cone walk over ``Network.fanout_of`` (not the
+    compiled program): every gate reachable downstream of ``net``."""
+    seen: set = set()
+    frontier = [net]
+    while frontier:
+        current = frontier.pop()
+        for gate_name, _pin in network.fanout_of(current):
+            if gate_name not in seen:
+                seen.add(gate_name)
+                frontier.append(network.gates[gate_name].output)
+    return seen
+
+
+# -- cone-cost metadata vs independent BFS --------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "network", FIXED_CIRCUITS + [fig9_network()], ids=lambda n: n.name
+)
+class TestConeCostModel:
+    def test_cone_gate_counts_match_network_fanout_bfs(self, network):
+        compiled = compile_network(network)
+        for net, slot in compiled.slot_of_net.items():
+            expected = bfs_cone_gate_names(network, net)
+            assert cone_gate_count(compiled, slot) == len(expected), net
+            assert {
+                compiled.gates[index].name for index in cone_gates(compiled, slot)
+            } == expected, net
+
+    def test_fault_costs_are_one_plus_cone_gates(self, network):
+        faults = all_faults(network)
+        costs = fault_costs(network, faults)
+        assert len(costs) == len(faults)
+        for fault, cost in zip(faults, costs):
+            net = fault.net if fault.kind == "stuck" else (
+                network.gates[fault.gate].output
+            )
+            assert cost == 1 + len(bfs_cone_gate_names(network, net)), (
+                fault.describe()
+            )
+
+    def test_costs_are_memoised_per_compilation(self, network):
+        compiled = compile_network(network)
+        slot = compiled.num_slots - 1
+        assert cone_gates(compiled, slot) is cone_gates(compiled, slot)
+
+
+def test_skewed_network_is_actually_skewed():
+    """The scheduling adversary must expose the skew the cost model is
+    meant to see: spine-head faults orders beyond island faults."""
+    network = skewed_cone_network(depth=12, islands=6)
+    compiled = compile_network(network)
+    spine_head = compiled.slot_of_net["s0"]
+    island_input = compiled.slot_of_net["t0a"]
+    assert cone_gate_count(compiled, spine_head) == 12
+    assert cone_gate_count(compiled, island_input) == 1
+    assert cone_gate_count(compiled, compiled.slot_of_net["z0"]) == 0
+
+
+# -- scheduler partition invariants (hypothesis) ---------------------------------------
+
+
+cost_vectors = st.lists(st.integers(min_value=0, max_value=50), max_size=120)
+
+
+def assert_exact_disjoint_cover(parts, count, shards):
+    flat = [index for part in parts for index in part]
+    assert sorted(flat) == list(range(count))  # permutation: no loss, no dup
+    assert all(part for part in parts)  # no empty shard, ever
+    assert len(parts) <= max(shards, 0)
+    if count == 0:
+        assert parts == []
+
+
+@pytest.mark.parametrize("name", available_schedules())
+@settings(max_examples=60)
+@given(costs=cost_vectors, shards=st.integers(min_value=1, max_value=40))
+def test_property_every_schedule_is_an_exact_disjoint_cover(name, costs, shards):
+    """The core contract, for arbitrary counts, shard counts and cost
+    vectors - ``shards > count`` and the empty fault list included."""
+    parts = SCHEDULES[name](costs, shards)
+    assert_exact_disjoint_cover(parts, len(costs), shards)
+
+
+@settings(max_examples=60)
+@given(costs=cost_vectors, shards=st.integers(min_value=1, max_value=40))
+def test_property_lpt_balance_guarantee(costs, shards):
+    """LPT's classic bound: max shard load <= min shard load + max cost."""
+    parts = cost_schedule(costs, shards)
+    if not parts:
+        return
+    loads = [sum(costs[index] for index in part) for part in parts]
+    assert max(loads) <= min(loads) + max(costs)
+
+
+@settings(max_examples=40)
+@given(count=st.integers(min_value=0, max_value=120), shards=st.integers(1, 40))
+def test_property_contiguous_and_interleaved_shapes(count, shards):
+    costs = [1] * count
+    contiguous = contiguous_schedule(costs, shards)
+    for part in contiguous:  # contiguous runs
+        assert part == list(range(part[0], part[0] + len(part)))
+    interleaved = interleaved_schedule(costs, shards)
+    for stripe, part in enumerate(interleaved):  # round-robin stripes
+        assert part == list(range(stripe, count, len(interleaved)))
+
+
+@settings(max_examples=25)
+@given(
+    depth=st.integers(min_value=1, max_value=10),
+    islands=st.integers(min_value=0, max_value=6),
+    shards=st.integers(min_value=1, max_value=9),
+    name=st.sampled_from(available_schedules()),
+)
+def test_property_partition_faults_covers_real_fault_lists(
+    depth, islands, shards, name
+):
+    """partition_faults holds the same invariants against concrete
+    networks, and cost scheduling keeps injection-site groups whole
+    (splitting a site across workers would destroy lane fill)."""
+    network = skewed_cone_network(depth=depth, islands=islands)
+    faults = all_faults(network)
+    parts = partition_faults(network, faults, shards, name)
+    flat = [index for part in parts for index in part]
+    assert sorted(flat) == list(range(len(faults)))
+    assert all(part for part in parts)
+    assert len(parts) <= shards
+    if name == "cost":
+        compiled = compile_network(network)
+        shard_of_index = {
+            index: shard for shard, part in enumerate(parts) for index in part
+        }
+        site_shards = {}
+        for index, fault in enumerate(faults):
+            site = fault_site(compiled, fault)
+            site_shards.setdefault(site, set()).add(shard_of_index[index])
+        assert all(len(shards_) == 1 for shards_ in site_shards.values())
+
+
+def test_flat_cost_vector_falls_back_to_interleaved():
+    costs = [7] * 12
+    assert cost_schedule(costs, 4) == interleaved_schedule(costs, 4)
+
+
+def test_lpt_keeps_heavy_items_apart():
+    """One huge cone next to many tiny ones: the huge item gets its own
+    shard instead of dragging a contiguous slice along."""
+    costs = [100, 1, 1, 1, 1, 1, 1, 1]
+    parts = cost_schedule(costs, 2)
+    loads = sorted(sum(costs[index] for index in part) for part in parts)
+    assert loads == [7, 100]
+
+
+def test_zero_cost_items_never_leave_a_shard_empty():
+    parts = cost_schedule([5, 0, 0, 0, 0], 3)
+    assert_exact_disjoint_cover(parts, 5, 3)
+
+
+# -- schedule registry contracts -------------------------------------------------------
+
+
+class TestScheduleRegistry:
+    def test_available_schedules_sorted(self):
+        assert list(available_schedules()) == sorted(available_schedules())
+
+    def test_unknown_schedule_message_lists_available(self):
+        with pytest.raises(ValueError) as excinfo:
+            get_schedule("turbo")
+        assert str(excinfo.value) == (
+            "unknown schedule 'turbo'; available schedules: "
+            + ", ".join(available_schedules())
+        )
+
+    def test_none_resolves_to_default(self):
+        assert get_schedule(None) is SCHEDULES[DEFAULT_SCHEDULE]
+
+
+# -- shard_bounds regression -----------------------------------------------------------
+
+
+class TestShardBoundsNeverEmpty:
+    def test_zero_faults_yield_no_shards(self):
+        """Regression: ``shard_bounds(0, n)`` used to emit one empty
+        (0, 0) shard; no worker may ever be handed an empty shard."""
+        for shards in (1, 2, 7):
+            assert shard_bounds(0, shards) == []
+
+    def test_more_shards_than_faults_yield_singleton_shards(self):
+        for count in (1, 2, 5):
+            bounds = shard_bounds(count, count + 3)
+            assert bounds == [(k, k + 1) for k in range(count)]
+
+    @settings(max_examples=40)
+    @given(
+        count=st.integers(min_value=0, max_value=200),
+        shards=st.integers(min_value=1, max_value=40),
+    )
+    def test_property_bounds_are_a_nonempty_exact_cover(self, count, shards):
+        bounds = shard_bounds(count, shards)
+        assert all(hi > lo for lo, hi in bounds)
+        covered = [index for lo, hi in bounds for index in range(lo, hi)]
+        assert covered == list(range(count))
+
+
+# -- vector batch coalescing -----------------------------------------------------------
+
+
+class TestBatchCoalescing:
+    def _plans(self, network, schedule="cost"):
+        vector = vector_compile(network)
+        faults = all_faults(network)
+        groups = vector.group_faults(list(enumerate(faults)))
+        return vector, faults, groups, vector.plan_batches(groups, schedule)
+
+    @pytest.mark.parametrize("network", FIXED_CIRCUITS, ids=lambda n: n.name)
+    def test_plans_cover_every_fault_exactly_once(self, network):
+        _vector, faults, groups, plans = self._plans(network)
+        planned = [
+            index
+            for plan in plans
+            for _site, _stuck, members in plan
+            for index, _fault in members
+        ]
+        grouped = [
+            index for _site, _stuck, members in groups for index, _fault in members
+        ]
+        assert sorted(planned) == sorted(grouped)
+
+    @pytest.mark.parametrize("network", FIXED_CIRCUITS, ids=lambda n: n.name)
+    def test_plans_respect_batch_bound_and_soundness(self, network):
+        vector, _faults, _groups, plans = self._plans(network)
+        compiled = vector.compiled
+        gate_out = compiled._gate_out
+        for plan in plans:
+            if len(plan) == 1:
+                continue
+            batch = sum(len(members) for _s, _st, members in plan)
+            assert batch <= COALESCE_MAX_BATCH
+            sites = {site for site, _stuck, _members in plan}
+            union_outs = set()
+            for site in sites:
+                union_outs.update(
+                    gate_out[index] for index in cone_gates(compiled, site)
+                )
+            # No site may be recomputed by the union cone.
+            assert not (sites & union_outs)
+
+    def test_stuck_pair_sites_coalesce_on_the_skewed_network(self):
+        """The motivating cases: (a) a stuck-at pair at a gate output
+        merges with the cell-fault batch of the driving gate - same
+        site, same cone, no block to build; (b) the two spine inputs
+        share one *deep* identical cone, so their stuck pairs merge
+        cross-site.  The shallow island input pairs must NOT merge: a
+        1-gate cone saves one kernel dispatch but pays a whole block
+        build, and the cost model prices that as a loss."""
+        network = skewed_cone_network(depth=16, islands=6)
+        vector, faults, groups, plans = self._plans(network)
+        assert len(plans) < len(groups)
+        slot_of_net = vector.compiled.slot_of_net
+        merged_site_sets = [
+            frozenset(site for site, _stuck, _members in plan)
+            for plan in plans
+            if len(plan) > 1
+        ]
+        assert merged_site_sets, "no coalesced plan on a stuck-pair-heavy network"
+        # (a) same-site merge at a spine gate output (stuck pair + cell
+        # faults of the driving gate land in one plan).
+        spine_site = slot_of_net["c1"]
+        spine_plans = [
+            plan
+            for plan in plans
+            if any(site == spine_site for site, _stuck, _members in plan)
+        ]
+        assert len(spine_plans) == 1
+        kinds = {
+            fault.kind
+            for _site, _stuck, members in spine_plans[0]
+            for _index, fault in members
+        }
+        assert kinds == {"stuck", "cell"}
+        # (b) cross-site merge of the identical-cone spine inputs.
+        head_pair = frozenset((slot_of_net["s0"], slot_of_net["u"]))
+        assert any(head_pair <= sites for sites in merged_site_sets)
+        # Shallow island input pairs stay apart.
+        island_pair = frozenset((slot_of_net["t0a"], slot_of_net["t0b"]))
+        assert not any(island_pair <= sites for sites in merged_site_sets)
+
+    def test_chain_sites_never_share_a_batch(self):
+        """Soundness: a spine site downstream of another spine site
+        would be recomputed by the shared cone, clobbering its injected
+        rows - such pairs must never coalesce."""
+        network = skewed_cone_network(depth=8, islands=0)
+        vector, _faults, _groups, plans = self._plans(network)
+        compiled = vector.compiled
+        for plan in plans:
+            sites = [site for site, _stuck, _members in plan]
+            for site in sites:
+                downstream_outs = {
+                    compiled._gate_out[index]
+                    for index in cone_gates(compiled, site)
+                }
+                assert not (downstream_outs & set(sites))
+
+    def test_merged_rows_bit_identical_to_per_group_rows(self):
+        """The coalesced pass must reproduce each group's rows exactly."""
+        import numpy as np
+
+        network = skewed_cone_network(depth=5, islands=4)
+        vector = vector_compile(network)
+        faults = all_faults(network)
+        patterns = PatternSet.random(network.inputs, 300, seed=31)
+        sim_values, mask_row, _count = vector.good_values(
+            patterns.env, patterns.mask
+        )
+        groups = vector.group_faults(list(enumerate(faults)))
+        for plan in vector.plan_batches(groups, "cost"):
+            if len(plan) == 1:
+                continue
+            live, rows = vector.merged_difference_rows(sim_values, mask_row, plan)
+            merged_of = dict(
+                zip(live, rows if rows is not None else [])
+            )
+            seen = set()
+            for group in plan:
+                g_live, g_rows = vector.group_difference_rows(
+                    sim_values, mask_row, group
+                )
+                for j, index in enumerate(g_live):
+                    if index in merged_of:
+                        assert np.array_equal(merged_of[index], g_rows[j])
+                        seen.add(index)
+                    else:
+                        # The merged pass always drops window-inactive
+                        # rows; the single-site pass keeps them (all
+                        # zero) when most of its batch is active.
+                        assert not g_rows[j].any(), index
+            assert seen == set(merged_of)
+
+    def test_non_cost_schedules_keep_one_group_per_plan(self):
+        network = skewed_cone_network(depth=4, islands=4)
+        for name in ("contiguous", "interleaved"):
+            _vector, _faults, groups, plans = self._plans(network, name)
+            assert plans == [[group] for group in groups]
+
+    def test_plan_batches_rejects_unknown_schedule(self):
+        network = and_cone(3)
+        vector = vector_compile(network)
+        with pytest.raises(ValueError, match="unknown schedule"):
+            vector.plan_batches([], "turbo")
