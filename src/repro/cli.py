@@ -11,7 +11,8 @@ Subcommands::
 
     python -m repro protest CELLFILE --confidence 0.999 \
             [--engine compiled|interpreted|sharded|sharded+vector|vector] \
-            [--jobs N] [--schedule contiguous|cost|interleaved]
+            [--jobs N] [--schedule contiguous|cost|interleaved] \
+            [--tune auto|default|PROFILE.json]
         Wrap the cell in a single-gate network and run the PROTEST
         pipeline: probabilities, test length, optimized weights.
         ``--engine`` picks the simulation engine for the estimators and
@@ -19,7 +20,11 @@ Subcommands::
         bad names fail with the registry's error); ``--jobs`` the
         worker count of the sharded engines; ``--schedule`` the
         fault-scheduling policy (cost-weighted cone scheduling by
-        default - never changes results, only throughput).
+        default); ``--tune`` the execution plan sizing chunks and
+        windows (``default`` keeps the hand-calibrated constants,
+        ``auto`` calibrates this host, a path loads a saved profile -
+        neither schedules nor plans ever change results, only
+        throughput).
 
     python -m repro figures
         Print the executable versions of Figs. 1, 5, 7 and 9.
@@ -41,6 +46,11 @@ SCHEDULE_CHOICES = ("contiguous", "cost", "interleaved")
 """The registered fault-schedule names, spelled out for the same
 reason; a test holds this tuple equal to
 ``repro.simulate.available_schedules()``."""
+
+TUNE_CHOICES = ("auto", "default")
+"""The built-in execution-plan names (``--tune`` also accepts a
+tuning-profile JSON path), spelled out for the same reason; a test
+holds this tuple equal to ``repro.simulate.available_tunings()``."""
 
 
 def _engine_name(name: str) -> str:
@@ -67,6 +77,20 @@ def _schedule_name(name: str) -> str:
 
     try:
         get_schedule(name)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return name
+
+
+def _tune_name(name: str) -> str:
+    """argparse type for ``--tune``: validate like ``--engine``,
+    reusing the tuning module's exact error message (unknown plan
+    names, missing profile paths and malformed profile JSON all fail at
+    parse time, before any simulation runs)."""
+    from .simulate.tuning import resolve_plan
+
+    try:
+        resolve_plan(name)
     except ValueError as error:
         raise argparse.ArgumentTypeError(str(error)) from None
     return name
@@ -125,7 +149,8 @@ def command_protest(args: argparse.Namespace) -> int:
     cell = _load_cell(args.cellfile)
     network = _cell_network(cell)
     protest = Protest(
-        network, engine=args.engine, jobs=args.jobs, schedule=args.schedule
+        network, engine=args.engine, jobs=args.jobs, schedule=args.schedule,
+        tune=args.tune,
     )
     report = protest.analyse(confidence=args.confidence)
     print(report.format_summary())
@@ -213,6 +238,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-scheduling policy for shard partitioning and lane "
         "batching (default: cost-weighted cone scheduling; results are "
         "schedule-independent)",
+    )
+    protest.add_argument(
+        "--tune",
+        type=_tune_name,
+        default=None,
+        metavar="|".join(TUNE_CHOICES) + "|PROFILE.json",
+        help="execution plan sizing column chunks and streaming windows "
+        "(default: the hand-calibrated constants; 'auto' calibrates this "
+        "host once and derives per-cone widths; a path loads a saved "
+        "tuning profile; results are plan-independent)",
     )
     protest.set_defaults(func=command_protest)
 

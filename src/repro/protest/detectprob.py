@@ -27,6 +27,7 @@ from ..simulate.compiled import compile_network
 from ..simulate.faultsim import check_injectable, dedupe_faults
 from ..simulate.logicsim import PatternSet
 from ..simulate.registry import get_engine
+from ..simulate.tuning import resolve_plan
 from .signalprob import (
     MAX_EXACT_INPUTS,
     _input_probs,
@@ -87,13 +88,15 @@ def monte_carlo_detection_probabilities(
     engine: str = "compiled",
     jobs: Optional[int] = None,
     schedule: Optional[str] = None,
+    tune=None,
 ) -> Dict[str, float]:
     """Empirical detection frequency per fault.
 
-    ``engine``/``jobs``/``schedule`` select a registered simulation
-    engine and fault-scheduling policy for the per-fault difference
-    passes (``"sharded"`` spreads the fault list over ``jobs`` worker
-    processes); results are engine- and schedule-independent.
+    ``engine``/``jobs``/``schedule``/``tune`` select a registered
+    simulation engine, fault-scheduling policy and execution plan for
+    the per-fault difference passes (``"sharded"`` spreads the fault
+    list over ``jobs`` worker processes); results are engine-,
+    schedule- and tuning-independent.
     """
     if samples < 1:
         raise ValueError(f"samples must be >= 1, got {samples}")
@@ -104,7 +107,7 @@ def monte_carlo_detection_probabilities(
         network.inputs, samples, seed=seed, probabilities=input_probs
     )
     words = get_engine(engine).difference_words(
-        network, patterns, faults, jobs=jobs, schedule=schedule
+        network, patterns, faults, jobs=jobs, schedule=schedule, tune=tune
     )
     return {
         fault.describe(): word.bit_count() / samples
@@ -204,8 +207,10 @@ def detection_probabilities(
     engine: str = "compiled",
     jobs: Optional[int] = None,
     schedule: Optional[str] = None,
+    tune=None,
 ) -> Dict[str, float]:
     """Dispatch over the three estimators (``auto``: exact when feasible)."""
+    resolve_plan(tune)  # reject bad plans whichever estimator dispatches
     if faults is None:
         faults = network.enumerate_faults()
     if method == "auto":
@@ -216,6 +221,6 @@ def detection_probabilities(
         return topological_detection_probabilities(network, faults, probs)
     if method == "monte_carlo":
         return monte_carlo_detection_probabilities(
-            network, faults, probs, samples, seed, engine, jobs, schedule
+            network, faults, probs, samples, seed, engine, jobs, schedule, tune
         )
     raise ValueError(f"unknown method {method!r}")

@@ -28,6 +28,7 @@ import numpy as np
 from ..netlist.network import Network, NetworkFault
 from ..simulate.compiled import compile_network
 from ..simulate.logicsim import PatternSet
+from ..simulate.tuning import resolve_plan
 from .detectprob import monte_carlo_detection_probabilities
 from .signalprob import MAX_EXACT_INPUTS, bits_to_bool_array, minterm_weights
 from .testlength import test_length
@@ -110,6 +111,7 @@ class _MonteCarloEvaluator:
         engine: str = "compiled",
         jobs: Optional[int] = None,
         schedule: Optional[str] = None,
+        tune=None,
     ):
         self.network = network
         self.faults = list(faults)
@@ -118,6 +120,7 @@ class _MonteCarloEvaluator:
         self.engine = engine
         self.jobs = jobs
         self.schedule = schedule
+        self.tune = tune
 
     def detection(self, probs: Mapping[str, float]) -> np.ndarray:
         values = monte_carlo_detection_probabilities(
@@ -129,6 +132,7 @@ class _MonteCarloEvaluator:
             self.engine,
             self.jobs,
             self.schedule,
+            self.tune,
         )
         return np.array([values[f.describe()] for f in self.faults])
 
@@ -143,14 +147,16 @@ def optimize_input_probabilities(
     engine: str = "compiled",
     jobs: Optional[int] = None,
     schedule: Optional[str] = None,
+    tune=None,
 ) -> OptimizationResult:
     """Coordinate search maximising the minimum detection probability.
 
-    ``engine``/``jobs``/``schedule`` select the simulation engine and
-    fault schedule for the Monte-Carlo evaluator on wide circuits (the
-    exact fault-difference matrix of narrow circuits is a single
-    compiled pass either way).
+    ``engine``/``jobs``/``schedule``/``tune`` select the simulation
+    engine, fault schedule and execution plan for the Monte-Carlo
+    evaluator on wide circuits (the exact fault-difference matrix of
+    narrow circuits is a single compiled pass either way).
     """
+    resolve_plan(tune)  # reject bad plans on the exact path too
     if faults is None:
         faults = network.enumerate_faults()
     faults = list(faults)
@@ -160,7 +166,8 @@ def optimize_input_probabilities(
         evaluator = _ExactEvaluator(network, faults)
     else:
         evaluator = _MonteCarloEvaluator(
-            network, faults, samples, engine=engine, jobs=jobs, schedule=schedule
+            network, faults, samples, engine=engine, jobs=jobs,
+            schedule=schedule, tune=tune,
         )
 
     labels = [f.describe() for f in faults]

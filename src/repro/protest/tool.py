@@ -90,12 +90,14 @@ class ProtestReport:
 class Protest:
     """Probabilistic testability analysis of a combinational network.
 
-    ``engine``/``jobs``/``schedule`` pick the simulation engine
-    (:mod:`repro.simulate.registry`: ``"interpreted"``, ``"compiled"``,
-    ``"vector"``, ``"sharded"``, ``"sharded+vector"``), the worker
-    count, and the fault-scheduling policy
+    ``engine``/``jobs``/``schedule``/``tune`` pick the simulation
+    engine (:mod:`repro.simulate.registry`: ``"interpreted"``,
+    ``"compiled"``, ``"vector"``, ``"sharded"``, ``"sharded+vector"``),
+    the worker count, the fault-scheduling policy
     (:mod:`repro.simulate.schedule`: ``"cost"``, ``"contiguous"``,
-    ``"interleaved"``) used by every simulation-backed step - the
+    ``"interleaved"``) and the execution plan
+    (:mod:`repro.simulate.tuning`: ``"default"``, ``"auto"``, or a
+    profile JSON path) used by every simulation-backed step - the
     Monte-Carlo estimators and the validation fault simulation.
     Per-call ``engine=`` arguments override the instance default.
     """
@@ -107,12 +109,14 @@ class Protest:
         engine: str = "compiled",
         jobs: Optional[int] = None,
         schedule: Optional[str] = None,
+        tune=None,
     ):
         self.network = network
         self.faults = list(faults) if faults is not None else network.enumerate_faults()
         self.engine = engine
         self.jobs = jobs
         self.schedule = schedule
+        self.tune = tune
 
     # -- the Fig. 8 pipeline, feature by feature ---------------------------------
 
@@ -140,6 +144,7 @@ class Protest:
             engine=engine or self.engine,
             jobs=self.jobs,
             schedule=self.schedule,
+            tune=self.tune,
         )
 
     def required_test_length(
@@ -161,6 +166,7 @@ class Protest:
             engine=self.engine,
             jobs=self.jobs,
             schedule=self.schedule,
+            tune=self.tune,
         )
 
     def generate_patterns(
@@ -182,14 +188,16 @@ class Protest:
         engine: Optional[str] = None,
         jobs: Optional[int] = None,
         schedule: Optional[str] = None,
+        tune=None,
     ) -> FaultSimResult:
         """Static fault simulation of generated patterns - the validation
         step before committing self-test logic to the chip.
 
         ``engine`` names a registered engine (``"compiled"``,
         ``"interpreted"``, ``"sharded"``), ``jobs`` the worker count
-        for the sharded engines and ``schedule`` the fault-scheduling
-        policy; all default to the instance settings.  See
+        for the sharded engines, ``schedule`` the fault-scheduling
+        policy and ``tune`` the execution plan; all default to the
+        instance settings.  See
         :func:`repro.simulate.faultsim.fault_simulate`.
         """
         patterns = self.generate_patterns(count, probs, seed)
@@ -200,6 +208,7 @@ class Protest:
             engine=engine or self.engine,
             jobs=jobs if jobs is not None else self.jobs,
             schedule=schedule if schedule is not None else self.schedule,
+            tune=tune if tune is not None else self.tune,
         )
 
     # -- one-call analysis -----------------------------------------------------------

@@ -20,6 +20,14 @@ from .sharded import (
     sharded_fault_simulate,
     windowed_outcomes,
 )
+from .tuning import (
+    DEFAULT_TUNING,
+    ExecutionPlan,
+    TuningProfile,
+    available_tunings,
+    calibrate_profile,
+    resolve_plan,
+)
 from .vector import (
     VECTOR_WINDOW,
     VectorNetwork,
@@ -63,6 +71,12 @@ __all__ = [
     "merge_results",
     "sharded_fault_simulate",
     "windowed_outcomes",
+    "DEFAULT_TUNING",
+    "ExecutionPlan",
+    "TuningProfile",
+    "available_tunings",
+    "calibrate_profile",
+    "resolve_plan",
     "VECTOR_WINDOW",
     "VectorNetwork",
     "VectorSimulation",

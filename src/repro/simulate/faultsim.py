@@ -45,6 +45,7 @@ from .compiled import compile_network
 from .logicsim import PatternSet
 from .registry import Engine, get_engine, register_engine
 from .schedule import get_schedule
+from .tuning import resolve_plan
 
 #: Pattern-window width used when ``stop_at_first_detection`` chunks the
 #: pattern sequence; a fault detected in window k never simulates window
@@ -212,15 +213,17 @@ def interpreted_difference_words(
     faults: Sequence[NetworkFault],
     jobs: Optional[int] = None,
     schedule: Optional[str] = None,
+    tune=None,
 ) -> List[int]:
     """One detection word per fault via full interpreted re-simulation.
 
-    Serial fault-by-fault passes have nothing to schedule, but
-    ``schedule`` is still validated so every registry engine rejects
-    bad names identically - on this entry point too, not only through
-    ``fault_simulate``.
+    Serial fault-by-fault passes have nothing to schedule or tune, but
+    ``schedule`` and ``tune`` are still validated so every registry
+    engine rejects bad names identically - on this entry point too, not
+    only through ``fault_simulate``.
     """
     get_schedule(schedule)
+    resolve_plan(tune)
     good = network.output_bits(patterns.env, patterns.mask)
     return [
         _difference_interpreted(network, patterns.env, patterns.mask, good, fault)
@@ -234,9 +237,11 @@ def compiled_difference_words(
     faults: Sequence[NetworkFault],
     jobs: Optional[int] = None,
     schedule: Optional[str] = None,
+    tune=None,
 ) -> List[int]:
     """One detection word per fault via cone-restricted compiled passes."""
     get_schedule(schedule)
+    resolve_plan(tune)
     sim = compile_network(network).simulate(patterns.env, patterns.mask)
     return [sim.difference(fault) for fault in faults]
 
@@ -259,15 +264,24 @@ def _single_process_simulate(engine_name: str):
         stop_at_first_detection: bool = False,
         jobs: Optional[int] = None,
         schedule: Optional[str] = None,
+        tune=None,
     ) -> FaultSimResult:
-        window = (
-            FIRST_DETECTION_CHUNK
-            if stop_at_first_detection
-            else max(patterns.count, 1)
-        )
+        plan = resolve_plan(tune)
+        if stop_at_first_detection:
+            window = FIRST_DETECTION_CHUNK
+        elif engine_name == "compiled":
+            # The plan may stream the compiled pass through windows
+            # (the default plan keeps the historical whole-set window;
+            # tuned plans use cache-sized ones - the same lever the
+            # sharded workers measured ~2x from).
+            window = plan.serial_window(
+                patterns.count, compile_network(network).num_slots
+            )
+        else:
+            window = max(patterns.count, 1)
         outcomes = windowed_outcomes(
             network, patterns, faults, window, stop_at_first_detection,
-            engine_name, schedule,
+            engine_name, schedule, tune,
         )
         return build_result(network.name, patterns.count, faults, outcomes)
 
@@ -310,6 +324,7 @@ def fault_simulate(
     engine: str = "compiled",
     jobs: Optional[int] = None,
     schedule: Optional[str] = None,
+    tune=None,
 ) -> FaultSimResult:
     """Simulate every fault against every pattern.
 
@@ -335,9 +350,16 @@ def fault_simulate(
     injection sites, and never changes a single result bit.  Unknown
     names raise here with the list of available schedules, on every
     engine - including the serial ones that have nothing to schedule.
+    ``tune`` names an execution plan (:mod:`repro.simulate.tuning`:
+    ``"default"`` - the historical constants - by default, ``"auto"``
+    for a host-calibrated profile, or a path to a profile JSON); like
+    schedules, plans size chunks and windows and never change a result
+    bit.  Unknown plan names and malformed profiles raise the tuning
+    module's error here, on every engine.
     """
     resolved = get_engine(engine)
     get_schedule(schedule)  # reject bad names before any engine runs
+    resolve_plan(tune)
     if faults is None:
         faults = network.enumerate_faults()
     # Validate up front - a bad fault list should raise before the
@@ -351,6 +373,7 @@ def fault_simulate(
         stop_at_first_detection=stop_at_first_detection,
         jobs=jobs,
         schedule=schedule,
+        tune=tune,
     )
 
 
@@ -401,6 +424,7 @@ def windowed_outcomes(
     stop_at_first_detection: bool = False,
     engine: str = "compiled",
     schedule: Optional[str] = None,
+    tune=None,
 ) -> List[FaultOutcome]:
     """Per-fault (first index, count) outcomes, one window at a time.
 
@@ -416,15 +440,18 @@ def windowed_outcomes(
     same semantics, but faults sharing an injection site propagate
     through their fanout cone as one numpy batch; ``schedule`` reaches
     its batch planner (``"cost"`` coalesces underfilled same-cone site
-    batches) and is irrelevant to the serial per-fault cores.
+    batches) and is irrelevant to the serial per-fault cores; ``tune``
+    names the execution plan sizing the lane engine's chunks (validated
+    on the serial cores too, same contract as ``schedule``).
     """
     if engine == "vector":
         from .vector import vector_windowed_outcomes
 
         return vector_windowed_outcomes(
             network, patterns, faults, window, stop_at_first_detection,
-            schedule=schedule,
+            schedule=schedule, tune=tune,
         )
+    resolve_plan(tune)
     for_window = window_difference_factory(network, engine)
     firsts = [-1] * len(faults)
     counts = [0] * len(faults)
@@ -459,6 +486,7 @@ def coverage_curve(
     engine: str = "compiled",
     jobs: Optional[int] = None,
     schedule: Optional[str] = None,
+    tune=None,
 ) -> List[Tuple[int, float]]:
     """(pattern count, fault coverage) samples along a pattern sequence.
 
@@ -467,7 +495,8 @@ def coverage_curve(
     fell.
     """
     result = fault_simulate(
-        network, patterns, faults, engine=engine, jobs=jobs, schedule=schedule
+        network, patterns, faults, engine=engine, jobs=jobs, schedule=schedule,
+        tune=tune,
     )
     total = result.fault_count
     if total == 0:

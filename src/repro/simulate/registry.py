@@ -33,13 +33,19 @@ Engines also accept a **schedule** name (resolved through
 scheduling policies): ``"cost"`` (the default) prices faults by
 fanout-cone size to LPT-balance shards and coalesce underfilled vector
 batches, ``"contiguous"`` and ``"interleaved"`` are the mechanical
-partitions.  Scheduling only re-orders work.
+partitions.  Scheduling only re-orders work.  They further accept a
+**tune** spec (resolved through :mod:`repro.simulate.tuning`):
+``"default"`` keeps the hand-calibrated global chunk/window constants,
+``"auto"`` derives per-cone chunk widths, window sizes and coalescer
+pricing from a host calibration profile, and a path loads a saved
+profile JSON.  Tuning only re-tiles work.
 
-All engines are bit-identical on every result - across every schedule;
-they differ only in cost.  ``tests/test_engine_equivalence.py`` is the
-registry-driven differential harness holding every registered engine -
-including any future one - to that contract against the interpreted
-oracle, over the full engine x schedule sweep.
+All engines are bit-identical on every result - across every schedule
+and every tuning plan; they differ only in cost.
+``tests/test_engine_equivalence.py`` is the registry-driven
+differential harness holding every registered engine - including any
+future one - to that contract against the interpreted oracle, over the
+full engine x schedule x tuning sweep.
 """
 
 from __future__ import annotations
@@ -55,14 +61,15 @@ class Engine:
     """One registered simulation engine.
 
     ``simulate_faults(network, patterns, faults, *,
-    stop_at_first_detection=False, jobs=None, schedule=None)`` returns
-    a ``FaultSimResult``; ``difference_words(network, patterns, faults,
-    jobs=None, schedule=None)`` returns one detection word per fault in
+    stop_at_first_detection=False, jobs=None, schedule=None,
+    tune=None)`` returns a ``FaultSimResult``;
+    ``difference_words(network, patterns, faults, jobs=None,
+    schedule=None, tune=None)`` returns one detection word per fault in
     fault-list order; ``evaluate_bits(network, env, mask)`` returns the
     fault-free valuation of every net.  Engines that cannot use
-    ``jobs`` or ``schedule`` accept and ignore them (``fault_simulate``
-    validates the schedule name up front so every engine rejects bad
-    names identically).
+    ``jobs``, ``schedule`` or ``tune`` accept and ignore them
+    (``fault_simulate`` validates the schedule and tuning names up
+    front so every engine rejects bad names identically).
     """
 
     name: str

@@ -56,6 +56,7 @@ from .faultsim import (
 from .logicsim import PatternSet
 from .registry import Engine, register_engine
 from .schedule import contiguous_schedule, get_schedule, partition_faults
+from .tuning import resolve_plan
 
 __all__ = [
     "DEFAULT_WINDOW",
@@ -88,18 +89,21 @@ def windowed_difference_words(
     network: Network,
     patterns: PatternSet,
     faults: Sequence[NetworkFault],
-    window: int = DEFAULT_WINDOW,
+    window: Optional[int] = None,
     engine: str = "compiled",
     schedule: Optional[str] = None,
+    tune=None,
 ) -> List[int]:
     """Whole-set detection words assembled from per-window words.
 
     ``engine`` picks the single-process window core (compiled, vector
     or interpreted); ``schedule`` reaches the vector core's batch
-    planner (``"cost"`` coalesces underfilled same-cone site batches).
-    Note: the *result* is one whole-set-width big-int per fault by
-    construction (callers want the full detection words), so only the
-    per-window simulation is bounded-memory here - unlike
+    planner (``"cost"`` coalesces underfilled same-cone site batches);
+    ``tune`` names the execution plan, which also sizes the window when
+    ``window`` is ``None``.  Note: the *result* is one
+    whole-set-width big-int per fault by construction (callers want the
+    full detection words), so only the per-window simulation is
+    bounded-memory here - unlike
     :func:`repro.simulate.faultsim.windowed_outcomes`, which stays
     constant-memory end to end.
     """
@@ -107,7 +111,13 @@ def windowed_difference_words(
         from .vector import vector_difference_words
 
         return vector_difference_words(
-            network, patterns, faults, window=window, schedule=schedule
+            network, patterns, faults, window=window, schedule=schedule,
+            tune=tune,
+        )
+    plan = resolve_plan(tune)
+    if window is None:
+        window = plan.bigint_window(
+            patterns.count, compile_network(network).num_slots
         )
     from .faultsim import window_difference_factory
 
@@ -220,27 +230,30 @@ def _scatter(sharded, size: int, empty) -> List:
 # -- the worker pool -------------------------------------------------------------------
 
 _SHARD_CONTEXT: Optional[Tuple] = None
-"""(network, patterns, faults, window, stop, engine, schedule) - set in
-the parent just before the pool forks, inherited copy-on-write by the
-workers; ``engine`` is the inner single-process window core and
-``schedule`` reaches its batch planner.  Workers receive their shard as
-a list of fault-list indices (any partition the scheduler produced, not
-just contiguous slices)."""
+"""(network, patterns, faults, window, stop, engine, schedule, tune) -
+set in the parent just before the pool forks, inherited copy-on-write
+by the workers; ``engine`` is the inner single-process window core,
+``schedule`` reaches its batch planner and ``tune`` its execution plan
+(the parent resolves the plan - including any ``"auto"`` calibration -
+*before* forking, so workers inherit the memoised profile instead of
+re-probing).  Workers receive their shard as a list of fault-list
+indices (any partition the scheduler produced, not just contiguous
+slices)."""
 
 
 def _outcomes_worker(indices: Sequence[int]) -> List[FaultOutcome]:
-    network, patterns, faults, window, stop, engine, schedule = _SHARD_CONTEXT
+    network, patterns, faults, window, stop, engine, schedule, tune = _SHARD_CONTEXT
     subset = [faults[index] for index in indices]
     return windowed_outcomes(
-        network, patterns, subset, window, stop, engine, schedule
+        network, patterns, subset, window, stop, engine, schedule, tune
     )
 
 
 def _words_worker(indices: Sequence[int]) -> List[int]:
-    network, patterns, faults, window, _stop, engine, schedule = _SHARD_CONTEXT
+    network, patterns, faults, window, _stop, engine, schedule, tune = _SHARD_CONTEXT
     subset = [faults[index] for index in indices]
     return windowed_difference_words(
-        network, patterns, subset, window, engine, schedule
+        network, patterns, subset, window, engine, schedule, tune
     )
 
 
@@ -261,7 +274,7 @@ def _resolve_jobs(jobs: Optional[int]) -> int:
 
 def _map_shards(
     worker, network, patterns, faults, window, stop, jobs, min_pool_work,
-    engine="compiled", schedule=None,
+    engine="compiled", schedule=None, tune=None,
 ):
     """Run ``worker`` over fault shards; (indices, results) per shard.
 
@@ -288,7 +301,9 @@ def _map_shards(
     shards = partition_faults(network, faults, jobs, schedule)
     if len(shards) <= 1:
         return None
-    _SHARD_CONTEXT = (network, patterns, faults, window, stop, engine, schedule)
+    _SHARD_CONTEXT = (
+        network, patterns, faults, window, stop, engine, schedule, tune,
+    )
     try:
         with context.Pool(processes=len(shards)) as pool:
             return list(zip(shards, pool.map(worker, shards)))
@@ -305,10 +320,11 @@ def sharded_fault_simulate(
     faults: Optional[Sequence[NetworkFault]] = None,
     stop_at_first_detection: bool = False,
     jobs: Optional[int] = None,
-    window: int = DEFAULT_WINDOW,
+    window: Optional[int] = None,
     min_pool_work: Optional[int] = None,
     engine: str = "compiled",
     schedule: Optional[str] = None,
+    tune=None,
 ) -> FaultSimResult:
     """Fault simulation sharded across ``jobs`` worker processes.
 
@@ -319,28 +335,37 @@ def sharded_fault_simulate(
     saves.  ``engine`` names the inner single-process window core each
     worker runs (``"compiled"``, ``"vector"`` or ``"interpreted"``);
     ``schedule`` names the fault-partitioning policy
-    (:mod:`repro.simulate.schedule`; cost-weighted LPT by default).
+    (:mod:`repro.simulate.schedule`; cost-weighted LPT by default);
+    ``tune`` the execution plan, which sizes the streaming window when
+    ``window`` is ``None`` (:data:`DEFAULT_WINDOW` under the default
+    plan, cache-derived per-inner-engine widths under tuned ones).
     Per-fault outcomes are scattered back to original list positions
     before one :func:`build_result` assembles the result, so every
     schedule - contiguous or not - reproduces the single-process result
     bit for bit, label order included.
     """
     get_schedule(schedule)  # reject bad names on every path, pooled or not
+    plan = resolve_plan(tune)  # ...and resolve/calibrate before any fork
     if faults is None:
         faults = network.enumerate_faults()
     # Dedupe up front (one shared collision policy with build_result) so
     # the scattered outcomes key one record per distinct fault.
     faults = dedupe_faults(faults)
     check_injectable(network, faults)
+    if window is None:
+        window = plan.shard_window(
+            patterns.count, compile_network(network).num_slots, engine
+        )
     jobs = _resolve_jobs(jobs)
     sharded = _map_shards(
         _outcomes_worker, network, patterns, faults,
-        window, stop_at_first_detection, jobs, min_pool_work, engine, schedule,
+        window, stop_at_first_detection, jobs, min_pool_work, engine,
+        schedule, tune,
     )
     if sharded is None:
         outcomes = windowed_outcomes(
             network, patterns, faults, window, stop_at_first_detection,
-            engine, schedule,
+            engine, schedule, tune,
         )
         return build_result(network.name, patterns.count, faults, outcomes)
     outcomes = _scatter(sharded, len(faults), None)
@@ -352,25 +377,31 @@ def sharded_difference_words(
     patterns: PatternSet,
     faults: Sequence[NetworkFault],
     jobs: Optional[int] = None,
-    window: int = DEFAULT_WINDOW,
+    window: Optional[int] = None,
     min_pool_work: Optional[int] = None,
     engine: str = "compiled",
     schedule: Optional[str] = None,
+    tune=None,
 ) -> List[int]:
     """Per-fault detection words computed across the worker pool
     (in-process below ``min_pool_work``, like
     :func:`sharded_fault_simulate`); words are scattered back to fault
     order whatever partition ``schedule`` produced."""
     get_schedule(schedule)  # reject bad names on every path, pooled or not
+    plan = resolve_plan(tune)  # ...and resolve/calibrate before any fork
     faults = list(faults)
+    if window is None:
+        window = plan.shard_window(
+            patterns.count, compile_network(network).num_slots, engine
+        )
     jobs = _resolve_jobs(jobs)
     sharded = _map_shards(
         _words_worker, network, patterns, faults, window, False, jobs,
-        min_pool_work, engine, schedule,
+        min_pool_work, engine, schedule, tune,
     )
     if sharded is None:
         return windowed_difference_words(
-            network, patterns, faults, window, engine, schedule
+            network, patterns, faults, window, engine, schedule, tune
         )
     return _scatter(sharded, len(faults), 0)
 
@@ -385,6 +416,7 @@ def _sharded_simulate_faults(inner: str):
         stop_at_first_detection: bool = False,
         jobs: Optional[int] = None,
         schedule: Optional[str] = None,
+        tune=None,
     ) -> FaultSimResult:
         return sharded_fault_simulate(
             network,
@@ -394,6 +426,7 @@ def _sharded_simulate_faults(inner: str):
             jobs=jobs,
             engine=inner,
             schedule=schedule,
+            tune=tune,
         )
 
     return simulate_faults
@@ -406,10 +439,11 @@ def _sharded_difference_words(inner: str):
         faults: Sequence[NetworkFault],
         jobs: Optional[int] = None,
         schedule: Optional[str] = None,
+        tune=None,
     ) -> List[int]:
         return sharded_difference_words(
             network, patterns, faults, jobs=jobs, engine=inner,
-            schedule=schedule,
+            schedule=schedule, tune=tune,
         )
 
     return difference_words

@@ -73,6 +73,7 @@ from .compiled import CompiledNetwork, _compile_source, compile_network
 from .logicsim import PatternSet, pack_words, unpack_words
 from .registry import Engine, register_engine
 from .schedule import DEFAULT_SCHEDULE, cone_gates, get_schedule
+from .tuning import ExecutionPlan, resolve_plan
 
 __all__ = [
     "COALESCE_MAX_BATCH",
@@ -103,7 +104,11 @@ VECTOR_CHUNK = 1536
 bounds the pass's working set and keeps it near-cache-resident where a
 full-window pass would stream every gate through DRAM; smaller chunks
 lose more to numpy's per-call overhead than they gain in residency
-(measured sweep in ``bench_perf_vector``)."""
+(measured sweep in ``bench_perf_vector``).  This is the *default
+plan's* global width: every chunk read routes through the execution
+plan (:mod:`repro.simulate.tuning`), whose ``default`` plan reads this
+constant at call time and whose tuned plans replace it with per-cone
+widths derived from a host calibration profile (``--tune auto``)."""
 
 COALESCE_MIN_FILL = 8
 """Site batches at least this wide run alone; narrower ones (a stuck-at
@@ -323,7 +328,7 @@ class VectorNetwork:
         return [(site, stuck, members) for (site, stuck), members in groups.items()]
 
     def group_difference_rows(
-        self, values, mask_row, group
+        self, values, mask_row, group, tuning: Optional[ExecutionPlan] = None
     ) -> Tuple[List[int], Optional["np.ndarray"]]:
         """Difference lane rows of one injection-site batch.
 
@@ -332,12 +337,15 @@ class VectorNetwork:
         whose faults activate anywhere in the window is dropped after
         the injection check (``rows`` is ``None``), and a batch that is
         mostly inactive is compressed to its active rows.  The cone
-        propagates in :data:`VECTOR_CHUNK`-word column chunks to stay
+        propagates in column chunks sized by the execution plan
+        (``tuning``; the default plan reads :data:`VECTOR_CHUNK`, tuned
+        plans size per cone depth x batch width) to stay
         cache-resident; good rows enter the kernels as ``(chunk,)``
         broadcast operands (a ``[batch, chunk]`` materialisation was
         measured slower - the k-fold extra read traffic costs more than
         numpy's per-row broadcast dispatch saves).
         """
+        tuning = resolve_plan(tuning)
         site, stuck_slot, members = group
         compiled = self.compiled
         n_words = mask_row.shape[0]
@@ -368,10 +376,11 @@ class VectorNetwork:
             batch = live_count
         else:
             live = [index for index, _fault in members]
+        chunk_words = tuning.chunk_words(len(pairs), batch, n_words)
         rows = np.empty((batch, n_words), dtype=np.uint64)
         scratch: List = [None] * compiled.num_slots
-        for start in range(0, n_words, VECTOR_CHUNK) if n_words else ():
-            stop = min(start + VECTOR_CHUNK, n_words)
+        for start in range(0, n_words, chunk_words) if n_words else ():
+            stop = min(start + chunk_words, n_words)
             mask_chunk = mask_row[start:stop]
             for slot in reads:
                 scratch[slot] = values[slot][start:stop]
@@ -392,25 +401,34 @@ class VectorNetwork:
     # -- cross-site batch coalescing --------------------------------------------------
 
     def plan_batches(
-        self, groups: Sequence[Tuple], schedule: Optional[str] = None
+        self,
+        groups: Sequence[Tuple],
+        schedule: Optional[str] = None,
+        tuning: Optional[ExecutionPlan] = None,
     ) -> List[List[Tuple]]:
         """Arrange injection-site groups into batch plans.
 
         A *plan* is a list of groups simulated as one ``[batch,
         n_words]`` block.  Under ``schedule="cost"`` (the default)
         underfilled same-cone groups coalesce cross-site
-        (:data:`COALESCE_MIN_FILL`); the other schedules keep the
-        historical one-group-per-batch form.  Planning is a pure
-        re-grouping - plan membership never changes a result bit, which
-        the engine x schedule sweep of the differential harness holds.
+        (:data:`COALESCE_MIN_FILL`), priced by the execution plan's
+        calibrated constants (``tuning``; the default plan reproduces
+        the historical :data:`COALESCE_OVERHEAD_WORDS` numbers); the
+        other schedules keep the historical one-group-per-batch form.
+        Planning is a pure re-grouping - plan membership never changes
+        a result bit, which the engine x schedule x tuning sweep of the
+        differential harness holds.
         """
         get_schedule(schedule)  # same rejection contract as the engines
+        tuning = resolve_plan(tuning)
         name = DEFAULT_SCHEDULE if schedule is None else schedule
         if name != "cost" or len(groups) <= 1:
             return [[group] for group in groups]
-        return self._coalesce_groups(groups)
+        return self._coalesce_groups(groups, tuning)
 
-    def _coalesce_groups(self, groups: Sequence[Tuple]) -> List[List[Tuple]]:
+    def _coalesce_groups(
+        self, groups: Sequence[Tuple], tuning: ExecutionPlan
+    ) -> List[List[Tuple]]:
         """Greedy cost-model coalescing of underfilled site groups.
 
         Small groups are sorted by cone signature so identical and
@@ -436,14 +454,32 @@ class VectorNetwork:
             small.append((tuple(sorted(gates)), site, group, gates, outs))
         small.sort(key=lambda info: (info[0], info[1]))
 
-        def call_cost(gate_count: int, batch: int) -> int:
-            return gate_count * (COALESCE_OVERHEAD_WORDS + batch * VECTOR_CHUNK)
+        # The pricing constants come from the execution plan: the
+        # default plan reads COALESCE_OVERHEAD_WORDS/VECTOR_CHUNK (the
+        # hand-calibrated SSE-baseline numbers), tuned plans re-derive
+        # them from the host profile's measured per-call overhead and
+        # block-build cost.  Costs are *per window word*: configurations
+        # tile with different per-cone chunk widths now, so per-chunk
+        # costs are not comparable across them - a merged batch's
+        # narrower chunk runs more chunk passes over the same window,
+        # which per-chunk pricing would miss (and then greedily snowball
+        # disjoint-cone groups into one monster batch whose per-chunk
+        # cost looks flat while its per-word cost grows linearly).
+        # Under the default plan (one global chunk) the per-word form is
+        # exactly proportional to the historical per-chunk one, so its
+        # merge decisions are unchanged.
+        overhead_words = tuning.coalesce_overhead_words()
+        block_factor = tuning.block_build_factor()
 
-        def merged_cost(gate_count: int, batch: int, sites: int) -> int:
+        def call_cost(gate_count: int, batch: int) -> float:
+            chunk = tuning.pricing_chunk(gate_count, batch)
+            return gate_count * (overhead_words / chunk + batch)
+
+        def merged_cost(gate_count: int, batch: int, sites: int) -> float:
             # Multi-site batches materialise one good-or-injected block
             # per site; a single-site batch is the stacked injected rows
             # themselves, so its block term is zero.
-            blocks = sites * batch * VECTOR_CHUNK if sites > 1 else 0
+            blocks = sites * batch * block_factor if sites > 1 else 0
             return call_cost(gate_count, batch) + blocks
 
         def flush(current: dict) -> List[Tuple]:
@@ -499,7 +535,11 @@ class VectorNetwork:
         return plans
 
     def plan_difference_rows(
-        self, values, mask_row, plan: Sequence[Tuple]
+        self,
+        values,
+        mask_row,
+        plan: Sequence[Tuple],
+        tuning: Optional[ExecutionPlan] = None,
     ) -> Tuple[List[int], Optional["np.ndarray"]]:
         """Difference rows of one batch plan (single-site or coalesced).
 
@@ -509,11 +549,15 @@ class VectorNetwork:
         pass; everything else is the optimised single-site path.
         """
         if len(plan) == 1:
-            return self.group_difference_rows(values, mask_row, plan[0])
-        return self.merged_difference_rows(values, mask_row, plan)
+            return self.group_difference_rows(values, mask_row, plan[0], tuning)
+        return self.merged_difference_rows(values, mask_row, plan, tuning)
 
     def merged_difference_rows(
-        self, values, mask_row, batch_groups: Sequence[Tuple]
+        self,
+        values,
+        mask_row,
+        batch_groups: Sequence[Tuple],
+        tuning: Optional[ExecutionPlan] = None,
     ) -> Tuple[List[int], Optional["np.ndarray"]]:
         """Difference rows of a coalesced multi-site batch.
 
@@ -526,6 +570,7 @@ class VectorNetwork:
         blocks per chunk anyway, so there is no re-tiling penalty to
         trade off as in the single-site path).
         """
+        tuning = resolve_plan(tuning)
         compiled = self.compiled
         n_words = mask_row.shape[0]
         live: List[int] = []
@@ -559,10 +604,11 @@ class VectorNetwork:
             )
             for site, positions in positions_of_site.items()
         }
+        chunk_words = tuning.chunk_words(len(pairs), batch, n_words)
         rows = np.empty((batch, n_words), dtype=np.uint64)
         scratch: List = [None] * compiled.num_slots
-        for start in range(0, n_words, VECTOR_CHUNK):
-            stop = min(start + VECTOR_CHUNK, n_words)
+        for start in range(0, n_words, chunk_words):
+            stop = min(start + chunk_words, n_words)
             mask_chunk = mask_row[start:stop]
             for slot in reads:
                 scratch[slot] = values[slot][start:stop]
@@ -654,9 +700,10 @@ def vector_windowed_outcomes(
     network: Network,
     patterns: PatternSet,
     faults: Sequence[NetworkFault],
-    window: int,
+    window: Optional[int] = None,
     stop_at_first_detection: bool = False,
     schedule: Optional[str] = None,
+    tune=None,
 ) -> List:
     """Per-fault (first index, count) outcomes via batched lane passes.
 
@@ -667,9 +714,15 @@ def vector_windowed_outcomes(
     detecting window (count pinned to 1).  Detection counts come from
     ``np.bitwise_count`` over the difference rows - no whole-set
     big-int is ever materialised.  ``schedule`` picks the batch plan
-    (``"cost"`` coalesces underfilled same-cone site groups).
+    (``"cost"`` coalesces underfilled same-cone site groups); ``tune``
+    names the execution plan (:mod:`repro.simulate.tuning`) that sizes
+    the window when ``window`` is ``None``, the per-cone column chunks
+    and the coalescer pricing.
     """
     vector = vector_compile(network)
+    tuning = resolve_plan(tune)
+    if window is None:
+        window = tuning.lane_window(patterns.count, vector.compiled.num_slots)
     firsts = [-1] * len(faults)
     counts = [0] * len(faults)
     active = list(range(len(faults)))
@@ -677,11 +730,11 @@ def vector_windowed_outcomes(
     for start, chunk in patterns.windows(window):
         if plans is None:
             groups = vector.group_faults([(i, faults[i]) for i in active])
-            plans = vector.plan_batches(groups, schedule)
+            plans = vector.plan_batches(groups, schedule, tuning)
         values, mask_row, count = vector.good_values(chunk.env, chunk.mask)
         retired = False
         for plan in plans:
-            live, rows = vector.plan_difference_rows(values, mask_row, plan)
+            live, rows = vector.plan_difference_rows(values, mask_row, plan, tuning)
             if not live:
                 continue
             row_counts = _row_counts(rows)
@@ -718,14 +771,17 @@ def vector_fault_simulate(
     faults: Optional[Sequence[NetworkFault]] = None,
     stop_at_first_detection: bool = False,
     jobs: Optional[int] = None,
-    window: int = VECTOR_WINDOW,
+    window: Optional[int] = None,
     schedule: Optional[str] = None,
+    tune=None,
 ):
     """Fault simulation on the lane engine, streamed through windows.
 
     Bit-identical to every other registered engine; ``jobs`` is
     ignored (compose with the shard pool as ``"sharded+vector"`` for
-    multi-process scale-out) and ``schedule`` picks the batch plan.
+    multi-process scale-out), ``schedule`` picks the batch plan and
+    ``tune`` the execution plan (``window=None`` lets the plan size the
+    streaming window - :data:`VECTOR_WINDOW` under the default plan).
     """
     from .faultsim import (
         FIRST_DETECTION_CHUNK,
@@ -734,13 +790,14 @@ def vector_fault_simulate(
         dedupe_faults,
     )
 
+    resolve_plan(tune)  # reject bad plans before any simulation runs
     if faults is None:
         faults = network.enumerate_faults()
     faults = dedupe_faults(faults)
     check_injectable(network, faults)
     width = FIRST_DETECTION_CHUNK if stop_at_first_detection else window
     outcomes = vector_windowed_outcomes(
-        network, patterns, faults, width, stop_at_first_detection, schedule
+        network, patterns, faults, width, stop_at_first_detection, schedule, tune
     )
     return build_result(network.name, patterns.count, faults, outcomes)
 
@@ -750,18 +807,22 @@ def vector_difference_words(
     patterns: PatternSet,
     faults: Sequence[NetworkFault],
     jobs: Optional[int] = None,
-    window: int = VECTOR_WINDOW,
+    window: Optional[int] = None,
     schedule: Optional[str] = None,
+    tune=None,
 ) -> List[int]:
     """One whole-set detection word per fault via windowed lane passes."""
     vector = vector_compile(network)
+    tuning = resolve_plan(tune)
+    if window is None:
+        window = tuning.lane_window(patterns.count, vector.compiled.num_slots)
     indexed = list(enumerate(faults))
-    plans = vector.plan_batches(vector.group_faults(indexed), schedule)
+    plans = vector.plan_batches(vector.group_faults(indexed), schedule, tuning)
     words = [0] * len(faults)
     for start, chunk in patterns.windows(window):
         values, mask_row, count = vector.good_values(chunk.env, chunk.mask)
         for plan in plans:
-            live, rows = vector.plan_difference_rows(values, mask_row, plan)
+            live, rows = vector.plan_difference_rows(values, mask_row, plan, tuning)
             if not live:
                 continue
             for j, index in enumerate(live):
@@ -783,6 +844,7 @@ def _vector_simulate_faults(
     stop_at_first_detection: bool = False,
     jobs: Optional[int] = None,
     schedule: Optional[str] = None,
+    tune=None,
 ):
     return vector_fault_simulate(
         network,
@@ -791,6 +853,7 @@ def _vector_simulate_faults(
         stop_at_first_detection=stop_at_first_detection,
         jobs=jobs,
         schedule=schedule,
+        tune=tune,
     )
 
 

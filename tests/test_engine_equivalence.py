@@ -7,9 +7,13 @@ Every engine registered in :mod:`repro.simulate.registry` - today
 (:meth:`Network.evaluate_bits`) on every detection set, detection
 count, first-detection index, difference word and net valuation,
 across fixed circuits, hypothesis-generated circuits, both fault
-kinds, pattern-window widths, weighted pattern sets - and every
+kinds, pattern-window widths, weighted pattern sets - every
 registered fault **schedule** (``contiguous``/``cost``/``interleaved``,
-swept on skewed-cone circuits where scheduling reorders work hardest).
+swept on skewed-cone circuits where scheduling reorders work hardest)
+- and every **tuning plan** (:mod:`repro.simulate.tuning`: the default
+constants, an adversarial profile forcing tiny chunk/window widths
+that do not divide the word count, and the host-calibrated ``auto``
+plan), since plans re-tile every pass and must never move a bit.
 
 Engine-specific mechanics stay in their own files
 (``test_compiled_engine.py`` for the slot program's internals,
@@ -33,12 +37,15 @@ from repro.circuits.generators import (
 from repro.netlist import NetworkFault
 from repro.simulate import (
     PatternSet,
+    TuningProfile,
     available_engines,
     available_schedules,
+    available_tunings,
     coverage_curve,
     fault_simulate,
     get_engine,
     register_engine,
+    resolve_plan,
     sharded_fault_simulate,
 )
 from repro.simulate.faultsim import (
@@ -53,6 +60,33 @@ SCHEDULES = available_schedules()
 
 #: Engines with a single-process window core (windowed_outcomes path).
 WINDOW_ENGINES = ("compiled", "interpreted", "vector")
+
+#: Tuning plans the harness sweeps: the historical constants, an
+#: adversarial profile whose tiny cache budget forces one-word chunks
+#: and 64-pattern windows (uneven tails everywhere), and the
+#: host-calibrated plan.  "adversarial" is materialised as a profile
+#: JSON by the ``tuning_specs`` fixture, exercising the --tune path
+#: form end to end.
+TUNINGS = ("default", "adversarial", "auto")
+
+ADVERSARIAL_TUNING = TuningProfile(
+    name="adversarial", word_ns=1.0, call_ns=1.0, block_ns=4.0, cache_words=7
+)
+
+#: A second adversary for chunk geometry: the cache budget is sized so
+#: multi-word windows survive while per-cone chunks land on widths (2,
+#: 5, 9, ...) that do not divide the window's word count.
+ODD_CHUNK_TUNING = TuningProfile(
+    name="odd-chunks", word_ns=1.0, call_ns=1.0, block_ns=2.0, cache_words=120
+)
+
+
+@pytest.fixture(scope="session")
+def tuning_specs(tmp_path_factory):
+    """Map sweep names to the specs callers would actually pass."""
+    path = tmp_path_factory.mktemp("tuning") / "adversarial.json"
+    ADVERSARIAL_TUNING.save(path)
+    return {"default": "default", "adversarial": str(path), "auto": "auto"}
 
 
 CIRCUITS = differential_circuits()
@@ -241,6 +275,131 @@ def test_property_engine_schedule_identical_on_skewed_circuits(
     faults = all_faults(network)
     results_identical(
         fault_simulate(network, patterns, faults, engine=engine, schedule=schedule),
+        oracle_result(network, patterns, faults),
+    )
+
+
+_ORACLE_CACHE = {}
+
+
+def _cached_oracle(key, network, patterns, faults, **kwargs):
+    """One oracle run per (circuit, pattern) configuration for the
+    engine x schedule x plan sweep - 45 combinations re-deriving the
+    same interpreted reference would dominate the harness's runtime."""
+    cached = _ORACLE_CACHE.get(key)
+    if cached is None:
+        cached = oracle_result(network, patterns, faults, **kwargs)
+        _ORACLE_CACHE[key] = cached
+    return cached
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("schedule", SCHEDULES)
+@pytest.mark.parametrize("tuning", TUNINGS)
+class TestEveryEngineSchedulePlanCombination:
+    """The full sweep: plans re-tile work, schedules re-order it, and
+    neither - in any combination, on any engine - may move a bit.
+
+    The skewed-cone circuit is the adversary for both at once: the
+    spine's deep cones get the narrowest tuned chunks while the
+    coalescer merges the islands' underfilled batches, and the
+    adversarial profile forces one-word chunks and 64-pattern windows
+    whose tails do not divide the pattern count.
+    """
+
+    def test_fault_simulate_identical_on_skewed_cones(
+        self, engine, schedule, tuning, tuning_specs
+    ):
+        network = skewed_cone_network(depth=9, islands=6)
+        patterns = PatternSet.random(network.inputs, 163, seed=47)
+        faults = all_faults(network)
+        results_identical(
+            fault_simulate(
+                network, patterns, faults, engine=engine, schedule=schedule,
+                tune=tuning_specs[tuning],
+            ),
+            _cached_oracle("skew-plan-sweep", network, patterns, faults),
+        )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("tuning", TUNINGS)
+class TestEveryEnginePlanCombination:
+    """The engine x plan surfaces beyond plain fault simulation."""
+
+    def test_first_detection_identical_under_every_plan(
+        self, engine, tuning, tuning_specs
+    ):
+        network = skewed_cone_network(depth=6, islands=4)
+        patterns = PatternSet.random(
+            network.inputs, FIRST_DETECTION_CHUNK + 32, seed=51
+        )
+        faults = all_faults(network)
+        results_identical(
+            fault_simulate(
+                network,
+                patterns,
+                faults,
+                stop_at_first_detection=True,
+                engine=engine,
+                tune=tuning_specs[tuning],
+            ),
+            _cached_oracle(
+                "skew-plan-first", network, patterns, faults,
+                stop_at_first_detection=True,
+            ),
+        )
+
+    def test_difference_words_identical_under_every_plan(
+        self, engine, tuning, tuning_specs
+    ):
+        network = skewed_cone_network(depth=7, islands=5)
+        patterns = PatternSet.random(network.inputs, 130, seed=53)
+        faults = all_faults(network)
+        assert get_engine(engine).difference_words(
+            network, patterns, faults, tune=tuning_specs[tuning]
+        ) == interpreted_difference_words(network, patterns, faults)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_chunks_that_do_not_divide_the_word_count_are_exact(engine):
+    """The odd-chunk adversary: a cache budget sized so windows span
+    many words while per-cone chunk widths land on non-divisors of the
+    word count (and differ cone by cone) - the boundary arithmetic the
+    per-cone planner must get right where one global chunk never could.
+    """
+    network = skewed_cone_network(depth=9, islands=6)
+    patterns = PatternSet.random(network.inputs, 1000, seed=59)  # 16 words
+    faults = all_faults(network)
+    results_identical(
+        fault_simulate(network, patterns, faults, engine=engine,
+                       tune=ODD_CHUNK_TUNING),
+        _cached_oracle("skew-odd-chunks", network, patterns, faults),
+    )
+
+
+@pytest.mark.parametrize("engine", ("vector", "sharded+vector"))
+@settings(max_examples=6)
+@given(
+    depth=st.integers(min_value=1, max_value=10),
+    islands=st.integers(min_value=0, max_value=6),
+    count=st.integers(min_value=1, max_value=220),
+    cache_words=st.integers(min_value=1, max_value=4096),
+)
+def test_property_tuned_plans_identical_on_skewed_circuits(
+    engine, depth, islands, count, cache_words
+):
+    """Property: arbitrary cache budgets (hence arbitrary chunk/window
+    geometries) never move a bit on the engines that consume them."""
+    profile = TuningProfile(
+        name="prop", word_ns=1.0, call_ns=3.0, block_ns=2.0,
+        cache_words=cache_words,
+    )
+    network = skewed_cone_network(depth=depth, islands=islands)
+    patterns = PatternSet.random(network.inputs, count, seed=count)
+    faults = all_faults(network)
+    results_identical(
+        fault_simulate(network, patterns, faults, engine=engine, tune=profile),
         oracle_result(network, patterns, faults),
     )
 
@@ -451,6 +610,123 @@ class TestRegistryErrorPaths:
         ) in stderr
 
 
+class TestTuningErrorPaths:
+    """The --tune error contract: unknown plan names/paths and
+    malformed profile JSON raise the tuning module's exact message on
+    every entry point, drift-tested like ENGINE_CHOICES and
+    SCHEDULE_CHOICES."""
+
+    UNKNOWN = "no/such/profile.json"
+
+    @pytest.fixture()
+    def malformed_path(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{definitely not json")
+        return str(path)
+
+    def _exact_message(self, spec):
+        with pytest.raises(ValueError) as excinfo:
+            resolve_plan(spec)
+        return str(excinfo.value)
+
+    def test_unknown_plan_message_lists_available_plans(self):
+        assert self._exact_message(self.UNKNOWN) == (
+            f"unknown tuning plan {self.UNKNOWN!r}; available plans: "
+            + ", ".join(available_tunings())
+            + " (or a tuning-profile JSON path)"
+        )
+        assert list(available_tunings()) == sorted(available_tunings())
+
+    def test_fault_simulate_rejects_bad_plans_on_every_engine(
+        self, malformed_path
+    ):
+        network = and_cone(3)
+        patterns = PatternSet.exhaustive(network.inputs)
+        unknown = self._exact_message(self.UNKNOWN)
+        malformed = self._exact_message(malformed_path)
+        assert malformed.startswith(f"invalid tuning profile {malformed_path!r}")
+        for engine in ENGINES:
+            for spec, message in ((self.UNKNOWN, unknown), (malformed_path, malformed)):
+                with pytest.raises(ValueError) as excinfo:
+                    fault_simulate(network, patterns, engine=engine, tune=spec)
+                assert str(excinfo.value) == message, engine
+
+    def test_difference_words_rejects_bad_plans_on_every_engine(
+        self, malformed_path
+    ):
+        """The estimator path enters through ``Engine.difference_words``,
+        which bypasses ``fault_simulate``'s up-front check - the serial
+        engines must still reject bad plans there too."""
+        network = and_cone(3)
+        patterns = PatternSet.exhaustive(network.inputs)
+        faults = all_faults(network)
+        for engine in ENGINES:
+            for spec in (self.UNKNOWN, malformed_path):
+                with pytest.raises(ValueError) as excinfo:
+                    get_engine(engine).difference_words(
+                        network, patterns, faults, tune=spec
+                    )
+                assert str(excinfo.value) == self._exact_message(spec), engine
+
+    def test_estimators_and_facade_reject_bad_plans(self, malformed_path):
+        from repro.protest import (
+            Protest,
+            detection_probabilities,
+            monte_carlo_detection_probabilities,
+            optimize_input_probabilities,
+        )
+
+        network = and_cone(3)
+        for spec in (self.UNKNOWN, malformed_path):
+            message = self._exact_message(spec)
+            for entry in (
+                lambda: coverage_curve(
+                    network, PatternSet.exhaustive(network.inputs), tune=spec
+                ),
+                lambda: monte_carlo_detection_probabilities(
+                    network, all_faults(network), samples=8, tune=spec
+                ),
+                lambda: detection_probabilities(network, tune=spec),
+                lambda: optimize_input_probabilities(
+                    network, max_sweeps=1, tune=spec
+                ),
+                lambda: Protest(network, tune=spec).validate(8),
+            ):
+                with pytest.raises(ValueError) as excinfo:
+                    entry()
+                assert str(excinfo.value) == message
+
+    def test_cli_tune_choices_match_module(self):
+        from repro.cli import TUNE_CHOICES
+
+        assert tuple(sorted(TUNE_CHOICES)) == available_tunings()
+
+    def test_cli_rejects_bad_plans_with_module_message(
+        self, capsys, malformed_path
+    ):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for spec in (self.UNKNOWN, malformed_path):
+            with pytest.raises(SystemExit):
+                parser.parse_args(["protest", "cell.txt", "--tune", spec])
+            assert self._exact_message(spec) in capsys.readouterr().err
+
+    def test_cli_accepts_builtin_plans_and_profile_paths(self, tmp_path):
+        from repro.cli import TUNE_CHOICES, build_parser
+
+        parser = build_parser()
+        for tune in TUNE_CHOICES:
+            args = parser.parse_args(["protest", "cell.txt", "--tune", tune])
+            assert args.tune == tune
+        path = str(tmp_path / "host.json")
+        resolve_plan("default").profile.save(path)
+        assert parser.parse_args(
+            ["protest", "cell.txt", "--tune", path]
+        ).tune == path
+        assert parser.parse_args(["protest", "cell.txt"]).tune is None
+
+
 class TestEstimatorsAcrossEngines:
     def test_monte_carlo_estimators_identical_across_engines(self):
         from repro.protest import (
@@ -508,3 +784,35 @@ class TestEstimatorsAcrossEngines:
                     ).validate(200, seed=7),
                     reference,
                 )
+
+    def test_protest_facade_identical_across_tuning_plans(self, tuning_specs):
+        from repro.protest import Protest
+
+        network = skewed_cone_network(depth=5, islands=3)
+        reference = Protest(network, engine="interpreted").validate(200, seed=7)
+        for tuning in TUNINGS:
+            for engine in ("compiled", "vector", "sharded+vector"):
+                results_identical(
+                    Protest(
+                        network, engine=engine, jobs=2,
+                        tune=tuning_specs[tuning],
+                    ).validate(200, seed=7),
+                    reference,
+                )
+
+    def test_monte_carlo_estimators_identical_across_tuning_plans(
+        self, tuning_specs
+    ):
+        from repro.protest import monte_carlo_detection_probabilities
+
+        network = skewed_cone_network(depth=5, islands=3)
+        faults = all_faults(network)
+        reference = monte_carlo_detection_probabilities(
+            network, faults, samples=512, engine="interpreted"
+        )
+        for tuning in TUNINGS:
+            for engine in ("compiled", "vector", "sharded+vector"):
+                assert monte_carlo_detection_probabilities(
+                    network, faults, samples=512, engine=engine,
+                    tune=tuning_specs[tuning],
+                ) == reference, (engine, tuning)

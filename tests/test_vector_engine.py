@@ -153,7 +153,12 @@ class TestBatchedWindows:
         ) == compiled_difference_words(network, patterns, faults)
 
     def test_chunk_boundaries_exact(self, monkeypatch):
-        """Results must not depend on the cone chunking granularity."""
+        """Results must not depend on the cone chunking granularity.
+
+        Regression for the import-time-constant assumption: every chunk
+        read routes through the execution plan, whose *default* plan
+        reads ``VECTOR_CHUNK`` at call time - so this monkeypatch must
+        keep steering the fault passes."""
         import repro.simulate.vector as vector_module
 
         network = random_network(n_inputs=6, n_gates=14, seed=11)
@@ -165,6 +170,72 @@ class TestBatchedWindows:
             results_identical(
                 vector_fault_simulate(network, patterns, faults), reference
             )
+
+    def test_monkeypatched_chunk_actually_reaches_the_cone_loop(self, monkeypatch):
+        """The default plan must read VECTOR_CHUNK per call, not hold an
+        import-time snapshot: patching the module constant changes the
+        width the cone pass tiles with."""
+        import repro.simulate.vector as vector_module
+        from repro.simulate.tuning import resolve_plan
+
+        seen = []
+        default_plan = resolve_plan("default")
+        original = type(default_plan).chunk_words
+
+        def spy(self, cone_gates, batch, n_words):
+            width = original(self, cone_gates, batch, n_words)
+            seen.append(width)
+            return width
+
+        monkeypatch.setattr(type(default_plan), "chunk_words", spy)
+        network = random_network(n_inputs=6, n_gates=14, seed=11)
+        patterns = PatternSet.random(network.inputs, 500, seed=3)
+        faults = all_faults(network)
+        monkeypatch.setattr(vector_module, "VECTOR_CHUNK", 3)
+        vector_fault_simulate(network, patterns, faults)
+        assert seen and set(seen) == {3}
+
+    def test_tuned_plan_gives_per_cone_chunk_widths(self):
+        """What the global constant could never express: one run tiles a
+        deep spine cone narrower than a shallow island - and stays
+        bit-identical while doing it."""
+        from repro.circuits.generators import skewed_cone_network
+        from repro.simulate import TuningProfile
+        from repro.simulate.tuning import TunedPlan
+
+        profile = TuningProfile(
+            name="per-cone", word_ns=1.0, call_ns=1.0, block_ns=1.0,
+            cache_words=512,
+        )
+        plan = TunedPlan(profile)
+        widths = []
+        original = TunedPlan.chunk_words
+
+        class Spy(TunedPlan):
+            def chunk_words(self, cone_gates, batch, n_words):
+                width = original(self, cone_gates, batch, n_words)
+                widths.append((cone_gates, width))
+                return width
+
+        network = skewed_cone_network(depth=12, islands=4)
+        patterns = PatternSet.random(network.inputs, 3000, seed=13)
+        faults = all_faults(network)
+        reference = fault_simulate(network, patterns, faults, engine="compiled")
+        results_identical(
+            vector_fault_simulate(network, patterns, faults, tune=Spy(profile)),
+            reference,
+        )
+        assert len({width for _cone, width in widths}) > 1
+        deepest = max(cone for cone, _width in widths)
+        shallowest = min(cone for cone, _width in widths)
+        assert max(w for c, w in widths if c == deepest) <= min(
+            w for c, w in widths if c == shallowest
+        )
+        # The same plan resolves through the registry path too.
+        results_identical(
+            fault_simulate(network, patterns, faults, engine="vector", tune=plan),
+            reference,
+        )
 
     def test_mostly_inactive_batch_compression(self):
         """A batch whose faults mostly never activate in the window is
