@@ -12,7 +12,7 @@ Subcommands::
     python -m repro protest CELLFILE --confidence 0.999 \
             [--engine compiled|interpreted|sharded|sharded+vector|vector] \
             [--jobs N] [--schedule contiguous|cost|interleaved] \
-            [--tune auto|default|PROFILE.json]
+            [--tune auto|default|PROFILE.json] [--collapse off|on|report]
         Wrap the cell in a single-gate network and run the PROTEST
         pipeline: probabilities, test length, optimized weights.
         ``--engine`` picks the simulation engine for the estimators and
@@ -22,9 +22,11 @@ Subcommands::
         fault-scheduling policy (cost-weighted cone scheduling by
         default); ``--tune`` the execution plan sizing chunks and
         windows (``default`` keeps the hand-calibrated constants,
-        ``auto`` calibrates this host, a path loads a saved profile -
-        neither schedules nor plans ever change results, only
-        throughput).
+        ``auto`` calibrates this host, a path loads a saved profile);
+        ``--collapse`` the structural-collapsing mode (``on`` simulates
+        one representative per fault-equivalence class, ``report``
+        additionally prints the class/dominance report - schedules,
+        plans and collapsing never change results, only throughput).
 
     python -m repro figures
         Print the executable versions of Figs. 1, 5, 7 and 9.
@@ -51,6 +53,11 @@ TUNE_CHOICES = ("auto", "default")
 """The built-in execution-plan names (``--tune`` also accepts a
 tuning-profile JSON path), spelled out for the same reason; a test
 holds this tuple equal to ``repro.simulate.available_tunings()``."""
+
+COLLAPSE_CHOICES = ("off", "on", "report")
+"""The structural-collapsing modes, spelled out for the same reason; a
+test holds this tuple equal to
+``repro.faults.available_collapse_modes()``."""
 
 
 def _engine_name(name: str) -> str:
@@ -91,6 +98,18 @@ def _tune_name(name: str) -> str:
 
     try:
         resolve_plan(name)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return name
+
+
+def _collapse_name(name: str) -> str:
+    """argparse type for ``--collapse``: validate like ``--engine``,
+    reusing the structural-collapsing module's exact error message."""
+    from .faults.structural import get_collapse_mode
+
+    try:
+        get_collapse_mode(name)
     except ValueError as error:
         raise argparse.ArgumentTypeError(str(error)) from None
     return name
@@ -150,8 +169,13 @@ def command_protest(args: argparse.Namespace) -> int:
     network = _cell_network(cell)
     protest = Protest(
         network, engine=args.engine, jobs=args.jobs, schedule=args.schedule,
-        tune=args.tune,
+        tune=args.tune, collapse=args.collapse,
     )
+    if args.collapse == "report":
+        from .faults.structural import collapse_network_faults
+
+        print(collapse_network_faults(network, protest.faults).format_report())
+        print()
     report = protest.analyse(confidence=args.confidence)
     print(report.format_summary())
     print()
@@ -248,6 +272,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the hand-calibrated constants; 'auto' calibrates this "
         "host once and derives per-cone widths; a path loads a saved "
         "tuning profile; results are plan-independent)",
+    )
+    protest.add_argument(
+        "--collapse",
+        type=_collapse_name,
+        default=None,
+        metavar="|".join(COLLAPSE_CHOICES),
+        help="structural fault collapsing: simulate one representative "
+        "per equivalence class and scatter outcomes back (default: off; "
+        "'report' additionally prints the class/dominance report; "
+        "results are collapse-independent)",
     )
     protest.set_defaults(func=command_protest)
 

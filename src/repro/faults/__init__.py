@@ -5,6 +5,12 @@ from .classify import classify
 from .collapse import CollapseResult, FaultClass, collapse
 from .enumerate import FaultEntry, enumerate_gate_faults
 from .logical import Classification, FaultCategory
+from .structural import (
+    CollapsedFaultSet,
+    available_collapse_modes,
+    collapse_network_faults,
+    get_collapse_mode,
+)
 
 __all__ = [
     "FaultKind",
@@ -17,4 +23,8 @@ __all__ = [
     "enumerate_gate_faults",
     "Classification",
     "FaultCategory",
+    "CollapsedFaultSet",
+    "available_collapse_modes",
+    "collapse_network_faults",
+    "get_collapse_mode",
 ]

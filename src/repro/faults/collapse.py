@@ -74,6 +74,16 @@ class CollapseResult:
                 func = fault_class.function_string if first else ""
                 lines.append(f"{prefix}{label:<30} {'u = ' + func if first else ''}".rstrip())
                 first = False
+        if self.benign:
+            lines.append("")
+            lines.append("Benign (fault-free behaviour preserved):")
+            for entry, cls in self.benign:
+                lines.append(f"       {entry.label:<30} ({cls.notes})")
+        if self.sequential:
+            lines.append("")
+            lines.append("Sequential (combinationally unmodellable):")
+            for entry, cls in self.sequential:
+                lines.append(f"       {entry.label:<30} ({cls.notes})")
         if self.undetectable:
             lines.append("")
             lines.append("Not representable / possibly undetectable:")

@@ -1,0 +1,572 @@
+"""Network-level structural fault collapsing over the compiled slot program.
+
+:mod:`repro.faults.collapse` builds *per-gate* truth-table equivalence
+classes ("fault equivalent classes are constructed" - Section 5), and
+:meth:`Network.enumerate_faults` already emits one network fault per
+class.  This module is the network-level layer on top: it walks the
+compiled slot program's reader metadata (:mod:`repro.simulate.compiled`,
+the same structure the cone-cost scheduler prices with) and merges
+faults whose **difference functions are provably identical through the
+netlist**, so the engines simulate one representative per class and
+scatter the outcome back over the members:
+
+* every fault is canonicalised to the *faulty function of its injection
+  slot* over the driving gate's input slots - a cell fault directly, a
+  stuck-at as a constant; two faults with the same canonical function
+  produce bit-identical faulty circuits, hence bit-identical difference
+  words, detection counts and first-detection indices;
+* a **constant** faulty slot (a stuck-at, or a cell class whose table is
+  constant) is *forward-propagated* while its slot is unobserved (not a
+  primary output) and fanout-free (single reader gate): forcing the slot
+  rewrites the reader to its cofactored function, which may again be
+  constant and propagate further.  This yields the classical collapses -
+  an input stuck-at merges with the driving gate's cofactor class, a
+  stuck output merges with the driver's constant class, and inverter or
+  buffer chains collapse end to end;
+* a fault whose faulty slot function equals the good one (or whose slot
+  reaches no primary output) lands in the **null class**: its difference
+  is provably zero on every pattern, matching the engines' treatment;
+* on networks with at most :data:`SEMANTIC_COLLAPSE_MAX_INPUTS` primary
+  inputs a **semantic refinement** pass then evaluates every structural
+  class representative's difference function *exhaustively* (one
+  compiled cone pass over the 2^n input patterns - cheap next to any
+  realistic random-test run) and merges classes whose words are
+  bit-identical.  Equal exhaustive words prove equal difference
+  *functions*, so the merge preserves bit-identity on every pattern
+  set, and every truly-undetectable fault provably folds into the null
+  class.  Wider networks keep the purely structural classes.
+
+Equivalence is deliberately *strict* - only provably-identical
+difference functions share a class - because the engine contract is a
+bit-identical :class:`~repro.simulate.faultsim.FaultSimResult`.
+Classical **dominance** (stuck faults on a fanout-free stem dominate
+their branch faults) cannot preserve detection counts or first-detection
+indices, so it is computed and *reported* here (``dominance`` pairs,
+property-tested for soundness in ``tests/test_structural_collapse.py``)
+but never used to drop faults from the exact simulation path.
+
+The collapse mode knob (``off`` / ``on`` / ``report``) resolves exactly
+like engine, schedule and plan names do
+(:func:`repro.simulate.registry.get_engine` et al.), and the CLI reuses
+the error message.  Collapsed sets are memoised per compilation, keyed
+by the fault-label tuple, exactly like the scheduler's cone sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+from ..logic.truthtable import TruthTable
+from ..netlist.network import Network, NetworkFault
+
+__all__ = [
+    "COLLAPSE_MODES",
+    "DEFAULT_COLLAPSE",
+    "SEMANTIC_COLLAPSE_MAX_INPUTS",
+    "CollapsedFaultSet",
+    "available_collapse_modes",
+    "collapse_network_faults",
+    "get_collapse_mode",
+]
+
+COLLAPSE_MODES = ("off", "on", "report")
+"""The collapse modes ``fault_simulate``/``Protest``/the CLI resolve:
+``off`` simulates the full fault universe (the historical behaviour),
+``on`` simulates one representative per equivalence class and scatters
+the outcomes back, ``report`` behaves like ``on`` and additionally has
+the CLI print the collapse report."""
+
+DEFAULT_COLLAPSE = "off"
+"""The mode resolved when the caller passes ``None``."""
+
+SEMANTIC_COLLAPSE_MAX_INPUTS = 12
+"""Networks with at most this many primary inputs get the semantic
+refinement pass on top of the structural one: each structural class
+representative's difference word is computed exhaustively and classes
+with bit-identical words merge.  2^12 patterns is one short compiled
+pass per class; beyond that the exhaustive proof stops being a cheap
+pre-engine step and collapsing stays purely structural."""
+
+
+def available_collapse_modes() -> tuple:
+    """The recognised collapse-mode names, sorted."""
+    return tuple(sorted(COLLAPSE_MODES))
+
+
+def get_collapse_mode(name: Optional[str]) -> str:
+    """Resolve a collapse mode (``None`` means :data:`DEFAULT_COLLAPSE`).
+
+    Mirrors :func:`repro.simulate.registry.get_engine`: bad names raise
+    with the sorted list of available modes, and the CLI reuses the
+    exact message.
+    """
+    if name is None:
+        name = DEFAULT_COLLAPSE
+    if name not in COLLAPSE_MODES:
+        raise ValueError(
+            f"unknown collapse mode {name!r}; available collapse modes: "
+            + ", ".join(sorted(COLLAPSE_MODES))
+        )
+    return name
+
+
+# -- canonical faulty-slot signatures ---------------------------------------------------
+
+_NULL = ("null",)
+"""Signature of faults with a provably-zero difference function."""
+
+
+def _slot_table(table: TruthTable, pins: Sequence[str], in_slots: Sequence[int]):
+    """Re-express a pin-domain table over the gate's distinct input slots.
+
+    Variable names become ``s<slot>`` in ascending slot order - a shared
+    domain on which faulty functions of different cells (and cofactored
+    stuck-at rewrites) compare directly.  A net bound to several pins
+    identifies the corresponding variables.
+    """
+    unique = sorted(set(in_slots))
+    names = tuple(f"s{slot}" for slot in unique)
+    position_of = {slot: position for position, slot in enumerate(unique)}
+    # Both layouts are MSB-first over their name tuples (minterm_index),
+    # so each pin contributes the bit of its slot's variable, read
+    # straight off the collapsed minterm - no assignment dicts.
+    width = len(unique)
+    shifts = [width - 1 - position_of[slot] for slot in in_slots]
+    bits = 0
+    for minterm in range(1 << width):
+        source = 0
+        for shift in shifts:
+            source = (source << 1) | ((minterm >> shift) & 1)
+        if (table.bits >> source) & 1:
+            bits |= 1 << minterm
+    return TruthTable(names, bits)
+
+
+class _Collapser:
+    """One collapse pass over a compiled network's fault list."""
+
+    def __init__(self, compiled):
+        self.compiled = compiled
+        self._good: Dict[int, TruthTable] = {}
+        self._slot_tables: Dict[Tuple, TruthTable] = {}
+        self.driver_of_slot = {
+            out: index for index, out in enumerate(compiled._gate_out)
+        }
+
+    def slot_table(self, table: TruthTable, pins, in_slots) -> TruthTable:
+        """:func:`_slot_table` cached on the *repeat pattern* of the slots.
+
+        The collapsed bit layout only depends on which pins share a slot
+        (ascending slot order maps to ascending variable order), not on
+        the absolute slot numbers, so gates instantiating the same cell
+        - and the same faulty table - share one evaluation however they
+        are wired.  ``table.names`` must equal ``pins`` (both callers
+        guarantee it).
+        """
+        unique = sorted(set(in_slots))
+        rank = {slot: position for position, slot in enumerate(unique)}
+        pattern = tuple(rank[slot] for slot in in_slots)
+        key = (tuple(pins), table.bits, pattern)
+        collapsed = self._slot_tables.get(key)
+        if collapsed is None:
+            collapsed = _slot_table(table, pins, pattern)
+            self._slot_tables[key] = collapsed
+        return TruthTable(
+            tuple(f"s{slot}" for slot in unique), collapsed.bits
+        )
+
+    def good_slot_table(self, gate_index: int) -> TruthTable:
+        """The gate's fault-free function over its distinct input slots."""
+        table = self._good.get(gate_index)
+        if table is None:
+            gate = self.compiled.gates[gate_index]
+            pins = tuple(gate.cell.inputs)
+            table = self.slot_table(
+                TruthTable.from_expr(gate.expr, pins), pins, gate.in_slots
+            )
+            self._good[gate_index] = table
+        return table
+
+    def const_signature(self, slot: int, value: int) -> Tuple:
+        """Canonical signature of "slot forced to ``value``", propagated.
+
+        While the forced slot is unobserved (not a primary output) and
+        fanout-free (exactly one reader gate), the force rewrites that
+        reader to its cofactored function - the only faulty path runs
+        through it.  A cofactor that is again constant keeps
+        propagating; a dead end (no readers, no output) is the null
+        class.  Multi-reader slots and primary outputs anchor the
+        signature where it stands.
+        """
+        compiled = self.compiled
+        while True:
+            if compiled._is_out_slot[slot]:
+                return ("const", slot, value)
+            readers = compiled.readers[slot]
+            if not readers:
+                return _NULL
+            if len(readers) > 1:
+                return ("const", slot, value)
+            gate_index = readers[0]
+            good = self.good_slot_table(gate_index)
+            name = f"s{slot}"
+            fixed = good.cofactor(name, value).expand(good.names)
+            if fixed == good:
+                return _NULL
+            constant = fixed.constant_value()
+            out = compiled._gate_out[gate_index]
+            if constant is None:
+                return ("cell", out, fixed.names, fixed.bits)
+            slot = out
+            value = constant
+
+    def cell_signature(self, gate_index: int, table: TruthTable) -> Tuple:
+        """Canonical signature of a cell fault's faulty gate function."""
+        gate = self.compiled.gates[gate_index]
+        pins = tuple(gate.cell.inputs)
+        if table.names != pins:
+            table = table.expand(pins)
+        faulty = self.slot_table(table, pins, gate.in_slots)
+        if faulty == self.good_slot_table(gate_index):
+            return _NULL
+        constant = faulty.constant_value()
+        if constant is not None:
+            return self.const_signature(gate.out_slot, constant)
+        return ("cell", gate.out_slot, faulty.names, faulty.bits)
+
+    def signature(self, index: int, fault: NetworkFault) -> Tuple:
+        compiled = self.compiled
+        try:
+            if fault.kind == "stuck":
+                slot = compiled.slot_of_net.get(fault.net, -1)
+                if slot < 0:
+                    return _NULL  # ghost net: zero difference on every engine
+                return self.const_signature(slot, 1 if fault.value else 0)
+            gate_index = compiled.gate_index.get(fault.gate, -1)
+            if gate_index < 0:
+                return _NULL  # ghost gate: same zero-difference treatment
+            return self.cell_signature(gate_index, fault.function.table)
+        except (ValueError, KeyError, AttributeError):
+            # A fault the canonicaliser cannot align (foreign table
+            # variables, malformed function) collapses with nothing:
+            # its singleton class simulates the fault exactly as the
+            # uncollapsed run would, errors included.
+            return ("opaque", index)
+
+    def anchored_function(self, signature: Tuple):
+        """``(gate index, faulty slot table)`` of a class, where known.
+
+        Cell signatures anchor at the driver of their output slot; a
+        constant signature anchors there too when the slot is
+        gate-driven (the force *is* the driver's constant function).
+        Constants on primary-input slots have no gate-local function to
+        compare, so they take no part in dominance analysis.
+        """
+        if signature[0] == "cell":
+            _tag, out, names, bits = signature
+            gate_index = self.driver_of_slot.get(out)
+            if gate_index is None:
+                return None
+            return gate_index, TruthTable(names, bits)
+        if signature[0] == "const":
+            _tag, slot, value = signature
+            gate_index = self.driver_of_slot.get(slot)
+            if gate_index is None:
+                return None
+            names = self.good_slot_table(gate_index).names
+            return gate_index, TruthTable.constant(names, value)
+        return None
+
+
+@dataclass
+class CollapsedFaultSet:
+    """A fault list partitioned into difference-equivalence classes.
+
+    ``classes[k]`` lists the member indices (into ``faults``) of class
+    ``k`` and ``representatives[k]`` is the first member - the one fault
+    an engine simulates for the whole class.  ``class_of[i]`` maps every
+    fault back to its class, which is the scatter map
+    :meth:`scatter_outcomes` applies.  ``null_classes`` mark classes
+    whose difference function is provably zero (their representative
+    converges after a single gate evaluation on every engine).
+    ``dominance`` records ``(dominator, dominated)`` class-index pairs:
+    every pattern detecting the dominator provably detects the
+    dominated fault too (the dominated class's detecting patterns are a
+    superset) - reported, never used to drop exact simulations.
+    """
+
+    network_name: str
+    faults: List[NetworkFault]
+    classes: List[List[int]]
+    class_of: List[int]
+    representatives: List[int]
+    null_classes: Tuple[int, ...]
+    dominance: List[Tuple[int, int]]
+
+    @property
+    def fault_count(self) -> int:
+        return len(self.faults)
+
+    @property
+    def class_count(self) -> int:
+        return len(self.classes)
+
+    @property
+    def ratio(self) -> float:
+        """Fault-count multiplier: faults simulated without / with collapse."""
+        if not self.classes:
+            return 1.0
+        return len(self.faults) / len(self.classes)
+
+    def representative_faults(self) -> List[NetworkFault]:
+        """One fault per class, in class order - the list engines simulate."""
+        return [self.faults[index] for index in self.representatives]
+
+    def class_sizes(self) -> List[int]:
+        """Member count per class - the coverage weight of each representative."""
+        return [len(members) for members in self.classes]
+
+    def scatter_outcomes(self, class_outcomes: Sequence) -> List:
+        """Expand per-class outcomes back over the original fault list."""
+        if len(class_outcomes) != len(self.classes):
+            raise ValueError(
+                f"got {len(class_outcomes)} class outcomes for "
+                f"{len(self.classes)} classes"
+            )
+        return [class_outcomes[self.class_of[index]] for index in range(len(self.faults))]
+
+    def format_report(self, limit: int = 20) -> str:
+        """Human-readable collapse report (the CLI's ``--collapse report``)."""
+        lines = [
+            f"structural fault collapse of {self.network_name}: "
+            f"{self.fault_count} faults -> {self.class_count} classes "
+            f"({self.ratio:.2f}x fewer fault simulations)"
+        ]
+        merged = [
+            (self.faults[self.representatives[k]].describe(), members)
+            for k, members in enumerate(self.classes)
+            if len(members) > 1 and k not in self.null_classes
+        ]
+        if merged:
+            lines.append("equivalence classes with several members:")
+            for rep_label, members in merged[:limit]:
+                others = ", ".join(
+                    self.faults[index].describe() for index in members[1:]
+                )
+                lines.append(f"  {rep_label} == {others}")
+            if len(merged) > limit:
+                lines.append(f"  ... and {len(merged) - limit} more classes")
+        null_members = [
+            self.faults[index].describe()
+            for k in self.null_classes
+            for index in self.classes[k]
+        ]
+        if null_members:
+            lines.append(
+                "provably undetectable (zero difference function): "
+                + ", ".join(null_members[:limit])
+            )
+            if len(null_members) > limit:
+                lines.append(f"  ... and {len(null_members) - limit} more")
+        if self.dominance:
+            lines.append(
+                "dominance (a test for the left fault also detects the right):"
+            )
+            for dominator, dominated in self.dominance[:limit]:
+                lines.append(
+                    f"  {self.faults[self.representatives[dominator]].describe()}"
+                    f" -> {self.faults[self.representatives[dominated]].describe()}"
+                )
+            if len(self.dominance) > limit:
+                lines.append(f"  ... and {len(self.dominance) - limit} more pairs")
+        return "\n".join(lines)
+
+
+# -- the collapse pass ------------------------------------------------------------------
+
+_COLLAPSED: "WeakKeyDictionary" = WeakKeyDictionary()
+"""Per-compilation cache of collapsed sets, keyed by the fault-label
+tuple (unique after dedupe).  Lives exactly as long as the compilation,
+like the scheduler's cone-set cache."""
+
+
+def _dominance_pairs(
+    collapser: _Collapser, signatures: Sequence[Tuple]
+) -> List[Tuple[int, int]]:
+    """Sound structural dominance between classes sharing an anchor gate.
+
+    Two faulty functions of the *same* gate flip its output slot on the
+    patterns of their activation sets (faulty XOR good, over the gate's
+    input slots).  When class A's activation set is a subset of class
+    B's, every pattern on which A flips the slot has B flipping it to
+    the identical value, so the two faulty circuits coincide wherever A
+    is active: every pattern detecting A detects B.  A is the
+    *dominator*, B the *dominated* - dominated detecting patterns are a
+    superset of the dominator's.
+    """
+    by_gate: Dict[int, List[Tuple[int, int]]] = {}
+    for class_index, signature in enumerate(signatures):
+        anchored = collapser.anchored_function(signature)
+        if anchored is None:
+            continue
+        gate_index, faulty = anchored
+        good = collapser.good_slot_table(gate_index)
+        activation = (faulty ^ good).bits
+        by_gate.setdefault(gate_index, []).append((class_index, activation))
+    pairs: List[Tuple[int, int]] = []
+    for members in by_gate.values():
+        for position, (a_class, a_bits) in enumerate(members):
+            for b_class, b_bits in members[position + 1:]:
+                if a_bits == b_bits:
+                    continue  # equal activations would be one class
+                if a_bits & ~b_bits == 0:
+                    pairs.append((a_class, b_class))
+                elif b_bits & ~a_bits == 0:
+                    pairs.append((b_class, a_class))
+    return pairs
+
+
+def _exhaustive_class_words(
+    compiled,
+    network: Network,
+    faults: Sequence[NetworkFault],
+    classes: Sequence[List[int]],
+    signatures: Sequence[Tuple],
+) -> List[Optional[int]]:
+    """Per-class exhaustive difference words, ``None`` where unprovable.
+
+    Structural null classes are provably zero without simulating;
+    opaque classes (faults the canonicaliser could not align) stay
+    ``None`` so they merge with nothing and keep failing - or passing -
+    exactly as the uncollapsed run would.
+    """
+    from ..simulate.logicsim import PatternSet
+
+    patterns = PatternSet.exhaustive(network.inputs)
+    sim = compiled.simulate(patterns.env, patterns.mask)
+    words: List[Optional[int]] = []
+    for members, signature in zip(classes, signatures):
+        if signature == _NULL:
+            words.append(0)
+        elif signature[0] == "opaque":
+            words.append(None)
+        else:
+            try:
+                words.append(sim.difference(faults[members[0]]))
+            except (ValueError, KeyError, AttributeError):
+                words.append(None)
+    return words
+
+
+def _merge_classes_by_word(
+    classes: Sequence[List[int]], words: Sequence[Optional[int]]
+) -> Tuple[List[List[int]], List[int], List[Optional[int]]]:
+    """Merge structural classes whose exhaustive words coincide.
+
+    Merged member lists stay in ascending fault order and classes are
+    re-numbered by their first member, preserving the partition
+    invariants (``representatives[k] == members[0]``).
+    """
+    grouped: Dict[Tuple, List[int]] = {}
+    for class_index, word in enumerate(words):
+        key = ("solo", class_index) if word is None else ("word", word)
+        grouped.setdefault(key, []).append(class_index)
+    merged = sorted(
+        (
+            sorted(i for k in group for i in classes[k]),
+            None if key[0] == "solo" else key[1],
+        )
+        for key, group in grouped.items()
+    )
+    new_classes = [members for members, _word in merged]
+    new_words = [word for _members, word in merged]
+    class_of = [0] * sum(len(members) for members in new_classes)
+    for class_index, members in enumerate(new_classes):
+        for index in members:
+            class_of[index] = class_index
+    return new_classes, class_of, new_words
+
+
+def _semantic_dominance(words: Sequence[Optional[int]]) -> List[Tuple[int, int]]:
+    """Exact dominance between classes with known difference words.
+
+    ``(a, b)`` when every pattern detecting ``a`` detects ``b``
+    (``word_a`` a strict non-empty subset of ``word_b``); the null
+    class's vacuous domination of everything is excluded.
+    """
+    pairs: List[Tuple[int, int]] = []
+    for a, word_a in enumerate(words):
+        if not word_a:
+            continue
+        for b, word_b in enumerate(words):
+            if b == a or word_b is None:
+                continue
+            if word_a & word_b == word_a:
+                pairs.append((a, b))
+    return pairs
+
+
+def collapse_network_faults(
+    network: Network, faults: Optional[Sequence[NetworkFault]] = None
+) -> CollapsedFaultSet:
+    """Collapse a fault list into difference-equivalence classes.
+
+    Faults sharing a class have provably identical difference functions
+    through the whole netlist, so simulating the class representative
+    and scattering its outcome reproduces every member's result bit for
+    bit - the contract ``fault_simulate(..., collapse="on")`` rides on.
+    Results are memoised per compilation and fault-label tuple.
+    """
+    from ..simulate.compiled import compile_network
+    from ..simulate.faultsim import dedupe_faults
+
+    if faults is None:
+        faults = network.enumerate_faults()
+    faults = dedupe_faults(faults)
+    compiled = compile_network(network)
+    key = tuple(fault.describe() for fault in faults)
+    cache = _COLLAPSED.setdefault(compiled, {})
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+
+    collapser = _Collapser(compiled)
+    signatures: List[Tuple] = []
+    class_of_signature: Dict[Tuple, int] = {}
+    classes: List[List[int]] = []
+    class_of: List[int] = []
+    for index, fault in enumerate(faults):
+        signature = collapser.signature(index, fault)
+        class_index = class_of_signature.get(signature)
+        if class_index is None:
+            class_index = len(classes)
+            class_of_signature[signature] = class_index
+            classes.append([])
+            signatures.append(signature)
+        classes[class_index].append(index)
+        class_of.append(class_index)
+
+    if 0 < len(network.inputs) <= SEMANTIC_COLLAPSE_MAX_INPUTS:
+        words = _exhaustive_class_words(compiled, network, faults, classes, signatures)
+        classes, class_of, words = _merge_classes_by_word(classes, words)
+        null_classes = tuple(k for k, word in enumerate(words) if word == 0)
+        dominance = _semantic_dominance(words)
+    else:
+        null_classes = tuple(
+            k for k, signature in enumerate(signatures) if signature == _NULL
+        )
+        dominance = _dominance_pairs(collapser, signatures)
+
+    collapsed = CollapsedFaultSet(
+        network_name=network.name,
+        faults=list(faults),
+        classes=classes,
+        class_of=class_of,
+        representatives=[members[0] for members in classes],
+        null_classes=null_classes,
+        dominance=dominance,
+    )
+    cache[key] = collapsed
+    return collapsed

@@ -89,6 +89,7 @@ def monte_carlo_detection_probabilities(
     jobs: Optional[int] = None,
     schedule: Optional[str] = None,
     tune=None,
+    collapse: Optional[str] = None,
 ) -> Dict[str, float]:
     """Empirical detection frequency per fault.
 
@@ -96,19 +97,36 @@ def monte_carlo_detection_probabilities(
     simulation engine, fault-scheduling policy and execution plan for
     the per-fault difference passes (``"sharded"`` spreads the fault
     list over ``jobs`` worker processes); results are engine-,
-    schedule- and tuning-independent.
+    schedule- and tuning-independent.  ``collapse`` resolves exactly as
+    in :func:`repro.simulate.faultsim.fault_simulate`: under
+    ``"on"``/``"report"`` only one representative per structural
+    equivalence class runs a difference pass, and - class members
+    having provably identical difference functions - every member
+    inherits its representative's word bit for bit, so the estimates
+    match the uncollapsed run exactly.
     """
+    from ..faults.structural import collapse_network_faults, get_collapse_mode
+
     if samples < 1:
         raise ValueError(f"samples must be >= 1, got {samples}")
+    mode = get_collapse_mode(collapse)
     faults = dedupe_faults(faults)
     check_injectable(network, faults)
     input_probs = _input_probs(network, probs)
     patterns = PatternSet.random(
         network.inputs, samples, seed=seed, probabilities=input_probs
     )
-    words = get_engine(engine).difference_words(
-        network, patterns, faults, jobs=jobs, schedule=schedule, tune=tune
-    )
+    if mode == "off" or not faults:
+        words = get_engine(engine).difference_words(
+            network, patterns, faults, jobs=jobs, schedule=schedule, tune=tune
+        )
+    else:
+        collapsed = collapse_network_faults(network, faults)
+        rep_words = get_engine(engine).difference_words(
+            network, patterns, collapsed.representative_faults(),
+            jobs=jobs, schedule=schedule, tune=tune,
+        )
+        words = collapsed.scatter_outcomes(rep_words)
     return {
         fault.describe(): word.bit_count() / samples
         for fault, word in zip(faults, words)
@@ -208,9 +226,19 @@ def detection_probabilities(
     jobs: Optional[int] = None,
     schedule: Optional[str] = None,
     tune=None,
+    collapse: Optional[str] = None,
 ) -> Dict[str, float]:
-    """Dispatch over the three estimators (``auto``: exact when feasible)."""
+    """Dispatch over the three estimators (``auto``: exact when feasible).
+
+    ``collapse`` reaches the Monte-Carlo estimator (the only one whose
+    cost scales with the fault count times the sample count); its name
+    is validated up front on every method, matching the
+    ``schedule``/``tune`` contract.
+    """
+    from ..faults.structural import get_collapse_mode
+
     resolve_plan(tune)  # reject bad plans whichever estimator dispatches
+    get_collapse_mode(collapse)  # ...and bad collapse modes likewise
     if faults is None:
         faults = network.enumerate_faults()
     if method == "auto":
@@ -221,6 +249,7 @@ def detection_probabilities(
         return topological_detection_probabilities(network, faults, probs)
     if method == "monte_carlo":
         return monte_carlo_detection_probabilities(
-            network, faults, probs, samples, seed, engine, jobs, schedule, tune
+            network, faults, probs, samples, seed, engine, jobs, schedule,
+            tune, collapse,
         )
     raise ValueError(f"unknown method {method!r}")

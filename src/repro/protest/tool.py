@@ -99,6 +99,10 @@ class Protest:
     (:mod:`repro.simulate.tuning`: ``"default"``, ``"auto"``, or a
     profile JSON path) used by every simulation-backed step - the
     Monte-Carlo estimators and the validation fault simulation.
+    ``collapse`` picks the structural-collapsing mode
+    (:mod:`repro.faults.structural`: ``"off"`` by default, ``"on"`` /
+    ``"report"`` to simulate one representative per equivalence class
+    with bit-identical results) for those same steps.
     Per-call ``engine=`` arguments override the instance default.
     """
 
@@ -110,13 +114,18 @@ class Protest:
         jobs: Optional[int] = None,
         schedule: Optional[str] = None,
         tune=None,
+        collapse: Optional[str] = None,
     ):
+        from ..faults.structural import get_collapse_mode
+
+        get_collapse_mode(collapse)  # reject bad modes at construction
         self.network = network
         self.faults = list(faults) if faults is not None else network.enumerate_faults()
         self.engine = engine
         self.jobs = jobs
         self.schedule = schedule
         self.tune = tune
+        self.collapse = collapse
 
     # -- the Fig. 8 pipeline, feature by feature ---------------------------------
 
@@ -145,6 +154,7 @@ class Protest:
             jobs=self.jobs,
             schedule=self.schedule,
             tune=self.tune,
+            collapse=self.collapse,
         )
 
     def required_test_length(
@@ -189,6 +199,7 @@ class Protest:
         jobs: Optional[int] = None,
         schedule: Optional[str] = None,
         tune=None,
+        collapse: Optional[str] = None,
     ) -> FaultSimResult:
         """Static fault simulation of generated patterns - the validation
         step before committing self-test logic to the chip.
@@ -196,9 +207,9 @@ class Protest:
         ``engine`` names a registered engine (``"compiled"``,
         ``"interpreted"``, ``"sharded"``), ``jobs`` the worker count
         for the sharded engines, ``schedule`` the fault-scheduling
-        policy and ``tune`` the execution plan; all default to the
-        instance settings.  See
-        :func:`repro.simulate.faultsim.fault_simulate`.
+        policy, ``tune`` the execution plan and ``collapse`` the
+        structural-collapsing mode; all default to the instance
+        settings.  See :func:`repro.simulate.faultsim.fault_simulate`.
         """
         patterns = self.generate_patterns(count, probs, seed)
         return fault_simulate(
@@ -209,6 +220,7 @@ class Protest:
             jobs=jobs if jobs is not None else self.jobs,
             schedule=schedule if schedule is not None else self.schedule,
             tune=tune if tune is not None else self.tune,
+            collapse=collapse if collapse is not None else self.collapse,
         )
 
     # -- one-call analysis -----------------------------------------------------------

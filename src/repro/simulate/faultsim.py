@@ -72,6 +72,12 @@ class FaultSimResult:
 
     undetected: List[str]
 
+    collapsed_classes: Optional[int] = None
+    """Number of structural equivalence classes actually simulated when
+    the run collapsed the fault list (``collapse="on"``); ``None`` for
+    an uncollapsed run.  Informational only - every other field is
+    bit-identical either way."""
+
     @property
     def fault_count(self) -> int:
         return len(self.detected) + len(self.undetected)
@@ -91,6 +97,11 @@ class FaultSimResult:
             f"{len(self.detected)}/{self.fault_count} faults detected "
             f"({100.0 * self.coverage:.2f}%) with {self.pattern_count} patterns"
         ]
+        if self.collapsed_classes is not None:
+            lines.append(
+                f"collapse: {self.collapsed_classes}/{self.fault_count} "
+                "classes/faults simulated"
+            )
         if self.undetected:
             lines.append("undetected: " + ", ".join(self.undetected[:20]))
             if len(self.undetected) > 20:
@@ -120,9 +131,35 @@ def dedupe_faults(faults: Sequence[NetworkFault]) -> List[NetworkFault]:
 
     The one collision policy every label-keyed consumer shares - the
     fault-simulation engines, the sharded shards, the detection
-    estimators."""
+    estimators.  Every colliding label is reported in one message, not
+    just the first, so a large (possibly collapsed) fault list fails
+    with a single actionable error."""
     seen: Dict[str, NetworkFault] = {}
-    return [fault for fault in faults if _register_label(seen, fault)]
+    result: List[NetworkFault] = []
+    collisions: List[str] = []
+    for fault in faults:
+        label = fault.describe()
+        prior = seen.get(label)
+        if prior is not None:
+            if prior != fault and label not in collisions:
+                collisions.append(label)
+            continue
+        seen[label] = fault
+        result.append(fault)
+    if collisions:
+        if len(collisions) == 1:
+            raise ValueError(
+                f"fault label {collisions[0]!r} is shared by two distinct "
+                "faults; their results would silently merge - give them "
+                "unique labels"
+            )
+        listed = ", ".join(repr(label) for label in collisions)
+        raise ValueError(
+            f"{len(collisions)} fault labels ({listed}) are each shared by "
+            "two distinct faults; their results would silently merge - give "
+            "them unique labels"
+        )
+    return result
 
 
 def check_injectable(network: Network, faults: Sequence[NetworkFault]) -> None:
@@ -133,24 +170,52 @@ def check_injectable(network: Network, faults: Sequence[NetworkFault]) -> None:
     reported "undetected", silently deflating coverage.  Shared by
     every engine, by parallel fault simulation and by the
     detection-probability estimators so they agree on the error instead
-    of each tolerating ghosts differently.
+    of each tolerating ghosts differently.  *All* offending faults are
+    listed in one message, so a large collapsed set fails with a single
+    actionable error instead of one fault per run.
     """
     injectable: Optional[set] = None
+    offenders: List[Tuple[NetworkFault, str]] = []
     for fault in faults:
         if fault.kind == "stuck":
             if injectable is None:
                 injectable = set(network.inputs)
                 injectable.update(gate.output for gate in network.gates.values())
             if fault.net not in injectable:
-                raise ValueError(
-                    f"fault {fault.describe()!r} cannot be injected: "
-                    f"net {fault.net!r} is not in the network"
+                offenders.append(
+                    (fault, f"net {fault.net!r} is not in the network")
                 )
         elif fault.gate not in network.gates:
-            raise ValueError(
-                f"fault {fault.describe()!r} cannot be injected: "
-                f"gate {fault.gate!r} is not in the network"
+            offenders.append(
+                (fault, f"gate {fault.gate!r} is not in the network")
             )
+    if not offenders:
+        return
+    if len(offenders) == 1:
+        fault, reason = offenders[0]
+        raise ValueError(
+            f"fault {fault.describe()!r} cannot be injected: {reason}"
+        )
+    listed = "; ".join(
+        f"{fault.describe()!r} ({reason})" for fault, reason in offenders
+    )
+    raise ValueError(
+        f"{len(offenders)} faults cannot be injected: {listed}"
+    )
+
+
+def check_stop_at_coverage(stop_at_coverage) -> None:
+    """Validate a ``stop_at_coverage`` threshold (``None`` disables it).
+
+    Shared by every engine entry point, mirroring the ``samples >= 1``
+    checks of the detection-probability estimators.
+    """
+    if stop_at_coverage is None:
+        return
+    if not (0 < stop_at_coverage <= 1):
+        raise ValueError(
+            f"stop_at_coverage must be in (0, 1], got {stop_at_coverage}"
+        )
 
 
 def build_result(
@@ -254,7 +319,11 @@ def _single_process_simulate(engine_name: str):
     difference word at a time instead of materialising all of them -
     and ``stop_at_first_detection`` uses
     :data:`FIRST_DETECTION_CHUNK`-wide windows with per-fault early
-    exit.
+    exit.  ``stop_at_coverage`` pins the window to the same width on
+    every engine: unlike first-detection retirement (whose outcomes are
+    window-independent), *where* a coverage-stopped run ends depends on
+    the window grid, so all engines must stream the same grid to stay
+    bit-identical.
     """
 
     def simulate_faults(
@@ -265,9 +334,12 @@ def _single_process_simulate(engine_name: str):
         jobs: Optional[int] = None,
         schedule: Optional[str] = None,
         tune=None,
+        stop_at_coverage=None,
+        coverage_weights: Optional[Sequence[int]] = None,
     ) -> FaultSimResult:
         plan = resolve_plan(tune)
-        if stop_at_first_detection:
+        check_stop_at_coverage(stop_at_coverage)
+        if stop_at_first_detection or stop_at_coverage is not None:
             window = FIRST_DETECTION_CHUNK
         elif engine_name == "compiled":
             # The plan may stream the compiled pass through windows
@@ -282,6 +354,8 @@ def _single_process_simulate(engine_name: str):
         outcomes = windowed_outcomes(
             network, patterns, faults, window, stop_at_first_detection,
             engine_name, schedule, tune,
+            stop_at_coverage=stop_at_coverage,
+            coverage_weights=coverage_weights,
         )
         return build_result(network.name, patterns.count, faults, outcomes)
 
@@ -325,6 +399,8 @@ def fault_simulate(
     jobs: Optional[int] = None,
     schedule: Optional[str] = None,
     tune=None,
+    collapse: Optional[str] = None,
+    stop_at_coverage=None,
 ) -> FaultSimResult:
     """Simulate every fault against every pattern.
 
@@ -356,25 +432,79 @@ def fault_simulate(
     schedules, plans size chunks and windows and never change a result
     bit.  Unknown plan names and malformed profiles raise the tuning
     module's error here, on every engine.
+    ``collapse`` names a structural-collapsing mode
+    (:mod:`repro.faults.structural`: ``"off"`` - the historical full
+    universe - by default, ``"on"`` / ``"report"`` to simulate one
+    representative per difference-equivalence class and scatter the
+    outcomes back over the members).  Like schedules and plans it never
+    changes a result bit - the collapsed run is bit-identical - but it
+    multiplies throughput by the class/fault ratio on every engine,
+    which all see the shorter representative list.  Unknown modes raise
+    here with the list of available modes.
+    ``stop_at_coverage`` (a fraction in ``(0, 1]``) retires detected
+    faults between :data:`FIRST_DETECTION_CHUNK`-wide streaming windows
+    - like ``stop_at_first_detection`` - and additionally stops the
+    whole run at the end of the first window where the covered fraction
+    of the fault universe reaches the threshold; faults the run never
+    reached are reported undetected and counts are pinned to 1.  Under
+    ``collapse="on"`` classes are weighted by their member counts, so
+    the stopping window (and every result bit) matches the uncollapsed
+    run exactly.
     """
     resolved = get_engine(engine)
     get_schedule(schedule)  # reject bad names before any engine runs
     resolve_plan(tune)
+    from ..faults.structural import collapse_network_faults, get_collapse_mode
+
+    mode = get_collapse_mode(collapse)
+    check_stop_at_coverage(stop_at_coverage)
     if faults is None:
         faults = network.enumerate_faults()
     # Validate up front - a bad fault list should raise before the
     # simulation burns time, not in build_result afterwards.
     faults = dedupe_faults(faults)
     check_injectable(network, faults)
-    return resolved.simulate_faults(
+    if mode == "off" or not faults:
+        return resolved.simulate_faults(
+            network,
+            patterns,
+            faults,
+            stop_at_first_detection=stop_at_first_detection,
+            jobs=jobs,
+            schedule=schedule,
+            tune=tune,
+            stop_at_coverage=stop_at_coverage,
+            coverage_weights=None,
+        )
+    collapsed = collapse_network_faults(network, faults)
+    rep_result = resolved.simulate_faults(
         network,
         patterns,
-        faults,
+        collapsed.representative_faults(),
         stop_at_first_detection=stop_at_first_detection,
         jobs=jobs,
         schedule=schedule,
         tune=tune,
+        stop_at_coverage=stop_at_coverage,
+        coverage_weights=collapsed.class_sizes(),
     )
+    class_outcomes: List[FaultOutcome] = []
+    for rep_index in collapsed.representatives:
+        label = faults[rep_index].describe()
+        if label in rep_result.detected:
+            class_outcomes.append(
+                (rep_result.detected[label], rep_result.detection_counts[label])
+            )
+        else:
+            class_outcomes.append(None)
+    result = build_result(
+        network.name,
+        patterns.count,
+        faults,
+        collapsed.scatter_outcomes(class_outcomes),
+    )
+    result.collapsed_classes = collapsed.class_count
+    return result
 
 
 def window_difference_factory(network: Network, engine: str):
@@ -416,6 +546,27 @@ def window_difference_factory(network: Network, engine: str):
     return for_window
 
 
+def resolve_coverage_weights(
+    faults: Sequence[NetworkFault], coverage_weights: Optional[Sequence[int]]
+) -> List[int]:
+    """Per-fault coverage weights (``None`` means one per fault).
+
+    Under ``collapse="on"`` the engines simulate one representative per
+    equivalence class, so a representative's detection covers
+    class-size faults of the original universe; weighting the coverage
+    fraction by class size keeps the ``stop_at_coverage`` stopping
+    window - hence every result bit - identical to the uncollapsed run.
+    """
+    if coverage_weights is None:
+        return [1] * len(faults)
+    if len(coverage_weights) != len(faults):
+        raise ValueError(
+            f"got {len(coverage_weights)} coverage weights for "
+            f"{len(faults)} faults"
+        )
+    return list(coverage_weights)
+
+
 def windowed_outcomes(
     network: Network,
     patterns: PatternSet,
@@ -425,6 +576,8 @@ def windowed_outcomes(
     engine: str = "compiled",
     schedule: Optional[str] = None,
     tune=None,
+    stop_at_coverage=None,
+    coverage_weights: Optional[Sequence[int]] = None,
 ) -> List[FaultOutcome]:
     """Per-fault (first index, count) outcomes, one window at a time.
 
@@ -434,6 +587,15 @@ def windowed_outcomes(
     the first-detection index and the counts add up to the whole-set
     ``bit_count``.  With ``stop_at_first_detection`` a fault leaves the
     pass at the end of its first detecting window (count pinned to 1).
+
+    ``stop_at_coverage`` adds dynamic fault dropping on top of that
+    retirement: detected faults leave the pass between windows exactly
+    as above, and the whole run stops at the end of the first window
+    where the covered (weight) fraction of the fault universe reaches
+    the threshold - faults the run never reached come back ``None``
+    (reported undetected).  ``coverage_weights`` weights each fault's
+    contribution to the covered fraction
+    (:func:`resolve_coverage_weights`; class sizes under collapse).
 
     ``engine="vector"`` delegates to the lane engine's batched window
     core (:func:`repro.simulate.vector.vector_windowed_outcomes`) -
@@ -450,8 +612,15 @@ def windowed_outcomes(
         return vector_windowed_outcomes(
             network, patterns, faults, window, stop_at_first_detection,
             schedule=schedule, tune=tune,
+            stop_at_coverage=stop_at_coverage,
+            coverage_weights=coverage_weights,
         )
     resolve_plan(tune)
+    check_stop_at_coverage(stop_at_coverage)
+    weights = resolve_coverage_weights(faults, coverage_weights)
+    total_weight = sum(weights)
+    covered_weight = 0
+    retire = stop_at_first_detection or stop_at_coverage is not None
     for_window = window_difference_factory(network, engine)
     firsts = [-1] * len(faults)
     counts = [0] * len(faults)
@@ -465,12 +634,18 @@ def windowed_outcomes(
                 if firsts[index] < 0:
                     firsts[index] = start + (word & -word).bit_length() - 1
                 counts[index] += word.bit_count()
-                if stop_at_first_detection:
+                if retire:
                     counts[index] = 1
+                    covered_weight += weights[index]
                     continue
             remaining.append(index)
         active = remaining
         if not active:
+            break
+        if (
+            stop_at_coverage is not None
+            and covered_weight >= stop_at_coverage * total_weight
+        ):
             break
     return [
         (firsts[index], counts[index]) if counts[index] else None
@@ -487,16 +662,19 @@ def coverage_curve(
     jobs: Optional[int] = None,
     schedule: Optional[str] = None,
     tune=None,
+    collapse: Optional[str] = None,
 ) -> List[Tuple[int, float]]:
     """(pattern count, fault coverage) samples along a pattern sequence.
 
     Used for the random-vs-deterministic comparison of experiment E8:
     run once over the full set, then read off when each fault first
-    fell.
+    fell.  ``collapse`` resolves exactly as in :func:`fault_simulate`
+    (first-detection indices are bit-identical either way, so the curve
+    is too - collapse only multiplies throughput).
     """
     result = fault_simulate(
         network, patterns, faults, engine=engine, jobs=jobs, schedule=schedule,
-        tune=tune,
+        tune=tune, collapse=collapse,
     )
     total = result.fault_count
     if total == 0:

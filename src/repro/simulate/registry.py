@@ -62,7 +62,11 @@ class Engine:
 
     ``simulate_faults(network, patterns, faults, *,
     stop_at_first_detection=False, jobs=None, schedule=None,
-    tune=None)`` returns a ``FaultSimResult``;
+    tune=None, stop_at_coverage=None, coverage_weights=None)`` returns
+    a ``FaultSimResult`` (``stop_at_coverage`` retires detected faults
+    between ``FIRST_DETECTION_CHUNK``-wide windows and stops the run at
+    the coverage threshold; ``coverage_weights`` weights each fault's
+    contribution - class sizes under structural collapsing);
     ``difference_words(network, patterns, faults, jobs=None,
     schedule=None, tune=None)`` returns one detection word per fault in
     fault-list order; ``evaluate_bits(network, env, mask)`` returns the

@@ -46,11 +46,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..netlist.network import Network, NetworkFault
 from .compiled import compile_network
 from .faultsim import (
+    FIRST_DETECTION_CHUNK,
     FaultOutcome,
     FaultSimResult,
     build_result,
     check_injectable,
+    check_stop_at_coverage,
     dedupe_faults,
+    resolve_coverage_weights,
     windowed_outcomes,
 )
 from .logicsim import PatternSet
@@ -249,6 +252,22 @@ def _outcomes_worker(indices: Sequence[int]) -> List[FaultOutcome]:
     )
 
 
+def _coverage_window_worker(task: Tuple[int, int, Sequence[int]]) -> List[FaultOutcome]:
+    """One pattern window over one live shard of the coverage path.
+
+    ``task`` is ``(start, stop, fault indices)``: the worker slices its
+    window out of the inherited pattern set and runs the single-process
+    window core with first-detection semantics, so each outcome is
+    ``(first index relative to the window, 1)`` or ``None``."""
+    start, stop, indices = task
+    network, patterns, faults, window, _stop, engine, schedule, tune = _SHARD_CONTEXT
+    chunk = patterns.slice(start, stop)
+    subset = [faults[index] for index in indices]
+    return windowed_outcomes(
+        network, chunk, subset, window, True, engine, schedule, tune
+    )
+
+
 def _words_worker(indices: Sequence[int]) -> List[int]:
     network, patterns, faults, window, _stop, engine, schedule, tune = _SHARD_CONTEXT
     subset = [faults[index] for index in indices]
@@ -311,6 +330,80 @@ def _map_shards(
         _SHARD_CONTEXT = None
 
 
+def _coverage_sharded_outcomes(
+    network, patterns, faults, weights, stop_at_coverage, jobs,
+    min_pool_work, engine, schedule, tune,
+) -> Optional[List[FaultOutcome]]:
+    """The window-synchronous pooled path of ``stop_at_coverage``.
+
+    The coverage stop is a *global* decision - whether window k+1 runs
+    depends on every shard's detections in windows 0..k - so shards
+    cannot stream independently as on the plain path.  Instead the
+    parent walks the :data:`repro.simulate.faultsim.
+    FIRST_DETECTION_CHUNK` window grid (the same grid every engine pins
+    under ``stop_at_coverage``), re-partitions the *live* faults across
+    the pool each window (shards shrink as classes retire), folds the
+    per-window detections into whole-run firsts/counts, and applies the
+    identical retire-then-stop rule as the single-process core - so the
+    pooled run is bit-identical to it.  Returns ``None`` when pooling
+    is pointless or unavailable (same disqualifiers as
+    :func:`_map_shards`), signalling the caller to run in-process.
+    """
+    global _SHARD_CONTEXT
+    if min_pool_work is None:
+        min_pool_work = MIN_POOL_WORK
+    context = _fork_context()
+    if (
+        jobs <= 1
+        or context is None
+        or patterns.count * len(faults) < min_pool_work
+        or len(partition_faults(network, faults, jobs, schedule)) <= 1
+    ):
+        return None
+    total_weight = sum(weights)
+    covered_weight = 0
+    firsts = [-1] * len(faults)
+    counts = [0] * len(faults)
+    active = list(range(len(faults)))
+    _SHARD_CONTEXT = (
+        network, patterns, faults, FIRST_DETECTION_CHUNK, True, engine,
+        schedule, tune,
+    )
+    try:
+        with context.Pool(processes=jobs) as pool:
+            for start, chunk in patterns.windows(FIRST_DETECTION_CHUNK):
+                live = [faults[index] for index in active]
+                shards = partition_faults(network, live, jobs, schedule)
+                tasks = [
+                    (start, start + chunk.count, [active[i] for i in shard])
+                    for shard in shards
+                ]
+                parts = pool.map(_coverage_window_worker, tasks)
+                for (_lo, _hi, indices), part in zip(tasks, parts):
+                    if len(part) != len(indices):
+                        raise ValueError(
+                            f"shard returned {len(part)} results for "
+                            f"{len(indices)} faults"
+                        )
+                    for index, outcome in zip(indices, part):
+                        if outcome is None:
+                            continue
+                        firsts[index] = start + outcome[0]
+                        counts[index] = 1
+                        covered_weight += weights[index]
+                active = [index for index in active if counts[index] == 0]
+                if not active:
+                    break
+                if covered_weight >= stop_at_coverage * total_weight:
+                    break
+    finally:
+        _SHARD_CONTEXT = None
+    return [
+        (firsts[index], counts[index]) if counts[index] else None
+        for index in range(len(faults))
+    ]
+
+
 # -- the engine ------------------------------------------------------------------------
 
 
@@ -325,6 +418,8 @@ def sharded_fault_simulate(
     engine: str = "compiled",
     schedule: Optional[str] = None,
     tune=None,
+    stop_at_coverage=None,
+    coverage_weights: Optional[Sequence[int]] = None,
 ) -> FaultSimResult:
     """Fault simulation sharded across ``jobs`` worker processes.
 
@@ -343,15 +438,40 @@ def sharded_fault_simulate(
     before one :func:`build_result` assembles the result, so every
     schedule - contiguous or not - reproduces the single-process result
     bit for bit, label order included.
+
+    ``stop_at_coverage`` retires detected faults between
+    :data:`repro.simulate.faultsim.FIRST_DETECTION_CHUNK`-wide windows
+    and stops the run once the covered (``coverage_weights``-weighted)
+    fraction reaches the threshold; the window is pinned to that grid
+    (any explicit ``window`` is ignored) because the stopping point
+    depends on the grid and every engine must stream the same one to
+    stay bit-identical.  The pooled path walks the grid window by
+    window, re-partitioning the shrinking live fault set each step.
     """
     get_schedule(schedule)  # reject bad names on every path, pooled or not
     plan = resolve_plan(tune)  # ...and resolve/calibrate before any fork
+    check_stop_at_coverage(stop_at_coverage)
     if faults is None:
         faults = network.enumerate_faults()
     # Dedupe up front (one shared collision policy with build_result) so
     # the scattered outcomes key one record per distinct fault.
     faults = dedupe_faults(faults)
     check_injectable(network, faults)
+    weights = resolve_coverage_weights(faults, coverage_weights)
+    if stop_at_coverage is not None:
+        jobs = _resolve_jobs(jobs)
+        outcomes = _coverage_sharded_outcomes(
+            network, patterns, faults, weights, stop_at_coverage, jobs,
+            min_pool_work, engine, schedule, tune,
+        )
+        if outcomes is None:
+            outcomes = windowed_outcomes(
+                network, patterns, faults, FIRST_DETECTION_CHUNK,
+                stop_at_first_detection, engine, schedule, tune,
+                stop_at_coverage=stop_at_coverage,
+                coverage_weights=weights,
+            )
+        return build_result(network.name, patterns.count, faults, outcomes)
     if window is None:
         window = plan.shard_window(
             patterns.count, compile_network(network).num_slots, engine
@@ -417,6 +537,8 @@ def _sharded_simulate_faults(inner: str):
         jobs: Optional[int] = None,
         schedule: Optional[str] = None,
         tune=None,
+        stop_at_coverage=None,
+        coverage_weights: Optional[Sequence[int]] = None,
     ) -> FaultSimResult:
         return sharded_fault_simulate(
             network,
@@ -427,6 +549,8 @@ def _sharded_simulate_faults(inner: str):
             engine=inner,
             schedule=schedule,
             tune=tune,
+            stop_at_coverage=stop_at_coverage,
+            coverage_weights=coverage_weights,
         )
 
     return simulate_faults

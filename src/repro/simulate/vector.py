@@ -704,6 +704,8 @@ def vector_windowed_outcomes(
     stop_at_first_detection: bool = False,
     schedule: Optional[str] = None,
     tune=None,
+    stop_at_coverage=None,
+    coverage_weights: Optional[Sequence[int]] = None,
 ) -> List:
     """Per-fault (first index, count) outcomes via batched lane passes.
 
@@ -711,7 +713,12 @@ def vector_windowed_outcomes(
     (which delegates here for ``engine="vector"``): exact first
     detection indices and whole-set detection counts, with
     ``stop_at_first_detection`` retiring a fault after its first
-    detecting window (count pinned to 1).  Detection counts come from
+    detecting window (count pinned to 1) and ``stop_at_coverage``
+    additionally ending the run at the first window boundary where the
+    covered (weight) fraction reaches the threshold.  Retirement
+    genuinely shrinks the live site batches: the batch plans are
+    rebuilt over the surviving faults, so a half-retired site group
+    stacks (and propagates) half the rows.  Detection counts come from
     ``np.bitwise_count`` over the difference rows - no whole-set
     big-int is ever materialised.  ``schedule`` picks the batch plan
     (``"cost"`` coalesces underfilled same-cone site groups); ``tune``
@@ -719,8 +726,15 @@ def vector_windowed_outcomes(
     the window when ``window`` is ``None``, the per-cone column chunks
     and the coalescer pricing.
     """
+    from .faultsim import check_stop_at_coverage, resolve_coverage_weights
+
     vector = vector_compile(network)
     tuning = resolve_plan(tune)
+    check_stop_at_coverage(stop_at_coverage)
+    weights = resolve_coverage_weights(faults, coverage_weights)
+    total_weight = sum(weights)
+    covered_weight = 0
+    retire = stop_at_first_detection or stop_at_coverage is not None
     if window is None:
         window = tuning.lane_window(patterns.count, vector.compiled.num_slots)
     firsts = [-1] * len(faults)
@@ -749,16 +763,22 @@ def vector_windowed_outcomes(
                     firsts[index] = (
                         start + 64 * word_index + (word & -word).bit_length() - 1
                     )
-                if stop_at_first_detection:
+                if retire:
                     counts[index] = 1
+                    covered_weight += weights[index]
                     retired = True
                 else:
                     counts[index] += detected
-        if stop_at_first_detection and retired:
+        if retire and retired:
             active = [index for index in active if counts[index] == 0]
             plans = None
             if not active:
                 break
+        if (
+            stop_at_coverage is not None
+            and covered_weight >= stop_at_coverage * total_weight
+        ):
+            break
     return [
         (firsts[index], counts[index]) if counts[index] else None
         for index in range(len(faults))
@@ -774,6 +794,8 @@ def vector_fault_simulate(
     window: Optional[int] = None,
     schedule: Optional[str] = None,
     tune=None,
+    stop_at_coverage=None,
+    coverage_weights: Optional[Sequence[int]] = None,
 ):
     """Fault simulation on the lane engine, streamed through windows.
 
@@ -782,22 +804,33 @@ def vector_fault_simulate(
     multi-process scale-out), ``schedule`` picks the batch plan and
     ``tune`` the execution plan (``window=None`` lets the plan size the
     streaming window - :data:`VECTOR_WINDOW` under the default plan).
+    ``stop_at_coverage`` pins the window to the engine-wide
+    first-detection grid - where a coverage-stopped run ends depends on
+    the window boundaries, so every engine must stream the same grid to
+    stay bit-identical.
     """
     from .faultsim import (
         FIRST_DETECTION_CHUNK,
         build_result,
         check_injectable,
+        check_stop_at_coverage,
         dedupe_faults,
     )
 
     resolve_plan(tune)  # reject bad plans before any simulation runs
+    check_stop_at_coverage(stop_at_coverage)
     if faults is None:
         faults = network.enumerate_faults()
     faults = dedupe_faults(faults)
     check_injectable(network, faults)
-    width = FIRST_DETECTION_CHUNK if stop_at_first_detection else window
+    if stop_at_first_detection or stop_at_coverage is not None:
+        width = FIRST_DETECTION_CHUNK
+    else:
+        width = window
     outcomes = vector_windowed_outcomes(
-        network, patterns, faults, width, stop_at_first_detection, schedule, tune
+        network, patterns, faults, width, stop_at_first_detection, schedule,
+        tune, stop_at_coverage=stop_at_coverage,
+        coverage_weights=coverage_weights,
     )
     return build_result(network.name, patterns.count, faults, outcomes)
 
@@ -845,6 +878,8 @@ def _vector_simulate_faults(
     jobs: Optional[int] = None,
     schedule: Optional[str] = None,
     tune=None,
+    stop_at_coverage=None,
+    coverage_weights: Optional[Sequence[int]] = None,
 ):
     return vector_fault_simulate(
         network,
@@ -854,6 +889,8 @@ def _vector_simulate_faults(
         jobs=jobs,
         schedule=schedule,
         tune=tune,
+        stop_at_coverage=stop_at_coverage,
+        coverage_weights=coverage_weights,
     )
 
 

@@ -13,7 +13,12 @@ swept on skewed-cone circuits where scheduling reorders work hardest)
 - and every **tuning plan** (:mod:`repro.simulate.tuning`: the default
 constants, an adversarial profile forcing tiny chunk/window widths
 that do not divide the word count, and the host-calibrated ``auto``
-plan), since plans re-tile every pass and must never move a bit.
+plan), since plans re-tile every pass and must never move a bit - and
+the **collapse** dimension (:mod:`repro.faults.structural`): simulating
+one representative per structural equivalence class and scattering the
+outcomes back must be bit-identical too, as must coverage-capped runs
+(``stop_at_coverage``), whose stopping window is pinned to the same
+streaming grid on every engine.
 
 Engine-specific mechanics stay in their own files
 (``test_compiled_engine.py`` for the slot program's internals,
@@ -321,6 +326,27 @@ class TestEveryEngineSchedulePlanCombination:
             _cached_oracle("skew-plan-sweep", network, patterns, faults),
         )
 
+    def test_collapsed_run_identical_on_skewed_cones(
+        self, engine, schedule, tuning, tuning_specs
+    ):
+        """The collapse sweep dimension: simulating one representative
+        per structural equivalence class and scattering the outcomes
+        back must be bit-identical on every engine x schedule x plan
+        combination."""
+        network = skewed_cone_network(depth=9, islands=6)
+        patterns = PatternSet.random(network.inputs, 163, seed=47)
+        faults = all_faults(network)
+        collapsed = fault_simulate(
+            network, patterns, faults, engine=engine, schedule=schedule,
+            tune=tuning_specs[tuning], collapse="on",
+        )
+        results_identical(
+            collapsed,
+            _cached_oracle("skew-plan-sweep", network, patterns, faults),
+        )
+        assert collapsed.collapsed_classes is not None
+        assert collapsed.collapsed_classes <= collapsed.fault_count
+
 
 @pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("tuning", TUNINGS)
@@ -444,6 +470,106 @@ def test_property_sharded_window_widths_exact(seed, count, window, inner, schedu
     results_identical(sharded, oracle_result(network, patterns, faults))
 
 
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("schedule", SCHEDULES)
+@pytest.mark.parametrize("tuning", ("default", "adversarial", "auto"))
+@settings(max_examples=3)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    count=st.integers(min_value=1, max_value=200),
+)
+def test_property_collapsed_identical_on_every_engine_schedule_plan(
+    engine, schedule, tuning, seed, count
+):
+    """Property: ``collapse="on"`` is bit-identical to the uncollapsed
+    run across every engine x schedule x plan combination, on arbitrary
+    random circuits and pattern sets - the tentpole contract."""
+    tune = ADVERSARIAL_TUNING if tuning == "adversarial" else tuning
+    network = random_network(n_inputs=5, n_gates=11, seed=seed)
+    patterns = PatternSet.random(network.inputs, count, seed=seed ^ 0x3333)
+    faults = all_faults(network)
+    results_identical(
+        fault_simulate(
+            network, patterns, faults, engine=engine, schedule=schedule,
+            tune=tune, collapse="on",
+        ),
+        fault_simulate(
+            network, patterns, faults, engine=engine, schedule=schedule,
+            tune=tune,
+        ),
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestStopAtCoverageAcrossEngines:
+    """Dynamic fault dropping: every engine stops at the identical
+    window (the FIRST_DETECTION_CHUNK grid is pinned everywhere), so
+    coverage-capped runs are bit-identical across the registry - with
+    and without collapsing, whose class-size weights keep the stopping
+    window aligned with the uncollapsed universe."""
+
+    def test_coverage_capped_run_identical_to_oracle(self, engine):
+        network = skewed_cone_network(depth=6, islands=4)
+        patterns = PatternSet.random(
+            network.inputs, 3 * FIRST_DETECTION_CHUNK + 32, seed=61
+        )
+        faults = all_faults(network)
+        for threshold in (0.3, 0.7, 1.0):
+            results_identical(
+                fault_simulate(
+                    network, patterns, faults, engine=engine,
+                    stop_at_coverage=threshold,
+                ),
+                _cached_oracle(
+                    ("skew-coverage", threshold), network, patterns, faults,
+                    stop_at_coverage=threshold,
+                ),
+            )
+
+    def test_coverage_capped_collapsed_run_identical(self, engine):
+        network = skewed_cone_network(depth=6, islands=4)
+        patterns = PatternSet.random(
+            network.inputs, 3 * FIRST_DETECTION_CHUNK + 32, seed=61
+        )
+        faults = all_faults(network)
+        for threshold in (0.3, 0.7):
+            results_identical(
+                fault_simulate(
+                    network, patterns, faults, engine=engine,
+                    stop_at_coverage=threshold, collapse="on",
+                ),
+                _cached_oracle(
+                    ("skew-coverage", threshold), network, patterns, faults,
+                    stop_at_coverage=threshold,
+                ),
+            )
+
+
+@settings(max_examples=8)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    count=st.integers(min_value=1, max_value=600),
+    threshold=st.floats(min_value=0.05, max_value=1.0),
+    engine=st.sampled_from(ENGINES),
+    collapse=st.sampled_from(("off", "on")),
+)
+def test_property_coverage_capped_runs_identical(
+    seed, count, threshold, engine, collapse
+):
+    """Property: any coverage threshold stops every engine - collapsed
+    or not - at the same window as the interpreted oracle."""
+    network = random_network(n_inputs=5, n_gates=9, seed=seed)
+    patterns = PatternSet.random(network.inputs, count, seed=seed ^ 0x7777)
+    faults = all_faults(network)
+    results_identical(
+        fault_simulate(
+            network, patterns, faults, engine=engine,
+            stop_at_coverage=threshold, collapse=collapse,
+        ),
+        oracle_result(network, patterns, faults, stop_at_coverage=threshold),
+    )
+
+
 class TestEngineContracts:
     """Per-engine input-validation contracts, over the whole registry."""
 
@@ -557,6 +683,34 @@ class TestRegistryErrorPaths:
         from repro.cli import SCHEDULE_CHOICES
 
         assert tuple(sorted(SCHEDULE_CHOICES)) == SCHEDULES
+
+    def test_cli_collapse_choices_match_module(self):
+        from repro.cli import COLLAPSE_CHOICES
+        from repro.faults.structural import available_collapse_modes
+
+        assert tuple(sorted(COLLAPSE_CHOICES)) == available_collapse_modes()
+
+    def test_cli_rejects_unknown_collapse_with_module_message(self, capsys):
+        from repro.cli import build_parser
+        from repro.faults.structural import available_collapse_modes
+
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["protest", "cell.txt", "--collapse", "turbo"])
+        stderr = capsys.readouterr().err
+        assert (
+            "unknown collapse mode 'turbo'; available collapse modes: "
+            + ", ".join(available_collapse_modes())
+        ) in stderr
+
+    def test_cli_accepts_every_collapse_mode(self):
+        from repro.cli import COLLAPSE_CHOICES, build_parser
+
+        parser = build_parser()
+        for mode in COLLAPSE_CHOICES:
+            args = parser.parse_args(["protest", "cell.txt", "--collapse", mode])
+            assert args.collapse == mode
+        assert parser.parse_args(["protest", "cell.txt"]).collapse is None
 
     def test_cli_rejects_unknown_engine_with_registry_message(self, capsys):
         from repro.cli import build_parser
@@ -816,3 +970,33 @@ class TestEstimatorsAcrossEngines:
                     network, faults, samples=512, engine=engine,
                     tune=tuning_specs[tuning],
                 ) == reference, (engine, tuning)
+
+    def test_monte_carlo_estimator_identical_under_collapse(self):
+        """Class members have identical difference words, so the
+        collapsed Monte-Carlo estimate matches the uncollapsed one
+        exactly on every engine."""
+        from repro.protest import monte_carlo_detection_probabilities
+
+        network = skewed_cone_network(depth=5, islands=3)
+        faults = all_faults(network)
+        reference = monte_carlo_detection_probabilities(
+            network, faults, samples=512, engine="interpreted"
+        )
+        for engine in ENGINES:
+            assert monte_carlo_detection_probabilities(
+                network, faults, samples=512, engine=engine, collapse="on"
+            ) == reference, engine
+
+    def test_protest_facade_identical_under_collapse(self):
+        from repro.protest import Protest
+
+        network = domino_carry_chain(3)
+        reference = Protest(network, engine="interpreted").validate(200, seed=7)
+        for collapse in ("on", "report"):
+            for engine in ("compiled", "vector"):
+                results_identical(
+                    Protest(network, engine=engine, collapse=collapse).validate(
+                        200, seed=7
+                    ),
+                    reference,
+                )
