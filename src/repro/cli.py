@@ -12,7 +12,8 @@ Subcommands::
     python -m repro protest CELLFILE --confidence 0.999 \
             [--engine compiled|interpreted|sharded|sharded+vector|vector] \
             [--jobs N] [--schedule contiguous|cost|interleaved] \
-            [--tune auto|default|PROFILE.json] [--collapse off|on|report]
+            [--tune auto|default|PROFILE.json] [--collapse off|on|report] \
+            [--cache memory|off|DIR]
         Wrap the cell in a single-gate network and run the PROTEST
         pipeline: probabilities, test length, optimized weights.
         ``--engine`` picks the simulation engine for the estimators and
@@ -25,8 +26,12 @@ Subcommands::
         ``auto`` calibrates this host, a path loads a saved profile);
         ``--collapse`` the structural-collapsing mode (``on`` simulates
         one representative per fault-equivalence class, ``report``
-        additionally prints the class/dominance report - schedules,
-        plans and collapsing never change results, only throughput).
+        additionally prints the class/dominance report); ``--cache``
+        the artifact store everything derivable from the network alone
+        is resolved through (``memory`` per process, ``off``, or a
+        directory whose disk tier persists artifacts across runs -
+        schedules, plans, collapsing and caching never change results,
+        only throughput).
 
     python -m repro figures
         Print the executable versions of Figs. 1, 5, 7 and 9.
@@ -58,6 +63,11 @@ COLLAPSE_CHOICES = ("off", "on", "report")
 """The structural-collapsing modes, spelled out for the same reason; a
 test holds this tuple equal to
 ``repro.faults.available_collapse_modes()``."""
+
+CACHE_CHOICES = ("memory", "off")
+"""The artifact-store cache modes (``--cache`` also accepts a cache
+directory path), spelled out for the same reason; a test holds this
+tuple equal to ``repro.simulate.available_cache_modes()``."""
 
 
 def _engine_name(name: str) -> str:
@@ -110,6 +120,20 @@ def _collapse_name(name: str) -> str:
 
     try:
         get_collapse_mode(name)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return name
+
+
+def _cache_name(name: str) -> str:
+    """argparse type for ``--cache``: validate like ``--engine``,
+    reusing the artifact-store module's exact error message (a
+    directory path that exists as a non-directory fails at parse time,
+    before any simulation runs)."""
+    from .simulate.artifacts import resolve_cache
+
+    try:
+        resolve_cache(name)
     except ValueError as error:
         raise argparse.ArgumentTypeError(str(error)) from None
     return name
@@ -169,12 +193,16 @@ def command_protest(args: argparse.Namespace) -> int:
     network = _cell_network(cell)
     protest = Protest(
         network, engine=args.engine, jobs=args.jobs, schedule=args.schedule,
-        tune=args.tune, collapse=args.collapse,
+        tune=args.tune, collapse=args.collapse, cache=args.cache,
     )
     if args.collapse == "report":
         from .faults.structural import collapse_network_faults
 
-        print(collapse_network_faults(network, protest.faults).format_report())
+        print(
+            collapse_network_faults(
+                network, protest.faults, cache=args.cache
+            ).format_report()
+        )
         print()
     report = protest.analyse(confidence=args.confidence)
     print(report.format_summary())
@@ -282,6 +310,17 @@ def build_parser() -> argparse.ArgumentParser:
         "per equivalence class and scatter outcomes back (default: off; "
         "'report' additionally prints the class/dominance report; "
         "results are collapse-independent)",
+    )
+    protest.add_argument(
+        "--cache",
+        type=_cache_name,
+        default=None,
+        metavar="|".join(CACHE_CHOICES) + "|DIR",
+        help="artifact store for compiled programs, cone metadata, "
+        "batch plans, collapse classes and tuning profiles (default: a "
+        "process-wide in-memory store, or $REPRO_CACHE_DIR when set; "
+        "'off' disables caching; a directory persists artifacts across "
+        "runs; results are cache-independent)",
     )
     protest.set_defaults(func=command_protest)
 

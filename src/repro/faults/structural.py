@@ -48,15 +48,16 @@ but never used to drop faults from the exact simulation path.
 The collapse mode knob (``off`` / ``on`` / ``report``) resolves exactly
 like engine, schedule and plan names do
 (:func:`repro.simulate.registry.get_engine` et al.), and the CLI reuses
-the error message.  Collapsed sets are memoised per compilation, keyed
-by the fault-label tuple, exactly like the scheduler's cone sets.
+the error message.  Collapsed sets are content-addressed artifacts:
+keyed by the network and fault-list fingerprints in the artifact store
+(:mod:`repro.simulate.artifacts`), shared across equal networks and
+persisted by its disk tier.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
-from weakref import WeakKeyDictionary
 
 from ..logic.truthtable import TruthTable
 from ..netlist.network import Network, NetworkFault
@@ -386,11 +387,6 @@ class CollapsedFaultSet:
 
 # -- the collapse pass ------------------------------------------------------------------
 
-_COLLAPSED: "WeakKeyDictionary" = WeakKeyDictionary()
-"""Per-compilation cache of collapsed sets, keyed by the fault-label
-tuple (unique after dedupe).  Lives exactly as long as the compilation,
-like the scheduler's cone-set cache."""
-
 
 def _dominance_pairs(
     collapser: _Collapser, signatures: Sequence[Tuple]
@@ -509,7 +505,9 @@ def _semantic_dominance(words: Sequence[Optional[int]]) -> List[Tuple[int, int]]
 
 
 def collapse_network_faults(
-    network: Network, faults: Optional[Sequence[NetworkFault]] = None
+    network: Network,
+    faults: Optional[Sequence[NetworkFault]] = None,
+    cache=None,
 ) -> CollapsedFaultSet:
     """Collapse a fault list into difference-equivalence classes.
 
@@ -517,56 +515,62 @@ def collapse_network_faults(
     through the whole netlist, so simulating the class representative
     and scattering its outcome reproduces every member's result bit for
     bit - the contract ``fault_simulate(..., collapse="on")`` rides on.
-    Results are memoised per compilation and fault-label tuple.
+    Results are keyed by the *content* fingerprints of the network and
+    fault list in the artifact store (two equal networks built
+    separately share one entry, and the collapse survives in the disk
+    tier across processes), replacing the old per-compilation identity
+    memo.
     """
+    from ..simulate.artifacts import fault_fingerprint, resolve_cache
     from ..simulate.compiled import compile_network
     from ..simulate.faultsim import dedupe_faults
 
     if faults is None:
         faults = network.enumerate_faults()
     faults = dedupe_faults(faults)
-    compiled = compile_network(network)
-    key = tuple(fault.describe() for fault in faults)
-    cache = _COLLAPSED.setdefault(compiled, {})
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
+    store = resolve_cache(cache)
+    compiled = compile_network(network, cache=store)
 
-    collapser = _Collapser(compiled)
-    signatures: List[Tuple] = []
-    class_of_signature: Dict[Tuple, int] = {}
-    classes: List[List[int]] = []
-    class_of: List[int] = []
-    for index, fault in enumerate(faults):
-        signature = collapser.signature(index, fault)
-        class_index = class_of_signature.get(signature)
-        if class_index is None:
-            class_index = len(classes)
-            class_of_signature[signature] = class_index
-            classes.append([])
-            signatures.append(signature)
-        classes[class_index].append(index)
-        class_of.append(class_index)
+    def build() -> CollapsedFaultSet:
+        collapser = _Collapser(compiled)
+        signatures: List[Tuple] = []
+        class_of_signature: Dict[Tuple, int] = {}
+        classes: List[List[int]] = []
+        class_of: List[int] = []
+        for index, fault in enumerate(faults):
+            signature = collapser.signature(index, fault)
+            class_index = class_of_signature.get(signature)
+            if class_index is None:
+                class_index = len(classes)
+                class_of_signature[signature] = class_index
+                classes.append([])
+                signatures.append(signature)
+            classes[class_index].append(index)
+            class_of.append(class_index)
 
-    if 0 < len(network.inputs) <= SEMANTIC_COLLAPSE_MAX_INPUTS:
-        words = _exhaustive_class_words(compiled, network, faults, classes, signatures)
-        classes, class_of, words = _merge_classes_by_word(classes, words)
-        null_classes = tuple(k for k, word in enumerate(words) if word == 0)
-        dominance = _semantic_dominance(words)
-    else:
-        null_classes = tuple(
-            k for k, signature in enumerate(signatures) if signature == _NULL
+        if 0 < len(network.inputs) <= SEMANTIC_COLLAPSE_MAX_INPUTS:
+            words = _exhaustive_class_words(
+                compiled, network, faults, classes, signatures
+            )
+            classes_, class_of_, words = _merge_classes_by_word(classes, words)
+            null_classes = tuple(k for k, word in enumerate(words) if word == 0)
+            dominance = _semantic_dominance(words)
+        else:
+            classes_, class_of_ = classes, class_of
+            null_classes = tuple(
+                k for k, signature in enumerate(signatures) if signature == _NULL
+            )
+            dominance = _dominance_pairs(collapser, signatures)
+
+        return CollapsedFaultSet(
+            network_name=network.name,
+            faults=list(faults),
+            classes=classes_,
+            class_of=class_of_,
+            representatives=[members[0] for members in classes_],
+            null_classes=null_classes,
+            dominance=dominance,
         )
-        dominance = _dominance_pairs(collapser, signatures)
 
-    collapsed = CollapsedFaultSet(
-        network_name=network.name,
-        faults=list(faults),
-        classes=classes,
-        class_of=class_of,
-        representatives=[members[0] for members in classes],
-        null_classes=null_classes,
-        dominance=dominance,
-    )
-    cache[key] = collapsed
-    return collapsed
+    key = (compiled.fingerprint, fault_fingerprint(faults))
+    return store.fetch("collapse", key, build, persist=True)

@@ -45,6 +45,12 @@ class TruthTable:
     def __setattr__(self, *args):
         raise AttributeError("TruthTable is immutable")
 
+    def __reduce__(self):
+        # The immutable __setattr__ breaks the default slot-state
+        # restore, so pickling re-runs the constructor instead - which
+        # also re-validates entries read back from an artifact store.
+        return (type(self), (self.names, self.bits))
+
     # -- construction ----------------------------------------------------
 
     @classmethod

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..logic.probability import signal_probability as expr_probability
 from ..netlist.network import Network, NetworkFault
+from ..simulate.artifacts import resolve_cache
 from ..simulate.compiled import compile_network
 from ..simulate.faultsim import check_injectable, dedupe_faults
 from ..simulate.logicsim import PatternSet
@@ -55,6 +56,7 @@ def exact_detection_probabilities(
     network: Network,
     faults: Sequence[NetworkFault],
     probs: Mapping[str, float] | float = 0.5,
+    cache=None,
 ) -> Dict[str, float]:
     """Exact P(random pattern detects fault) per fault."""
     n = len(network.inputs)
@@ -69,7 +71,7 @@ def exact_detection_probabilities(
     patterns = PatternSet.exhaustive(network.inputs)
     ordered = [input_probs[name] for name in reversed(network.inputs)]
     weights = minterm_weights(ordered)
-    sim = compile_network(network).simulate(patterns.env, patterns.mask)
+    sim = compile_network(network, cache=cache).simulate(patterns.env, patterns.mask)
     result: Dict[str, float] = {}
     for fault in faults:
         difference = sim.difference(fault)
@@ -90,6 +92,7 @@ def monte_carlo_detection_probabilities(
     schedule: Optional[str] = None,
     tune=None,
     collapse: Optional[str] = None,
+    cache=None,
 ) -> Dict[str, float]:
     """Empirical detection frequency per fault.
 
@@ -110,6 +113,7 @@ def monte_carlo_detection_probabilities(
     if samples < 1:
         raise ValueError(f"samples must be >= 1, got {samples}")
     mode = get_collapse_mode(collapse)
+    store = resolve_cache(cache)
     faults = dedupe_faults(faults)
     check_injectable(network, faults)
     input_probs = _input_probs(network, probs)
@@ -118,15 +122,17 @@ def monte_carlo_detection_probabilities(
     )
     if mode == "off" or not faults:
         words = get_engine(engine).difference_words(
-            network, patterns, faults, jobs=jobs, schedule=schedule, tune=tune
+            network, patterns, faults, jobs=jobs, schedule=schedule, tune=tune,
+            cache=store,
         )
     else:
-        collapsed = collapse_network_faults(network, faults)
+        collapsed = collapse_network_faults(network, faults, cache=store)
         rep_words = get_engine(engine).difference_words(
             network, patterns, collapsed.representative_faults(),
-            jobs=jobs, schedule=schedule, tune=tune,
+            jobs=jobs, schedule=schedule, tune=tune, cache=store,
         )
         words = collapsed.scatter_outcomes(rep_words)
+    store.flush()
     return {
         fault.describe(): word.bit_count() / samples
         for fault, word in zip(faults, words)
@@ -227,29 +233,33 @@ def detection_probabilities(
     schedule: Optional[str] = None,
     tune=None,
     collapse: Optional[str] = None,
+    cache=None,
 ) -> Dict[str, float]:
     """Dispatch over the three estimators (``auto``: exact when feasible).
 
     ``collapse`` reaches the Monte-Carlo estimator (the only one whose
     cost scales with the fault count times the sample count); its name
     is validated up front on every method, matching the
-    ``schedule``/``tune`` contract.
+    ``schedule``/``tune`` contract.  ``cache`` (an artifact-store spec,
+    validated up front likewise) reaches the simulation-backed
+    estimators.
     """
     from ..faults.structural import get_collapse_mode
 
     resolve_plan(tune)  # reject bad plans whichever estimator dispatches
     get_collapse_mode(collapse)  # ...and bad collapse modes likewise
+    store = resolve_cache(cache)  # ...and bad cache modes likewise
     if faults is None:
         faults = network.enumerate_faults()
     if method == "auto":
         method = "exact" if len(network.inputs) <= MAX_EXACT_INPUTS else "monte_carlo"
     if method == "exact":
-        return exact_detection_probabilities(network, faults, probs)
+        return exact_detection_probabilities(network, faults, probs, cache=store)
     if method == "topological":
         return topological_detection_probabilities(network, faults, probs)
     if method == "monte_carlo":
         return monte_carlo_detection_probabilities(
             network, faults, probs, samples, seed, engine, jobs, schedule,
-            tune, collapse,
+            tune, collapse, cache=store,
         )
     raise ValueError(f"unknown method {method!r}")

@@ -83,11 +83,13 @@ class OptimizationResult:
 class _ExactEvaluator:
     """Exact detection probabilities via the fault-difference matrix."""
 
-    def __init__(self, network: Network, faults: Sequence[NetworkFault]):
+    def __init__(self, network: Network, faults: Sequence[NetworkFault], cache=None):
         self.network = network
         self.names = list(network.inputs)
         patterns = PatternSet.exhaustive(self.names)
-        sim = compile_network(network).simulate(patterns.env, patterns.mask)
+        sim = compile_network(network, cache=cache).simulate(
+            patterns.env, patterns.mask
+        )
         rows = []
         for fault in faults:
             rows.append(bits_to_bool_array(sim.difference(fault), patterns.count))
@@ -112,6 +114,7 @@ class _MonteCarloEvaluator:
         jobs: Optional[int] = None,
         schedule: Optional[str] = None,
         tune=None,
+        cache=None,
     ):
         self.network = network
         self.faults = list(faults)
@@ -121,6 +124,7 @@ class _MonteCarloEvaluator:
         self.jobs = jobs
         self.schedule = schedule
         self.tune = tune
+        self.cache = cache
 
     def detection(self, probs: Mapping[str, float]) -> np.ndarray:
         values = monte_carlo_detection_probabilities(
@@ -133,6 +137,7 @@ class _MonteCarloEvaluator:
             self.jobs,
             self.schedule,
             self.tune,
+            cache=self.cache,
         )
         return np.array([values[f.describe()] for f in self.faults])
 
@@ -148,26 +153,31 @@ def optimize_input_probabilities(
     jobs: Optional[int] = None,
     schedule: Optional[str] = None,
     tune=None,
+    cache=None,
 ) -> OptimizationResult:
     """Coordinate search maximising the minimum detection probability.
 
-    ``engine``/``jobs``/``schedule``/``tune`` select the simulation
-    engine, fault schedule and execution plan for the Monte-Carlo
-    evaluator on wide circuits (the exact fault-difference matrix of
-    narrow circuits is a single compiled pass either way).
+    ``engine``/``jobs``/``schedule``/``tune``/``cache`` select the
+    simulation engine, fault schedule, execution plan and artifact
+    store for the Monte-Carlo evaluator on wide circuits (the exact
+    fault-difference matrix of narrow circuits is a single compiled
+    pass either way).
     """
-    resolve_plan(tune)  # reject bad plans on the exact path too
+    from ..simulate.artifacts import resolve_cache
+
+    store = resolve_cache(cache)
+    resolve_plan(tune, cache=store)  # reject bad plans on the exact path too
     if faults is None:
         faults = network.enumerate_faults()
     faults = list(faults)
     if not faults:
         raise ValueError("no faults to optimize for")
     if len(network.inputs) <= MAX_EXACT_INPUTS - 4:
-        evaluator = _ExactEvaluator(network, faults)
+        evaluator = _ExactEvaluator(network, faults, cache=store)
     else:
         evaluator = _MonteCarloEvaluator(
             network, faults, samples, engine=engine, jobs=jobs,
-            schedule=schedule, tune=tune,
+            schedule=schedule, tune=tune, cache=store,
         )
 
     labels = [f.describe() for f in faults]

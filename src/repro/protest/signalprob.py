@@ -67,7 +67,7 @@ def bits_to_bool_array(bits: int, size: int) -> np.ndarray:
 
 
 def exact_signal_probabilities(
-    network: Network, probs: Mapping[str, float] | float = 0.5
+    network: Network, probs: Mapping[str, float] | float = 0.5, cache=None
 ) -> Dict[str, float]:
     """Exact P(net = 1) for every net by exhaustive tabulation."""
     n = len(network.inputs)
@@ -78,7 +78,9 @@ def exact_signal_probabilities(
         )
     input_probs = _input_probs(network, probs)
     patterns = PatternSet.exhaustive(network.inputs)
-    values = compile_network(network).evaluate_bits(patterns.env, patterns.mask)
+    values = compile_network(network, cache=cache).evaluate_bits(
+        patterns.env, patterns.mask
+    )
     # Weight of minterm m: product over inputs of p or (1-p).
     ordered = [input_probs[name] for name in reversed(network.inputs)]
     weights = minterm_weights(ordered)
@@ -115,6 +117,7 @@ def monte_carlo_signal_probabilities(
     samples: int = 4096,
     seed: int = 1986,
     engine: str = "compiled",
+    cache=None,
 ) -> Dict[str, float]:
     """Empirical frequencies over weighted random patterns.
 
@@ -126,7 +129,9 @@ def monte_carlo_signal_probabilities(
         raise ValueError(f"samples must be >= 1, got {samples}")
     input_probs = _input_probs(network, probs)
     patterns = PatternSet.random(network.inputs, samples, seed=seed, probabilities=input_probs)
-    values = get_engine(engine).evaluate_bits(network, patterns.env, patterns.mask)
+    values = get_engine(engine).evaluate_bits(
+        network, patterns.env, patterns.mask, cache=cache
+    )
     return {net: bits.bit_count() / samples for net, bits in values.items()}
 
 
@@ -137,15 +142,18 @@ def signal_probabilities(
     samples: int = 4096,
     seed: int = 1986,
     engine: str = "compiled",
+    cache=None,
 ) -> Dict[str, float]:
     """Dispatch: ``exact``, ``topological``, ``monte_carlo`` or ``auto``
     (exact when feasible, else Monte Carlo)."""
     if method == "auto":
         method = "exact" if len(network.inputs) <= MAX_EXACT_INPUTS else "monte_carlo"
     if method == "exact":
-        return exact_signal_probabilities(network, probs)
+        return exact_signal_probabilities(network, probs, cache=cache)
     if method == "topological":
         return topological_signal_probabilities(network, probs)
     if method == "monte_carlo":
-        return monte_carlo_signal_probabilities(network, probs, samples, seed, engine)
+        return monte_carlo_signal_probabilities(
+            network, probs, samples, seed, engine, cache=cache
+        )
     raise ValueError(f"unknown method {method!r}")

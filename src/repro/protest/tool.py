@@ -102,7 +102,13 @@ class Protest:
     ``collapse`` picks the structural-collapsing mode
     (:mod:`repro.faults.structural`: ``"off"`` by default, ``"on"`` /
     ``"report"`` to simulate one representative per equivalence class
-    with bit-identical results) for those same steps.
+    with bit-identical results) for those same steps.  ``cache`` picks
+    the artifact store (:mod:`repro.simulate.artifacts`: ``None`` for
+    the process-wide in-memory store, ``"memory"``, ``"off"``, a
+    directory path for the persistent disk tier, or an
+    :class:`~repro.simulate.artifacts.ArtifactStore`) every
+    simulation-backed step resolves compiled programs, cone metadata,
+    batch plans, collapse classes and tuning profiles through.
     Per-call ``engine=`` arguments override the instance default.
     """
 
@@ -115,10 +121,13 @@ class Protest:
         schedule: Optional[str] = None,
         tune=None,
         collapse: Optional[str] = None,
+        cache=None,
     ):
         from ..faults.structural import get_collapse_mode
+        from ..simulate.artifacts import resolve_cache
 
         get_collapse_mode(collapse)  # reject bad modes at construction
+        resolve_cache(cache)  # ...and bad cache modes likewise
         self.network = network
         self.faults = list(faults) if faults is not None else network.enumerate_faults()
         self.engine = engine
@@ -126,6 +135,7 @@ class Protest:
         self.schedule = schedule
         self.tune = tune
         self.collapse = collapse
+        self.cache = cache
 
     # -- the Fig. 8 pipeline, feature by feature ---------------------------------
 
@@ -136,7 +146,8 @@ class Protest:
         engine: Optional[str] = None,
     ) -> Dict[str, float]:
         return signal_probabilities(
-            self.network, probs, method, engine=engine or self.engine
+            self.network, probs, method, engine=engine or self.engine,
+            cache=self.cache,
         )
 
     def detection_probabilities(
@@ -155,6 +166,7 @@ class Protest:
             schedule=self.schedule,
             tune=self.tune,
             collapse=self.collapse,
+            cache=self.cache,
         )
 
     def required_test_length(
@@ -177,6 +189,7 @@ class Protest:
             jobs=self.jobs,
             schedule=self.schedule,
             tune=self.tune,
+            cache=self.cache,
         )
 
     def generate_patterns(
@@ -200,6 +213,7 @@ class Protest:
         schedule: Optional[str] = None,
         tune=None,
         collapse: Optional[str] = None,
+        cache=None,
     ) -> FaultSimResult:
         """Static fault simulation of generated patterns - the validation
         step before committing self-test logic to the chip.
@@ -207,9 +221,10 @@ class Protest:
         ``engine`` names a registered engine (``"compiled"``,
         ``"interpreted"``, ``"sharded"``), ``jobs`` the worker count
         for the sharded engines, ``schedule`` the fault-scheduling
-        policy, ``tune`` the execution plan and ``collapse`` the
-        structural-collapsing mode; all default to the instance
-        settings.  See :func:`repro.simulate.faultsim.fault_simulate`.
+        policy, ``tune`` the execution plan, ``collapse`` the
+        structural-collapsing mode and ``cache`` the artifact store;
+        all default to the instance settings.  See
+        :func:`repro.simulate.faultsim.fault_simulate`.
         """
         patterns = self.generate_patterns(count, probs, seed)
         return fault_simulate(
@@ -221,6 +236,7 @@ class Protest:
             schedule=schedule if schedule is not None else self.schedule,
             tune=tune if tune is not None else self.tune,
             collapse=collapse if collapse is not None else self.collapse,
+            cache=cache if cache is not None else self.cache,
         )
 
     # -- one-call analysis -----------------------------------------------------------

@@ -1,5 +1,14 @@
 """Simulation: true-value, static fault simulation, RC timing."""
 
+from .artifacts import (
+    ArtifactStore,
+    SCHEMA_VERSION,
+    available_cache_modes,
+    fault_fingerprint,
+    host_fingerprint,
+    network_fingerprint,
+    resolve_cache,
+)
 from .compiled import CompiledNetwork, GoodSimulation, compile_network
 from .deductive import deductive_fault_simulate
 from .dictionary import Diagnosis, FaultDictionary
@@ -45,6 +54,13 @@ from .timingsim import (
 )
 
 __all__ = [
+    "ArtifactStore",
+    "SCHEMA_VERSION",
+    "available_cache_modes",
+    "fault_fingerprint",
+    "host_fingerprint",
+    "network_fingerprint",
+    "resolve_cache",
     "CompiledNetwork",
     "GoodSimulation",
     "compile_network",

@@ -38,12 +38,12 @@ from __future__ import annotations
 
 from heapq import heappop, heappush
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
-from weakref import WeakKeyDictionary
 
 from ..logic.expr import And, Const, Expr, Not, Or, Var
 from ..logic.minimize import minimal_sop
 from ..logic.truthtable import TruthTable
 from ..netlist.network import Network, NetworkError, NetworkFault
+from .artifacts import network_fingerprint, resolve_cache
 
 __all__ = ["CompiledGate", "CompiledNetwork", "GoodSimulation", "compile_network"]
 
@@ -184,6 +184,7 @@ class CompiledNetwork:
         # itself would pin it (and this compilation) in the weak-keyed
         # compile cache forever.
         self.name = network.name
+        self.fingerprint = network_fingerprint(network)
         self.input_nets: Tuple[str, ...] = tuple(network.inputs)
         self.output_nets: Tuple[str, ...] = tuple(network.outputs)
         order = network.levelize()
@@ -240,6 +241,9 @@ class CompiledNetwork:
         # cache; hashing a whole NetworkFault (nested dataclasses) would
         # be far slower.
         self._faulty_fns: Dict[Tuple, Callable] = {}
+        # Fanout-cone gate sets, grown lazily by schedule.cone_gates and
+        # persisted alongside this program by the artifact store.
+        self._cone_map: Dict[int, frozenset] = {}
 
     # -- fault patch points ---------------------------------------------------------
 
@@ -437,21 +441,24 @@ class GoodSimulation:
         return difference
 
 
-# -- per-network compile cache ---------------------------------------------------------
-
-_COMPILED: "WeakKeyDictionary[Network, Tuple[int, CompiledNetwork]]" = WeakKeyDictionary()
+# -- content-addressed compile cache ---------------------------------------------------
 
 
-def compile_network(network: Network) -> CompiledNetwork:
+def compile_network(network: Network, cache=None) -> CompiledNetwork:
     """Compile (or fetch the cached compilation of) a network.
 
-    The cache is invalidated by the network's structural generation
-    counter, which :meth:`Network.add_gate` bumps alongside ``_order``.
+    Compilations are keyed by :func:`~repro.simulate.artifacts.network_fingerprint`
+    in the resolved :class:`~repro.simulate.artifacts.ArtifactStore`, so
+    two equal networks built separately share one slot program and a
+    mutated network (new content hash) misses cleanly.  The program
+    holds lambdas, so it lives in the store's memory tier only; its
+    lazily-grown cone map piggybacks on the disk tier via
+    ``seed_cones``/``flush``.
     """
-    generation = getattr(network, "_generation", 0)
-    cached = _COMPILED.get(network)
-    if cached is not None and cached[0] == generation:
-        return cached[1]
-    compiled = CompiledNetwork(network)
-    _COMPILED[network] = (generation, compiled)
+    store = resolve_cache(cache)
+    fingerprint = network_fingerprint(network)
+    compiled = store.fetch(
+        "compiled", (fingerprint,), lambda: CompiledNetwork(network)
+    )
+    store.seed_cones(compiled)
     return compiled

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..netlist.network import Network, NetworkFault
+from .artifacts import resolve_cache
 from .compiled import compile_network
 from .logicsim import PatternSet
 from .registry import Engine, get_engine, register_engine
@@ -279,16 +280,18 @@ def interpreted_difference_words(
     jobs: Optional[int] = None,
     schedule: Optional[str] = None,
     tune=None,
+    cache=None,
 ) -> List[int]:
     """One detection word per fault via full interpreted re-simulation.
 
-    Serial fault-by-fault passes have nothing to schedule or tune, but
-    ``schedule`` and ``tune`` are still validated so every registry
-    engine rejects bad names identically - on this entry point too, not
-    only through ``fault_simulate``.
+    Serial fault-by-fault passes have nothing to schedule, tune or
+    cache, but ``schedule``, ``tune`` and ``cache`` are still validated
+    so every registry engine rejects bad names identically - on this
+    entry point too, not only through ``fault_simulate``.
     """
     get_schedule(schedule)
-    resolve_plan(tune)
+    store = resolve_cache(cache)
+    resolve_plan(tune, cache=store)
     good = network.output_bits(patterns.env, patterns.mask)
     return [
         _difference_interpreted(network, patterns.env, patterns.mask, good, fault)
@@ -303,11 +306,13 @@ def compiled_difference_words(
     jobs: Optional[int] = None,
     schedule: Optional[str] = None,
     tune=None,
+    cache=None,
 ) -> List[int]:
     """One detection word per fault via cone-restricted compiled passes."""
     get_schedule(schedule)
-    resolve_plan(tune)
-    sim = compile_network(network).simulate(patterns.env, patterns.mask)
+    store = resolve_cache(cache)
+    resolve_plan(tune, cache=store)
+    sim = compile_network(network, cache=store).simulate(patterns.env, patterns.mask)
     return [sim.difference(fault) for fault in faults]
 
 
@@ -336,8 +341,10 @@ def _single_process_simulate(engine_name: str):
         tune=None,
         stop_at_coverage=None,
         coverage_weights: Optional[Sequence[int]] = None,
+        cache=None,
     ) -> FaultSimResult:
-        plan = resolve_plan(tune)
+        store = resolve_cache(cache)
+        plan = resolve_plan(tune, cache=store)
         check_stop_at_coverage(stop_at_coverage)
         if stop_at_first_detection or stop_at_coverage is not None:
             window = FIRST_DETECTION_CHUNK
@@ -347,7 +354,7 @@ def _single_process_simulate(engine_name: str):
             # tuned plans use cache-sized ones - the same lever the
             # sharded workers measured ~2x from).
             window = plan.serial_window(
-                patterns.count, compile_network(network).num_slots
+                patterns.count, compile_network(network, cache=store).num_slots
             )
         else:
             window = max(patterns.count, 1)
@@ -356,14 +363,15 @@ def _single_process_simulate(engine_name: str):
             engine_name, schedule, tune,
             stop_at_coverage=stop_at_coverage,
             coverage_weights=coverage_weights,
+            cache=store,
         )
         return build_result(network.name, patterns.count, faults, outcomes)
 
     return simulate_faults
 
 
-def _compiled_evaluate_bits(network: Network, env, mask) -> Dict[str, int]:
-    return compile_network(network).evaluate_bits(env, mask)
+def _compiled_evaluate_bits(network: Network, env, mask, cache=None) -> Dict[str, int]:
+    return compile_network(network, cache=cache).evaluate_bits(env, mask)
 
 
 register_engine(
@@ -372,7 +380,9 @@ register_engine(
         description="gate-by-gate AST walk (reference oracle)",
         simulate_faults=_single_process_simulate("interpreted"),
         difference_words=interpreted_difference_words,
-        evaluate_bits=lambda network, env, mask: network.evaluate_bits(env, mask),
+        evaluate_bits=lambda network, env, mask, cache=None: network.evaluate_bits(
+            env, mask
+        ),
     )
 )
 
@@ -401,6 +411,7 @@ def fault_simulate(
     tune=None,
     collapse: Optional[str] = None,
     stop_at_coverage=None,
+    cache=None,
 ) -> FaultSimResult:
     """Simulate every fault against every pattern.
 
@@ -441,6 +452,16 @@ def fault_simulate(
     multiplies throughput by the class/fault ratio on every engine,
     which all see the shorter representative list.  Unknown modes raise
     here with the list of available modes.
+    ``cache`` selects the artifact store everything derivable from the
+    network alone (compiled slot programs, cone metadata, batch plans,
+    collapse classes, fault partitions, tuning profiles) is keyed in by
+    content fingerprint (:mod:`repro.simulate.artifacts`: ``None`` -
+    the process-wide in-memory store, honouring ``$REPRO_CACHE_DIR`` -
+    by default, ``"memory"``, ``"off"``, a directory path for the
+    persistent disk tier, or an :class:`ArtifactStore`).  Caching never
+    changes a result bit - warm and cold runs are bit-identical - and
+    unknown modes raise here with the list of available modes, on every
+    engine.
     ``stop_at_coverage`` (a fraction in ``(0, 1]``) retires detected
     faults between :data:`FIRST_DETECTION_CHUNK`-wide streaming windows
     - like ``stop_at_first_detection`` - and additionally stops the
@@ -453,7 +474,8 @@ def fault_simulate(
     """
     resolved = get_engine(engine)
     get_schedule(schedule)  # reject bad names before any engine runs
-    resolve_plan(tune)
+    store = resolve_cache(cache)
+    resolve_plan(tune, cache=store)
     from ..faults.structural import collapse_network_faults, get_collapse_mode
 
     mode = get_collapse_mode(collapse)
@@ -465,7 +487,7 @@ def fault_simulate(
     faults = dedupe_faults(faults)
     check_injectable(network, faults)
     if mode == "off" or not faults:
-        return resolved.simulate_faults(
+        result = resolved.simulate_faults(
             network,
             patterns,
             faults,
@@ -475,8 +497,11 @@ def fault_simulate(
             tune=tune,
             stop_at_coverage=stop_at_coverage,
             coverage_weights=None,
+            cache=store,
         )
-    collapsed = collapse_network_faults(network, faults)
+        store.flush()
+        return result
+    collapsed = collapse_network_faults(network, faults, cache=store)
     rep_result = resolved.simulate_faults(
         network,
         patterns,
@@ -487,6 +512,7 @@ def fault_simulate(
         tune=tune,
         stop_at_coverage=stop_at_coverage,
         coverage_weights=collapsed.class_sizes(),
+        cache=store,
     )
     class_outcomes: List[FaultOutcome] = []
     for rep_index in collapsed.representatives:
@@ -504,19 +530,21 @@ def fault_simulate(
         collapsed.scatter_outcomes(class_outcomes),
     )
     result.collapsed_classes = collapsed.class_count
+    store.flush()
     return result
 
 
-def window_difference_factory(network: Network, engine: str):
+def window_difference_factory(network: Network, engine: str, cache=None):
     """``window -> (fault -> difference word)`` for a one-process engine.
 
     The single-process window core shared by :func:`windowed_outcomes`
     and the sharded engine's workers; ``engine`` picks the per-window
     pass (``"compiled"`` slot program, ``"vector"`` numpy lane arrays,
-    ``"interpreted"`` full AST re-simulation).
+    ``"interpreted"`` full AST re-simulation); ``cache`` selects the
+    artifact store the compiled/vector programs resolve through.
     """
     if engine == "compiled":
-        compiled = compile_network(network)
+        compiled = compile_network(network, cache=cache)
 
         def for_window(window: PatternSet):
             return compiled.simulate(window.env, window.mask).difference
@@ -524,7 +552,7 @@ def window_difference_factory(network: Network, engine: str):
     elif engine == "vector":
         from .vector import vector_compile
 
-        vector = vector_compile(network)
+        vector = vector_compile(network, cache=cache)
 
         def for_window(window: PatternSet):
             return vector.simulate(window).difference
@@ -578,6 +606,7 @@ def windowed_outcomes(
     tune=None,
     stop_at_coverage=None,
     coverage_weights: Optional[Sequence[int]] = None,
+    cache=None,
 ) -> List[FaultOutcome]:
     """Per-fault (first index, count) outcomes, one window at a time.
 
@@ -614,14 +643,16 @@ def windowed_outcomes(
             schedule=schedule, tune=tune,
             stop_at_coverage=stop_at_coverage,
             coverage_weights=coverage_weights,
+            cache=cache,
         )
-    resolve_plan(tune)
+    store = resolve_cache(cache)
+    resolve_plan(tune, cache=store)
     check_stop_at_coverage(stop_at_coverage)
     weights = resolve_coverage_weights(faults, coverage_weights)
     total_weight = sum(weights)
     covered_weight = 0
     retire = stop_at_first_detection or stop_at_coverage is not None
-    for_window = window_difference_factory(network, engine)
+    for_window = window_difference_factory(network, engine, cache=store)
     firsts = [-1] * len(faults)
     counts = [0] * len(faults)
     active = list(range(len(faults)))
@@ -663,18 +694,20 @@ def coverage_curve(
     schedule: Optional[str] = None,
     tune=None,
     collapse: Optional[str] = None,
+    cache=None,
 ) -> List[Tuple[int, float]]:
     """(pattern count, fault coverage) samples along a pattern sequence.
 
     Used for the random-vs-deterministic comparison of experiment E8:
     run once over the full set, then read off when each fault first
-    fell.  ``collapse`` resolves exactly as in :func:`fault_simulate`
-    (first-detection indices are bit-identical either way, so the curve
-    is too - collapse only multiplies throughput).
+    fell.  ``collapse`` and ``cache`` resolve exactly as in
+    :func:`fault_simulate` (first-detection indices are bit-identical
+    either way, so the curve is too - collapse and caching only
+    multiply throughput).
     """
     result = fault_simulate(
         network, patterns, faults, engine=engine, jobs=jobs, schedule=schedule,
-        tune=tune, collapse=collapse,
+        tune=tune, collapse=collapse, cache=cache,
     )
     total = result.fault_count
     if total == 0:

@@ -38,10 +38,17 @@ partitions.  Scheduling only re-orders work.  They further accept a
 ``"default"`` keeps the hand-calibrated global chunk/window constants,
 ``"auto"`` derives per-cone chunk widths, window sizes and coalescer
 pricing from a host calibration profile, and a path loads a saved
-profile JSON.  Tuning only re-tiles work.
+profile JSON.  Tuning only re-tiles work.  And they accept a **cache**
+spec (resolved through :mod:`repro.simulate.artifacts`): the artifact
+store everything derivable from the network alone - compiled slot
+programs, cone metadata, batch plans, collapse classes, fault
+partitions, tuning profiles - is keyed in by content fingerprint
+(``None`` for the process-wide in-memory store, ``"memory"``,
+``"off"``, a directory path for the persistent disk tier, or an
+``ArtifactStore``).  Caching only skips re-derivation.
 
-All engines are bit-identical on every result - across every schedule
-and every tuning plan; they differ only in cost.
+All engines are bit-identical on every result - across every schedule,
+every tuning plan and every cache mode; they differ only in cost.
 ``tests/test_engine_equivalence.py`` is the registry-driven
 differential harness holding every registered engine - including any
 future one - to that contract against the interpreted oracle, over the
@@ -62,18 +69,19 @@ class Engine:
 
     ``simulate_faults(network, patterns, faults, *,
     stop_at_first_detection=False, jobs=None, schedule=None,
-    tune=None, stop_at_coverage=None, coverage_weights=None)`` returns
-    a ``FaultSimResult`` (``stop_at_coverage`` retires detected faults
-    between ``FIRST_DETECTION_CHUNK``-wide windows and stops the run at
-    the coverage threshold; ``coverage_weights`` weights each fault's
-    contribution - class sizes under structural collapsing);
-    ``difference_words(network, patterns, faults, jobs=None,
-    schedule=None, tune=None)`` returns one detection word per fault in
-    fault-list order; ``evaluate_bits(network, env, mask)`` returns the
-    fault-free valuation of every net.  Engines that cannot use
-    ``jobs``, ``schedule`` or ``tune`` accept and ignore them
-    (``fault_simulate`` validates the schedule and tuning names up
-    front so every engine rejects bad names identically).
+    tune=None, stop_at_coverage=None, coverage_weights=None,
+    cache=None)`` returns a ``FaultSimResult`` (``stop_at_coverage``
+    retires detected faults between ``FIRST_DETECTION_CHUNK``-wide
+    windows and stops the run at the coverage threshold;
+    ``coverage_weights`` weights each fault's contribution - class
+    sizes under structural collapsing); ``difference_words(network,
+    patterns, faults, jobs=None, schedule=None, tune=None,
+    cache=None)`` returns one detection word per fault in fault-list
+    order; ``evaluate_bits(network, env, mask, cache=None)`` returns
+    the fault-free valuation of every net.  Engines that cannot use
+    ``jobs``, ``schedule``, ``tune`` or ``cache`` accept and ignore
+    them (``fault_simulate`` validates the schedule, tuning and cache
+    names up front so every engine rejects bad names identically).
     """
 
     name: str

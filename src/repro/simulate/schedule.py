@@ -51,9 +51,9 @@ from __future__ import annotations
 
 from heapq import heappop, heappush
 from typing import Dict, FrozenSet, List, Optional, Sequence
-from weakref import WeakKeyDictionary
 
 from ..netlist.network import Network, NetworkFault
+from .artifacts import fault_fingerprint, resolve_cache
 from .compiled import CompiledNetwork, compile_network
 
 __all__ = [
@@ -77,23 +77,18 @@ DEFAULT_SCHEDULE = "cost"
 
 # -- cone metadata over the compiled slot program --------------------------------------
 
-_CONE_GATES: "WeakKeyDictionary[CompiledNetwork, Dict[int, FrozenSet[int]]]" = (
-    WeakKeyDictionary()
-)
-"""Per-compilation cache of fanout-cone gate sets, keyed by site slot.
-Lives exactly as long as the compilation itself (which already
-invalidates on structural mutation), and is shared by the sharded
-partitioner and the vector engine's batch coalescer."""
-
 
 def cone_gates(compiled: CompiledNetwork, slot: int) -> FrozenSet[int]:
     """Gate indices downstream of ``slot`` - the fault's fanout cone.
 
     One BFS over the compiled program's reader lists per site, memoised
-    per compilation; this is the same closure the per-fault cone passes
-    walk, so the cost model prices exactly the work the engines do.
+    on the compilation itself (``compiled._cone_map``) so the sets ride
+    wherever the artifact store carries the program - including its
+    disk tier, which seeds the map on the next cold process; this is
+    the same closure the per-fault cone passes walk, so the cost model
+    prices exactly the work the engines do.
     """
-    cones = _CONE_GATES.setdefault(compiled, {})
+    cones = compiled._cone_map
     cached = cones.get(slot)
     if cached is not None:
         return cached
@@ -143,9 +138,11 @@ def site_cost(compiled: CompiledNetwork, site: int) -> int:
     return 1 if site < 0 else 1 + cone_gate_count(compiled, site)
 
 
-def fault_costs(network: Network, faults: Sequence[NetworkFault]) -> List[int]:
+def fault_costs(
+    network: Network, faults: Sequence[NetworkFault], cache=None
+) -> List[int]:
     """Per-fault cone cost (:func:`site_cost` of each injection site)."""
-    compiled = compile_network(network)
+    compiled = compile_network(network, cache=cache)
     return [site_cost(compiled, fault_site(compiled, fault)) for fault in faults]
 
 
@@ -248,6 +245,7 @@ def partition_faults(
     faults: Sequence[NetworkFault],
     shards: int,
     schedule: Optional[str] = None,
+    cache=None,
 ) -> List[List[int]]:
     """Shard a fault list into index lists under the named schedule.
 
@@ -265,19 +263,27 @@ def partition_faults(
     count = len(faults)
     if scheduler is not cost_schedule:
         return scheduler([1] * count, shards)
-    compiled = compile_network(network)
-    members_of_site: Dict[int, List[int]] = {}
-    for index, fault in enumerate(faults):
-        members_of_site.setdefault(fault_site(compiled, fault), []).append(index)
-    sites = sorted(members_of_site)
-    group_costs = [
-        site_cost(compiled, site) * len(members_of_site[site]) for site in sites
-    ]
-    parts: List[List[int]] = []
-    for group_part in cost_schedule(group_costs, shards):
-        indices = [
-            index for group in group_part for index in members_of_site[sites[group]]
+    store = resolve_cache(cache)
+    compiled = compile_network(network, cache=store)
+
+    def build() -> List[List[int]]:
+        members_of_site: Dict[int, List[int]] = {}
+        for index, fault in enumerate(faults):
+            members_of_site.setdefault(fault_site(compiled, fault), []).append(index)
+        sites = sorted(members_of_site)
+        group_costs = [
+            site_cost(compiled, site) * len(members_of_site[site]) for site in sites
         ]
-        indices.sort()
-        parts.append(indices)
-    return parts
+        parts: List[List[int]] = []
+        for group_part in cost_schedule(group_costs, shards):
+            indices = [
+                index
+                for group in group_part
+                for index in members_of_site[sites[group]]
+            ]
+            indices.sort()
+            parts.append(indices)
+        return parts
+
+    key = (compiled.fingerprint, fault_fingerprint(faults), int(shards))
+    return store.fetch("partition", key, build, persist=True)

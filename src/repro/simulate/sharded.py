@@ -44,6 +44,7 @@ import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..netlist.network import Network, NetworkFault
+from .artifacts import resolve_cache
 from .compiled import compile_network
 from .faultsim import (
     FIRST_DETECTION_CHUNK,
@@ -96,6 +97,7 @@ def windowed_difference_words(
     engine: str = "compiled",
     schedule: Optional[str] = None,
     tune=None,
+    cache=None,
 ) -> List[int]:
     """Whole-set detection words assembled from per-window words.
 
@@ -115,16 +117,17 @@ def windowed_difference_words(
 
         return vector_difference_words(
             network, patterns, faults, window=window, schedule=schedule,
-            tune=tune,
+            tune=tune, cache=cache,
         )
-    plan = resolve_plan(tune)
+    store = resolve_cache(cache)
+    plan = resolve_plan(tune, cache=store)
     if window is None:
         window = plan.bigint_window(
-            patterns.count, compile_network(network).num_slots
+            patterns.count, compile_network(network, cache=store).num_slots
         )
     from .faultsim import window_difference_factory
 
-    for_window = window_difference_factory(network, engine)
+    for_window = window_difference_factory(network, engine, cache=store)
     words = [0] * len(faults)
     for start, chunk in patterns.windows(window):
         difference_of = for_window(chunk)
@@ -233,22 +236,27 @@ def _scatter(sharded, size: int, empty) -> List:
 # -- the worker pool -------------------------------------------------------------------
 
 _SHARD_CONTEXT: Optional[Tuple] = None
-"""(network, patterns, faults, window, stop, engine, schedule, tune) -
-set in the parent just before the pool forks, inherited copy-on-write
-by the workers; ``engine`` is the inner single-process window core,
-``schedule`` reaches its batch planner and ``tune`` its execution plan
-(the parent resolves the plan - including any ``"auto"`` calibration -
-*before* forking, so workers inherit the memoised profile instead of
-re-probing).  Workers receive their shard as a list of fault-list
-indices (any partition the scheduler produced, not just contiguous
-slices)."""
+"""(network, patterns, faults, window, stop, engine, schedule, tune,
+cache) - set in the parent just before the pool forks, inherited
+copy-on-write by the workers; ``engine`` is the inner single-process
+window core, ``schedule`` reaches its batch planner, ``tune`` its
+execution plan and ``cache`` the resolved artifact store (the parent
+resolves the plan - including any ``"auto"`` calibration - and
+pre-warms the store's compiled/vector programs *before* forking, so
+workers inherit the finished artifacts instead of re-deriving them per
+fork).  Workers receive their shard as a list of fault-list indices
+(any partition the scheduler produced, not just contiguous slices)."""
 
 
 def _outcomes_worker(indices: Sequence[int]) -> List[FaultOutcome]:
-    network, patterns, faults, window, stop, engine, schedule, tune = _SHARD_CONTEXT
+    (
+        network, patterns, faults, window, stop, engine, schedule, tune,
+        cache,
+    ) = _SHARD_CONTEXT
     subset = [faults[index] for index in indices]
     return windowed_outcomes(
-        network, patterns, subset, window, stop, engine, schedule, tune
+        network, patterns, subset, window, stop, engine, schedule, tune,
+        cache=cache,
     )
 
 
@@ -260,19 +268,26 @@ def _coverage_window_worker(task: Tuple[int, int, Sequence[int]]) -> List[FaultO
     window core with first-detection semantics, so each outcome is
     ``(first index relative to the window, 1)`` or ``None``."""
     start, stop, indices = task
-    network, patterns, faults, window, _stop, engine, schedule, tune = _SHARD_CONTEXT
+    (
+        network, patterns, faults, window, _stop, engine, schedule, tune,
+        cache,
+    ) = _SHARD_CONTEXT
     chunk = patterns.slice(start, stop)
     subset = [faults[index] for index in indices]
     return windowed_outcomes(
-        network, chunk, subset, window, True, engine, schedule, tune
+        network, chunk, subset, window, True, engine, schedule, tune,
+        cache=cache,
     )
 
 
 def _words_worker(indices: Sequence[int]) -> List[int]:
-    network, patterns, faults, window, _stop, engine, schedule, tune = _SHARD_CONTEXT
+    (
+        network, patterns, faults, window, _stop, engine, schedule, tune,
+        cache,
+    ) = _SHARD_CONTEXT
     subset = [faults[index] for index in indices]
     return windowed_difference_words(
-        network, patterns, subset, window, engine, schedule, tune
+        network, patterns, subset, window, engine, schedule, tune, cache
     )
 
 
@@ -291,9 +306,24 @@ def _resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def _prewarm_store(network, cache, engine) -> None:
+    """Materialise the inner engine's programs in the store pre-fork.
+
+    Workers inherit the resolved store copy-on-write, so artifacts the
+    parent builds (or loads from the disk tier) once are shared by
+    every worker instead of re-derived per fork.
+    """
+    store = resolve_cache(cache)
+    compile_network(network, cache=store)
+    if engine == "vector":
+        from .vector import vector_compile
+
+        vector_compile(network, cache=store)
+
+
 def _map_shards(
     worker, network, patterns, faults, window, stop, jobs, min_pool_work,
-    engine="compiled", schedule=None, tune=None,
+    engine="compiled", schedule=None, tune=None, cache=None,
 ):
     """Run ``worker`` over fault shards; (indices, results) per shard.
 
@@ -317,11 +347,13 @@ def _map_shards(
         or patterns.count * len(faults) < min_pool_work
     ):
         return None
-    shards = partition_faults(network, faults, jobs, schedule)
+    shards = partition_faults(network, faults, jobs, schedule, cache=cache)
     if len(shards) <= 1:
         return None
+    _prewarm_store(network, cache, engine)
     _SHARD_CONTEXT = (
         network, patterns, faults, window, stop, engine, schedule, tune,
+        cache,
     )
     try:
         with context.Pool(processes=len(shards)) as pool:
@@ -332,7 +364,7 @@ def _map_shards(
 
 def _coverage_sharded_outcomes(
     network, patterns, faults, weights, stop_at_coverage, jobs,
-    min_pool_work, engine, schedule, tune,
+    min_pool_work, engine, schedule, tune, cache=None,
 ) -> Optional[List[FaultOutcome]]:
     """The window-synchronous pooled path of ``stop_at_coverage``.
 
@@ -357,7 +389,7 @@ def _coverage_sharded_outcomes(
         jobs <= 1
         or context is None
         or patterns.count * len(faults) < min_pool_work
-        or len(partition_faults(network, faults, jobs, schedule)) <= 1
+        or len(partition_faults(network, faults, jobs, schedule, cache=cache)) <= 1
     ):
         return None
     total_weight = sum(weights)
@@ -365,15 +397,16 @@ def _coverage_sharded_outcomes(
     firsts = [-1] * len(faults)
     counts = [0] * len(faults)
     active = list(range(len(faults)))
+    _prewarm_store(network, cache, engine)
     _SHARD_CONTEXT = (
         network, patterns, faults, FIRST_DETECTION_CHUNK, True, engine,
-        schedule, tune,
+        schedule, tune, cache,
     )
     try:
         with context.Pool(processes=jobs) as pool:
             for start, chunk in patterns.windows(FIRST_DETECTION_CHUNK):
                 live = [faults[index] for index in active]
-                shards = partition_faults(network, live, jobs, schedule)
+                shards = partition_faults(network, live, jobs, schedule, cache=cache)
                 tasks = [
                     (start, start + chunk.count, [active[i] for i in shard])
                     for shard in shards
@@ -420,6 +453,7 @@ def sharded_fault_simulate(
     tune=None,
     stop_at_coverage=None,
     coverage_weights: Optional[Sequence[int]] = None,
+    cache=None,
 ) -> FaultSimResult:
     """Fault simulation sharded across ``jobs`` worker processes.
 
@@ -449,7 +483,8 @@ def sharded_fault_simulate(
     window, re-partitioning the shrinking live fault set each step.
     """
     get_schedule(schedule)  # reject bad names on every path, pooled or not
-    plan = resolve_plan(tune)  # ...and resolve/calibrate before any fork
+    store = resolve_cache(cache)
+    plan = resolve_plan(tune, cache=store)  # resolve/calibrate before any fork
     check_stop_at_coverage(stop_at_coverage)
     if faults is None:
         faults = network.enumerate_faults()
@@ -462,7 +497,7 @@ def sharded_fault_simulate(
         jobs = _resolve_jobs(jobs)
         outcomes = _coverage_sharded_outcomes(
             network, patterns, faults, weights, stop_at_coverage, jobs,
-            min_pool_work, engine, schedule, tune,
+            min_pool_work, engine, schedule, tune, cache=store,
         )
         if outcomes is None:
             outcomes = windowed_outcomes(
@@ -470,22 +505,23 @@ def sharded_fault_simulate(
                 stop_at_first_detection, engine, schedule, tune,
                 stop_at_coverage=stop_at_coverage,
                 coverage_weights=weights,
+                cache=store,
             )
         return build_result(network.name, patterns.count, faults, outcomes)
     if window is None:
         window = plan.shard_window(
-            patterns.count, compile_network(network).num_slots, engine
+            patterns.count, compile_network(network, cache=store).num_slots, engine
         )
     jobs = _resolve_jobs(jobs)
     sharded = _map_shards(
         _outcomes_worker, network, patterns, faults,
         window, stop_at_first_detection, jobs, min_pool_work, engine,
-        schedule, tune,
+        schedule, tune, cache=store,
     )
     if sharded is None:
         outcomes = windowed_outcomes(
             network, patterns, faults, window, stop_at_first_detection,
-            engine, schedule, tune,
+            engine, schedule, tune, cache=store,
         )
         return build_result(network.name, patterns.count, faults, outcomes)
     outcomes = _scatter(sharded, len(faults), None)
@@ -502,26 +538,28 @@ def sharded_difference_words(
     engine: str = "compiled",
     schedule: Optional[str] = None,
     tune=None,
+    cache=None,
 ) -> List[int]:
     """Per-fault detection words computed across the worker pool
     (in-process below ``min_pool_work``, like
     :func:`sharded_fault_simulate`); words are scattered back to fault
     order whatever partition ``schedule`` produced."""
     get_schedule(schedule)  # reject bad names on every path, pooled or not
-    plan = resolve_plan(tune)  # ...and resolve/calibrate before any fork
+    store = resolve_cache(cache)
+    plan = resolve_plan(tune, cache=store)  # resolve/calibrate before any fork
     faults = list(faults)
     if window is None:
         window = plan.shard_window(
-            patterns.count, compile_network(network).num_slots, engine
+            patterns.count, compile_network(network, cache=store).num_slots, engine
         )
     jobs = _resolve_jobs(jobs)
     sharded = _map_shards(
         _words_worker, network, patterns, faults, window, False, jobs,
-        min_pool_work, engine, schedule, tune,
+        min_pool_work, engine, schedule, tune, cache=store,
     )
     if sharded is None:
         return windowed_difference_words(
-            network, patterns, faults, window, engine, schedule, tune
+            network, patterns, faults, window, engine, schedule, tune, store
         )
     return _scatter(sharded, len(faults), 0)
 
@@ -539,6 +577,7 @@ def _sharded_simulate_faults(inner: str):
         tune=None,
         stop_at_coverage=None,
         coverage_weights: Optional[Sequence[int]] = None,
+        cache=None,
     ) -> FaultSimResult:
         return sharded_fault_simulate(
             network,
@@ -551,6 +590,7 @@ def _sharded_simulate_faults(inner: str):
             tune=tune,
             stop_at_coverage=stop_at_coverage,
             coverage_weights=coverage_weights,
+            cache=cache,
         )
 
     return simulate_faults
@@ -564,26 +604,29 @@ def _sharded_difference_words(inner: str):
         jobs: Optional[int] = None,
         schedule: Optional[str] = None,
         tune=None,
+        cache=None,
     ) -> List[int]:
         return sharded_difference_words(
             network, patterns, faults, jobs=jobs, engine=inner,
-            schedule=schedule, tune=tune,
+            schedule=schedule, tune=tune, cache=cache,
         )
 
     return difference_words
 
 
-def _sharded_evaluate_bits(network: Network, env, mask) -> Dict[str, int]:
+def _sharded_evaluate_bits(network: Network, env, mask, cache=None) -> Dict[str, int]:
     # A single fault-free pass has nothing to shard; the compiled slot
     # program is the right tool and keeps the engine drop-in for the
     # signal-probability estimators.
-    return compile_network(network).evaluate_bits(env, mask)
+    return compile_network(network, cache=cache).evaluate_bits(env, mask)
 
 
-def _sharded_vector_evaluate_bits(network: Network, env, mask) -> Dict[str, int]:
+def _sharded_vector_evaluate_bits(
+    network: Network, env, mask, cache=None
+) -> Dict[str, int]:
     from .vector import vector_evaluate_bits
 
-    return vector_evaluate_bits(network, env, mask)
+    return vector_evaluate_bits(network, env, mask, cache=cache)
 
 
 register_engine(

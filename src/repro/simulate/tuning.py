@@ -559,11 +559,50 @@ def available_tunings() -> tuple:
     return tuple(sorted(TUNINGS))
 
 
-def _auto_plan() -> TunedPlan:
+_STORE_AUTO_PLANS: Dict[str, TunedPlan] = {}
+"""Per-cache-directory memo of store-backed ``"auto"`` plans (the
+in-memory/env-path plan keeps living in :data:`_AUTO_PLAN`)."""
+
+
+def _auto_plan(store=None) -> TunedPlan:
+    """The host-calibrated plan, cached by host fingerprint.
+
+    ``$REPRO_TUNE_PROFILE`` remains the explicit override: when set, the
+    profile loads from (or calibrates into) that JSON path exactly as
+    before.  Otherwise, when the resolved artifact store has a disk
+    tier, the calibrated profile persists there keyed by
+    :func:`~repro.simulate.artifacts.host_fingerprint` - so
+    ``--tune auto`` calibrates once per host, not once per process.
+    With neither, calibration happens once per process, in memory.
+    """
     global _AUTO_PLAN
+    path = os.environ.get(PROFILE_ENV)
+    if path is None and store is not None and store.directory is not None:
+        directory = str(store.directory)
+        plan = _STORE_AUTO_PLANS.get(directory)
+        if plan is None:
+            from .artifacts import host_fingerprint
+
+            host = host_fingerprint()
+            payload = store.fetch(
+                "profile",
+                (host,),
+                lambda: asdict(calibrate_profile()),
+                persist=True,
+            )
+            try:
+                profile = TuningProfile.from_dict(
+                    payload, source=f"cached host profile {host}"
+                )
+            except (ValueError, TypeError):
+                # A malformed persisted payload degrades to a fresh
+                # calibration - the store contract: never an error.
+                profile = calibrate_profile()
+            plan = TunedPlan(profile, name="auto")
+            _STORE_AUTO_PLANS[directory] = plan
+        return plan
     if _AUTO_PLAN is not None:
         return _AUTO_PLAN
-    path = os.environ.get(PROFILE_ENV)
     if path and Path(path).exists():
         profile = TuningProfile.load(path)
     else:
@@ -576,18 +615,21 @@ def _auto_plan() -> TunedPlan:
 
 def resolve_plan(
     tune: Union[None, str, TuningProfile, ExecutionPlan] = None,
+    cache=None,
 ) -> ExecutionPlan:
     """Resolve a ``tune`` spec into an :class:`ExecutionPlan`.
 
     Mirrors ``get_engine``/``get_schedule``: ``None`` means
     :data:`DEFAULT_TUNING`; ``"default"`` is the historical constants;
-    ``"auto"`` calibrates this host once per process (persisted to
-    ``$REPRO_TUNE_PROFILE`` when set); any other string is a profile
-    JSON path.  A :class:`TuningProfile` or :class:`ExecutionPlan` is
-    accepted directly.  Unknown names/paths and malformed profiles
-    raise ``ValueError`` with this module's message - the single error
-    contract every entry point (``fault_simulate``, the estimators, the
-    facade, the CLI) surfaces unchanged.
+    ``"auto"`` calibrates this host once per process (persisted by host
+    fingerprint to the artifact store's disk tier when ``cache``
+    resolves to one, or to ``$REPRO_TUNE_PROFILE`` when that is set);
+    any other string is a profile JSON path.  A :class:`TuningProfile`
+    or :class:`ExecutionPlan` is accepted directly.  Unknown
+    names/paths and malformed profiles raise ``ValueError`` with this
+    module's message - the single error contract every entry point
+    (``fault_simulate``, the estimators, the facade, the CLI) surfaces
+    unchanged.
     """
     if tune is None:
         tune = DEFAULT_TUNING
@@ -604,7 +646,11 @@ def resolve_plan(
     if tune == "default":
         return _DEFAULT_PLAN
     if tune == "auto":
-        return _auto_plan()
+        if cache is None:
+            return _auto_plan()
+        from .artifacts import resolve_cache
+
+        return _auto_plan(resolve_cache(cache))
     cached = _LOADED_PLANS.get(tune)
     if cached is not None:
         return cached

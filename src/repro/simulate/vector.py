@@ -62,13 +62,14 @@ future GPU/accelerator backend would consume unchanged.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Optional, Sequence, Tuple
-from weakref import WeakKeyDictionary
 
 import numpy as np
 
 from ..logic.expr import And, Const, Not, Or, Var
 from ..netlist.network import Network, NetworkError, NetworkFault
+from .artifacts import fault_fingerprint, resolve_cache
 from .compiled import CompiledNetwork, _compile_source, compile_network
 from .logicsim import PatternSet, pack_words, unpack_words
 from .registry import Engine, register_engine
@@ -149,6 +150,80 @@ else:  # pragma: no cover - exercised only on old numpy
     def _row_counts(rows: "np.ndarray") -> "np.ndarray":
         flat = rows.reshape(rows.shape[0], -1).view(np.uint8)
         return _POPCOUNT8[flat].sum(axis=1, dtype=np.int64)
+
+
+# -- batch-plan artifact keys ----------------------------------------------------------
+
+
+def _plan_signature(tuning: ExecutionPlan) -> str:
+    """Cache-key signature of the pricing configuration a plan saw.
+
+    The default plan reads the module constants at call time (tests
+    monkeypatch them), tuned plans price from their profile - both are
+    captured here so a cached batch plan never outlives the constants
+    that shaped it.
+    """
+    parts = [
+        type(tuning).__name__,
+        VECTOR_CHUNK,
+        VECTOR_WINDOW,
+        COALESCE_MIN_FILL,
+        COALESCE_MAX_BATCH,
+        COALESCE_OVERHEAD_WORDS,
+    ]
+    profile = getattr(tuning, "profile", None)
+    if profile is not None:
+        parts.extend(
+            [profile.word_ns, profile.call_ns, profile.block_ns, profile.cache_words]
+        )
+    return "|".join(str(part) for part in parts)
+
+
+def _groups_key(groups: Sequence[Tuple]) -> str:
+    """Content hash of an injection-site group list (order included)."""
+    digest = hashlib.sha256()
+    for site, stuck_slot, members in groups:
+        digest.update(f"{site},{stuck_slot},{len(members)};".encode("utf-8"))
+        digest.update(
+            fault_fingerprint([fault for _index, fault in members]).encode("utf-8")
+        )
+    return digest.hexdigest()
+
+
+def _positions_cover(position_plans, count: int) -> bool:
+    """True when the plans form an exact disjoint cover of the groups."""
+    try:
+        flat = [int(position) for plan in position_plans for position in plan]
+    except (TypeError, ValueError):
+        return False
+    return sorted(flat) == list(range(count))
+
+
+def _apply_positions(
+    groups: Sequence[Tuple], position_plans: Sequence[Sequence[int]]
+) -> List[List[Tuple]]:
+    """Instantiate position plans over a concrete group list.
+
+    A multi-group plan whose groups all share one site (the common
+    merge: stuck pair + cell faults of the driving gate) is collapsed
+    to one wider group here, once at planning time, so every window
+    takes the optimised single-site pass directly.
+    """
+    plans: List[List[Tuple]] = []
+    for positions in position_plans:
+        selected = [groups[position] for position in positions]
+        if len(selected) > 1:
+            sites = {site for site, _stuck_slot, _members in selected}
+            if len(sites) == 1:
+                site = next(iter(sites))
+                members = [
+                    member
+                    for _site, _stuck_slot, group_members in selected
+                    for member in group_members
+                ]
+                selected = [(site, site, members)]
+        plans.append(selected)
+    return plans
 
 
 def _batched_gate_source(expr, slot_of_pin, faulty_slots) -> str:
@@ -405,6 +480,7 @@ class VectorNetwork:
         groups: Sequence[Tuple],
         schedule: Optional[str] = None,
         tuning: Optional[ExecutionPlan] = None,
+        cache=None,
     ) -> List[List[Tuple]]:
         """Arrange injection-site groups into batch plans.
 
@@ -424,11 +500,28 @@ class VectorNetwork:
         name = DEFAULT_SCHEDULE if schedule is None else schedule
         if name != "cost" or len(groups) <= 1:
             return [[group] for group in groups]
-        return self._coalesce_groups(groups, tuning)
+        store = resolve_cache(cache)
+        key = (
+            self.compiled.fingerprint,
+            _plan_signature(tuning),
+            _groups_key(groups),
+        )
+        positions = store.fetch(
+            "batchplan",
+            key,
+            lambda: self._coalesce_positions(groups, tuning),
+            persist=True,
+        )
+        if not _positions_cover(positions, len(groups)):
+            # A stale or hand-edited disk entry that no longer covers the
+            # group list exactly is replanned cold - plan membership is
+            # perf-only, so this degrades, never corrupts.
+            positions = self._coalesce_positions(groups, tuning)
+        return _apply_positions(groups, positions)
 
-    def _coalesce_groups(
+    def _coalesce_positions(
         self, groups: Sequence[Tuple], tuning: ExecutionPlan
-    ) -> List[List[Tuple]]:
+    ) -> List[List[int]]:
         """Greedy cost-model coalescing of underfilled site groups.
 
         Small groups are sorted by cone signature so identical and
@@ -439,19 +532,24 @@ class VectorNetwork:
         the separate ones and the merge stays *sound*: no site may lie
         in a partner cone's output slots, or the cone would re-evaluate
         the injected rows away.
+
+        Returns the plan as lists of *positions* into ``groups`` - the
+        content-addressable form the artifact store persists;
+        :func:`_apply_positions` instantiates the group lists (and
+        collapses same-site merges into one wider group).
         """
         compiled = self.compiled
         gate_out = compiled._gate_out
-        alone: List[List[Tuple]] = []
+        alone: List[List[int]] = []
         small = []
-        for group in groups:
+        for position, group in enumerate(groups):
             site, _stuck_slot, members = group
             gates = cone_gates(compiled, site)
             if len(members) >= COALESCE_MIN_FILL:
-                alone.append([group])
+                alone.append([position])
                 continue
             outs = frozenset(gate_out[index] for index in gates)
-            small.append((tuple(sorted(gates)), site, group, gates, outs))
+            small.append((tuple(sorted(gates)), site, position, group, gates, outs))
         small.sort(key=lambda info: (info[0], info[1]))
 
         # The pricing constants come from the execution plan: the
@@ -482,25 +580,9 @@ class VectorNetwork:
             blocks = sites * batch * block_factor if sites > 1 else 0
             return call_cost(gate_count, batch) + blocks
 
-        def flush(current: dict) -> List[Tuple]:
-            # A batch whose groups all share one site (the common merge:
-            # stuck pair + cell faults of the driving gate) is collapsed
-            # to one wider group here, once at planning time, so every
-            # window takes the optimised single-site pass directly.
-            merged = current["groups"]
-            if len(merged) > 1 and len(current["sites"]) == 1:
-                site = next(iter(current["sites"]))
-                members = [
-                    member
-                    for _site, _stuck_slot, group_members in merged
-                    for member in group_members
-                ]
-                return [(site, site, members)]
-            return merged
-
         plans = alone
         current: Optional[dict] = None
-        for _signature, site, group, gates, outs in small:
+        for _signature, site, position, group, gates, outs in small:
             batch = len(group[2])
             separate = call_cost(len(gates), batch)
             if current is not None:
@@ -514,16 +596,16 @@ class VectorNetwork:
                     and merged_cost(len(union_gates), total, len(union_sites))
                     <= current["separate"] + separate
                 ):
-                    current["groups"].append(group)
+                    current["positions"].append(position)
                     current["sites"].add(site)
                     current["gates"] = union_gates
                     current["outs"] |= outs
                     current["batch"] = total
                     current["separate"] += separate
                     continue
-                plans.append(flush(current))
+                plans.append(current["positions"])
             current = {
-                "groups": [group],
+                "positions": [position],
                 "sites": {site},
                 "gates": set(gates),
                 "outs": set(outs),
@@ -531,7 +613,7 @@ class VectorNetwork:
                 "separate": separate,
             }
         if current is not None:
-            plans.append(flush(current))
+            plans.append(current["positions"])
         return plans
 
     def plan_difference_rows(
@@ -673,24 +755,21 @@ class VectorSimulation:
         return unpack_words(rows[0], self.count)
 
 
-_VECTORIZED: "WeakKeyDictionary[CompiledNetwork, VectorNetwork]" = WeakKeyDictionary()
-
-
-def vector_compile(network: Network) -> VectorNetwork:
+def vector_compile(network: Network, cache=None) -> VectorNetwork:
     """The vector view of a network's (cached) compiled slot program.
 
-    Cached per compilation: the cone plans and specialised kernels in
+    Keyed by the compilation's content fingerprint in the resolved
+    artifact store: the cone plans and specialised kernels in
     :attr:`VectorNetwork._cones` survive across calls (the PROTEST
-    pipeline resolves the engine several times per run), and the entry
-    dies with its :class:`CompiledNetwork`, whose own cache already
-    invalidates on structural mutation.
+    pipeline resolves the engine several times per run) and are shared
+    by equal networks built separately.  The kernels are lambdas, so
+    the entry lives in the store's memory tier only.
     """
-    compiled = compile_network(network)
-    vector = _VECTORIZED.get(compiled)
-    if vector is None:
-        vector = VectorNetwork(compiled)
-        _VECTORIZED[compiled] = vector
-    return vector
+    store = resolve_cache(cache)
+    compiled = compile_network(network, cache=store)
+    return store.fetch(
+        "vector", (compiled.fingerprint,), lambda: VectorNetwork(compiled)
+    )
 
 
 # -- the engine primitives -------------------------------------------------------------
@@ -706,6 +785,7 @@ def vector_windowed_outcomes(
     tune=None,
     stop_at_coverage=None,
     coverage_weights: Optional[Sequence[int]] = None,
+    cache=None,
 ) -> List:
     """Per-fault (first index, count) outcomes via batched lane passes.
 
@@ -728,8 +808,9 @@ def vector_windowed_outcomes(
     """
     from .faultsim import check_stop_at_coverage, resolve_coverage_weights
 
-    vector = vector_compile(network)
-    tuning = resolve_plan(tune)
+    store = resolve_cache(cache)
+    vector = vector_compile(network, cache=store)
+    tuning = resolve_plan(tune, cache=store)
     check_stop_at_coverage(stop_at_coverage)
     weights = resolve_coverage_weights(faults, coverage_weights)
     total_weight = sum(weights)
@@ -744,7 +825,7 @@ def vector_windowed_outcomes(
     for start, chunk in patterns.windows(window):
         if plans is None:
             groups = vector.group_faults([(i, faults[i]) for i in active])
-            plans = vector.plan_batches(groups, schedule, tuning)
+            plans = vector.plan_batches(groups, schedule, tuning, cache=store)
         values, mask_row, count = vector.good_values(chunk.env, chunk.mask)
         retired = False
         for plan in plans:
@@ -796,6 +877,7 @@ def vector_fault_simulate(
     tune=None,
     stop_at_coverage=None,
     coverage_weights: Optional[Sequence[int]] = None,
+    cache=None,
 ):
     """Fault simulation on the lane engine, streamed through windows.
 
@@ -817,7 +899,8 @@ def vector_fault_simulate(
         dedupe_faults,
     )
 
-    resolve_plan(tune)  # reject bad plans before any simulation runs
+    store = resolve_cache(cache)  # reject bad cache specs up front too
+    resolve_plan(tune, cache=store)  # reject bad plans before any simulation
     check_stop_at_coverage(stop_at_coverage)
     if faults is None:
         faults = network.enumerate_faults()
@@ -830,7 +913,7 @@ def vector_fault_simulate(
     outcomes = vector_windowed_outcomes(
         network, patterns, faults, width, stop_at_first_detection, schedule,
         tune, stop_at_coverage=stop_at_coverage,
-        coverage_weights=coverage_weights,
+        coverage_weights=coverage_weights, cache=store,
     )
     return build_result(network.name, patterns.count, faults, outcomes)
 
@@ -843,14 +926,18 @@ def vector_difference_words(
     window: Optional[int] = None,
     schedule: Optional[str] = None,
     tune=None,
+    cache=None,
 ) -> List[int]:
     """One whole-set detection word per fault via windowed lane passes."""
-    vector = vector_compile(network)
-    tuning = resolve_plan(tune)
+    store = resolve_cache(cache)
+    vector = vector_compile(network, cache=store)
+    tuning = resolve_plan(tune, cache=store)
     if window is None:
         window = tuning.lane_window(patterns.count, vector.compiled.num_slots)
     indexed = list(enumerate(faults))
-    plans = vector.plan_batches(vector.group_faults(indexed), schedule, tuning)
+    plans = vector.plan_batches(
+        vector.group_faults(indexed), schedule, tuning, cache=store
+    )
     words = [0] * len(faults)
     for start, chunk in patterns.windows(window):
         values, mask_row, count = vector.good_values(chunk.env, chunk.mask)
@@ -865,9 +952,11 @@ def vector_difference_words(
     return words
 
 
-def vector_evaluate_bits(network: Network, env, mask: int) -> Dict[str, int]:
+def vector_evaluate_bits(
+    network: Network, env, mask: int, cache=None
+) -> Dict[str, int]:
     """Fault-free valuation of every net on the lane engine."""
-    return vector_compile(network).evaluate_bits(env, mask)
+    return vector_compile(network, cache=cache).evaluate_bits(env, mask)
 
 
 def _vector_simulate_faults(
@@ -880,6 +969,7 @@ def _vector_simulate_faults(
     tune=None,
     stop_at_coverage=None,
     coverage_weights: Optional[Sequence[int]] = None,
+    cache=None,
 ):
     return vector_fault_simulate(
         network,
@@ -891,6 +981,7 @@ def _vector_simulate_faults(
         tune=tune,
         stop_at_coverage=stop_at_coverage,
         coverage_weights=coverage_weights,
+        cache=cache,
     )
 
 

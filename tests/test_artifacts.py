@@ -1,0 +1,526 @@
+"""Artifact-store contracts: fingerprints, cache tiers, warm runs.
+
+The content-addressed artifact store (:mod:`repro.simulate.artifacts`)
+keys everything derivable from a network alone - compiled slot
+programs, cone metadata, batch plans, collapse classes, fault
+partitions, tuning profiles - by canonical content fingerprint.  Four
+contracts are pinned here:
+
+* **fingerprints** - equal networks built separately hash equal; by
+  hypothesis property, any single gate, connection or output-marking
+  mutation produces a different fingerprint (so a mutated network
+  misses cleanly - ``Network._generation`` only scopes the memo, never
+  the identity);
+* **warm runs** - a second ``fault_simulate`` of an already-seen
+  network performs no flattening, kernel specialisation, collapse or
+  partitioning work, on every registered engine, asserted through the
+  store's per-kind miss counters - and stays bit-identical to the cold
+  run, on every cache mode including ``"off"``;
+* **the disk tier** - artifacts persist across (simulated) processes
+  under the schema-versioned layout; a corrupted file or a
+  stale-schema entry is a cold miss, never an error;
+* **the knob** - ``resolve_cache`` follows the registry error
+  contract, ``$REPRO_CACHE_DIR`` steers the default store, and the CLI
+  ``--cache`` flag validates through the same code path.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from engine_test_utils import all_faults, results_identical
+
+from repro.circuits.generators import c17, random_network
+from repro.netlist import CellFactory, Network
+from repro.simulate import (
+    ArtifactStore,
+    PatternSet,
+    SCHEMA_VERSION,
+    available_cache_modes,
+    available_engines,
+    fault_fingerprint,
+    fault_simulate,
+    host_fingerprint,
+    network_fingerprint,
+    resolve_cache,
+)
+from repro.simulate.artifacts import CACHE_ENV, CACHE_MODES
+
+#: The artifact kinds a warm run must not rebuild - the store-counter
+#: form of "no flattening, no kernel specialisation, no collapse, no
+#: partitioning, no calibration on a warm cache".
+DERIVATION_KINDS = (
+    "compiled", "vector", "collapse", "partition", "batchplan", "profile",
+)
+
+
+def small_workload():
+    network = c17()
+    patterns = PatternSet.random(network.inputs, 96, seed=3)
+    return network, patterns, all_faults(network)
+
+
+# -- fingerprints ----------------------------------------------------------------------
+
+
+def build_network(n_inputs, gates, extra_output=False):
+    """Deterministic network from a pure-data spec.
+
+    ``gates`` is a sequence of ``(kind, source_indices)`` where sources
+    index the nets available so far (inputs first, then gate outputs) -
+    always a valid DAG by construction.
+    """
+    factory = CellFactory("domino-CMOS")
+    network = Network("spec")
+    nets = [network.add_input(f"x{k}") for k in range(n_inputs)]
+    for position, (kind, sources) in enumerate(gates):
+        maker = factory.and_gate if kind == "and" else factory.or_gate
+        cell = maker(len(sources))
+        connections = dict(zip(cell.inputs, [nets[s] for s in sources]))
+        network.add_gate(f"gate{position}", cell, connections, f"n{position}")
+        nets.append(f"n{position}")
+    network.mark_output(nets[-1])
+    if extra_output:
+        network.mark_output("n0")
+    return network
+
+
+@st.composite
+def network_specs(draw):
+    n_inputs = draw(st.integers(2, 4))
+    n_gates = draw(st.integers(2, 5))
+    gates = []
+    for position in range(n_gates):
+        available = n_inputs + position
+        fan_in = draw(st.integers(2, 3))
+        kind = draw(st.sampled_from(["and", "or"]))
+        sources = tuple(
+            draw(st.integers(0, available - 1)) for _ in range(fan_in)
+        )
+        gates.append((kind, sources))
+    return n_inputs, tuple(gates)
+
+
+class TestNetworkFingerprint:
+    def test_equal_networks_built_separately_share_fingerprint(self):
+        assert network_fingerprint(c17()) == network_fingerprint(c17())
+        assert network_fingerprint(
+            random_network(n_inputs=5, n_gates=9, seed=7)
+        ) == network_fingerprint(random_network(n_inputs=5, n_gates=9, seed=7))
+
+    def test_different_seeds_differ(self):
+        assert network_fingerprint(
+            random_network(n_inputs=5, n_gates=9, seed=7)
+        ) != network_fingerprint(random_network(n_inputs=5, n_gates=9, seed=8))
+
+    def test_fingerprint_tracks_in_place_mutation(self):
+        """Growing a network invalidates the memoised hash (the
+        generation counter scopes the memo, not the identity)."""
+        network = build_network(2, (("and", (0, 1)),))
+        before = network_fingerprint(network)
+        factory = CellFactory("domino-CMOS")
+        network.add_gate("late", factory.or_gate(2), {"i1": "x0", "i2": "n0"}, "z")
+        network.mark_output("z")
+        assert network_fingerprint(network) != before
+
+    @given(spec=network_specs(), data=st.data())
+    def test_any_single_mutation_changes_fingerprint(self, spec, data):
+        n_inputs, gates = spec
+        baseline = network_fingerprint(build_network(n_inputs, gates))
+        mutation = data.draw(
+            st.sampled_from(["kind", "source", "output", "drop"]),
+            label="mutation",
+        )
+        mutated = list(gates)
+        extra_output = False
+        if mutation == "kind":
+            index = data.draw(st.integers(0, len(gates) - 1), label="gate")
+            kind, sources = gates[index]
+            mutated[index] = ("or" if kind == "and" else "and", sources)
+        elif mutation == "source":
+            index = data.draw(st.integers(0, len(gates) - 1), label="gate")
+            kind, sources = gates[index]
+            available = n_inputs + index
+            assume(available > 1)
+            position = data.draw(
+                st.integers(0, len(sources) - 1), label="pin"
+            )
+            shift = data.draw(st.integers(1, available - 1), label="shift")
+            rewired = list(sources)
+            rewired[position] = (sources[position] + shift) % available
+            mutated[index] = (kind, tuple(rewired))
+        elif mutation == "output":
+            extra_output = True  # mark one more primary output
+        else:  # drop the last gate entirely
+            mutated.pop()
+        variant = build_network(n_inputs, tuple(mutated), extra_output)
+        assert network_fingerprint(variant) != baseline
+
+    def test_fault_fingerprint_shared_across_equal_lists(self):
+        assert fault_fingerprint(all_faults(c17())) == fault_fingerprint(
+            all_faults(c17())
+        )
+        # Order is part of the identity: partitions are index lists.
+        faults = all_faults(c17())
+        assert fault_fingerprint(faults) != fault_fingerprint(
+            list(reversed(faults))
+        )
+
+    def test_host_fingerprint_is_stable(self):
+        assert host_fingerprint() == host_fingerprint()
+        assert len(host_fingerprint()) == 16
+
+
+# -- warm-run guarantees ---------------------------------------------------------------
+
+
+class TestWarmRuns:
+    @pytest.mark.parametrize("engine", available_engines())
+    def test_warm_run_rederives_nothing(self, engine):
+        """The headline contract: on a warm store the second run is a
+        pure cache read - zero misses on every derivation kind - and
+        bit-identical to the cold run."""
+        network, patterns, faults = small_workload()
+        store = ArtifactStore()
+        cold = fault_simulate(
+            network, patterns, faults, engine=engine, collapse="on",
+            cache=store,
+        )
+        store.reset_counters()
+        warm = fault_simulate(
+            network, patterns, faults, engine=engine, collapse="on",
+            cache=store,
+        )
+        results_identical(cold, warm)
+        for kind in DERIVATION_KINDS:
+            assert store.misses[kind] == 0, (kind, store.stats())
+        assert store.hits["compiled"] > 0
+        assert store.hits["collapse"] > 0
+
+    def test_equal_network_built_separately_is_warm(self):
+        """Content addressing, not object identity: a second network
+        describing the same circuit reuses the first one's artifacts."""
+        store = ArtifactStore()
+        network, patterns, faults = small_workload()
+        cold = fault_simulate(
+            network, patterns, faults, engine="vector", collapse="on",
+            cache=store,
+        )
+        store.reset_counters()
+        twin = c17()
+        assert twin is not network
+        warm = fault_simulate(
+            twin, patterns, all_faults(twin), engine="vector", collapse="on",
+            cache=store,
+        )
+        results_identical(cold, warm)
+        assert store.misses["compiled"] == 0
+        assert store.misses["collapse"] == 0
+
+    def test_mutated_network_misses_cleanly(self):
+        """A network that changed content must rebuild, not reuse."""
+        store = ArtifactStore()
+        patterns = PatternSet.random(["x0", "x1", "x2"], 64, seed=5)
+        base = build_network(3, (("and", (0, 1)), ("or", (2, 3))))
+        fault_simulate(base, patterns, all_faults(base), cache=store)
+        store.reset_counters()
+        variant = build_network(3, (("and", (0, 2)), ("or", (2, 3))))
+        fault_simulate(variant, patterns, all_faults(variant), cache=store)
+        # Exactly one rebuild: the variant's program (further fetches of
+        # the variant within the run are hits, never the base's entry).
+        assert store.misses["compiled"] == 1
+
+    def test_cache_off_retains_nothing(self):
+        network, patterns, faults = small_workload()
+        store = resolve_cache("off")
+        assert store.caching is False
+        first = fault_simulate(network, patterns, faults, cache="off")
+        second = fault_simulate(network, patterns, faults, cache="off")
+        results_identical(first, second)
+        assert not store._memory
+
+    def test_every_cache_mode_is_bit_identical(self, tmp_path):
+        network, patterns, faults = small_workload()
+        reference = fault_simulate(network, patterns, faults, cache="off")
+        for spec in ("memory", "off", str(tmp_path / "store"), ArtifactStore()):
+            result = fault_simulate(
+                network, patterns, faults, collapse="on", cache=spec
+            )
+            assert result.detected == reference.detected
+            assert result.detection_counts == reference.detection_counts
+            assert result.undetected == reference.undetected
+
+
+# -- the disk tier ---------------------------------------------------------------------
+
+
+def _entry_files(directory):
+    return sorted((directory / f"v{SCHEMA_VERSION}").glob("*.pkl"))
+
+
+class TestDiskTier:
+    def test_artifacts_persist_across_processes(self, tmp_path):
+        """A fresh store over the same directory (a new process, in
+        effect) loads the persisted kinds instead of rebuilding."""
+        network, patterns, faults = small_workload()
+        first = ArtifactStore(directory=tmp_path)
+        cold = fault_simulate(
+            network, patterns, faults, engine="vector", collapse="on",
+            cache=first,
+        )
+        assert _entry_files(tmp_path), "disk tier wrote nothing"
+        second = ArtifactStore(directory=tmp_path)
+        warm = fault_simulate(
+            network, patterns, faults, engine="vector", collapse="on",
+            cache=second,
+        )
+        results_identical(cold, warm)
+        assert second.hits["collapse"] == 1
+        assert second.misses["collapse"] == 0
+        assert second.misses["batchplan"] == 0
+
+    def test_corrupted_entries_degrade_to_cold_run(self, tmp_path):
+        network, patterns, faults = small_workload()
+        first = ArtifactStore(directory=tmp_path)
+        cold = fault_simulate(
+            network, patterns, faults, engine="vector", collapse="on",
+            cache=first,
+        )
+        for path in _entry_files(tmp_path):
+            path.write_bytes(b"not a pickle at all")
+        second = ArtifactStore(directory=tmp_path)
+        warm = fault_simulate(
+            network, patterns, faults, engine="vector", collapse="on",
+            cache=second,
+        )
+        results_identical(cold, warm)
+        assert second.hits["collapse"] == 0
+        assert second.misses["collapse"] == 1
+
+    def test_stale_schema_entries_degrade_to_cold_run(self, tmp_path):
+        network, patterns, faults = small_workload()
+        first = ArtifactStore(directory=tmp_path)
+        cold = fault_simulate(
+            network, patterns, faults, engine="vector", collapse="on",
+            cache=first,
+        )
+        for path in _entry_files(tmp_path):
+            tag, _version, kind, key, payload = pickle.loads(path.read_bytes())
+            path.write_bytes(
+                pickle.dumps((tag, SCHEMA_VERSION + 1, kind, key, payload))
+            )
+        second = ArtifactStore(directory=tmp_path)
+        warm = fault_simulate(
+            network, patterns, faults, engine="vector", collapse="on",
+            cache=second,
+        )
+        results_identical(cold, warm)
+        assert second.hits["collapse"] == 0
+        assert second.misses["collapse"] == 1
+
+    def test_unwritable_directory_degrades_to_memory(
+        self, tmp_path, monkeypatch
+    ):
+        """Disk writes are best-effort: when the filesystem refuses
+        (full disk, read-only mount), the run still completes and the
+        memory tier still serves."""
+        import repro.simulate.artifacts as artifacts_module
+
+        def refuse(*_args, **_kwargs):
+            raise OSError("read-only file system")
+
+        monkeypatch.setattr(artifacts_module.os, "replace", refuse)
+        target = tmp_path / "readonly"
+        network, patterns, faults = small_workload()
+        store = ArtifactStore(directory=target)
+        result = fault_simulate(
+            network, patterns, faults, collapse="on", cache=store
+        )
+        reference = fault_simulate(network, patterns, faults, cache="off")
+        assert result.detected == reference.detected
+        assert not list(target.rglob("*.pkl"))
+        assert store.hits["compiled"] > 0  # the memory tier still works
+
+    def test_memory_tier_is_lru_bounded(self):
+        store = ArtifactStore(max_entries=2)
+        for value in range(5):
+            store.fetch("demo", (value,), lambda value=value: value)
+        assert len(store._memory) == 2
+        assert store.fetch("demo", (4,), lambda: "rebuilt") == 4
+        assert store.fetch("demo", (0,), lambda: "rebuilt") == "rebuilt"
+
+
+# -- collapse sharing (the rekeyed memo) -----------------------------------------------
+
+
+class TestCollapseSharing:
+    def test_collapse_shared_across_equal_networks(self):
+        from repro.faults.structural import collapse_network_faults
+
+        store = ArtifactStore()
+        first = collapse_network_faults(c17(), cache=store)
+        store.reset_counters()
+        second = collapse_network_faults(c17(), cache=store)
+        assert store.hits["collapse"] == 1
+        assert store.misses["collapse"] == 0
+        assert second.class_of == first.class_of
+        assert second.representatives == first.representatives
+
+
+# -- the auto-tune profile tier --------------------------------------------------------
+
+
+@pytest.fixture
+def fresh_auto_plans(monkeypatch):
+    """Isolate the auto-plan memos and the profile env override."""
+    import repro.simulate.tuning as tuning_module
+
+    monkeypatch.delenv(tuning_module.PROFILE_ENV, raising=False)
+    monkeypatch.setattr(tuning_module, "_AUTO_PLAN", None)
+    monkeypatch.setattr(tuning_module, "_STORE_AUTO_PLANS", {})
+    return tuning_module
+
+
+class TestAutoProfileCaching:
+    def _counted_profile(self, monkeypatch, tuning_module):
+        calls = []
+
+        def fake_calibrate(name="auto"):
+            calls.append(name)
+            return tuning_module.TuningProfile(
+                name="auto", word_ns=1.0, call_ns=120.0, block_ns=3.0,
+                cache_words=1 << 15,
+            )
+
+        monkeypatch.setattr(tuning_module, "calibrate_profile", fake_calibrate)
+        return calls
+
+    def test_auto_profile_cached_by_host_fingerprint(
+        self, tmp_path, monkeypatch, fresh_auto_plans
+    ):
+        tuning_module = fresh_auto_plans
+        calls = self._counted_profile(monkeypatch, tuning_module)
+        store = ArtifactStore(directory=tmp_path)
+        plan = tuning_module.resolve_plan("auto", cache=store)
+        assert calls == ["auto"]
+        assert store.misses["profile"] == 1
+        # Same process, same directory: the memo answers.
+        tuning_module.resolve_plan("auto", cache=store)
+        assert calls == ["auto"]
+        # A fresh process (cleared memo, fresh store object) loads the
+        # persisted profile instead of re-calibrating.
+        monkeypatch.setattr(tuning_module, "_STORE_AUTO_PLANS", {})
+        reloaded = tuning_module.resolve_plan(
+            "auto", cache=ArtifactStore(directory=tmp_path)
+        )
+        assert calls == ["auto"]
+        assert reloaded.profile == plan.profile
+
+    def test_profile_env_overrides_store(
+        self, tmp_path, monkeypatch, fresh_auto_plans
+    ):
+        """$REPRO_TUNE_PROFILE stays the explicit override: when set,
+        the profile comes from that path, not from the store."""
+        tuning_module = fresh_auto_plans
+        calls = self._counted_profile(monkeypatch, tuning_module)
+        profile_path = tmp_path / "profile.json"
+        monkeypatch.setenv(tuning_module.PROFILE_ENV, str(profile_path))
+        store = ArtifactStore(directory=tmp_path / "store")
+        plan = tuning_module.resolve_plan("auto", cache=store)
+        assert calls == ["auto"]
+        assert profile_path.exists()  # calibrated into the env path
+        assert "profile" not in store.stats()  # the store stayed out of it
+        assert plan.profile.name == "auto"
+
+    def test_fault_simulate_tune_auto_uses_store(
+        self, tmp_path, monkeypatch, fresh_auto_plans
+    ):
+        tuning_module = fresh_auto_plans
+        calls = self._counted_profile(monkeypatch, tuning_module)
+        network, patterns, faults = small_workload()
+        store = ArtifactStore(directory=tmp_path)
+        cold = fault_simulate(
+            network, patterns, faults, tune="auto", cache=store
+        )
+        warm = fault_simulate(
+            network, patterns, faults, tune="auto", cache=store
+        )
+        results_identical(cold, warm)
+        assert calls == ["auto"]  # one calibration, however many runs
+
+
+# -- the cache knob --------------------------------------------------------------------
+
+
+class TestResolveCache:
+    def test_store_passes_through(self):
+        store = ArtifactStore()
+        assert resolve_cache(store) is store
+
+    def test_default_is_the_process_store(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        assert resolve_cache(None) is resolve_cache("memory")
+        assert resolve_cache(None).directory is None
+
+    def test_cache_env_steers_the_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path / "ci-store"))
+        store = resolve_cache(None)
+        assert store.directory == tmp_path / "ci-store"
+        assert resolve_cache(None) is store  # memoised per directory
+
+    def test_directory_specs_resolve_to_disk_stores(self, tmp_path):
+        from pathlib import Path
+
+        store = resolve_cache(str(tmp_path / "artifacts"))
+        assert store.directory == tmp_path / "artifacts"
+        assert resolve_cache(Path(tmp_path / "artifacts")) is store
+
+    def test_existing_file_is_rejected(self, tmp_path):
+        clash = tmp_path / "occupied"
+        clash.write_text("not a directory")
+        with pytest.raises(ValueError, match="exists and is not a directory"):
+            resolve_cache(str(clash))
+
+    def test_unknown_spec_uses_registry_error_contract(self):
+        with pytest.raises(ValueError) as error:
+            resolve_cache(123)
+        assert str(error.value) == (
+            "unknown cache mode 123; available cache modes: "
+            + ", ".join(available_cache_modes())
+            + " (or a cache directory path)"
+        )
+
+    def test_mode_listing_is_sorted(self):
+        assert available_cache_modes() == tuple(sorted(CACHE_MODES))
+
+
+class TestCliCacheFlag:
+    def test_cli_cache_choices_match_module(self):
+        from repro.cli import CACHE_CHOICES
+
+        assert tuple(sorted(CACHE_CHOICES)) == available_cache_modes()
+
+    def test_cli_accepts_every_cache_mode_and_directories(self, tmp_path):
+        from repro.cli import CACHE_CHOICES, build_parser
+
+        parser = build_parser()
+        for mode in CACHE_CHOICES:
+            args = parser.parse_args(["protest", "cell.txt", "--cache", mode])
+            assert args.cache == mode
+        target = str(tmp_path / "artifacts")
+        args = parser.parse_args(["protest", "cell.txt", "--cache", target])
+        assert args.cache == target
+        assert parser.parse_args(["protest", "cell.txt"]).cache is None
+
+    def test_cli_rejects_bad_cache_with_module_message(self, tmp_path, capsys):
+        from repro.cli import build_parser
+
+        clash = tmp_path / "occupied"
+        clash.write_text("not a directory")
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["protest", "cell.txt", "--cache", str(clash)])
+        stderr = capsys.readouterr().err
+        assert "exists and is not a directory" in stderr

@@ -18,7 +18,11 @@ the **collapse** dimension (:mod:`repro.faults.structural`): simulating
 one representative per structural equivalence class and scattering the
 outcomes back must be bit-identical too, as must coverage-capped runs
 (``stop_at_coverage``), whose stopping window is pinned to the same
-streaming grid on every engine.
+streaming grid on every engine - and the **cache** dimension
+(:mod:`repro.simulate.artifacts`): a warm artifact store only skips
+re-derivation, so a cached re-run must be bit-identical to the cold
+run on every engine x schedule x plan x collapse combination, on every
+cache mode (``off``, ``memory``, a disk-tier directory).
 
 Engine-specific mechanics stay in their own files
 (``test_compiled_engine.py`` for the slot program's internals,
@@ -41,6 +45,7 @@ from repro.circuits.generators import (
 )
 from repro.netlist import NetworkFault
 from repro.simulate import (
+    ArtifactStore,
     PatternSet,
     TuningProfile,
     available_engines,
@@ -346,6 +351,80 @@ class TestEveryEngineSchedulePlanCombination:
         )
         assert collapsed.collapsed_classes is not None
         assert collapsed.collapsed_classes <= collapsed.fault_count
+
+
+#: Cache modes the harness sweeps: caching disabled, the in-memory
+#: tier, and the persistent disk tier ("disk" is materialised as a
+#: per-test directory, exercising the --cache path form end to end).
+CACHE_SWEEP = ("off", "memory", "disk")
+
+
+def _cache_spec(mode, tmp_path):
+    if mode == "disk":
+        return str(tmp_path / "artifact-store")
+    if mode == "memory":
+        return ArtifactStore()  # a fresh store: the test owns warm-up
+    return mode
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("schedule", SCHEDULES)
+@pytest.mark.parametrize("cache_mode", CACHE_SWEEP)
+class TestEveryEngineScheduleCacheCombination:
+    """The cache sweep dimension: a warm store only skips
+    re-derivation.  Each combination runs cold then warm on the same
+    store - both must match the cache-free oracle bit for bit, on the
+    collapsed run too (collapse classes are themselves cached
+    artifacts)."""
+
+    def test_cached_rerun_identical_on_skewed_cones(
+        self, engine, schedule, cache_mode, tmp_path
+    ):
+        network = skewed_cone_network(depth=9, islands=6)
+        patterns = PatternSet.random(network.inputs, 163, seed=47)
+        faults = all_faults(network)
+        spec = _cache_spec(cache_mode, tmp_path)
+        cold = fault_simulate(
+            network, patterns, faults, engine=engine, schedule=schedule,
+            collapse="on", cache=spec,
+        )
+        warm = fault_simulate(
+            network, patterns, faults, engine=engine, schedule=schedule,
+            collapse="on", cache=spec,
+        )
+        results_identical(
+            cold, _cached_oracle("skew-plan-sweep", network, patterns, faults)
+        )
+        results_identical(warm, cold)
+
+
+@pytest.mark.parametrize("engine", ("compiled", "vector"))
+@pytest.mark.parametrize("tuning", TUNINGS)
+@pytest.mark.parametrize("cache_mode", CACHE_SWEEP)
+class TestEveryPlanCacheCombination:
+    """The plan x cache cross: tuned plans re-tile the cached slot
+    programs and batch plans, and a warm store must hand back artifacts
+    that re-tile to the same bits."""
+
+    def test_cached_rerun_identical_under_every_plan(
+        self, engine, tuning, cache_mode, tuning_specs, tmp_path
+    ):
+        network = skewed_cone_network(depth=9, islands=6)
+        patterns = PatternSet.random(network.inputs, 163, seed=47)
+        faults = all_faults(network)
+        spec = _cache_spec(cache_mode, tmp_path)
+        cold = fault_simulate(
+            network, patterns, faults, engine=engine,
+            tune=tuning_specs[tuning], cache=spec,
+        )
+        warm = fault_simulate(
+            network, patterns, faults, engine=engine,
+            tune=tuning_specs[tuning], cache=spec,
+        )
+        results_identical(
+            cold, _cached_oracle("skew-plan-sweep", network, patterns, faults)
+        )
+        results_identical(warm, cold)
 
 
 @pytest.mark.parametrize("engine", ENGINES)
