@@ -1,0 +1,200 @@
+"""Streaming-source benchmark: lane-native LFSR sessions vs serial.
+
+Extends ``BENCH_engine.json`` (the perf trajectory - existing workload
+records are preserved, never replaced) with an ``e10_stream`` entry:
+``fault_simulate`` fed directly by a :class:`repro.simulate.LfsrSource`
+(lane words generated 64 patterns per clock batch by the GF(2)
+word-jump path) against the historical flow - stepping an
+:class:`repro.selftest.LfsrBank` serially, one pattern per clock, and
+materialising a :class:`PatternSet` before simulating.  Both sides run
+the identical bit sequence, so the pair is bit-identity-checked before
+any speedup is recorded.
+
+A second measurement rides on the same workload: the
+confidence-bounded session (:func:`repro.simulate.streaming_coverage`,
+which stops at the first window boundary where the Wilson lower bound
+on coverage clears the target) against the fixed-length sweep over the
+whole pattern budget.  The session's detected weight is checked
+against a fault simulation of exactly the prefix it consumed, then the
+ratio of sweep time to session time is recorded as
+``confidence_stop_speedup`` (not the headline - it depends on how
+early the bound clears).  Run with::
+
+    PYTHONPATH=src python benchmarks/bench_perf_stream.py [--quick]
+
+``--quick`` runs a seconds-sized smoke workload (CI) and skips the
+JSON update.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from bench_perf_engine import library_runtime_network  # noqa: E402
+from bench_perf_schedule import _best_of  # noqa: E402
+from bench_perf_shard import _results_identical, update_record  # noqa: E402
+from repro.selftest import LfsrBank  # noqa: E402
+from repro.simulate import (  # noqa: E402
+    LfsrSource,
+    PatternSet,
+    fault_simulate,
+    streaming_coverage,
+)
+
+BENCH_PATH = REPO_ROOT / "BENCH_engine.json"
+WORKLOAD_NAME = "e10_stream"
+MIN_REQUIRED_SPEEDUP = 1.5
+
+
+def _serial_flow(network, names, count: int, seed: int, faults):
+    """The pre-streaming flow: clock the bank once per pattern in pure
+    Python, materialise the set, then simulate."""
+    bank = LfsrBank(len(names), seed=seed)
+    vectors = (
+        {name: bits[index] for index, name in enumerate(names)}
+        for bits in bank.patterns(count)
+    )
+    patterns = PatternSet.from_vectors(names, vectors)
+    return fault_simulate(network, patterns, faults, engine="compiled")
+
+
+def run_stream(
+    size: int = 10,
+    n_gates: int = 48,
+    pattern_count: int = 1 << 16,
+    repetitions: int = 3,
+    target_coverage: float = 0.6,
+    confidence: float = 0.95,
+) -> Dict:
+    network = library_runtime_network(size, n_gates=n_gates)
+    names = network.inputs
+    faults = network.enumerate_faults()
+    seed = 7
+    print(
+        f"{WORKLOAD_NAME}: {len(faults)} faults x {pattern_count} LFSR "
+        f"patterns over {len(names)} inputs"
+    )
+
+    serial_result, serial_seconds = _best_of(
+        lambda: _serial_flow(network, names, pattern_count, seed, faults),
+        repetitions,
+    )
+    lane_result, lane_seconds = _best_of(
+        lambda: fault_simulate(
+            network,
+            LfsrSource(names, pattern_count, seed=seed),
+            faults,
+            engine="compiled",
+        ),
+        repetitions,
+    )
+    identical = _results_identical(lane_result, serial_result)
+    speedup = round(serial_seconds / lane_seconds, 3)
+    print(
+        f"  generation+simulation: serial {serial_seconds:.2f}s -> "
+        f"lane-native {lane_seconds:.2f}s = {speedup}x "
+        f"(identical={identical})"
+    )
+
+    # Confidence-bounded session vs the fixed-length sweep of the whole
+    # budget.  The session streams FIRST_DETECTION_CHUNK windows and
+    # stops once the Wilson bound clears the target.
+    source = LfsrSource(names, pattern_count, seed=seed)
+    session, session_seconds = _best_of(
+        lambda: streaming_coverage(
+            network,
+            source,
+            faults,
+            target_coverage=target_coverage,
+            confidence=confidence,
+        ),
+        repetitions,
+    )
+    sweep_result, sweep_seconds = _best_of(
+        lambda: fault_simulate(network, source, faults, engine="compiled"),
+        repetitions,
+    )
+    prefix_result = fault_simulate(
+        network, source.slice(0, session.pattern_count), faults
+    )
+    identical = identical and len(prefix_result.detected) == session.detected_weight
+    stop_speedup = round(sweep_seconds / session_seconds, 3)
+    print(
+        f"  confidence stop: satisfied={session.satisfied} after "
+        f"{session.pattern_count}/{pattern_count} patterns "
+        f"(bound {session.lower_bound:.3f} >= target {target_coverage}); "
+        f"sweep {sweep_seconds:.2f}s -> session {session_seconds:.2f}s "
+        f"= {stop_speedup}x (identical={identical})"
+    )
+
+    return {
+        "name": WORKLOAD_NAME,
+        "description": (
+            "lane-native streaming LFSR sessions on the E10 library "
+            "workload: fault_simulate fed by LfsrSource (64 patterns per "
+            "word-jump batch, never materialised) vs serially clocking "
+            "the bank one pattern at a time into a PatternSet; the "
+            "confidence-bounded session (streaming_coverage, Wilson "
+            "lower bound vs target) against the fixed-length sweep is "
+            "recorded alongside, bit-identity checked first"
+        ),
+        "params": {
+            "cell_size": size,
+            "gates": n_gates,
+            "inputs": len(names),
+            "faults": len(faults),
+            "patterns": pattern_count,
+            "target_coverage": target_coverage,
+            "confidence": confidence,
+            "repetitions": repetitions,
+            "cpu_count": os.cpu_count(),
+        },
+        "serial_seconds": round(serial_seconds, 4),
+        "lane_seconds": round(lane_seconds, 4),
+        "sweep_seconds": round(sweep_seconds, 4),
+        "session_seconds": round(session_seconds, 4),
+        "session_patterns": session.pattern_count,
+        "session_satisfied": session.satisfied,
+        "confidence_stop_speedup": stop_speedup,
+        "min_required_speedup": MIN_REQUIRED_SPEEDUP,
+        "speedup": speedup,
+        "identical_results": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="seconds-sized smoke run (correctness + plumbing only); "
+        "does not touch BENCH_engine.json",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        entry = run_stream(
+            size=6, n_gates=12, pattern_count=1 << 12, repetitions=1,
+        )
+        if not entry["identical_results"]:
+            print("FAIL: a streamed run diverged from the serial flow")
+            return 1
+        print("quick smoke ok (JSON untouched)")
+        return 0
+    entry = run_stream()
+    record = update_record(entry)
+    print(f"wrote {BENCH_PATH}")
+    ok = entry["identical_results"] and entry["speedup"] >= MIN_REQUIRED_SPEEDUP
+    return 0 if ok and record.get("all_pass", False) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

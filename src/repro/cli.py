@@ -13,9 +13,15 @@ Subcommands::
             [--engine compiled|interpreted|sharded|sharded+vector|vector] \
             [--jobs N] [--schedule contiguous|cost|interleaved] \
             [--tune auto|default|PROFILE.json] [--collapse off|on|report] \
-            [--cache memory|off|DIR]
+            [--cache memory|off|DIR] \
+            [--source lfsr|random|set|weighted] [--stop-confidence C] \
+            [--target-coverage F]
         Wrap the cell in a single-gate network and run the PROTEST
         pipeline: probabilities, test length, optimized weights.
+        ``--stop-confidence`` additionally streams a BIST session
+        (``--source`` picks the lane-native pattern generator) that
+        stops once the Wilson lower confidence bound on coverage clears
+        ``--target-coverage``.
         ``--engine`` picks the simulation engine for the estimators and
         the validation fault simulation (any registered engine name;
         bad names fail with the registry's error); ``--jobs`` the
@@ -68,6 +74,11 @@ CACHE_CHOICES = ("memory", "off")
 """The artifact-store cache modes (``--cache`` also accepts a cache
 directory path), spelled out for the same reason; a test holds this
 tuple equal to ``repro.simulate.available_cache_modes()``."""
+
+SOURCE_CHOICES = ("lfsr", "random", "set", "weighted")
+"""The registered streaming pattern-source names, spelled out for the
+same reason; a test holds this tuple equal to
+``repro.simulate.available_sources()``."""
 
 
 def _engine_name(name: str) -> str:
@@ -134,6 +145,18 @@ def _cache_name(name: str) -> str:
 
     try:
         resolve_cache(name)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return name
+
+
+def _source_name(name: str) -> str:
+    """argparse type for ``--source``: validate like ``--engine``,
+    reusing the pattern-source registry's exact error message."""
+    from .simulate.source import get_source
+
+    try:
+        get_source(name)
     except ValueError as error:
         raise argparse.ArgumentTypeError(str(error)) from None
     return name
@@ -209,6 +232,20 @@ def command_protest(args: argparse.Namespace) -> int:
     print()
     optimization = protest.optimize(confidence=args.confidence)
     print(optimization.format_summary())
+    if args.stop_confidence is not None:
+        probabilities = (
+            optimization.optimized_probabilities
+            if args.source == "weighted"
+            else None
+        )
+        session = protest.streaming_test_length(
+            target_coverage=args.target_coverage,
+            confidence=args.stop_confidence,
+            source=args.source,
+            probabilities=probabilities,
+        )
+        print()
+        print(session.format_summary())
     if args.validate:
         length = int(min(optimization.optimized_test_length, 1 << 16))
         result = protest.validate(length, optimization.optimized_probabilities)
@@ -321,6 +358,34 @@ def build_parser() -> argparse.ArgumentParser:
         "process-wide in-memory store, or $REPRO_CACHE_DIR when set; "
         "'off' disables caching; a directory persists artifacts across "
         "runs; results are cache-independent)",
+    )
+    protest.add_argument(
+        "--source",
+        type=_source_name,
+        default="lfsr",
+        metavar="|".join(SOURCE_CHOICES),
+        help="streaming pattern source for the confidence-bounded "
+        "session (default: lfsr - a lane-native LFSR bank; 'weighted' "
+        "streams the NLFSR with the optimized distribution; only used "
+        "with --stop-confidence)",
+    )
+    protest.add_argument(
+        "--stop-confidence",
+        type=float,
+        default=None,
+        metavar="C",
+        help="additionally run a streaming BIST session that stops as "
+        "soon as the Wilson lower confidence bound (at confidence C) on "
+        "fault coverage clears --target-coverage - 'how many patterns "
+        "for the target coverage?' answered by simulation",
+    )
+    protest.add_argument(
+        "--target-coverage",
+        type=float,
+        default=0.99,
+        metavar="F",
+        help="coverage fraction the streaming session drives its lower "
+        "bound to (default: 0.99; only used with --stop-confidence)",
     )
     protest.set_defaults(func=command_protest)
 

@@ -17,6 +17,8 @@ from .signalprob import (
 )
 from .testlength import (
     confidence_all_detected,
+    coverage_lower_bound,
+    detection_probability,
     escape_probability,
     expected_coverage,
     hardest_faults,
@@ -43,6 +45,8 @@ __all__ = [
     "signal_probabilities",
     "topological_signal_probabilities",
     "confidence_all_detected",
+    "coverage_lower_bound",
+    "detection_probability",
     "escape_probability",
     "expected_coverage",
     "hardest_faults",

@@ -12,6 +12,17 @@ test length are provided:
 * per-fault:  smallest N with ``1 - (1-p)^N >= c``;
 * whole-test: smallest N with ``prod_f (1 - (1-p_f)^N) >= c`` - the
   demanded confidence that *all* faults are detected.
+
+All escape/detection terms are computed as ``exp(N * log1p(-p))`` and
+``-expm1(N * log1p(-p))``: for small ``p`` (below ~1e-16) the naive
+``(1.0 - p) ** N`` collapses to ``1.0 ** N`` in floats, pinning the
+detection probability to zero and making every length look infinite.
+
+The module also hosts the confidence machinery for *streaming*
+sessions: :func:`coverage_lower_bound` turns observed detected-of-total
+fault counts into a Wilson-score lower confidence bound on coverage,
+the quantity the incremental consumer in
+``repro.simulate.faultsim.streaming_coverage`` drives to its target.
 """
 
 from __future__ import annotations
@@ -34,19 +45,28 @@ def test_length_for_fault(p: float, confidence: float = 0.999) -> float:
         return math.inf
     if p == 1.0:
         return 1.0
-    return math.ceil(math.log(1.0 - confidence) / math.log(1.0 - p))
+    return math.ceil(math.log1p(-confidence) / math.log1p(-p))
 
 
-def escape_probability(p: float, length: int) -> float:
+def escape_probability(p: float, length: float) -> float:
     """P(fault with detection probability p escapes ``length`` patterns)."""
-    return (1.0 - p) ** length
+    if p >= 1.0:
+        return 0.0 if length > 0 else 1.0
+    return math.exp(length * math.log1p(-p))
+
+
+def detection_probability(p: float, length: float) -> float:
+    """P(fault with detection probability p falls to ``length`` patterns)."""
+    if p >= 1.0:
+        return 1.0 if length > 0 else 0.0
+    return -math.expm1(length * math.log1p(-p))
 
 
 def expected_coverage(probabilities: Mapping[str, float], length: int) -> float:
     """Expected fault coverage after ``length`` random patterns."""
     if not probabilities:
         return 1.0
-    detected = sum(1.0 - escape_probability(p, length) for p in probabilities.values())
+    detected = sum(detection_probability(p, length) for p in probabilities.values())
     return detected / len(probabilities)
 
 
@@ -54,7 +74,7 @@ def confidence_all_detected(probabilities: Mapping[str, float], length: int) -> 
     """P(every fault is detected within ``length`` patterns)."""
     result = 1.0
     for p in probabilities.values():
-        result *= 1.0 - escape_probability(p, length)
+        result *= detection_probability(p, length)
         if result == 0.0:
             return 0.0
     return result
@@ -78,14 +98,21 @@ def test_length(
         return 0.0
     if per_fault:
         return max(test_length_for_fault(p, confidence) for p in finite)
-    # Monotone in N: binary search between the per-fault bound for the
-    # hardest fault and a safe upper limit.
+    # Monotone in N: binary search up to a provably sufficient length -
+    # the N at which every fault individually reaches confidence
+    # c^(1/F), so the product over all F faults reaches c.  (A doubling
+    # search with an absolute guard wrongly reported ``inf`` for very
+    # small detection probabilities, whose true lengths exceed any fixed
+    # guard long before the float math breaks down.)
+    count = len(finite)
+    # 1 - c^(1/F), computed without cancellation.
+    shortfall = -math.expm1(math.log(confidence) / count)
+    high = 1
+    for p in finite:
+        if p >= 1.0:
+            continue
+        high = max(high, math.ceil(math.log(shortfall) / math.log1p(-p)))
     low = 1
-    high = max(1, int(test_length_for_fault(min(finite), confidence)))
-    while confidence_all_detected(probabilities, high) < confidence:
-        high *= 2
-        if high > 10 ** 15:
-            return math.inf
     while low < high:
         mid = (low + high) // 2
         if confidence_all_detected(probabilities, mid) >= confidence:
@@ -101,3 +128,99 @@ def hardest_faults(
     """The faults that dominate the test length, hardest first."""
     ranked = sorted(probabilities.items(), key=lambda item: item[1])
     return ranked[:count]
+
+
+# --- Confidence bounds on observed coverage (streaming sessions) ------
+
+_ACKLAM_A = (
+    -3.969683028665376e+01,
+    2.209460984245205e+02,
+    -2.759285104469687e+02,
+    1.383577518672690e+02,
+    -3.066479806614716e+01,
+    2.506628277459239e+00,
+)
+_ACKLAM_B = (
+    -5.447609879822406e+01,
+    1.615858368580409e+02,
+    -1.556989798598866e+02,
+    6.680131188771972e+01,
+    -1.328068155288572e+01,
+)
+_ACKLAM_C = (
+    -7.784894002430293e-03,
+    -3.223964580411365e-01,
+    -2.400758277161838e+00,
+    -2.549732539343734e+00,
+    4.374664141464968e+00,
+    2.938163982698783e+00,
+)
+_ACKLAM_D = (
+    7.784695709041462e-03,
+    3.224671290700398e-01,
+    2.445134137142996e+00,
+    3.754408661907416e+00,
+)
+_ACKLAM_SPLIT = 0.02425
+
+
+def _normal_quantile(q: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation).
+
+    Accurate to ~1.15e-9 across (0, 1) - ample for confidence bounds,
+    and free of any scipy dependency.
+    """
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"quantile argument must be in (0,1), got {q}")
+    a, b, c, d = _ACKLAM_A, _ACKLAM_B, _ACKLAM_C, _ACKLAM_D
+    if q < _ACKLAM_SPLIT:
+        r = math.sqrt(-2.0 * math.log(q))
+        return (
+            ((((c[0] * r + c[1]) * r + c[2]) * r + c[3]) * r + c[4]) * r + c[5]
+        ) / ((((d[0] * r + d[1]) * r + d[2]) * r + d[3]) * r + 1.0)
+    if q > 1.0 - _ACKLAM_SPLIT:
+        r = math.sqrt(-2.0 * math.log(1.0 - q))
+        return -(
+            ((((c[0] * r + c[1]) * r + c[2]) * r + c[3]) * r + c[4]) * r + c[5]
+        ) / ((((d[0] * r + d[1]) * r + d[2]) * r + d[3]) * r + 1.0)
+    r = q - 0.5
+    s = r * r
+    return (
+        (((((a[0] * s + a[1]) * s + a[2]) * s + a[3]) * s + a[4]) * s + a[5]) * r
+    ) / (((((b[0] * s + b[1]) * s + b[2]) * s + b[3]) * s + b[4]) * s + 1.0)
+
+
+def coverage_lower_bound(
+    detected: float, total: float, confidence: float = 0.99
+) -> float:
+    """Wilson-score lower confidence bound on the coverage proportion.
+
+    Treats the fault universe as ``total`` Bernoulli trials of which
+    ``detected`` succeeded (fractional weights from structural
+    collapsing are accepted), and returns the one-sided lower bound
+    holding with the given confidence.  Monotone in ``detected`` for
+    fixed ``total``, never exceeds the empirical proportion for
+    ``confidence >= 0.5``, and an empty universe is vacuously covered.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0,1), got {confidence}")
+    if total < 0 or detected < 0 or detected > total:
+        raise ValueError(
+            f"need 0 <= detected <= total, got detected={detected} total={total}"
+        )
+    if total == 0:
+        return 1.0
+    z = _normal_quantile(confidence)
+    proportion = detected / total
+    z2 = z * z
+    denominator = 1.0 + z2 / total
+    centre = (proportion + z2 / (2.0 * total)) / denominator
+    half_width = (
+        z
+        * math.sqrt(
+            proportion * (1.0 - proportion) / total
+            + z2 / (4.0 * total * total)
+        )
+        / denominator
+    )
+    return min(1.0, max(0.0, centre - half_width))

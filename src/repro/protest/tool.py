@@ -23,8 +23,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..netlist.network import Network, NetworkFault
-from ..simulate.faultsim import FaultSimResult, fault_simulate
+from ..simulate.faultsim import (
+    FaultSimResult,
+    StreamingCoverage,
+    fault_simulate,
+    streaming_coverage,
+)
 from ..simulate.logicsim import PatternSet
+from ..simulate.source import make_source
 from .detectprob import detection_probabilities
 from .optimize import OptimizationResult, optimize_input_probabilities
 from .signalprob import signal_probabilities
@@ -231,6 +237,56 @@ class Protest:
             self.network,
             patterns,
             self.faults,
+            engine=engine or self.engine,
+            jobs=jobs if jobs is not None else self.jobs,
+            schedule=schedule if schedule is not None else self.schedule,
+            tune=tune if tune is not None else self.tune,
+            collapse=collapse if collapse is not None else self.collapse,
+            cache=cache if cache is not None else self.cache,
+        )
+
+    def streaming_test_length(
+        self,
+        target_coverage: float = 0.99,
+        confidence: float = 0.99,
+        source: str = "lfsr",
+        max_patterns: int = 1 << 16,
+        seed: int = 1,
+        probabilities: Optional[Mapping[str, float]] = None,
+        engine: Optional[str] = None,
+        jobs: Optional[int] = None,
+        schedule: Optional[str] = None,
+        tune=None,
+        collapse: Optional[str] = None,
+        cache=None,
+    ) -> StreamingCoverage:
+        """How many patterns for the target coverage, at a confidence -
+        answered by streaming a BIST source until the bound tightens.
+
+        ``source`` names a registered pattern source
+        (:mod:`repro.simulate.source`: ``"lfsr"`` by default,
+        ``"weighted"`` - which honours ``probabilities``, e.g. the
+        optimized distribution -, ``"random"``, ``"set"``);
+        ``max_patterns`` bounds the session.  The source streams
+        lane-word windows through
+        :func:`repro.simulate.faultsim.streaming_coverage`, which stops
+        at the first window where the Wilson lower confidence bound on
+        fault coverage clears ``target_coverage``.  Engine knobs
+        default to the instance settings.
+        """
+        resolved = make_source(
+            source,
+            self.network.inputs,
+            max_patterns,
+            seed=seed,
+            probabilities=probabilities,
+        )
+        return streaming_coverage(
+            self.network,
+            resolved,
+            self.faults,
+            target_coverage=target_coverage,
+            confidence=confidence,
             engine=engine or self.engine,
             jobs=jobs if jobs is not None else self.jobs,
             schedule=schedule if schedule is not None else self.schedule,

@@ -1,7 +1,7 @@
 """Self-test hardware: LFSR, MISR, BILBO, weighted NLFSR, sessions."""
 
 from .bilbo import Bilbo, BilboMode
-from .lfsr import PRIMITIVE_TAPS, Lfsr
+from .lfsr import BANK_DEGREE, PRIMITIVE_TAPS, Lfsr, LfsrBank, bank_seed
 from .misr import Misr
 from .nlfsr import WeightAssignment, WeightedPatternGenerator, closest_dyadic_weight
 from .session import SelfTestOutcome, at_speed_gate_selftest, logic_selftest
@@ -9,8 +9,11 @@ from .session import SelfTestOutcome, at_speed_gate_selftest, logic_selftest
 __all__ = [
     "Bilbo",
     "BilboMode",
+    "BANK_DEGREE",
     "PRIMITIVE_TAPS",
     "Lfsr",
+    "LfsrBank",
+    "bank_seed",
     "Misr",
     "WeightAssignment",
     "WeightedPatternGenerator",

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 PRIMITIVE_TAPS: Dict[int, Tuple[int, ...]] = {
     2: (2, 1),
     3: (3, 2),
@@ -49,6 +51,70 @@ PRIMITIVE_TAPS: Dict[int, Tuple[int, ...]] = {
 }
 """Tap positions (1-based, bit ``t`` XORed into the feedback) of a
 primitive polynomial per degree - the standard published table."""
+
+
+def _transition_matrix(degree: int, taps: Sequence[int]) -> Tuple[int, ...]:
+    """The GF(2) one-step transition matrix as per-row bit masks.
+
+    Row ``i`` holds the mask of old state bits whose XOR is new bit
+    ``i``: row 0 is the tap mask (the feedback), row ``j`` is the shift
+    ``1 << (j - 1)``.
+    """
+    rows = [0] * degree
+    for tap in taps:
+        rows[0] |= 1 << (tap - 1)
+    for j in range(1, degree):
+        rows[j] = 1 << (j - 1)
+    return tuple(rows)
+
+
+def _matrix_multiply(a: Sequence[int], b: Sequence[int]) -> Tuple[int, ...]:
+    """GF(2) matrix product: (AB)[i] = XOR of B[j] over set bits j of A[i]."""
+    rows = []
+    for row in a:
+        acc = 0
+        j = 0
+        while row:
+            if row & 1:
+                acc ^= b[j]
+            row >>= 1
+            j += 1
+        rows.append(acc)
+    return tuple(rows)
+
+
+def _matrix_power(matrix: Sequence[int], exponent: int) -> Tuple[int, ...]:
+    """``matrix ** exponent`` over GF(2) by repeated squaring."""
+    degree = len(matrix)
+    result = tuple(1 << i for i in range(degree))  # identity
+    base = tuple(matrix)
+    while exponent:
+        if exponent & 1:
+            result = _matrix_multiply(result, base)
+        base = _matrix_multiply(base, base)
+        exponent >>= 1
+    return result
+
+
+def _matrix_apply(matrix: Sequence[int], state: int) -> int:
+    """Matrix-vector product: bit i = parity(row_i & state)."""
+    out = 0
+    for i, row in enumerate(matrix):
+        out |= ((row & state).bit_count() & 1) << i
+    return out
+
+
+_WORD_JUMP_CACHE: Dict[Tuple[int, Tuple[int, ...]], Tuple[int, ...]] = {}
+
+
+def _word_jump_matrix(degree: int, taps: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Memoised 64-step transition matrix (one lane word per jump)."""
+    key = (degree, taps)
+    cached = _WORD_JUMP_CACHE.get(key)
+    if cached is None:
+        cached = _matrix_power(_transition_matrix(degree, taps), 64)
+        _WORD_JUMP_CACHE[key] = cached
+    return cached
 
 
 class Lfsr:
@@ -102,13 +168,151 @@ class Lfsr:
             self.step()
             yield self.pattern(width)
 
+    def jump(self, steps: int) -> None:
+        """Advance ``steps`` clocks in O(degree^2 log steps) time."""
+        if steps < 0:
+            raise ValueError("cannot jump a negative number of steps")
+        if steps == 0:
+            return
+        matrix = _matrix_power(_transition_matrix(self.degree, self.taps), steps)
+        self.state = _matrix_apply(matrix, self.state)
+
+    def lane_words(self, width: int, n_words: int) -> np.ndarray:
+        """``width`` rows of ``n_words`` uint64 lane words.
+
+        Bit ``k`` of word ``w`` in row ``i`` is register bit ``i`` of
+        pattern ``w*64 + k`` - the same step-then-read phase as
+        :meth:`patterns`, and the same column layout as
+        ``logicsim.pack_words``.  The register advances ``64*n_words``
+        clocks, exactly as the serial path would.
+        """
+        if width > self.degree:
+            raise ValueError(
+                f"cannot draw {width} bits from a degree-{self.degree} LFSR"
+            )
+        words = np.zeros((width, n_words), dtype=np.uint64)
+        if n_words == 0:
+            return words
+        # Word-boundary states: column w starts from the register after
+        # w*64 clocks, chained through the memoised 64-step matrix.
+        jump = _word_jump_matrix(self.degree, self.taps)
+        boundaries = np.empty(n_words, dtype=np.uint64)
+        state = self.state
+        for w in range(n_words):
+            boundaries[w] = state
+            state = _matrix_apply(jump, state)
+        tap_mask = np.uint64(sum(1 << (t - 1) for t in self.taps))
+        mask = np.uint64((1 << self.degree) - 1)
+        one = np.uint64(1)
+        s = boundaries
+        for k in range(64):
+            t = s & tap_mask
+            for shift in (32, 16, 8, 4, 2, 1):
+                t ^= t >> np.uint64(shift)
+            feedback = t & one
+            s = ((s << one) | feedback) & mask
+            column = np.uint64(k)
+            for i in range(width):
+                words[i] |= ((s >> np.uint64(i)) & one) << column
+        self.state = int(s[-1])
+        return words
+
     def period(self, limit: Optional[int] = None) -> int:
-        """Measured sequence period (2^n - 1 for primitive taps)."""
-        self.reset()
-        start = self.state
-        limit = limit if limit is not None else (1 << self.degree)
-        for count in range(1, limit + 1):
+        """Measured sequence period (2^n - 1 for primitive taps).
+
+        Observation-only: the live register state is saved and restored,
+        so measuring the period mid-session does not restart the stream.
+        """
+        saved = self.state
+        try:
+            self.reset()
+            start = self.state
+            limit = limit if limit is not None else (1 << self.degree)
+            for count in range(1, limit + 1):
+                self.step()
+                if self.state == start:
+                    return count
+            raise RuntimeError(f"period exceeds search limit {limit}")
+        finally:
+            self.state = saved
+
+
+BANK_DEGREE = 31
+"""Register degree used when ganging fixed-degree LFSRs into a bank.
+
+Wide circuits need more parallel bits than the tabulated polynomials
+provide (degree tops out at 32), so :class:`LfsrBank` gangs several
+degree-31 registers with distinct seeds instead of scaling the degree
+with input count."""
+
+
+def bank_seed(seed: int, index: int, degree: int = BANK_DEGREE) -> int:
+    """A well-mixed nonzero seed for bank member ``index``.
+
+    A low-weight seed starts the register in the impulse-response region
+    of the m-sequence, whose long runs would bias short pattern
+    sessions; the multiplicative mix avoids that.
+    """
+    modulus = (1 << degree) - 1
+    return (seed * 0x9E3779B1 + index * 0x85EBCA77) % modulus + 1
+
+
+class LfsrBank:
+    """Several fixed-degree LFSRs ganged into one wide pattern source.
+
+    Where a single :class:`Lfsr` caps out at the widest tabulated
+    polynomial (degree 32), a bank provides ``width`` parallel bits for
+    any ``width >= 1`` by concatenating ``ceil(width / degree)``
+    registers seeded through :func:`bank_seed` - the same layout a
+    silicon BIST structure would use for a wide scan chain.
+    """
+
+    def __init__(self, width: int, seed: int = 1, degree: int = BANK_DEGREE):
+        if width < 1:
+            raise ValueError("bank width must be at least 1")
+        self.width = width
+        self.degree = degree
+        self.seed = seed
+        count = -(-width // degree)
+        self.members = [
+            Lfsr(degree, seed=bank_seed(seed, index, degree))
+            for index in range(count)
+        ]
+
+    def reset(self) -> None:
+        for member in self.members:
+            member.reset()
+
+    def step(self) -> None:
+        """Advance every member one clock."""
+        for member in self.members:
+            member.step()
+
+    def bits(self) -> List[int]:
+        """Current ``width`` parallel bits (member registers concatenated)."""
+        bits: List[int] = []
+        for member in self.members:
+            bits.extend(member.bits())
+        return bits[: self.width]
+
+    def pattern(self) -> List[int]:
+        return self.bits()
+
+    def patterns(self, count: int) -> Iterator[List[int]]:
+        """``count`` patterns, advancing one clock between patterns."""
+        for _ in range(count):
             self.step()
-            if self.state == start:
-                return count
-        raise RuntimeError(f"period exceeds search limit {limit}")
+            yield self.pattern()
+
+    def jump(self, steps: int) -> None:
+        for member in self.members:
+            member.jump(steps)
+
+    def lane_words(self, n_words: int) -> np.ndarray:
+        """``width`` rows of ``n_words`` lane words (see ``Lfsr.lane_words``)."""
+        if not self.members:
+            return np.zeros((0, n_words), dtype=np.uint64)
+        blocks = [
+            member.lane_words(member.degree, n_words) for member in self.members
+        ]
+        return np.vstack(blocks)[: self.width]

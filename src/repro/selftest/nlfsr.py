@@ -18,7 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Tuple
 
-from .lfsr import Lfsr
+import numpy as np
+
+from .lfsr import BANK_DEGREE, Lfsr, bank_seed
 
 
 @dataclass(frozen=True)
@@ -45,7 +47,7 @@ def closest_dyadic_weight(probability: float, max_k: int = 6) -> Tuple[int, bool
     return best
 
 
-_BANK_DEGREE = 31
+_BANK_DEGREE = BANK_DEGREE
 """Cells per LFSR bank.  Wide circuits need more weighted bits than one
 register provides, so the generator gangs several registers with
 different seeds and (implicitly) different phases - exactly what a
@@ -87,12 +89,8 @@ class WeightedPatternGenerator:
         # Well-mixed seeds: a low-weight seed starts the register in the
         # impulse-response region of the m-sequence, whose long runs
         # would bias short pattern sessions.
-        modulus = (1 << _BANK_DEGREE) - 1
         self.banks = [
-            Lfsr(
-                _BANK_DEGREE,
-                seed=(seed * 0x9E3779B1 + index * 0x85EBCA77) % modulus + 1,
-            )
+            Lfsr(_BANK_DEGREE, seed=bank_seed(seed, index, _BANK_DEGREE))
             for index in range(bank_count)
         ]
 
@@ -122,6 +120,36 @@ class WeightedPatternGenerator:
     def patterns(self, count: int) -> Iterator[Dict[str, int]]:
         for _ in range(count):
             yield self.pattern()
+
+    def reset(self) -> None:
+        for lfsr in self.banks:
+            lfsr.reset()
+
+    def jump(self, steps: int) -> None:
+        """Advance every bank ``steps`` clocks without producing patterns."""
+        for lfsr in self.banks:
+            lfsr.jump(steps)
+
+    def lane_words(self, n_words: int) -> np.ndarray:
+        """One uint64 lane-word row per assignment, in assignment order.
+
+        Bit ``k`` of word ``w`` is the weighted bit for pattern
+        ``w*64 + k`` - the same step-then-read phase and column layout
+        as the serial :meth:`pattern` path.  Every bank advances
+        ``64*n_words`` clocks.
+        """
+        bank_words = [lfsr.lane_words(_BANK_DEGREE, n_words) for lfsr in self.banks]
+        ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+        rows = np.empty((len(self.assignments), n_words), dtype=np.uint64)
+        for index, assignment in enumerate(self.assignments):
+            value = ones.repeat(n_words) if n_words else np.zeros(0, dtype=np.uint64)
+            for cell in assignment.cells:
+                bank, offset = divmod(cell, _BANK_DEGREE)
+                value = value & bank_words[bank][offset]
+            if assignment.inverted:
+                value = value ^ ones
+            rows[index] = value
+        return rows
 
     def empirical_probabilities(self, count: int = 4096) -> Dict[str, float]:
         """Measured 1-frequencies over a run (validates the weights)."""

@@ -16,13 +16,12 @@ Two flavours:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from ..netlist.network import Network, NetworkFault
 from ..switchlevel.network import PhysicalFault
 from .lfsr import Lfsr
 from .misr import Misr
-from .nlfsr import WeightedPatternGenerator
 
 
 @dataclass
@@ -38,24 +37,31 @@ class SelfTestOutcome:
         return self.signature != self.golden_signature
 
 
-def _pattern_source(
+_SESSION_WINDOW = 1 << 12
+"""Patterns simulated per lane window of a gate-level session - bounds
+the big-int working set while keeping the bit-parallel passes wide."""
+
+
+def _session_source(
     inputs: Sequence[str],
+    cycles: int,
     probabilities: Optional[Mapping[str, float]],
     seed: int,
 ):
+    """The session's pattern source: an LFSR bank, or a weighted NLFSR.
+
+    Fixed-degree banks (the ``BANK_DEGREE`` pattern) rather than one
+    register whose degree scales with the input count - the tabulated
+    primitive polynomials stop at degree 32, and scaling used to crash
+    BIST sessions on any network with more than 32 inputs.
+    """
+    # Imported lazily: repro.simulate.source imports this package's
+    # register models, so a module-level import here would be circular.
+    from ..simulate.source import LfsrSource, WeightedSource
+
     if probabilities is None:
-        lfsr = Lfsr(max(2, len(inputs)), seed=seed)
-
-        def source() -> Dict[str, int]:
-            lfsr.step()
-            bits = lfsr.bits()
-            return {name: bits[position] for position, name in enumerate(inputs)}
-
-        return source
-    generator = WeightedPatternGenerator(
-        {name: probabilities.get(name, 0.5) for name in inputs}, seed=seed
-    )
-    return generator.pattern
+        return LfsrSource(inputs, cycles, seed=seed)
+    return WeightedSource(inputs, cycles, probabilities=probabilities, seed=seed)
 
 
 def logic_selftest(
@@ -71,17 +77,30 @@ def logic_selftest(
     The MISR is at least 8 bits wide regardless of the output count so
     that aliasing (2^-width) stays negligible for the session lengths
     used here.
+
+    The session runs on the lane engine: the pattern source emits
+    uint64 lane-word windows, the compiled network evaluates each
+    window bit-parallel (one cone-restricted pass per window for the
+    faulty response), and the MISRs absorb the per-pattern output
+    columns from the lane words - no per-pattern ``Network.evaluate``
+    calls.
     """
+    from ..simulate.compiled import compile_network
+
     width = misr_width or max(8, len(network.outputs))
     golden_misr = Misr(width)
     faulty_misr = Misr(width)
-    source = _pattern_source(network.inputs, probabilities, seed)
-    vectors = [source() for _ in range(cycles)]
-    for vector in vectors:
-        good = network.evaluate(vector)
-        bad = network.evaluate(vector, fault)
-        golden_misr.absorb([good[net] for net in network.outputs])
-        faulty_misr.absorb([bad[net] for net in network.outputs])
+    source = _session_source(network.inputs, cycles, probabilities, seed)
+    compiled = compile_network(network)
+    outputs = network.outputs
+    for _start, chunk in source.windows(_SESSION_WINDOW):
+        good = compiled.output_bits(chunk.env, chunk.mask)
+        bad = good if fault is None else compiled.output_bits(
+            chunk.env, chunk.mask, fault
+        )
+        for k in range(chunk.count):
+            golden_misr.absorb([(good[net] >> k) & 1 for net in outputs])
+            faulty_misr.absorb([(bad[net] >> k) & 1 for net in outputs])
     return SelfTestOutcome(
         cycles=cycles,
         golden_signature=golden_misr.signature,

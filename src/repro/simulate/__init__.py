@@ -12,10 +12,26 @@ from .artifacts import (
 from .compiled import CompiledNetwork, GoodSimulation, compile_network
 from .deductive import deductive_fault_simulate
 from .dictionary import Diagnosis, FaultDictionary
-from .faultsim import FaultSimResult, coverage_curve, fault_simulate
+from .faultsim import (
+    FaultSimResult,
+    StreamingCoverage,
+    coverage_curve,
+    fault_simulate,
+    streaming_coverage,
+)
 from .parallel import parallel_fault_simulate
 from .logicsim import PatternSet, simulate, simulate_all_nets
 from .registry import Engine, available_engines, get_engine, register_engine
+from .source import (
+    LfsrSource,
+    PatternSetSource,
+    PatternSource,
+    RandomSource,
+    WeightedSource,
+    available_sources,
+    get_source,
+    make_source,
+)
 from .schedule import (
     DEFAULT_SCHEDULE,
     available_schedules,
@@ -68,10 +84,20 @@ __all__ = [
     "Diagnosis",
     "FaultDictionary",
     "FaultSimResult",
+    "StreamingCoverage",
     "coverage_curve",
     "fault_simulate",
+    "streaming_coverage",
     "parallel_fault_simulate",
     "PatternSet",
+    "PatternSource",
+    "LfsrSource",
+    "WeightedSource",
+    "RandomSource",
+    "PatternSetSource",
+    "available_sources",
+    "get_source",
+    "make_source",
     "simulate",
     "simulate_all_nets",
     "Engine",

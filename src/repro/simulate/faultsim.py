@@ -684,6 +684,194 @@ def windowed_outcomes(
     ]
 
 
+@dataclass
+class StreamingCoverage:
+    """Outcome of a confidence-bounded streaming coverage session.
+
+    The session consumed ``pattern_count`` of the source's
+    ``pattern_budget`` patterns; ``detected_weight`` of ``total_weight``
+    fault weight fell (weights are class sizes under collapsing, one
+    per fault otherwise); ``lower_bound`` is the Wilson-score lower
+    confidence bound on coverage at ``confidence`` when the session
+    ended, and ``satisfied`` says it cleared ``target_coverage``.
+    ``exhausted`` marks a session that ran out of patterns (or ran out
+    of undetected faults) before the bound cleared the target.
+    ``curve`` samples ``(patterns consumed, empirical coverage)`` at
+    every streaming window boundary.
+    """
+
+    network_name: str
+    pattern_count: int
+    pattern_budget: int
+    fault_count: int
+    detected_weight: int
+    total_weight: int
+    target_coverage: float
+    confidence: float
+    lower_bound: float
+    satisfied: bool
+    exhausted: bool
+    curve: List[Tuple[int, float]]
+    collapsed_classes: Optional[int] = None
+
+    @property
+    def coverage(self) -> float:
+        if self.total_weight == 0:
+            return 1.0
+        return self.detected_weight / self.total_weight
+
+    def format_summary(self) -> str:
+        if self.satisfied:
+            verdict = f"confidence target met after {self.pattern_count} patterns"
+        elif self.pattern_count < self.pattern_budget:
+            verdict = (
+                f"every fault detected after {self.pattern_count} patterns, "
+                "but the fault universe is too small for the confidence target"
+            )
+        else:
+            verdict = (
+                f"budget of {self.pattern_budget} patterns exhausted "
+                "before the confidence target"
+            )
+        lines = [
+            f"streaming session on {self.network_name}: {verdict}",
+            f"coverage {100.0 * self.coverage:.2f}% "
+            f"(lower bound {100.0 * self.lower_bound:.2f}% at "
+            f"confidence {self.confidence}, target "
+            f"{100.0 * self.target_coverage:.2f}%)",
+            f"fault universe: {self.fault_count} faults"
+            + (
+                f" in {self.collapsed_classes} collapsed classes"
+                if self.collapsed_classes is not None
+                else ""
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def streaming_coverage(
+    network: Network,
+    patterns,
+    faults: Optional[Sequence[NetworkFault]] = None,
+    target_coverage: float = 0.99,
+    confidence: float = 0.99,
+    engine: str = "compiled",
+    jobs: Optional[int] = None,
+    schedule: Optional[str] = None,
+    tune=None,
+    collapse: Optional[str] = None,
+    cache=None,
+) -> StreamingCoverage:
+    """Consume a pattern source incrementally until the coverage lower
+    bound clears the target - "how many patterns for 99% coverage at
+    confidence c?" answered by simulating until the interval tightens.
+
+    ``patterns`` is anything with the streaming seam - a
+    :class:`~repro.simulate.source.PatternSource` (the point: LFSR and
+    weighted NLFSR sequences stream as lane-word windows without ever
+    materialising) or a plain :class:`PatternSet`.  Between
+    :data:`FIRST_DETECTION_CHUNK`-wide windows, detected faults retire
+    exactly as under ``stop_at_coverage``, the observed detected-of-
+    total counts feed :func:`repro.protest.testlength.coverage_lower_bound`,
+    and the session stops at the first window boundary where the Wilson
+    lower bound on coverage reaches ``target_coverage`` - so a
+    ``satisfied`` session guarantees bound >= target at the demanded
+    confidence, with empirical coverage at or above the bound.
+
+    ``engine``, ``jobs``, ``schedule``, ``tune``, ``collapse`` and
+    ``cache`` resolve exactly as in :func:`fault_simulate` - unknown
+    names raise the same registry errors.  The window grid is pinned to
+    :data:`FIRST_DETECTION_CHUNK` on every engine, so the stopping
+    point is engine-independent; the multi-process engines run their
+    single-process window core here (``sharded`` -> compiled,
+    ``sharded+vector`` -> vector), as a confidence-stopped session is
+    sequential by construction.  Under ``collapse="on"`` classes weight
+    the observed counts by their member sizes, keeping the stopping
+    window identical to the uncollapsed run.
+    """
+    from ..faults.structural import collapse_network_faults, get_collapse_mode
+    from ..protest.testlength import coverage_lower_bound
+
+    get_engine(engine)  # same error contract as fault_simulate
+    get_schedule(schedule)
+    store = resolve_cache(cache)
+    resolve_plan(tune, cache=store)
+    mode = get_collapse_mode(collapse)
+    if not 0.0 < target_coverage <= 1.0:
+        raise ValueError(
+            f"target_coverage must be in (0, 1], got {target_coverage}"
+        )
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0,1), got {confidence}")
+    core = {"sharded": "compiled", "sharded+vector": "vector"}.get(engine, engine)
+    if faults is None:
+        faults = network.enumerate_faults()
+    faults = dedupe_faults(faults)
+    check_injectable(network, faults)
+    fault_count = len(faults)
+    collapsed_classes: Optional[int] = None
+    if mode != "off" and faults:
+        collapsed = collapse_network_faults(network, faults, cache=store)
+        simulated = collapsed.representative_faults()
+        weights = resolve_coverage_weights(simulated, collapsed.class_sizes())
+        collapsed_classes = collapsed.class_count
+    else:
+        simulated = list(faults)
+        weights = resolve_coverage_weights(simulated, None)
+    total_weight = sum(weights)
+    covered_weight = 0
+    curve: List[Tuple[int, float]] = []
+    consumed = 0
+    satisfied = False
+    for_window = window_difference_factory(network, core, cache=store)
+    active = list(range(len(simulated)))
+    bound = coverage_lower_bound(covered_weight, total_weight, confidence)
+    if bound >= target_coverage:
+        # Vacuously covered (empty universe) - consume nothing.
+        satisfied = True
+        curve.append((0, 1.0 if total_weight == 0 else 0.0))
+    else:
+        for start, chunk in patterns.windows(FIRST_DETECTION_CHUNK):
+            difference_of = for_window(chunk)
+            remaining: List[int] = []
+            for index in active:
+                if difference_of(simulated[index]):
+                    covered_weight += weights[index]
+                else:
+                    remaining.append(index)
+            active = remaining
+            consumed = start + chunk.count
+            bound = coverage_lower_bound(covered_weight, total_weight, confidence)
+            curve.append(
+                (consumed, covered_weight / total_weight if total_weight else 1.0)
+            )
+            if bound >= target_coverage:
+                satisfied = True
+                break
+            if not active:
+                # Every fault fell but the bound cannot tighten further:
+                # the universe is too small for this target/confidence.
+                break
+        if not curve:
+            curve.append((0, 1.0 if total_weight == 0 else 0.0))
+    store.flush()
+    return StreamingCoverage(
+        network_name=network.name,
+        pattern_count=consumed,
+        pattern_budget=patterns.count,
+        fault_count=fault_count,
+        detected_weight=covered_weight,
+        total_weight=total_weight,
+        target_coverage=target_coverage,
+        confidence=confidence,
+        lower_bound=bound,
+        satisfied=satisfied,
+        exhausted=not satisfied,
+        curve=curve,
+        collapsed_classes=collapsed_classes,
+    )
+
+
 def coverage_curve(
     network: Network,
     patterns: PatternSet,
@@ -695,6 +883,8 @@ def coverage_curve(
     tune=None,
     collapse: Optional[str] = None,
     cache=None,
+    stop_at_confidence: Optional[float] = None,
+    target_coverage: float = 0.99,
 ) -> List[Tuple[int, float]]:
     """(pattern count, fault coverage) samples along a pattern sequence.
 
@@ -704,7 +894,23 @@ def coverage_curve(
     :func:`fault_simulate` (first-detection indices are bit-identical
     either way, so the curve is too - collapse and caching only
     multiply throughput).
+
+    ``stop_at_confidence`` switches the curve to the incremental
+    consumer of :func:`streaming_coverage`: the sequence (any pattern
+    source) is simulated window by window and the run stops early once
+    the Wilson lower confidence bound on coverage - at that confidence
+    - clears ``target_coverage``.  The curve is then sampled at every
+    streaming window boundary (``points`` does not apply) and ends at
+    the stopping point.
     """
+    if stop_at_confidence is not None:
+        return streaming_coverage(
+            network, patterns, faults,
+            target_coverage=target_coverage,
+            confidence=stop_at_confidence,
+            engine=engine, jobs=jobs, schedule=schedule, tune=tune,
+            collapse=collapse, cache=cache,
+        ).curve
     result = fault_simulate(
         network, patterns, faults, engine=engine, jobs=jobs, schedule=schedule,
         tune=tune, collapse=collapse, cache=cache,

@@ -46,17 +46,24 @@ from repro.circuits.generators import (
 from repro.netlist import NetworkFault
 from repro.simulate import (
     ArtifactStore,
+    LfsrSource,
     PatternSet,
+    PatternSetSource,
+    RandomSource,
     TuningProfile,
+    WeightedSource,
     available_engines,
     available_schedules,
+    available_sources,
     available_tunings,
     coverage_curve,
     fault_simulate,
     get_engine,
+    get_source,
     register_engine,
     resolve_plan,
     sharded_fault_simulate,
+    streaming_coverage,
 )
 from repro.simulate.faultsim import (
     FIRST_DETECTION_CHUNK,
@@ -1079,3 +1086,196 @@ class TestEstimatorsAcrossEngines:
                     ),
                     reference,
                 )
+
+
+# --- the streaming pattern-source dimension ----------------------------------------
+
+
+def _streaming_source(kind, names, count, seed):
+    """One registered source per sweep name (the 'set' adapter wraps the
+    lfsr source's own materialisation, so adapter != trivial identity)."""
+    if kind == "lfsr":
+        return LfsrSource(names, count, seed=seed)
+    if kind == "weighted":
+        probabilities = {
+            name: probability
+            for name, probability in zip(names, (0.25, 0.75, 0.5, 0.125, 0.875))
+        }
+        return WeightedSource(names, count, probabilities=probabilities, seed=seed)
+    if kind == "random":
+        return RandomSource(names, count, seed=seed)
+    assert kind == "set"
+    return PatternSetSource(LfsrSource(names, count, seed=seed).materialise())
+
+
+SOURCE_KINDS = available_sources()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("kind", SOURCE_KINDS)
+class TestStreamingSourcesAcrossEngines:
+    """The tentpole contract: a lane-native streaming source is
+    bit-identical to the equivalent fully-materialised ``PatternSet``
+    on every registered engine - the windows a source generates on
+    demand (GF(2)-jumped LFSR banks, NLFSR lane words) must carry
+    exactly the bits the serial register stream would have produced."""
+
+    def test_source_identical_to_materialised(self, engine, kind):
+        network = skewed_cone_network(depth=6, islands=4)
+        source = _streaming_source(kind, network.inputs, 3 * 64 + 37, seed=21)
+        faults = all_faults(network)
+        results_identical(
+            fault_simulate(network, source, faults, engine=engine, jobs=2),
+            _cached_oracle(
+                ("stream", kind), network, source.materialise(), faults
+            ),
+        )
+
+    def test_source_first_detection_identical(self, engine, kind):
+        network = skewed_cone_network(depth=6, islands=4)
+        source = _streaming_source(
+            kind, network.inputs, FIRST_DETECTION_CHUNK + 32, seed=23
+        )
+        faults = all_faults(network)
+        results_identical(
+            fault_simulate(
+                network, source, faults, engine=engine, jobs=2,
+                stop_at_first_detection=True,
+            ),
+            _cached_oracle(
+                ("stream-first", kind), network, source.materialise(), faults,
+                stop_at_first_detection=True,
+            ),
+        )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("schedule", SCHEDULES)
+@pytest.mark.parametrize("tuning", TUNINGS)
+def test_lfsr_source_identical_over_schedule_plan_sweep(
+    engine, schedule, tuning, tuning_specs
+):
+    """The source seam composes with the full engine x schedule x plan
+    sweep: re-ordering and re-tiling windowed passes over generated (not
+    materialised) windows never moves a bit."""
+    network = skewed_cone_network(depth=6, islands=4)
+    source = LfsrSource(network.inputs, 230, seed=29)
+    faults = all_faults(network)
+    results_identical(
+        fault_simulate(
+            network, source, faults, engine=engine, jobs=2,
+            schedule=schedule, tune=tuning_specs[tuning],
+        ),
+        _cached_oracle(
+            "stream-sweep", network, source.materialise(), faults
+        ),
+    )
+
+
+@settings(max_examples=8)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    count=st.integers(min_value=1, max_value=300),
+    source_seed=st.integers(min_value=1, max_value=255),
+    engine=st.sampled_from(ENGINES),
+    kind=st.sampled_from(SOURCE_KINDS),
+)
+def test_property_sources_identical_to_materialised(
+    seed, count, source_seed, engine, kind
+):
+    """Property: every registered source is bit-identical to its own
+    materialisation on every engine, for arbitrary circuits and pattern
+    budgets (word-boundary straddles included)."""
+    network = random_network(n_inputs=5, n_gates=9, seed=seed)
+    source = _streaming_source(kind, network.inputs, count, seed=source_seed)
+    faults = all_faults(network)
+    results_identical(
+        fault_simulate(network, source, faults, engine=engine),
+        oracle_result(network, source.materialise(), faults),
+    )
+
+
+_STREAMING_REFERENCE = {}
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_streaming_coverage_stopping_point_identical(engine):
+    """The confidence-stopped session is engine-independent: the window
+    grid is pinned to FIRST_DETECTION_CHUNK everywhere, so every engine
+    consumes the same number of patterns, retires the same fault weight
+    and reports the same curve."""
+    network = skewed_cone_network(depth=6, islands=4)
+    result = streaming_coverage(
+        network,
+        LfsrSource(network.inputs, 4 * FIRST_DETECTION_CHUNK, seed=5),
+        all_faults(network),
+        target_coverage=0.7,
+        confidence=0.95,
+        engine=engine,
+        jobs=2,
+    )
+    reference = _STREAMING_REFERENCE.setdefault(
+        "skew",
+        streaming_coverage(
+            network,
+            LfsrSource(network.inputs, 4 * FIRST_DETECTION_CHUNK, seed=5),
+            all_faults(network),
+            target_coverage=0.7,
+            confidence=0.95,
+            engine="interpreted",
+        ),
+    )
+    assert result.pattern_count == reference.pattern_count
+    assert result.detected_weight == reference.detected_weight
+    assert result.satisfied == reference.satisfied
+    assert result.curve == reference.curve
+    assert result.lower_bound == reference.lower_bound
+
+
+class TestSourceRegistryErrorPaths:
+    """The --source error contract, drift-tested like the other
+    registries."""
+
+    def test_unknown_source_message_lists_sorted_available_sources(self):
+        with pytest.raises(ValueError) as excinfo:
+            get_source("turbo")
+        assert str(excinfo.value) == (
+            "unknown pattern source 'turbo'; available pattern sources: "
+            + ", ".join(SOURCE_KINDS)
+        )
+        assert list(SOURCE_KINDS) == sorted(SOURCE_KINDS)
+
+    def test_set_source_requires_a_pattern_set(self):
+        from repro.simulate import make_source
+
+        with pytest.raises(ValueError, match="needs an explicit pattern set"):
+            make_source("set", ("a", "b"), 16)
+
+    def test_cli_source_choices_match_registry(self):
+        from repro.cli import SOURCE_CHOICES
+
+        assert tuple(sorted(SOURCE_CHOICES)) == SOURCE_KINDS
+
+    def test_cli_rejects_unknown_source_with_registry_message(self, capsys):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["protest", "cell.txt", "--source", "turbo"])
+        stderr = capsys.readouterr().err
+        assert (
+            "unknown pattern source 'turbo'; available pattern sources: "
+            + ", ".join(SOURCE_KINDS)
+        ) in stderr
+
+    def test_cli_accepts_every_registered_source(self):
+        from repro.cli import SOURCE_CHOICES, build_parser
+
+        parser = build_parser()
+        for kind in SOURCE_CHOICES:
+            args = parser.parse_args(["protest", "cell.txt", "--source", kind])
+            assert args.source == kind
+        defaults = parser.parse_args(["protest", "cell.txt"])
+        assert defaults.source == "lfsr"
+        assert defaults.stop_confidence is None
+        assert defaults.target_coverage == 0.99

@@ -1,17 +1,21 @@
 """Tests for the self-test hardware: LFSR, MISR, BILBO, NLFSR, sessions."""
 
+import numpy as np
 import pytest
 
 from repro.circuits.generators import domino_carry_chain
 from repro.logic.parser import parse_expression
 from repro.selftest import (
+    BANK_DEGREE,
     Bilbo,
     BilboMode,
     Lfsr,
+    LfsrBank,
     Misr,
     PRIMITIVE_TAPS,
     WeightedPatternGenerator,
     at_speed_gate_selftest,
+    bank_seed,
     closest_dyadic_weight,
     logic_selftest,
 )
@@ -53,6 +57,108 @@ class TestLfsr:
         lfsr = Lfsr(10)
         ones = sum(lfsr.step() for _ in range(1023))
         assert ones == 512  # maximal-length sequences have 2^(n-1) ones
+
+    def test_period_does_not_clobber_state(self):
+        # period() used to run the register from its current state and
+        # leave it wherever the cycle closed - an observation that
+        # rewrote the thing observed.
+        lfsr = Lfsr(7, seed=45)
+        lfsr.jump(13)
+        before = lfsr.state
+        assert lfsr.period() == 127
+        assert lfsr.state == before
+
+    def test_jump_matches_serial_stepping(self):
+        serial = Lfsr(12, seed=321)
+        jumped = Lfsr(12, seed=321)
+        for _ in range(157):
+            serial.step()
+        jumped.jump(157)
+        assert jumped.state == serial.state
+        with pytest.raises(ValueError):
+            jumped.jump(-1)
+
+    @pytest.mark.parametrize("degree", [5, 12, 31])
+    def test_lane_words_match_serial_patterns(self, degree):
+        width = min(degree, 8)
+        serial = Lfsr(degree, seed=3)
+        lanes = Lfsr(degree, seed=3)
+        expected = list(serial.patterns(width, 3 * 64))
+        words = lanes.lane_words(width, 3)
+        for p, pattern in enumerate(expected):
+            w, k = divmod(p, 64)
+            for i in range(width):
+                assert (int(words[i, w]) >> k) & 1 == pattern[i]
+        # Both paths advance the register identically.
+        assert lanes.state == serial.state
+
+    def test_lane_words_width_bounded(self):
+        with pytest.raises(ValueError):
+            Lfsr(4).lane_words(5, 1)
+
+
+class TestLfsrBank:
+    def test_bank_seeds_distinct_and_in_range(self):
+        seeds = [bank_seed(1, index) for index in range(8)]
+        assert len(set(seeds)) == len(seeds)
+        assert all(1 <= s < (1 << BANK_DEGREE) for s in seeds)
+
+    def test_wide_bank_covers_width(self):
+        bank = LfsrBank(40, seed=1)
+        assert len(bank.members) == 2
+        pattern = bank.pattern()
+        assert len(pattern) == 40
+
+    def test_lane_words_match_serial_patterns(self):
+        serial = LfsrBank(40, seed=9)
+        lanes = LfsrBank(40, seed=9)
+        expected = list(serial.patterns(2 * 64))
+        words = lanes.lane_words(2)
+        assert words.shape == (40, 2)
+        for p, pattern in enumerate(expected):
+            w, k = divmod(p, 64)
+            for i in range(40):
+                assert (int(words[i, w]) >> k) & 1 == pattern[i]
+
+    def test_jump_matches_serial(self):
+        serial = LfsrBank(10, seed=4)
+        jumped = LfsrBank(10, seed=4)
+        for _ in range(99):
+            serial.step()
+        jumped.jump(99)
+        assert jumped.pattern() == serial.pattern()
+
+
+class TestWeightedLaneWords:
+    def test_lane_words_match_serial_patterns(self):
+        probabilities = {"a": 0.75, "b": 0.125, "c": 0.5, "d": 0.9}
+        serial = WeightedPatternGenerator(probabilities, seed=5)
+        lanes = WeightedPatternGenerator(probabilities, seed=5)
+        expected = list(serial.patterns(2 * 64))
+        words = lanes.lane_words(2)
+        names = [a.name for a in lanes.assignments]
+        for p, pattern in enumerate(expected):
+            w, k = divmod(p, 64)
+            for row, name in enumerate(names):
+                assert (int(words[row, w]) >> k) & 1 == pattern[name]
+
+    def test_lane_words_over_multiple_banks(self):
+        probabilities = {f"x{i}": 0.02 for i in range(10)}
+        serial = WeightedPatternGenerator(probabilities, seed=2, max_k=6)
+        lanes = WeightedPatternGenerator(probabilities, seed=2, max_k=6)
+        assert len(lanes.banks) >= 2
+        expected = list(serial.patterns(64))
+        words = lanes.lane_words(1)
+        names = [a.name for a in lanes.assignments]
+        for p, pattern in enumerate(expected):
+            for row, name in enumerate(names):
+                assert (int(words[row, 0]) >> p) & 1 == pattern[name]
+
+    def test_lane_words_empty(self):
+        generator = WeightedPatternGenerator({"a": 0.5})
+        words = generator.lane_words(0)
+        assert words.shape == (1, 0)
+        assert words.dtype == np.uint64
 
 
 class TestMisr:
@@ -166,6 +272,28 @@ class TestSessions:
         outcome = logic_selftest(
             network, fault, cycles=256,
             probabilities={name: 0.7 for name in network.inputs},
+        )
+        assert outcome.detected
+
+    def test_wide_network_session(self):
+        # domino_carry_chain(20) has 41 inputs; the session used to
+        # crash for anything past 32 because it drew every bit from one
+        # fixed-degree register.
+        network = domino_carry_chain(20)
+        assert len(network.inputs) > 40
+        clean = logic_selftest(network, None, cycles=128)
+        assert not clean.detected
+        fault = network.enumerate_faults()[0]
+        outcome = logic_selftest(network, fault, cycles=256)
+        assert outcome.detected
+
+    def test_session_detects_with_partial_weights(self):
+        # Missing names fall back to 0.5 rather than crashing.
+        network = domino_carry_chain(3)
+        fault = network.enumerate_faults()[0]
+        outcome = logic_selftest(
+            network, fault, cycles=256,
+            probabilities={network.inputs[0]: 0.75},
         )
         assert outcome.detected
 

@@ -1,0 +1,349 @@
+"""Tests for confidence-bounded streaming coverage sessions.
+
+Covers the Wilson lower bound (:func:`coverage_lower_bound`), the
+incremental consumer (:func:`streaming_coverage` and the
+``stop_at_confidence`` mode of :func:`coverage_curve`), and the
+rewritten test-length numerics that back them.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.generators import and_cone, domino_carry_chain, skewed_cone_network
+from repro.protest import (
+    Protest,
+    confidence_all_detected,
+    coverage_lower_bound,
+    detection_probability,
+    escape_probability,
+    test_length as required_test_length,
+    test_length_for_fault as required_length_for_fault,
+)
+from repro.simulate import (
+    LfsrSource,
+    coverage_curve,
+    fault_simulate,
+    streaming_coverage,
+)
+from repro.simulate.faultsim import FIRST_DETECTION_CHUNK
+
+
+class TestCoverageLowerBound:
+    def test_empty_universe_is_vacuously_covered(self):
+        assert coverage_lower_bound(0, 0) == 1.0
+
+    def test_nothing_detected_bounds_at_zero(self):
+        assert coverage_lower_bound(0, 50) == pytest.approx(0.0, abs=1e-12)
+
+    def test_full_detection_stays_below_one(self):
+        bound = coverage_lower_bound(40, 40, confidence=0.99)
+        assert 0.0 < bound < 1.0
+
+    def test_bound_below_empirical_coverage(self):
+        for detected, total in [(3, 10), (9, 10), (50, 64), (199, 200)]:
+            bound = coverage_lower_bound(detected, total, confidence=0.95)
+            assert bound <= detected / total
+
+    def test_bound_tightens_with_more_evidence(self):
+        # Same empirical coverage, larger sample: the bound must rise.
+        small = coverage_lower_bound(9, 10, confidence=0.99)
+        large = coverage_lower_bound(900, 1000, confidence=0.99)
+        assert large > small
+
+    def test_known_wilson_value(self):
+        # One-sided 97.5% (z = 1.96): Wilson lower bound for 9-of-10
+        # is the textbook two-sided-95% value ~0.59585.
+        bound = coverage_lower_bound(9, 10, confidence=0.975)
+        assert bound == pytest.approx(0.59585, abs=5e-4)
+
+    @pytest.mark.parametrize("confidence", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_confidence_outside_open_interval(self, confidence):
+        with pytest.raises(ValueError, match="confidence"):
+            coverage_lower_bound(1, 2, confidence=confidence)
+
+    def test_rejects_detected_outside_range(self):
+        with pytest.raises(ValueError):
+            coverage_lower_bound(-1, 5)
+        with pytest.raises(ValueError):
+            coverage_lower_bound(6, 5)
+
+    @given(
+        total=st.integers(min_value=1, max_value=500),
+        data=st.data(),
+        confidence=st.sampled_from([0.9, 0.95, 0.99, 0.999]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_monotone_in_detected_and_in_range(
+        self, total, data, confidence
+    ):
+        detected = data.draw(st.integers(min_value=0, max_value=total - 1))
+        lower = coverage_lower_bound(detected, total, confidence=confidence)
+        upper = coverage_lower_bound(detected + 1, total, confidence=confidence)
+        assert 0.0 <= lower <= 1.0
+        assert 0.0 <= upper <= 1.0
+        assert upper >= lower
+        assert upper <= (detected + 1) / total
+
+
+class TestStreamingCoverageSession:
+    def _session(self, **overrides):
+        network = domino_carry_chain(10)
+        source = LfsrSource(
+            network.inputs, 4 * FIRST_DETECTION_CHUNK, seed=7
+        )
+        keywords = dict(target_coverage=0.7, confidence=0.95)
+        keywords.update(overrides)
+        return network, source, streaming_coverage(network, source, **keywords)
+
+    def test_stops_on_window_boundary(self):
+        _, source, session = self._session()
+        assert (
+            session.pattern_count % FIRST_DETECTION_CHUNK == 0
+            or session.pattern_count == source.count
+        )
+
+    def test_satisfied_session_clears_target(self):
+        _, _, session = self._session()
+        assert session.satisfied
+        assert session.lower_bound >= session.target_coverage
+        assert session.coverage >= session.lower_bound
+
+    def test_curve_coverage_is_monotone_and_bound_consistent(self):
+        _, _, session = self._session()
+        coverages = [coverage for _, coverage in session.curve]
+        assert coverages == sorted(coverages)
+        counts = [count for count, _ in session.curve]
+        assert counts == sorted(counts)
+        assert counts[-1] == session.pattern_count
+
+    def test_detected_weight_matches_fault_simulation_of_prefix(self):
+        network, source, session = self._session()
+        prefix = source.slice(0, session.pattern_count)
+        result = fault_simulate(network, prefix)
+        assert len(result.detected) == session.detected_weight
+        assert result.coverage == pytest.approx(session.coverage)
+
+    def test_unreachable_target_exhausts_budget(self):
+        network = and_cone(3)
+        source = LfsrSource(network.inputs, 2 * FIRST_DETECTION_CHUNK, seed=3)
+        session = streaming_coverage(
+            network, source, target_coverage=1.0, confidence=0.999999
+        )
+        assert not session.satisfied
+        assert session.exhausted
+        assert session.lower_bound < session.target_coverage
+
+    def test_small_universe_stops_once_every_fault_fell(self):
+        # and_cone(2) has few faults: even full detection cannot clear a
+        # 0.999999 confidence demand, and the session must not keep
+        # burning budget once no fault remains.
+        network = and_cone(2)
+        source = LfsrSource(network.inputs, 64 * FIRST_DETECTION_CHUNK, seed=3)
+        session = streaming_coverage(
+            network, source, target_coverage=0.999, confidence=0.999999
+        )
+        if not session.satisfied:
+            assert session.coverage == pytest.approx(1.0)
+            assert session.pattern_count < session.pattern_budget
+
+    def test_empty_fault_list_is_vacuous(self):
+        network = and_cone(2)
+        source = LfsrSource(network.inputs, FIRST_DETECTION_CHUNK, seed=1)
+        session = streaming_coverage(network, source, faults=[])
+        assert session.satisfied
+        assert session.pattern_count == 0
+        assert session.coverage == 1.0
+
+    @pytest.mark.parametrize("target", [0.0, -0.1, 1.5])
+    def test_rejects_bad_target(self, target):
+        network, source, _ = None, None, None
+        network = and_cone(2)
+        source = LfsrSource(network.inputs, 64, seed=1)
+        with pytest.raises(ValueError, match="target_coverage"):
+            streaming_coverage(network, source, target_coverage=target)
+
+    @pytest.mark.parametrize("confidence", [0.0, 1.0])
+    def test_rejects_bad_confidence(self, confidence):
+        network = and_cone(2)
+        source = LfsrSource(network.inputs, 64, seed=1)
+        with pytest.raises(ValueError, match="confidence"):
+            streaming_coverage(network, source, confidence=confidence)
+
+    def test_unknown_engine_uses_registry_error(self):
+        network = and_cone(2)
+        source = LfsrSource(network.inputs, 64, seed=1)
+        with pytest.raises(ValueError, match="unknown engine"):
+            streaming_coverage(network, source, engine="bogus")
+
+    def test_format_summary_mentions_verdict(self):
+        _, _, session = self._session()
+        text = session.format_summary()
+        assert "confidence target met" in text
+        assert f"{session.pattern_count} patterns" in text
+
+    def test_collapse_preserves_stopping_point(self):
+        network, source, session = self._session()
+        collapsed = streaming_coverage(
+            network,
+            source,
+            target_coverage=0.7,
+            confidence=0.95,
+            collapse="on",
+        )
+        assert collapsed.collapsed_classes is not None
+        assert collapsed.pattern_count == session.pattern_count
+        assert collapsed.satisfied == session.satisfied
+        assert collapsed.total_weight == session.total_weight
+        assert collapsed.detected_weight == session.detected_weight
+
+    @given(
+        seed=st.integers(min_value=1, max_value=2**16),
+        target=st.sampled_from([0.5, 0.7, 0.9, 0.95]),
+        confidence=st.sampled_from([0.9, 0.95, 0.99]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_property_session_invariants(self, seed, target, confidence):
+        network = skewed_cone_network(depth=5, islands=3)
+        source = LfsrSource(
+            network.inputs, 6 * FIRST_DETECTION_CHUNK, seed=seed
+        )
+        session = streaming_coverage(
+            network,
+            source,
+            target_coverage=target,
+            confidence=confidence,
+        )
+        # Stops only at a window boundary or at the end of the budget.
+        assert (
+            session.pattern_count % FIRST_DETECTION_CHUNK == 0
+            or session.pattern_count == source.count
+        )
+        # Never claims satisfaction below the target.
+        if session.satisfied:
+            assert session.lower_bound >= target
+        else:
+            assert session.lower_bound < target
+        assert session.coverage >= session.lower_bound
+        assert 0 <= session.detected_weight <= session.total_weight
+        coverages = [coverage for _, coverage in session.curve]
+        assert coverages == sorted(coverages)
+
+
+class TestCoverageCurveStopAtConfidence:
+    def test_curve_matches_streaming_session(self):
+        network = skewed_cone_network(depth=6, islands=4)
+        source = LfsrSource(network.inputs, 4 * FIRST_DETECTION_CHUNK, seed=7)
+        session = streaming_coverage(
+            network, source, target_coverage=0.7, confidence=0.95
+        )
+        curve = coverage_curve(
+            network,
+            source,
+            stop_at_confidence=0.95,
+            target_coverage=0.7,
+        )
+        assert curve == session.curve
+
+    def test_plain_curve_unchanged_without_stop(self):
+        network = and_cone(3)
+        source = LfsrSource(network.inputs, 128, seed=9)
+        full = coverage_curve(network, source.materialise(), points=4)
+        streamed = coverage_curve(network, source, points=4)
+        assert streamed == full
+
+
+class TestTestLengthNumerics:
+    def test_tiny_probability_stays_finite(self):
+        n = required_test_length({"f": 1e-18}, 0.999)
+        assert math.isfinite(n)
+        exact = math.ceil(math.log1p(-0.999) / math.log1p(-1e-18))
+        assert abs(n - exact) / exact < 1e-12
+
+    def test_single_fault_matches_closed_form(self):
+        for p in (1e-18, 1e-12, 1e-6, 0.01, 0.5):
+            n = required_test_length({"f": p}, 0.99)
+            closed = required_length_for_fault(p, 0.99)
+            # Beyond 2**53 the float return type rounds the integer
+            # pattern count, so compare with relative tolerance.
+            assert n >= closed or abs(n - closed) / closed < 1e-12
+            assert confidence_all_detected({"f": p}, n) >= 0.99 - 1e-12
+
+    def test_mixed_magnitudes(self):
+        probabilities = {"easy": 0.25, "hard": 1e-16, "mid": 1e-4}
+        n = required_test_length(probabilities, 0.99)
+        assert math.isfinite(n)
+        assert confidence_all_detected(probabilities, n) >= 0.99 - 1e-12
+
+    def test_moderate_mix_is_minimal(self):
+        # At this scale n - 1 is exactly representable, so the binary
+        # search must land on the smallest sufficient length.
+        probabilities = {"easy": 0.25, "hard": 0.003, "mid": 0.01}
+        n = required_test_length(probabilities, 0.99)
+        assert confidence_all_detected(probabilities, n) >= 0.99
+        assert confidence_all_detected(probabilities, n - 1) < 0.99
+
+    def test_certain_fault_needs_one_pattern(self):
+        assert required_test_length({"f": 1.0}, 0.999) == 1
+        assert escape_probability(1.0, 1) == 0.0
+        assert escape_probability(1.0, 0) == 1.0
+
+    def test_detection_probability_complements_escape(self):
+        for p in (1e-18, 1e-9, 0.1, 0.999):
+            for length in (1, 100, 10**6):
+                detect = detection_probability(p, length)
+                escape = escape_probability(p, length)
+                assert detect == pytest.approx(1.0 - escape, abs=1e-12)
+                assert 0.0 <= detect <= 1.0
+
+    def test_tiny_probability_detection_not_rounded_to_zero(self):
+        # The old 1-(1-p)**N path rounded (1-p) to 1.0 for p <~ 1e-16.
+        assert detection_probability(1e-18, 10**15) > 0.0
+        assert escape_probability(1e-18, 10**15) < 1.0
+
+    @given(
+        p=st.floats(min_value=1e-18, max_value=0.999),
+        confidence=st.floats(min_value=0.5, max_value=0.9999),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_length_is_minimal(self, p, confidence):
+        n = required_length_for_fault(p, confidence)
+        assert math.isfinite(n) and n >= 1
+        assert detection_probability(p, n) >= confidence - 1e-12
+
+
+class TestProtestStreamingFacade:
+    def test_streaming_test_length_runs_end_to_end(self):
+        network = domino_carry_chain(10)
+        protest = Protest(network)
+        session = protest.streaming_test_length(
+            target_coverage=0.7,
+            confidence=0.95,
+            max_patterns=4 * FIRST_DETECTION_CHUNK,
+            seed=7,
+        )
+        assert session.satisfied
+        assert session.network_name == network.name
+        assert session.pattern_budget == 4 * FIRST_DETECTION_CHUNK
+
+    def test_streaming_on_wide_network(self):
+        # domino_carry_chain(20) has 41 inputs - more than one lane word
+        # of generator width, the regime the old session code crashed in.
+        network = domino_carry_chain(20)
+        protest = Protest(network)
+        session = protest.streaming_test_length(
+            target_coverage=0.5,
+            confidence=0.9,
+            max_patterns=2 * FIRST_DETECTION_CHUNK,
+        )
+        assert len(network.inputs) > 40
+        assert session.pattern_count > 0
+        assert session.detected_weight > 0
+
+    def test_unknown_source_uses_registry_error(self):
+        network = and_cone(2)
+        protest = Protest(network)
+        with pytest.raises(ValueError, match="unknown pattern source"):
+            protest.streaming_test_length(source="bogus")
