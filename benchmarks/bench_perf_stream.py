@@ -18,7 +18,14 @@ whole pattern budget.  The session's detected weight is checked
 against a fault simulation of exactly the prefix it consumed, then the
 ratio of sweep time to session time is recorded as
 ``confidence_stop_speedup`` (not the headline - it depends on how
-early the bound clears).  Run with::
+early the bound clears).
+
+A second entry, ``e10_stream_fused``, gates the *per-pattern* cost of
+the confidence-stopped session now that it runs inside the batched
+vector window core (speculative doubling blocks replayed against the
+pinned 256-pattern stopping grid): the session must cost at most 2x
+the whole-set vector pass per pattern, and its stopping point must be
+identical on every session-capable engine.  Run with::
 
     PYTHONPATH=src python benchmarks/bench_perf_stream.py [--quick]
 
@@ -53,6 +60,13 @@ from repro.simulate import (  # noqa: E402
 BENCH_PATH = REPO_ROOT / "BENCH_engine.json"
 WORKLOAD_NAME = "e10_stream"
 MIN_REQUIRED_SPEEDUP = 1.5
+
+FUSED_WORKLOAD_NAME = "e10_stream_fused"
+FUSED_MIN_REQUIRED_SPEEDUP = 0.5
+"""The fused-session gate: ``speedup`` is sweep-per-pattern over
+session-per-pattern, so 0.5 means the confidence-stopped session costs
+at most 2x the whole-set vector pass per pattern - the stopped path no
+longer pays a per-window penalty."""
 
 
 def _serial_flow(network, names, count: int, seed: int, faults):
@@ -171,6 +185,119 @@ def run_stream(
     }
 
 
+def run_stream_fused(
+    size: int = 12,
+    n_gates: int = 48,
+    pattern_count: int = 1 << 15,
+    repetitions: int = 5,
+    target_coverage: float = 0.71,
+    confidence: float = 0.95,
+) -> Dict:
+    """The fused confidence-stopped session against the whole-set pass.
+
+    The workload is sized so the session genuinely stops mid-budget on
+    the Wilson bound (size-12 cells leave a random-test-resistant tail
+    that keeps detections rising deep into the budget), then compares
+    *per-pattern* cost: the session runs the same batched vector window
+    core as the sweep - speculative doubling blocks replayed against
+    the pinned 256-pattern stopping grid - so its per-pattern cost must
+    land within 2x of the whole-set pass (``speedup >= 0.5``), where
+    the pre-fusion window-at-a-time consumer sat ~25x above it.
+
+    Bit-identity comes first: the session's detected weight must equal
+    a fault simulation of exactly the prefix it consumed, and the
+    stopping point must be identical on every engine that can serve a
+    session (the engine x schedule x plan x collapse sweep lives in the
+    differential harness; this checks the engines at benchmark scale).
+    """
+    network = library_runtime_network(size, n_gates=n_gates)
+    names = network.inputs
+    faults = network.enumerate_faults()
+    seed = 7
+    print(
+        f"{FUSED_WORKLOAD_NAME}: {len(faults)} faults x {pattern_count} "
+        f"LFSR patterns over {len(names)} inputs"
+    )
+
+    def session_on(engine):
+        return streaming_coverage(
+            network,
+            LfsrSource(names, pattern_count, seed=seed),
+            faults,
+            target_coverage=target_coverage,
+            confidence=confidence,
+            engine=engine,
+        )
+
+    session, session_seconds = _best_of(lambda: session_on("vector"), repetitions)
+    source = LfsrSource(names, pattern_count, seed=seed)
+    sweep_result, sweep_seconds = _best_of(
+        lambda: fault_simulate(network, source.materialise(), faults, engine="vector"),
+        repetitions,
+    )
+
+    # Bit-identity before any ratio: the consumed prefix re-simulated
+    # without stopping must detect exactly the session's weight, and
+    # every session-capable engine must stop at the same boundary.
+    prefix_result = fault_simulate(
+        network, source.slice(0, session.pattern_count), faults
+    )
+    identical = len(prefix_result.detected) == session.detected_weight
+    for engine in ("compiled", "sharded", "sharded+vector"):
+        other = session_on(engine)
+        identical = identical and (
+            other.pattern_count == session.pattern_count
+            and other.detected_weight == session.detected_weight
+            and other.satisfied == session.satisfied
+            and other.curve == session.curve
+        )
+
+    session_us = session_seconds / max(1, session.pattern_count) * 1e6
+    sweep_us = sweep_seconds / pattern_count * 1e6
+    speedup = round(sweep_us / session_us, 3)
+    print(
+        f"  fused session: satisfied={session.satisfied} after "
+        f"{session.pattern_count}/{pattern_count} patterns; "
+        f"session {session_us:.2f} us/pattern vs sweep {sweep_us:.2f} "
+        f"us/pattern = {speedup}x per-pattern "
+        f"(gate >= {FUSED_MIN_REQUIRED_SPEEDUP}, identical={identical})"
+    )
+
+    return {
+        "name": FUSED_WORKLOAD_NAME,
+        "description": (
+            "confidence-stopped streaming session fused into the batched "
+            "vector window core: speculative doubling blocks replayed "
+            "against the pinned 256-pattern stopping grid, plans re-priced "
+            "unkeyed over the shrinking live set; speedup is whole-set "
+            "sweep us/pattern over session us/pattern (>= 0.5 means the "
+            "stopped path costs at most 2x the batched pass per pattern), "
+            "bit-identity of the consumed prefix and the stopping point "
+            "across engines checked first"
+        ),
+        "params": {
+            "cell_size": size,
+            "gates": n_gates,
+            "inputs": len(names),
+            "faults": len(faults),
+            "patterns": pattern_count,
+            "target_coverage": target_coverage,
+            "confidence": confidence,
+            "repetitions": repetitions,
+            "cpu_count": os.cpu_count(),
+        },
+        "sweep_seconds": round(sweep_seconds, 4),
+        "session_seconds": round(session_seconds, 4),
+        "session_patterns": session.pattern_count,
+        "session_satisfied": session.satisfied,
+        "sweep_us_per_pattern": round(sweep_us, 3),
+        "session_us_per_pattern": round(session_us, 3),
+        "min_required_speedup": FUSED_MIN_REQUIRED_SPEEDUP,
+        "speedup": speedup,
+        "identical_results": identical,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -184,15 +311,26 @@ def main(argv=None) -> int:
         entry = run_stream(
             size=6, n_gates=12, pattern_count=1 << 12, repetitions=1,
         )
-        if not entry["identical_results"]:
+        fused = run_stream_fused(
+            size=6, n_gates=12, pattern_count=1 << 12, repetitions=1,
+            target_coverage=0.2,
+        )
+        if not (entry["identical_results"] and fused["identical_results"]):
             print("FAIL: a streamed run diverged from the serial flow")
             return 1
         print("quick smoke ok (JSON untouched)")
         return 0
     entry = run_stream()
     record = update_record(entry)
+    fused = run_stream_fused()
+    record = update_record(fused)
     print(f"wrote {BENCH_PATH}")
-    ok = entry["identical_results"] and entry["speedup"] >= MIN_REQUIRED_SPEEDUP
+    ok = (
+        entry["identical_results"]
+        and entry["speedup"] >= MIN_REQUIRED_SPEEDUP
+        and fused["identical_results"]
+        and fused["speedup"] >= FUSED_MIN_REQUIRED_SPEEDUP
+    )
     return 0 if ok and record.get("all_pass", False) else 1
 
 

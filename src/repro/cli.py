@@ -21,7 +21,9 @@ Subcommands::
         ``--stop-confidence`` additionally streams a BIST session
         (``--source`` picks the lane-native pattern generator) that
         stops once the Wilson lower confidence bound on coverage clears
-        ``--target-coverage``.
+        ``--target-coverage``; the session runs the selected engine's
+        batched window cores (the sharded engines fan each window
+        across ``--jobs`` workers).
         ``--engine`` picks the simulation engine for the estimators and
         the validation fault simulation (any registered engine name;
         bad names fail with the registry's error); ``--jobs`` the
@@ -316,8 +318,9 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="worker processes for the sharded engines "
-        "(default: one per CPU)",
+        help="worker processes for the sharded engines, including their "
+        "window-synchronous streaming sessions (default: one per CPU; "
+        "serial engines validate N >= 1)",
     )
     protest.add_argument(
         "--schedule",

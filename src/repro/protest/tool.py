@@ -265,14 +265,18 @@ class Protest:
 
         ``source`` names a registered pattern source
         (:mod:`repro.simulate.source`: ``"lfsr"`` by default,
-        ``"weighted"`` - which honours ``probabilities``, e.g. the
-        optimized distribution -, ``"random"``, ``"set"``);
-        ``max_patterns`` bounds the session.  The source streams
-        lane-word windows through
-        :func:`repro.simulate.faultsim.streaming_coverage`, which stops
-        at the first window where the Wilson lower confidence bound on
-        fault coverage clears ``target_coverage``.  Engine knobs
-        default to the instance settings.
+        ``"weighted"`` and ``"random"`` - which honour
+        ``probabilities``, e.g. the optimized distribution -, ``"set"``;
+        the uniform-by-construction sources reject ``probabilities``
+        with a ``ValueError``); ``max_patterns`` bounds the session.
+        The source streams lane-word windows through
+        :func:`repro.simulate.faultsim.streaming_coverage`, which runs
+        the engines' batched window cores and stops at the first window
+        where the Wilson lower confidence bound on fault coverage
+        clears ``target_coverage`` - the ``sharded`` engines fan each
+        window across a ``jobs``-wide worker pool, the serial engines
+        validate ``jobs`` and run in-process.  Engine knobs default to
+        the instance settings.
         """
         resolved = make_source(
             source,

@@ -204,6 +204,7 @@ class Lfsr:
         tap_mask = np.uint64(sum(1 << (t - 1) for t in self.taps))
         mask = np.uint64((1 << self.degree) - 1)
         one = np.uint64(1)
+        rows = np.arange(width, dtype=np.uint64)[:, None]
         s = boundaries
         for k in range(64):
             t = s & tap_mask
@@ -211,9 +212,7 @@ class Lfsr:
                 t ^= t >> np.uint64(shift)
             feedback = t & one
             s = ((s << one) | feedback) & mask
-            column = np.uint64(k)
-            for i in range(width):
-                words[i] |= ((s >> np.uint64(i)) & one) << column
+            words |= ((s[None, :] >> rows) & one) << np.uint64(k)
         self.state = int(s[-1])
         return words
 

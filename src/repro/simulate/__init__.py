@@ -20,7 +20,7 @@ from .faultsim import (
     streaming_coverage,
 )
 from .parallel import parallel_fault_simulate
-from .logicsim import PatternSet, simulate, simulate_all_nets
+from .logicsim import LanePatternSet, PatternSet, simulate, simulate_all_nets
 from .registry import Engine, available_engines, get_engine, register_engine
 from .source import (
     LfsrSource,
@@ -89,6 +89,7 @@ __all__ = [
     "fault_simulate",
     "streaming_coverage",
     "parallel_fault_simulate",
+    "LanePatternSet",
     "PatternSet",
     "PatternSource",
     "LfsrSource",

@@ -186,14 +186,19 @@ def fault_fingerprint(faults: Sequence[NetworkFault]) -> str:
             digest.update(_SEPARATOR)
         function = fault.function
         if function is not None:
+            bits = function.table.bits
             for part in (
                 function.name,
                 ",".join(function.table.names),
-                str(function.table.bits),
                 function.sop,
             ):
                 digest.update(part.encode("utf-8"))
                 digest.update(_SEPARATOR)
+            # Truth tables are 2^inputs bits wide - hash the raw bytes:
+            # a decimal str() is quadratic in the table width and blows
+            # CPython's int-to-str digit limit past 14 inputs.
+            digest.update(bits.to_bytes(bits.bit_length() // 8 + 1, "little"))
+            digest.update(_SEPARATOR)
         digest.update(_TERMINATOR)
     return digest.hexdigest()
 

@@ -595,6 +595,93 @@ def resolve_coverage_weights(
     return list(coverage_weights)
 
 
+SESSION_BLOCK_RAMP = 8
+"""Grid windows in a session's first speculative block.
+
+Below roughly this many 256-pattern windows a batched pass is all
+fixed cost - pattern generation, plan build, per-cone kernel dispatch
+all outweigh the lane arithmetic - so simulating one grid window costs
+nearly as much as simulating eight.  Starting the doubling ramp here
+loses almost nothing when the session stops at the very first
+boundary and saves whole blocks' worth of fixed costs on every
+longer session."""
+
+
+def session_block_size(grid: int, engine_window: int) -> Tuple[int, int]:
+    """``(first block, cap)`` for a session's speculative blocks.
+
+    A session core simulates *blocks* of many stopping windows at once
+    and replays the ``grid`` boundaries post hoc
+    (:func:`fold_session_block`), so the per-pass fixed costs - pattern
+    generation, plan (re)builds, per-cone kernel calls - amortise over
+    block-sized lane arrays instead of one 256-pattern window.  Blocks
+    start at :data:`SESSION_BLOCK_RAMP` grid windows and double up to
+    the engine's tuned streaming window rounded down to a grid
+    multiple: a session stopped at boundary ``b`` has then simulated at
+    most about twice ``b`` patterns (plus the first block), bounding
+    the speculation waste, while long sessions reach full
+    batched-sweep widths.
+    """
+    cap = max(grid, engine_window // grid * grid)
+    return min(SESSION_BLOCK_RAMP * grid, cap), cap
+
+
+def fold_session_block(
+    detections: List[Tuple[int, int]],
+    block_start: int,
+    block_stop: int,
+    grid: int,
+    firsts: List[int],
+    counts: List[int],
+    weights: Sequence[int],
+    covered_weight: int,
+    active_count: int,
+    on_window,
+    stop_at_coverage,
+    total_weight: int,
+) -> Tuple[int, int, bool]:
+    """Replay one speculative block against the pinned window grid.
+
+    ``detections`` holds ``(first index, fault position)`` pairs found
+    anywhere in the block ``[block_start, block_stop)`` - *uncommitted*:
+    nothing has been written to ``firsts``/``counts`` yet.  The fold
+    walks every ``grid`` boundary of the block in order, commits the
+    detections whose first index falls before the boundary (count
+    pinned to 1, weight added - exactly the retire step of the
+    window-at-a-time consumer), then applies the identical
+    retire-then-stop rule: ``on_window`` first, then the
+    no-active-faults stop, then ``stop_at_coverage``.  Detections past
+    a stopping boundary are never committed, so a speculatively
+    simulated block reports bit-identical outcomes to a run that never
+    simulated beyond the stop.
+
+    Returns ``(covered_weight, committed, stopped)`` - the updated
+    weight, how many detections were committed, and whether the run
+    ends at this block.
+    """
+    detections.sort()
+    position = 0
+    boundary = block_start
+    while boundary < block_stop:
+        boundary = min(boundary + grid, block_stop)
+        while position < len(detections) and detections[position][0] < boundary:
+            first, index = detections[position]
+            firsts[index] = first
+            counts[index] = 1
+            covered_weight += weights[index]
+            position += 1
+        if not on_window(boundary, covered_weight):
+            return covered_weight, position, True
+        if active_count == position:
+            return covered_weight, position, True
+        if (
+            stop_at_coverage is not None
+            and covered_weight >= stop_at_coverage * total_weight
+        ):
+            return covered_weight, position, True
+    return covered_weight, position, False
+
+
 def windowed_outcomes(
     network: Network,
     patterns: PatternSet,
@@ -607,6 +694,7 @@ def windowed_outcomes(
     stop_at_coverage=None,
     coverage_weights: Optional[Sequence[int]] = None,
     cache=None,
+    on_window=None,
 ) -> List[FaultOutcome]:
     """Per-fault (first index, count) outcomes, one window at a time.
 
@@ -634,6 +722,19 @@ def windowed_outcomes(
     batches) and is irrelevant to the serial per-fault cores; ``tune``
     names the execution plan sizing the lane engine's chunks (validated
     on the serial cores too, same contract as ``schedule``).
+
+    ``on_window(consumed, covered_weight) -> bool`` is the streaming
+    session seam: called at every window boundary after that window's
+    detections retired (providing it turns on retirement), it sees the
+    patterns consumed so far and the retired weight, and returning
+    ``False`` ends the run - :func:`streaming_coverage` plugs its
+    Wilson-bound stop in here instead of running a private loop.  In
+    session mode ``window`` is the *stopping grid*, not the simulation
+    width: the core simulates speculative doubling blocks
+    (:func:`session_block_size`) and replays the grid boundaries inside
+    each block (:func:`fold_session_block`), so per-pattern cost
+    approaches the batched whole-set pass while every stopping point
+    and outcome stays bit-identical to a window-at-a-time run.
     """
     if engine == "vector":
         from .vector import vector_windowed_outcomes
@@ -644,18 +745,59 @@ def windowed_outcomes(
             stop_at_coverage=stop_at_coverage,
             coverage_weights=coverage_weights,
             cache=cache,
+            on_window=on_window,
         )
     store = resolve_cache(cache)
-    resolve_plan(tune, cache=store)
+    plan = resolve_plan(tune, cache=store)
     check_stop_at_coverage(stop_at_coverage)
     weights = resolve_coverage_weights(faults, coverage_weights)
     total_weight = sum(weights)
     covered_weight = 0
-    retire = stop_at_first_detection or stop_at_coverage is not None
+    retire = (
+        stop_at_first_detection
+        or stop_at_coverage is not None
+        or on_window is not None
+    )
     for_window = window_difference_factory(network, engine, cache=store)
     firsts = [-1] * len(faults)
     counts = [0] * len(faults)
     active = list(range(len(faults)))
+    if on_window is not None:
+        # Session mode: `window` is the pinned stopping grid, not the
+        # simulation width.  Speculative doubling blocks amortise the
+        # per-pass fixed costs; fold_session_block replays the grid
+        # boundaries inside each block, so stopping points - and every
+        # reported outcome - stay bit-identical to the
+        # window-at-a-time consumer.
+        block, cap = session_block_size(
+            window, plan.bigint_window(patterns.count)
+        )
+        start = 0
+        while start < patterns.count:
+            block_stop = min(start + block, patterns.count)
+            difference_of = for_window(patterns.slice(start, block_stop))
+            detections: List[Tuple[int, int]] = []
+            for index in active:
+                word = difference_of(faults[index])
+                if word:
+                    detections.append(
+                        (start + (word & -word).bit_length() - 1, index)
+                    )
+            covered_weight, committed, stopped = fold_session_block(
+                detections, start, block_stop, window, firsts, counts,
+                weights, covered_weight, len(active), on_window,
+                stop_at_coverage, total_weight,
+            )
+            if stopped:
+                break
+            if committed:
+                active = [index for index in active if counts[index] == 0]
+            start = block_stop
+            block = min(2 * block, cap)
+        return [
+            (firsts[index], counts[index]) if counts[index] else None
+            for index in range(len(faults))
+        ]
     for start, chunk in patterns.windows(window):
         difference_of = for_window(chunk)
         remaining: List[int] = []
@@ -723,7 +865,11 @@ class StreamingCoverage:
     def format_summary(self) -> str:
         if self.satisfied:
             verdict = f"confidence target met after {self.pattern_count} patterns"
-        elif self.pattern_count < self.pattern_budget:
+        elif self.detected_weight == self.total_weight:
+            # No active faults remain - this holds whether the last one
+            # fell mid-budget or in the very last window, so a session
+            # that detects everything exactly at the budget boundary is
+            # not misreported as "budget exhausted".
             verdict = (
                 f"every fault detected after {self.pattern_count} patterns, "
                 "but the fault universe is too small for the confidence target"
@@ -780,14 +926,21 @@ def streaming_coverage(
 
     ``engine``, ``jobs``, ``schedule``, ``tune``, ``collapse`` and
     ``cache`` resolve exactly as in :func:`fault_simulate` - unknown
-    names raise the same registry errors.  The window grid is pinned to
-    :data:`FIRST_DETECTION_CHUNK` on every engine, so the stopping
-    point is engine-independent; the multi-process engines run their
-    single-process window core here (``sharded`` -> compiled,
-    ``sharded+vector`` -> vector), as a confidence-stopped session is
-    sequential by construction.  Under ``collapse="on"`` classes weight
-    the observed counts by their member sizes, keeping the stopping
-    window identical to the uncollapsed run.
+    names raise the same registry errors.  There is no private session
+    loop: the engines' batched window cores run the session through
+    their ``on_window`` boundary seam (:func:`windowed_outcomes` /
+    :func:`repro.simulate.vector.vector_windowed_outcomes`), so a
+    stopped session costs what the engines cost per pattern.  The
+    window grid is pinned to :data:`FIRST_DETECTION_CHUNK` on every
+    engine, so the stopping point is engine-independent.
+    ``engine="sharded"``/``"sharded+vector"`` fan the live faults out
+    across a ``jobs``-wide worker pool between window boundaries
+    (window-synchronous, falling back in-process when pooling is
+    pointless - tiny workloads, one shard, no ``fork``); the serial
+    engines validate ``jobs`` (``>= 1``) and run in-process.  Under
+    ``collapse="on"`` classes weight the observed counts by their
+    member sizes, keeping the stopping window identical to the
+    uncollapsed run.
     """
     from ..faults.structural import collapse_network_faults, get_collapse_mode
     from ..protest.testlength import coverage_lower_bound
@@ -819,54 +972,65 @@ def streaming_coverage(
         simulated = list(faults)
         weights = resolve_coverage_weights(simulated, None)
     total_weight = sum(weights)
-    covered_weight = 0
     curve: List[Tuple[int, float]] = []
-    consumed = 0
-    satisfied = False
-    for_window = window_difference_factory(network, core, cache=store)
-    active = list(range(len(simulated)))
-    bound = coverage_lower_bound(covered_weight, total_weight, confidence)
-    if bound >= target_coverage:
+    state = {
+        "consumed": 0,
+        "covered": 0,
+        "bound": coverage_lower_bound(0, total_weight, confidence),
+        "satisfied": False,
+    }
+    if state["bound"] >= target_coverage:
         # Vacuously covered (empty universe) - consume nothing.
-        satisfied = True
+        state["satisfied"] = True
         curve.append((0, 1.0 if total_weight == 0 else 0.0))
     else:
-        for start, chunk in patterns.windows(FIRST_DETECTION_CHUNK):
-            difference_of = for_window(chunk)
-            remaining: List[int] = []
-            for index in active:
-                if difference_of(simulated[index]):
-                    covered_weight += weights[index]
-                else:
-                    remaining.append(index)
-            active = remaining
-            consumed = start + chunk.count
+
+        def on_window(consumed: int, covered_weight: int) -> bool:
+            """The Wilson-bound stop as a window-boundary predicate."""
             bound = coverage_lower_bound(covered_weight, total_weight, confidence)
+            state["consumed"] = consumed
+            state["covered"] = covered_weight
+            state["bound"] = bound
             curve.append(
                 (consumed, covered_weight / total_weight if total_weight else 1.0)
             )
             if bound >= target_coverage:
-                satisfied = True
-                break
-            if not active:
-                # Every fault fell but the bound cannot tighten further:
-                # the universe is too small for this target/confidence.
-                break
+                state["satisfied"] = True
+                return False
+            return True
+
+        pooled = None
+        if engine in ("sharded", "sharded+vector"):
+            from .sharded import _coverage_sharded_outcomes, _resolve_jobs
+
+            pooled = _coverage_sharded_outcomes(
+                network, patterns, simulated, weights, None,
+                _resolve_jobs(jobs), None, core, schedule, tune,
+                cache=store, on_window=on_window,
+            )
+        elif jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if pooled is None:
+            windowed_outcomes(
+                network, patterns, simulated, FIRST_DETECTION_CHUNK,
+                False, core, schedule, tune,
+                coverage_weights=weights, cache=store, on_window=on_window,
+            )
         if not curve:
             curve.append((0, 1.0 if total_weight == 0 else 0.0))
     store.flush()
     return StreamingCoverage(
         network_name=network.name,
-        pattern_count=consumed,
+        pattern_count=state["consumed"],
         pattern_budget=patterns.count,
         fault_count=fault_count,
-        detected_weight=covered_weight,
+        detected_weight=state["covered"],
         total_weight=total_weight,
         target_coverage=target_coverage,
         confidence=confidence,
-        lower_bound=bound,
-        satisfied=satisfied,
-        exhausted=not satisfied,
+        lower_bound=state["bound"],
+        satisfied=state["satisfied"],
+        exhausted=not state["satisfied"],
         curve=curve,
         collapsed_classes=collapsed_classes,
     )

@@ -246,6 +246,56 @@ class PatternSet:
         return cls(names, env, count)
 
 
+def lane_window_rows(words: "np.ndarray", offset: int, count: int) -> "np.ndarray":
+    """Trim a lane array to an exact ``count``-pattern image.
+
+    ``words`` holds whole 64-bit lane words per row; the window of
+    interest starts ``offset`` bits in (``0 <= offset < 64``) and spans
+    ``count`` patterns.  The result is the shifted, truncated array
+    whose bit ``k`` of word ``w`` is pattern ``w*64 + k`` of the window
+    - with bits at or above ``count`` zeroed, so the rows are exact
+    images in the :func:`pack_words` sense.
+    """
+    if offset:
+        low = words >> np.uint64(offset)
+        high = np.zeros_like(words)
+        high[:, :-1] = words[:, 1:] << np.uint64(WORD_BITS - offset)
+        words = low | high
+    n_words = (count + WORD_BITS - 1) // WORD_BITS
+    rows = np.ascontiguousarray(words[:, :n_words])
+    tail = count % WORD_BITS
+    if tail and rows.size:
+        rows[:, -1] &= np.uint64((1 << tail) - 1)
+    return rows
+
+
+class LanePatternSet(PatternSet):
+    """A :class:`PatternSet` whose patterns live as ``uint64`` lane rows.
+
+    Produced by the streaming sources: ``lane_rows`` (shape
+    ``[n_inputs, n_words]``, rows in ``names`` order, exact images per
+    :func:`pack_words`) feeds the vector engine's lane kernels
+    directly, while the big-int ``env`` the serial engines read is
+    derived lazily on first access - so a vector-engine consumer never
+    round-trips generated lane words through Python big-ints.
+    """
+
+    def __init__(self, names: Sequence[str], lane_rows: "np.ndarray", count: int):
+        self.names = tuple(names)
+        self.count = count
+        self.lane_rows = lane_rows
+        self._env: Optional[Dict[str, int]] = None
+
+    @property
+    def env(self) -> Dict[str, int]:
+        if self._env is None:
+            self._env = {
+                name: unpack_words(self.lane_rows[row], self.count)
+                for row, name in enumerate(self.names)
+            }
+        return self._env
+
+
 def simulate(network, patterns: PatternSet) -> Dict[str, int]:
     """Fault-free output bit-vectors of a network under a pattern set."""
     from .compiled import compile_network

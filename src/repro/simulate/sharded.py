@@ -364,14 +364,14 @@ def _map_shards(
 
 def _coverage_sharded_outcomes(
     network, patterns, faults, weights, stop_at_coverage, jobs,
-    min_pool_work, engine, schedule, tune, cache=None,
+    min_pool_work, engine, schedule, tune, cache=None, on_window=None,
 ) -> Optional[List[FaultOutcome]]:
-    """The window-synchronous pooled path of ``stop_at_coverage``.
+    """The window-synchronous pooled path of the retiring stops.
 
-    The coverage stop is a *global* decision - whether window k+1 runs
-    depends on every shard's detections in windows 0..k - so shards
-    cannot stream independently as on the plain path.  Instead the
-    parent walks the :data:`repro.simulate.faultsim.
+    A coverage (or session) stop is a *global* decision - whether
+    window k+1 runs depends on every shard's detections in windows
+    0..k - so shards cannot stream independently as on the plain path.
+    Instead the parent walks the :data:`repro.simulate.faultsim.
     FIRST_DETECTION_CHUNK` window grid (the same grid every engine pins
     under ``stop_at_coverage``), re-partitions the *live* faults across
     the pool each window (shards shrink as classes retire), folds the
@@ -379,7 +379,18 @@ def _coverage_sharded_outcomes(
     identical retire-then-stop rule as the single-process core - so the
     pooled run is bit-identical to it.  Returns ``None`` when pooling
     is pointless or unavailable (same disqualifiers as
-    :func:`_map_shards`), signalling the caller to run in-process.
+    :func:`_map_shards`), signalling the caller to run in-process; the
+    disqualifiers run before any window simulates, so a ``None`` return
+    means ``on_window`` was never invoked.
+
+    ``on_window(consumed, covered_weight) -> bool`` is the same
+    window-boundary seam as :func:`repro.simulate.faultsim.
+    windowed_outcomes`: invoked in the parent after each window's
+    detections folded, returning ``False`` ends the run - this is how
+    ``engine="sharded"``/``"sharded+vector"`` serve
+    :func:`repro.simulate.faultsim.streaming_coverage` sessions with a
+    genuine worker-pool fan-out.  ``stop_at_coverage`` may be ``None``
+    when only the callback decides.
     """
     global _SHARD_CONTEXT
     if min_pool_work is None:
@@ -425,9 +436,16 @@ def _coverage_sharded_outcomes(
                         counts[index] = 1
                         covered_weight += weights[index]
                 active = [index for index in active if counts[index] == 0]
+                if on_window is not None and not on_window(
+                    start + chunk.count, covered_weight
+                ):
+                    break
                 if not active:
                     break
-                if covered_weight >= stop_at_coverage * total_weight:
+                if (
+                    stop_at_coverage is not None
+                    and covered_weight >= stop_at_coverage * total_weight
+                ):
                     break
     finally:
         _SHARD_CONTEXT = None

@@ -31,7 +31,7 @@ import numpy as np
 
 from ..selftest.lfsr import BANK_DEGREE, LfsrBank
 from ..selftest.nlfsr import WeightedPatternGenerator
-from .logicsim import WORD_BITS, PatternSet, unpack_words
+from .logicsim import WORD_BITS, LanePatternSet, PatternSet, lane_window_rows
 
 __all__ = [
     "PatternSource",
@@ -69,7 +69,13 @@ class PatternSource:
     # -- the streaming seam ------------------------------------------------------
 
     def slice(self, start: int, stop: int) -> PatternSet:
-        """Patterns ``start`` (inclusive) to ``stop`` (exclusive), materialised."""
+        """Patterns ``start`` (inclusive) to ``stop`` (exclusive), materialised.
+
+        The result is a :class:`~repro.simulate.logicsim.LanePatternSet`
+        carrying the generated lane words as-is: the vector engine
+        consumes the rows directly, and the big-int ``env`` only exists
+        if a serial engine asks for it.
+        """
         if not 0 <= start <= stop <= self.count:
             raise ValueError(
                 f"bad slice [{start}, {stop}) of a {self.count}-pattern source"
@@ -80,14 +86,10 @@ class PatternSource:
         first = start // WORD_BITS
         last = (stop + WORD_BITS - 1) // WORD_BITS
         words = self._lane_window(first, last - first)
-        span = (last - first) * WORD_BITS
         offset = start - first * WORD_BITS
-        chunk_mask = (1 << width) - 1
-        env = {
-            name: (unpack_words(words[row], span) >> offset) & chunk_mask
-            for row, name in enumerate(self.names)
-        }
-        return PatternSet(self.names, env, width)
+        return LanePatternSet(
+            self.names, lane_window_rows(words, offset, width), width
+        )
 
     def windows(self, width: int) -> Iterator[Tuple[int, PatternSet]]:
         """``(start, window)`` pairs - the :meth:`PatternSet.windows` contract."""
@@ -110,6 +112,14 @@ class LfsrSource(PatternSource):
     Pattern ``p`` is the bank register state after ``p + 1`` clocks -
     identical to the serial ``LfsrBank.patterns`` stream, generated 64
     patterns per lane word.
+
+    Sequential consumers (the streaming windows of
+    :func:`~repro.simulate.faultsim.streaming_coverage`) resume the
+    advanced register bank from the previous window instead of
+    rebuilding it and re-deriving the GF(2) jump from position zero
+    every window; a non-sequential ``slice`` (sharded workers jumping
+    to their own windows) falls back to the positional jump, so random
+    access stays exact.
     """
 
     def __init__(
@@ -122,15 +132,22 @@ class LfsrSource(PatternSource):
         super().__init__(names, count)
         self.seed = seed
         self.degree = degree
+        self._resume: Optional[Tuple[int, LfsrBank]] = None
         if self.names:
             LfsrBank(len(self.names), seed=seed, degree=degree)  # validate early
 
     def _lane_window(self, first_word: int, n_words: int) -> "np.ndarray":
         if not self.names:
             return np.zeros((0, n_words), dtype=np.uint64)
-        bank = LfsrBank(len(self.names), seed=self.seed, degree=self.degree)
-        bank.jump(first_word * WORD_BITS)
-        return bank.lane_words(n_words)
+        resume = self._resume
+        if resume is not None and resume[0] == first_word:
+            bank = resume[1]
+        else:
+            bank = LfsrBank(len(self.names), seed=self.seed, degree=self.degree)
+            bank.jump(first_word * WORD_BITS)
+        words = bank.lane_words(n_words)  # advances the bank n_words*64 clocks
+        self._resume = (first_word + n_words, bank)
+        return words
 
 
 class WeightedSource(PatternSource):
@@ -226,7 +243,19 @@ class PatternSetSource(PatternSource):
 # --- registry -------------------------------------------------------------------
 
 
+def _reject_probabilities(name: str, probabilities) -> None:
+    """Sources whose bits are fixed by construction must not silently
+    drop a requested distribution - same explicitness as the registry
+    errors."""
+    if probabilities is not None:
+        raise ValueError(
+            f"pattern source {name!r} does not honour probabilities; "
+            "sources honouring probabilities: random, weighted"
+        )
+
+
 def _make_lfsr(names, count, seed, probabilities, patterns):
+    _reject_probabilities("lfsr", probabilities)
     return LfsrSource(names, count, seed=seed)
 
 
@@ -239,6 +268,7 @@ def _make_random(names, count, seed, probabilities, patterns):
 
 
 def _make_set(names, count, seed, probabilities, patterns):
+    _reject_probabilities("set", probabilities)
     if patterns is None:
         raise ValueError("pattern source 'set' needs an explicit pattern set")
     return PatternSetSource(patterns)
@@ -280,9 +310,11 @@ def make_source(
     """Construct a registered source by name.
 
     ``probabilities`` is honoured by the ``weighted`` and ``random``
-    sources (the others are uniform by construction); ``patterns`` is
-    required by - and only consulted for - the ``set`` adapter, whose
-    own names and count override the arguments.
+    sources; the uniform-by-construction sources (``lfsr``, ``set``)
+    raise ``ValueError`` rather than silently simulating a distribution
+    the caller did not get.  ``patterns`` is required by - and only
+    consulted for - the ``set`` adapter, whose own names and count
+    override the arguments.
     """
     factory = get_source(name)
     return factory(names, count, seed, probabilities, patterns)

@@ -360,9 +360,44 @@ class VectorNetwork:
             )
         return values, mask_row, count
 
+    def good_rows(self, patterns: PatternSet):
+        """Good-circuit lane pass over a pattern container.
+
+        Lane-native when the container carries ``lane_rows`` (a
+        :class:`~repro.simulate.logicsim.LanePatternSet` from a
+        streaming source): the generated ``uint64`` rows feed the gate
+        kernels directly, with no big-int env ever materialised.  Plain
+        big-int sets take the :meth:`good_values` packing path; results
+        are bit-identical either way.
+        """
+        rows = getattr(patterns, "lane_rows", None)
+        if rows is None:
+            return self.good_values(patterns.env, patterns.mask)
+        compiled = self.compiled
+        count = patterns.count
+        n_words = (count + 63) // 64
+        mask_row = np.full(n_words, ~np.uint64(0), dtype=np.uint64)
+        tail = count % 64
+        if tail:
+            mask_row[-1] = np.uint64((1 << tail) - 1)
+        zero_row = np.zeros_like(mask_row)
+        row_of_name = {name: row for row, name in enumerate(patterns.names)}
+        values: List = [None] * compiled.num_slots
+        for slot, net in enumerate(compiled.input_nets):
+            row = row_of_name.get(net)
+            if row is None:
+                raise NetworkError(f"no value for primary input {net!r}")
+            values[slot] = rows[row]
+        for gate in compiled.gates:
+            word = gate.fn(values, mask_row)
+            values[gate.out_slot] = (
+                word if isinstance(word, np.ndarray) else zero_row
+            )
+        return values, mask_row, count
+
     def simulate(self, patterns: PatternSet) -> "VectorSimulation":
         """Fault-free lane simulation; the result hosts per-fault passes."""
-        values, mask_row, count = self.good_values(patterns.env, patterns.mask)
+        values, mask_row, count = self.good_rows(patterns)
         return VectorSimulation(self, values, mask_row, count)
 
     def evaluate_bits(self, env, mask: int) -> Dict[str, int]:
@@ -481,6 +516,7 @@ class VectorNetwork:
         schedule: Optional[str] = None,
         tuning: Optional[ExecutionPlan] = None,
         cache=None,
+        keyed: bool = True,
     ) -> List[List[Tuple]]:
         """Arrange injection-site groups into batch plans.
 
@@ -500,6 +536,15 @@ class VectorNetwork:
         name = DEFAULT_SCHEDULE if schedule is None else schedule
         if name != "cost" or len(groups) <= 1:
             return [[group] for group in groups]
+        if not keyed:
+            # Streaming sessions replan shrinking live sets between
+            # blocks: content-addressing such transient plans costs more
+            # (a fingerprint per live fault) than re-pricing the greedy
+            # coalesce, and the session's stopping point makes the
+            # subsets unlikely to recur across runs anyway.
+            return _apply_positions(
+                groups, self._coalesce_positions(groups, tuning)
+            )
         store = resolve_cache(cache)
         key = (
             self.compiled.fingerprint,
@@ -786,6 +831,7 @@ def vector_windowed_outcomes(
     stop_at_coverage=None,
     coverage_weights: Optional[Sequence[int]] = None,
     cache=None,
+    on_window=None,
 ) -> List:
     """Per-fault (first index, count) outcomes via batched lane passes.
 
@@ -805,8 +851,28 @@ def vector_windowed_outcomes(
     names the execution plan (:mod:`repro.simulate.tuning`) that sizes
     the window when ``window`` is ``None``, the per-cone column chunks
     and the coalescer pricing.
+
+    ``on_window(consumed, covered_weight) -> bool`` is the streaming
+    session seam: called at every window boundary (after that window's
+    detections retired), it sees the patterns consumed so far and the
+    covered weight, and returning ``False`` stops the run - the Wilson
+    confidence stop of :func:`repro.simulate.faultsim.
+    streaming_coverage` is just such a predicate.  Providing it turns
+    on retirement, exactly like ``stop_at_first_detection``, and makes
+    ``window`` the *stopping grid* rather than the simulation width:
+    the core runs speculative doubling blocks of lane passes and
+    replays the grid boundaries post hoc from the exact
+    first-detection indices (:func:`repro.simulate.faultsim.
+    fold_session_block`), so a session's per-pattern cost approaches
+    the whole-set batched pass while stopping points stay
+    bit-identical to a 256-pattern-window run.
     """
-    from .faultsim import check_stop_at_coverage, resolve_coverage_weights
+    from .faultsim import (
+        check_stop_at_coverage,
+        fold_session_block,
+        resolve_coverage_weights,
+        session_block_size,
+    )
 
     store = resolve_cache(cache)
     vector = vector_compile(network, cache=store)
@@ -815,18 +881,79 @@ def vector_windowed_outcomes(
     weights = resolve_coverage_weights(faults, coverage_weights)
     total_weight = sum(weights)
     covered_weight = 0
-    retire = stop_at_first_detection or stop_at_coverage is not None
+    retire = (
+        stop_at_first_detection
+        or stop_at_coverage is not None
+        or on_window is not None
+    )
     if window is None:
         window = tuning.lane_window(patterns.count, vector.compiled.num_slots)
     firsts = [-1] * len(faults)
     counts = [0] * len(faults)
     active = list(range(len(faults)))
     plans = None
+    if on_window is not None:
+        block, cap = session_block_size(
+            window, tuning.lane_window(patterns.count, vector.compiled.num_slots)
+        )
+        start = 0
+        planned_over = len(active)
+        while start < patterns.count:
+            block_stop = min(start + block, patterns.count)
+            chunk = patterns.slice(start, block_stop)
+            if plans is None or len(active) < planned_over:
+                # Re-batch over the shrunken live set between blocks,
+                # always unkeyed: a session's live subsets depend on
+                # its stopping point, so content-addressing them costs
+                # a fingerprint per live fault for a plan unlikely to
+                # recur.  A stale plan would still be *correct* -
+                # committed faults are skipped below - but its retired
+                # rows would drag through every cone pass of the
+                # widest blocks.
+                groups = vector.group_faults([(i, faults[i]) for i in active])
+                plans = vector.plan_batches(
+                    groups, schedule, tuning, cache=store, keyed=False
+                )
+                planned_over = len(active)
+            values, mask_row, count = vector.good_rows(chunk)
+            detections = []
+            for plan in plans:
+                live, rows = vector.plan_difference_rows(
+                    values, mask_row, plan, tuning
+                )
+                if not live:
+                    continue
+                row_counts = _row_counts(rows)
+                for j, index in enumerate(live):
+                    if not int(row_counts[j]) or counts[index]:
+                        continue
+                    row = rows[j]
+                    word_index = int(np.flatnonzero(row)[0])
+                    word = int(row[word_index])
+                    detections.append(
+                        (start + 64 * word_index + (word & -word).bit_length() - 1,
+                         index)
+                    )
+            covered_weight, committed, stopped = fold_session_block(
+                detections, start, block_stop, window, firsts, counts,
+                weights, covered_weight, len(active), on_window,
+                stop_at_coverage, total_weight,
+            )
+            if stopped:
+                break
+            if committed:
+                active = [index for index in active if counts[index] == 0]
+            start = block_stop
+            block = min(2 * block, cap)
+        return [
+            (firsts[index], counts[index]) if counts[index] else None
+            for index in range(len(faults))
+        ]
     for start, chunk in patterns.windows(window):
         if plans is None:
             groups = vector.group_faults([(i, faults[i]) for i in active])
             plans = vector.plan_batches(groups, schedule, tuning, cache=store)
-        values, mask_row, count = vector.good_values(chunk.env, chunk.mask)
+        values, mask_row, count = vector.good_rows(chunk)
         retired = False
         for plan in plans:
             live, rows = vector.plan_difference_rows(values, mask_row, plan, tuning)
@@ -853,8 +980,8 @@ def vector_windowed_outcomes(
         if retire and retired:
             active = [index for index in active if counts[index] == 0]
             plans = None
-            if not active:
-                break
+        if retire and not active:
+            break
         if (
             stop_at_coverage is not None
             and covered_weight >= stop_at_coverage * total_weight
@@ -940,7 +1067,7 @@ def vector_difference_words(
     )
     words = [0] * len(faults)
     for start, chunk in patterns.windows(window):
-        values, mask_row, count = vector.good_values(chunk.env, chunk.mask)
+        values, mask_row, count = vector.good_rows(chunk)
         for plan in plans:
             live, rows = vector.plan_difference_rows(values, mask_row, plan, tuning)
             if not live:

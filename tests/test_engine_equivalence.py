@@ -1232,6 +1232,55 @@ def test_streaming_coverage_stopping_point_identical(engine):
     assert result.lower_bound == reference.lower_bound
 
 
+def _streaming_reference():
+    network = skewed_cone_network(depth=6, islands=4)
+    return network, _STREAMING_REFERENCE.setdefault(
+        "skew",
+        streaming_coverage(
+            network,
+            LfsrSource(network.inputs, 4 * FIRST_DETECTION_CHUNK, seed=5),
+            all_faults(network),
+            target_coverage=0.7,
+            confidence=0.95,
+            engine="interpreted",
+        ),
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("schedule", SCHEDULES)
+@pytest.mark.parametrize("tuning", TUNINGS)
+@pytest.mark.parametrize("collapse", ("off", "on"))
+def test_streaming_session_stopping_window_full_sweep(
+    engine, schedule, tuning, collapse, tuning_specs
+):
+    """Sessions run *through* the engines' batched window cores now, so
+    the stopping window must survive the whole differential sweep:
+    every engine x schedule x plan x collapse combination consumes the
+    same number of patterns, retires the same weight and reports the
+    same curve as the interpreted consumer - scheduling only reorders
+    work, plans only re-tile it, collapse only deduplicates it."""
+    network, reference = _streaming_reference()
+    result = streaming_coverage(
+        network,
+        LfsrSource(network.inputs, 4 * FIRST_DETECTION_CHUNK, seed=5),
+        all_faults(network),
+        target_coverage=0.7,
+        confidence=0.95,
+        engine=engine,
+        jobs=2,
+        schedule=schedule,
+        tune=tuning_specs[tuning],
+        collapse=collapse,
+    )
+    assert result.pattern_count == reference.pattern_count
+    assert result.detected_weight == reference.detected_weight
+    assert result.total_weight == reference.total_weight
+    assert result.satisfied == reference.satisfied
+    assert result.curve == reference.curve
+    assert result.lower_bound == reference.lower_bound
+
+
 class TestSourceRegistryErrorPaths:
     """The --source error contract, drift-tested like the other
     registries."""

@@ -23,12 +23,13 @@ from repro.protest import (
     test_length_for_fault as required_length_for_fault,
 )
 from repro.simulate import (
+    LanePatternSet,
     LfsrSource,
     coverage_curve,
     fault_simulate,
     streaming_coverage,
 )
-from repro.simulate.faultsim import FIRST_DETECTION_CHUNK
+from repro.simulate.faultsim import FIRST_DETECTION_CHUNK, windowed_outcomes
 
 
 class TestCoverageLowerBound:
@@ -230,6 +231,292 @@ class TestStreamingCoverageSession:
         assert 0 <= session.detected_weight <= session.total_weight
         coverages = [coverage for _, coverage in session.curve]
         assert coverages == sorted(coverages)
+
+
+class TestWindowBoundarySeam:
+    """``on_window`` - the per-window-boundary callback the session
+    plugs into the engines' batched window cores."""
+
+    def _run(self, engine, stop_after=None):
+        # Deep skewed cones keep faults live across several windows, so
+        # the callback genuinely fires more than once.
+        network = skewed_cone_network(depth=6, islands=4)
+        source = LfsrSource(network.inputs, 4 * FIRST_DETECTION_CHUNK, seed=5)
+        faults = network.enumerate_faults()
+        boundaries = []
+
+        def on_window(consumed, covered_weight):
+            boundaries.append((consumed, covered_weight))
+            return stop_after is None or len(boundaries) < stop_after
+
+        outcomes = windowed_outcomes(
+            network, source, faults, FIRST_DETECTION_CHUNK,
+            engine=engine, on_window=on_window,
+        )
+        return source, faults, boundaries, outcomes
+
+    @pytest.mark.parametrize("engine", ["compiled", "interpreted", "vector"])
+    def test_called_at_every_window_boundary(self, engine):
+        source, faults, boundaries, outcomes = self._run(engine)
+        # Exactly the pinned grid, one call per consumed window...
+        assert [consumed for consumed, _ in boundaries] == [
+            FIRST_DETECTION_CHUNK * k for k in range(1, len(boundaries) + 1)
+        ]
+        covered = [weight for _, weight in boundaries]
+        assert covered == sorted(covered)
+        # ...and the run only ends at budget exhaustion or full
+        # retirement - the boundary where the last active fault fell is
+        # still reported (the session samples its curve there).
+        assert (
+            boundaries[-1][0] == source.count
+            or covered[-1] == sum(1 for o in outcomes if o is not None)
+        )
+        if boundaries[-1][0] < source.count:
+            assert all(outcome is not None for outcome in outcomes)
+
+    @pytest.mark.parametrize("engine", ["compiled", "interpreted", "vector"])
+    def test_returning_false_stops_the_run(self, engine):
+        source, faults, boundaries, outcomes = self._run(engine, stop_after=2)
+        assert len(boundaries) == 2
+        # Faults first detected beyond the consumed prefix come back None.
+        consumed = boundaries[-1][0]
+        for outcome in outcomes:
+            assert outcome is None or outcome[0] < consumed
+
+    def test_engines_see_identical_boundaries(self):
+        reference = self._run("interpreted")[2]
+        for engine in ("compiled", "vector"):
+            assert self._run(engine)[2] == reference
+
+    def test_seam_turns_on_retirement(self):
+        # With the callback provided, detected faults retire (count
+        # pinned to 1), exactly as under stop_at_first_detection.
+        _, _, _, outcomes = self._run("compiled")
+        assert all(
+            outcome is None or outcome[1] == 1 for outcome in outcomes
+        )
+
+
+class TestNonWordAlignedStreaming:
+    """Sources consumed at window widths that are neither multiples of
+    64 nor divisors of the budget must stay bit-exact."""
+
+    BUDGET = 3 * FIRST_DETECTION_CHUNK + 11
+
+    @pytest.mark.parametrize("width", [37, 100, 129])
+    def test_windows_match_materialised_slices(self, width):
+        network = domino_carry_chain(10)
+        source = LfsrSource(network.inputs, self.BUDGET, seed=13)
+        whole = LfsrSource(network.inputs, self.BUDGET, seed=13).materialise()
+        consumed = 0
+        for start, window in source.windows(width):
+            assert start == consumed
+            expected = whole.slice(start, min(start + width, self.BUDGET))
+            assert window.count == expected.count
+            assert dict(window.env) == dict(expected.env)
+            consumed += window.count
+        assert consumed == self.BUDGET
+
+    @pytest.mark.parametrize("width", [37, 100])
+    @pytest.mark.parametrize("engine", ["compiled", "vector"])
+    def test_windowed_outcomes_on_odd_grid_match_whole_set(self, width, engine):
+        network = domino_carry_chain(10)
+        source = LfsrSource(network.inputs, self.BUDGET, seed=13)
+        faults = network.enumerate_faults()
+        reference = windowed_outcomes(
+            network, source.materialise(), faults, self.BUDGET,
+            engine="interpreted",
+        )
+        assert windowed_outcomes(
+            network, source, faults, width, engine=engine,
+        ) == reference
+
+    def test_non_aligned_slice_is_lane_exact(self):
+        network = domino_carry_chain(10)
+        source = LfsrSource(network.inputs, self.BUDGET, seed=13)
+        whole = source.materialise()
+        window = source.slice(37, 137)
+        assert isinstance(window, LanePatternSet)
+        assert dict(window.env) == dict(whole.slice(37, 137).env)
+
+
+class TestLanePatternSetFeed:
+    """Source windows feed the vector core as lane words - the big-int
+    env only exists if a serial engine asks for it."""
+
+    def test_slice_returns_lane_rows_without_env(self):
+        network = domino_carry_chain(10)
+        source = LfsrSource(network.inputs, 512, seed=3)
+        window = source.slice(0, 256)
+        assert isinstance(window, LanePatternSet)
+        assert window._env is None  # derived lazily, not at generation
+        assert window.lane_rows.shape == (len(network.inputs), 4)
+
+    def test_vector_engine_never_materialises_the_env(self, monkeypatch):
+        import repro.simulate.logicsim as logicsim
+
+        network = domino_carry_chain(10)
+        source = LfsrSource(network.inputs, 512, seed=3)
+        faults = network.enumerate_faults()
+
+        def poisoned_env(self):
+            raise AssertionError("vector consumer touched the big-int env")
+
+        monkeypatch.setattr(
+            logicsim.LanePatternSet, "env", property(poisoned_env)
+        )
+        result = fault_simulate(network, source, faults, engine="vector")
+        assert result.pattern_count == 512
+
+    def test_lazy_env_matches_lane_rows(self):
+        from repro.simulate.logicsim import pack_words
+
+        network = domino_carry_chain(10)
+        window = LfsrSource(network.inputs, 512, seed=3).slice(64, 293)
+        for row, name in enumerate(window.names):
+            assert (
+                pack_words(window.env[name], window.count)
+                == window.lane_rows[row]
+            ).all()
+
+
+class TestLfsrSequentialResume:
+    """Sequential windows resume the advanced bank; random access stays
+    positionally exact (sharded workers jump to their own windows)."""
+
+    def test_sequential_windows_resume_the_bank(self):
+        network = domino_carry_chain(10)
+        source = LfsrSource(network.inputs, 1024, seed=7)
+        first = source.slice(0, 256)
+        assert source._resume is not None and source._resume[0] == 4
+        follow = source.slice(256, 512)  # resume hit: bank is at word 4
+        fresh = LfsrSource(network.inputs, 1024, seed=7)
+        assert dict(follow.env) == dict(fresh.slice(256, 512).env)
+
+    def test_random_access_after_streaming_is_exact(self):
+        network = domino_carry_chain(10)
+        source = LfsrSource(network.inputs, 1024, seed=7)
+        for _start, _window in source.windows(FIRST_DETECTION_CHUNK):
+            pass  # stream the whole budget, leaving the bank advanced
+        fresh = LfsrSource(network.inputs, 1024, seed=7)
+        again = source.slice(128, 384)  # jump back mid-stream
+        assert dict(again.env) == dict(fresh.slice(128, 384).env)
+
+    def test_streamed_windows_identical_to_fresh_jumps(self):
+        network = domino_carry_chain(10)
+        streamed = LfsrSource(network.inputs, 1024, seed=7)
+        windows = list(streamed.windows(FIRST_DETECTION_CHUNK))
+        for start, window in windows:
+            fresh = LfsrSource(network.inputs, 1024, seed=7)
+            assert dict(window.env) == dict(
+                fresh.slice(start, start + window.count).env
+            )
+
+
+class TestStreamingJobs:
+    """``jobs`` is validated everywhere and threads to the sharded
+    session path."""
+
+    @pytest.mark.parametrize("engine", ["compiled", "interpreted", "vector"])
+    def test_serial_engines_validate_jobs(self, engine):
+        network = and_cone(2)
+        source = LfsrSource(network.inputs, 64, seed=1)
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            streaming_coverage(network, source, engine=engine, jobs=0)
+
+    @pytest.mark.parametrize("engine", ["sharded", "sharded+vector"])
+    def test_sharded_engines_validate_jobs(self, engine):
+        network = and_cone(2)
+        source = LfsrSource(network.inputs, 64, seed=1)
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            streaming_coverage(network, source, engine=engine, jobs=0)
+
+    def test_explicit_jobs_accepted_on_serial_engines(self):
+        network = domino_carry_chain(10)
+        source = LfsrSource(network.inputs, 2 * FIRST_DETECTION_CHUNK, seed=7)
+        session = streaming_coverage(
+            network, source, target_coverage=0.7, confidence=0.95, jobs=3
+        )
+        assert session.pattern_count > 0
+
+
+class TestShardedSessionFanOut:
+    """``engine="sharded"``/``"sharded+vector"`` genuinely serve the
+    session from the window-synchronous worker pool - bit-identical to
+    the single-process consumer."""
+
+    @pytest.mark.parametrize("engine", ["sharded", "sharded+vector"])
+    def test_pooled_session_matches_serial(self, engine, monkeypatch):
+        from repro.simulate import sharded as sharded_module
+
+        calls = {}
+        original = sharded_module._coverage_sharded_outcomes
+
+        def spy(*args, **kwargs):
+            outcome = original(*args, **kwargs)
+            calls["pooled"] = outcome is not None
+            return outcome
+
+        monkeypatch.setattr(sharded_module, "MIN_POOL_WORK", 0)
+        monkeypatch.setattr(
+            sharded_module, "_coverage_sharded_outcomes", spy
+        )
+        network = skewed_cone_network(depth=6, islands=4)
+        budget = 4 * FIRST_DETECTION_CHUNK
+        pooled = streaming_coverage(
+            network,
+            LfsrSource(network.inputs, budget, seed=5),
+            target_coverage=0.7,
+            confidence=0.95,
+            engine=engine,
+            jobs=2,
+        )
+        serial = streaming_coverage(
+            network,
+            LfsrSource(network.inputs, budget, seed=5),
+            target_coverage=0.7,
+            confidence=0.95,
+        )
+        assert calls["pooled"], "session silently downgraded to one process"
+        assert pooled.pattern_count == serial.pattern_count
+        assert pooled.detected_weight == serial.detected_weight
+        assert pooled.satisfied == serial.satisfied
+        assert pooled.curve == serial.curve
+        assert pooled.lower_bound == serial.lower_bound
+
+
+class TestBudgetBoundaryVerdict:
+    """A session whose final window detects every remaining fault
+    exactly at the budget boundary is reported as a too-small universe,
+    not as an exhausted budget."""
+
+    def _boundary_session(self):
+        # One-window budget: everything detectable falls in the very
+        # last (and only) window, so pattern_count == pattern_budget
+        # while no active fault remains.
+        network = and_cone(2)
+        source = LfsrSource(network.inputs, FIRST_DETECTION_CHUNK, seed=3)
+        return streaming_coverage(
+            network, source, target_coverage=0.999, confidence=0.999999
+        )
+
+    def test_full_detection_at_budget_boundary_not_budget_exhausted(self):
+        session = self._boundary_session()
+        assert session.pattern_count == session.pattern_budget  # the trap
+        assert session.detected_weight == session.total_weight
+        assert not session.satisfied
+        summary = session.format_summary()
+        assert "every fault detected" in summary
+        assert "budget" not in summary.splitlines()[0]
+
+    def test_genuinely_exhausted_budget_still_reported(self):
+        network = domino_carry_chain(14)
+        source = LfsrSource(network.inputs, FIRST_DETECTION_CHUNK, seed=2)
+        session = streaming_coverage(
+            network, source, target_coverage=1.0, confidence=0.999999
+        )
+        if session.detected_weight < session.total_weight:
+            assert "budget of" in session.format_summary()
 
 
 class TestCoverageCurveStopAtConfidence:
