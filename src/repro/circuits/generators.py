@@ -269,6 +269,53 @@ def skewed_cone_network(
     return network
 
 
+def large_random_network(
+    n_gates: int = 10000,
+    n_inputs: int = 64,
+    technology: str = "domino-CMOS",
+    seed: int = 1986,
+    locality: int = 64,
+    n_outputs: int = 8,
+) -> Network:
+    """A scan-sized random DAG: the 10k-100k-gate tier.
+
+    :func:`random_network` draws every source uniformly, which at scale
+    produces shallow, shapeless networks; real ISCAS-class circuits are
+    deep with mostly-local wiring and occasional long reconvergent
+    jumps.  Here each gate reads one net from the trailing ``locality``
+    window (depth ~ ``n_gates/locality`` levels) and one drawn globally
+    (reconvergence), from a fixed pool of two-input cells - O(1) work
+    per gate, so construction itself scales to 100k gates.  The last
+    ``n_outputs`` nets are the primary outputs.  This is the generator
+    behind the ``e_iscas_scale`` benchmark's levelize/compile/cone
+    numbers.
+    """
+    if n_gates < 1:
+        raise ValueError("the network needs at least 1 gate")
+    rng = random.Random(seed)
+    factory = CellFactory(technology)
+    cells = (factory.and_gate(2), factory.or_gate(2), factory.and_or(2, 2))
+    network = Network(f"large_{n_inputs}x{n_gates}_{technology}_{seed}")
+    nets: List[str] = [network.add_input(f"x{k}") for k in range(n_inputs)]
+    for g in range(n_gates):
+        cell = cells[rng.randrange(len(cells))]
+        window_start = max(0, len(nets) - locality)
+        sources = [
+            nets[rng.randrange(window_start, len(nets))],
+            nets[rng.randrange(len(nets))],
+        ]
+        while len(sources) < len(cell.inputs):
+            sources.append(nets[rng.randrange(len(nets))])
+        output = f"n{g}"
+        network.add_gate(
+            f"g{g}", cell, dict(zip(cell.inputs, sources)), output
+        )
+        nets.append(output)
+    for net in nets[-max(1, n_outputs):]:
+        network.mark_output(net)
+    return network
+
+
 def random_network(
     n_inputs: int = 8,
     n_gates: int = 12,

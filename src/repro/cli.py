@@ -9,15 +9,17 @@ Subcommands::
     python -m repro experiments [E1 E2 ...]
         Regenerate the paper's tables and figures (all by default).
 
-    python -m repro protest CELLFILE --confidence 0.999 \
+    python -m repro protest [CELLFILE | --netlist FILE.bench] \
+            --confidence 0.999 \
             [--engine compiled|interpreted|sharded|sharded+vector|vector] \
             [--jobs N] [--schedule contiguous|cost|interleaved] \
             [--tune auto|default|PROFILE.json] [--collapse off|on|report] \
             [--cache memory|off|DIR] \
             [--source lfsr|random|set|weighted] [--stop-confidence C] \
             [--target-coverage F]
-        Wrap the cell in a single-gate network and run the PROTEST
-        pipeline: probabilities, test length, optimized weights.
+        Wrap the cell in a single-gate network (or parse the ISCAS85
+        ``.bench`` netlist) and run the PROTEST pipeline:
+        probabilities, test length, optimized weights.
         ``--stop-confidence`` additionally streams a BIST session
         (``--source`` picks the lane-native pattern generator) that
         stops once the Wilson lower confidence bound on coverage clears
@@ -164,6 +166,20 @@ def _source_name(name: str) -> str:
     return name
 
 
+def _netlist_network(path: str):
+    """argparse type for ``--netlist``: parse the ``.bench`` file at
+    parse time (bad paths and malformed netlists fail with
+    :mod:`repro.netlist.bench`'s exact message, before any simulation
+    runs) and hand the command the parsed network - a 100k-gate file is
+    parsed once, not once to validate and again to use."""
+    from .netlist.bench import resolve_netlist
+
+    try:
+        return resolve_netlist(path)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
 def _load_cell(path: str):
     from .cells import Cell
 
@@ -214,8 +230,18 @@ def command_experiments(args: argparse.Namespace) -> int:
 def command_protest(args: argparse.Namespace) -> int:
     from .protest import Protest
 
-    cell = _load_cell(args.cellfile)
-    network = _cell_network(cell)
+    if args.netlist is not None and args.cellfile is not None:
+        raise SystemExit(
+            "repro protest: error: give either CELLFILE or --netlist, not both"
+        )
+    if args.netlist is None and args.cellfile is None:
+        raise SystemExit(
+            "repro protest: error: one of CELLFILE or --netlist is required"
+        )
+    if args.netlist is not None:
+        network = args.netlist
+    else:
+        network = _cell_network(_load_cell(args.cellfile))
     protest = Protest(
         network, engine=args.engine, jobs=args.jobs, schedule=args.schedule,
         tune=args.tune, collapse=args.collapse, cache=args.cache,
@@ -301,8 +327,19 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("ids", nargs="*", help="experiment ids (default: all)")
     experiments.set_defaults(func=command_experiments)
 
-    protest = subparsers.add_parser("protest", help="PROTEST analysis of a cell")
-    protest.add_argument("cellfile")
+    protest = subparsers.add_parser(
+        "protest", help="PROTEST analysis of a cell or a .bench netlist"
+    )
+    protest.add_argument("cellfile", nargs="?", default=None)
+    protest.add_argument(
+        "--netlist",
+        type=_netlist_network,
+        default=None,
+        metavar="FILE.bench",
+        help="run the pipeline on an ISCAS85-style .bench netlist "
+        "instead of a single-cell network (INPUT/OUTPUT/AND/NAND/OR/"
+        "NOR/XOR/NOT/BUFF; mutually exclusive with CELLFILE)",
+    )
     protest.add_argument("--confidence", type=float, default=0.999)
     protest.add_argument("--validate", action="store_true")
     protest.add_argument(

@@ -1,5 +1,12 @@
 """Gate-level combinational networks of library cells."""
 
+from .bench import (
+    BenchFormatError,
+    parse_bench,
+    read_bench,
+    resolve_netlist,
+    write_bench,
+)
 from .builder import CellFactory, connect_chain
 from .network import GateInstance, Network, NetworkError, NetworkFault
 from .sequential import (
@@ -9,8 +16,13 @@ from .sequential import (
 )
 
 __all__ = [
+    "BenchFormatError",
     "CellFactory",
     "connect_chain",
+    "parse_bench",
+    "read_bench",
+    "resolve_netlist",
+    "write_bench",
     "GateInstance",
     "Network",
     "NetworkError",

@@ -1,0 +1,252 @@
+"""ISCAS85-style ``.bench`` netlist frontend.
+
+The PROTEST reproduction grew up on generated cell DAGs, but the 1986
+tool was built for real benchmark circuits, and the interchange format
+those circuits survive in is the ISCAS85 ``.bench`` netlist::
+
+    # c17
+    INPUT(n1)
+    OUTPUT(n22)
+    n10 = NAND(n1, n3)
+
+This module reads and writes the combinational subset
+(INPUT/OUTPUT/AND/NAND/OR/NOR/XOR/NOT/BUFF) and maps each gate type
+onto the existing :class:`~repro.netlist.builder.CellFactory` cells in
+the technology whose polarity matches:
+
+* ``AND``/``OR``/``BUFF`` are non-inverting - domino CMOS cells
+  (output = switching network);
+* ``NAND``/``NOR``/``NOT`` are inverting - dynamic nMOS cells (output
+  = complement of the switching network), the same ``nand2`` cell
+  :func:`repro.circuits.generators.c17` builds, so a parsed
+  ``c17.bench`` is structurally identical to the generated network;
+* ``XOR`` is neither - switch technologies forbid inner negations, so
+  it becomes a bipolar (functional) odd-parity sum-of-products cell.
+
+Parsed networks are ordinary :class:`~repro.netlist.network.Network`
+objects: every engine, schedule, plan and fault model downstream works
+on them unchanged.  Errors raise :class:`BenchFormatError` with the
+offending line number, in the registry-error message style the CLI
+reuses verbatim.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..cells.cell import Cell
+from .builder import CellFactory
+from .network import Network
+
+__all__ = [
+    "BenchFormatError",
+    "GATE_TYPES",
+    "parse_bench",
+    "read_bench",
+    "resolve_netlist",
+    "write_bench",
+]
+
+GATE_TYPES = ("AND", "BUFF", "NAND", "NOR", "NOT", "OR", "XOR")
+"""The supported ``.bench`` gate types, sorted (error messages quote
+this tuple, mirroring the registries' sorted available-name lists)."""
+
+_SINGLE_INPUT = ("BUFF", "NOT")
+
+
+class BenchFormatError(ValueError):
+    """Malformed ``.bench`` input: syntax, duplicate drivers, unknown
+    gate types, undeclared nets, or unwritable cells."""
+
+
+class _BenchCells:
+    """One factory per technology the ``.bench`` gate types map onto."""
+
+    def __init__(self) -> None:
+        self._domino = CellFactory("domino-CMOS")
+        self._dynamic = CellFactory("dynamic-nMOS")
+        self._bipolar = CellFactory("bipolar")
+
+    def cell(self, kind: str, fan_in: int) -> Cell:
+        inputs = [f"i{k}" for k in range(1, fan_in + 1)]
+        if kind == "AND":
+            return self._domino.and_gate(fan_in)
+        if kind == "OR":
+            return self._domino.or_gate(fan_in)
+        if kind == "BUFF":
+            return self._domino.buffer()
+        if kind == "NAND":
+            return self._dynamic.cell(f"nand{fan_in}", "*".join(inputs), inputs)
+        if kind == "NOR":
+            return self._dynamic.cell(f"nor{fan_in}", "+".join(inputs), inputs)
+        if kind == "NOT":
+            return self._dynamic.cell("inv", "i1", inputs)
+        # XOR: odd parity needs literal negations, which the switch
+        # technologies reject - build the functional (bipolar) SOP over
+        # the odd-parity minterms.
+        terms = []
+        for minterm in range(1 << fan_in):
+            if bin(minterm).count("1") % 2 == 1:
+                terms.append(
+                    "*".join(
+                        pin if (minterm >> index) & 1 else f"!{pin}"
+                        for index, pin in enumerate(inputs)
+                    )
+                )
+        return self._bipolar.cell(f"xor{fan_in}", "+".join(terms), inputs)
+
+
+_CELLS = _BenchCells()
+
+_IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^\s(),=]+)\s*\)$")
+_GATE_RE = re.compile(r"^([^\s(),=]+)\s*=\s*([A-Za-z]+)\s*\(([^()]*)\)$")
+
+
+def parse_bench(text: str, name: str = "bench") -> Network:
+    """Parse ``.bench`` text into a :class:`Network`.
+
+    ``#`` starts a comment; blank lines are skipped; gates may appear
+    in any order (forward references are the norm in ISCAS files) -
+    levelization orders them.  Gate instances are named ``g_<net>``
+    after the net they drive, deterministically, so re-parsing the same
+    text fingerprints identically.
+    """
+    inputs: List[str] = []
+    outputs: List[Tuple[int, str]] = []
+    gate_specs: List[Tuple[int, str, str, List[str]]] = []
+    driven: Dict[str, int] = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _IO_RE.match(line)
+        if match is not None:
+            keyword, net = match.groups()
+            if keyword == "INPUT":
+                if net in driven:
+                    raise BenchFormatError(
+                        f"line {lineno}: duplicate driver for net {net!r}"
+                    )
+                driven[net] = lineno
+                inputs.append(net)
+            else:
+                outputs.append((lineno, net))
+            continue
+        match = _GATE_RE.match(line)
+        if match is None:
+            raise BenchFormatError(f"line {lineno}: cannot parse {line!r}")
+        output, kind_raw, args_text = match.groups()
+        kind = kind_raw.upper()
+        if kind not in GATE_TYPES:
+            raise BenchFormatError(
+                f"line {lineno}: unknown gate type {kind_raw!r}; "
+                "supported gate types: " + ", ".join(GATE_TYPES)
+            )
+        args = [arg.strip() for arg in args_text.split(",")] if args_text.strip() else []
+        if any(not arg or re.search(r"[\s(),=]", arg) for arg in args):
+            raise BenchFormatError(f"line {lineno}: cannot parse {line!r}")
+        if kind in _SINGLE_INPUT and len(args) != 1:
+            raise BenchFormatError(
+                f"line {lineno}: gate type {kind} takes exactly one input, "
+                f"got {len(args)}"
+            )
+        if kind not in _SINGLE_INPUT and len(args) < 2:
+            raise BenchFormatError(
+                f"line {lineno}: gate type {kind} needs at least two inputs, "
+                f"got {len(args)}"
+            )
+        if output in driven:
+            raise BenchFormatError(
+                f"line {lineno}: duplicate driver for net {output!r}"
+            )
+        driven[output] = lineno
+        gate_specs.append((lineno, output, kind, args))
+    for lineno, _output, _kind, args in gate_specs:
+        for net in args:
+            if net not in driven:
+                raise BenchFormatError(f"line {lineno}: undeclared net {net!r}")
+    for lineno, net in outputs:
+        if net not in driven:
+            raise BenchFormatError(f"line {lineno}: undeclared net {net!r}")
+    network = Network(name)
+    for net in inputs:
+        network.add_input(net)
+    for _lineno, output, kind, args in gate_specs:
+        cell = _CELLS.cell(kind, len(args))
+        network.add_gate(f"g_{output}", cell, dict(zip(cell.inputs, args)), output)
+    for _lineno, net in outputs:
+        network.mark_output(net)
+    return network
+
+
+def read_bench(path) -> Network:
+    """Parse a ``.bench`` file; the network is named after the file."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def resolve_netlist(path) -> Network:
+    """Resolve a ``--netlist`` argument: read and parse, or raise one
+    :class:`BenchFormatError` naming the file (the CLI reuses the exact
+    message, like the engine/schedule registries)."""
+    try:
+        return read_bench(path)
+    except OSError as error:
+        raise BenchFormatError(
+            f"cannot read netlist {str(path)!r}: {error}"
+        ) from None
+    except BenchFormatError as error:
+        raise BenchFormatError(f"netlist {str(path)!r}: {error}") from None
+
+
+def _kind_of_cell(cell: Cell) -> Optional[str]:
+    """The ``.bench`` gate type a cell corresponds to, or ``None``.
+
+    Recognition is structural, not by name: the cell must match what
+    :meth:`_BenchCells.cell` would build for that type and fan-in
+    (technology, pin list, switching network and output function).
+    """
+    fan_in = len(cell.inputs)
+    candidates = _SINGLE_INPUT if fan_in == 1 else ("AND", "NAND", "NOR", "OR", "XOR")
+    for kind in candidates:
+        reference = _CELLS.cell(kind, fan_in)
+        if (
+            cell.technology == reference.technology
+            and tuple(cell.inputs) == tuple(reference.inputs)
+            and cell.network_expr.to_paper_syntax()
+            == reference.network_expr.to_paper_syntax()
+            and cell.output_function.to_paper_syntax()
+            == reference.output_function.to_paper_syntax()
+        ):
+            return kind
+    return None
+
+
+def write_bench(network: Network) -> str:
+    """Serialise a network as ``.bench`` text.
+
+    Inputs and outputs keep their declaration order; gates are emitted
+    in levelized order with their connections in cell pin order.  Cells
+    that do not correspond to a ``.bench`` gate type raise
+    :class:`BenchFormatError` (the format has no vocabulary for complex
+    cells like AND-OR or carry gates).
+    """
+    lines = [f"# {network.name}"]
+    for net in network.inputs:
+        lines.append(f"INPUT({net})")
+    for net in network.outputs:
+        lines.append(f"OUTPUT({net})")
+    for name in network.levelize():
+        gate = network.gates[name]
+        kind = _kind_of_cell(gate.cell)
+        if kind is None:
+            raise BenchFormatError(
+                f"gate {name!r}: cell {gate.cell.name!r} "
+                f"({gate.cell.technology}) has no .bench gate type; "
+                "supported gate types: " + ", ".join(GATE_TYPES)
+            )
+        args = ", ".join(gate.connections[pin] for pin in gate.cell.inputs)
+        lines.append(f"{gate.output} = {kind}({args})")
+    return "\n".join(lines) + "\n"

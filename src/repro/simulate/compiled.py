@@ -89,6 +89,31 @@ def compile_gate_function(expr: Expr, slot_of_pin: Mapping[str, int]):
     return _compile_source("v, m", _expr_source(expr, sources))
 
 
+SHARED_GATE_THRESHOLD = 4096
+"""Gate count at which the flattener switches from per-gate slot-baked
+lambdas to shared factory closures.  Below it every gate's slots are
+baked into its own compiled lambda (the fastest call form - constant
+slot indices - and compile cost is immaterial at library-cell sizes);
+at ISCAS scale the ~30us-per-gate ``compile()`` calls dominate
+flattening, so one factory per distinct (cell expression, arity) is
+compiled instead and each gate binds its slots as closure cells -
+~seconds off a 100k-gate compile for a few ns of LOAD_DEREF per call."""
+
+
+def compile_gate_factory(expr: Expr, pins: Sequence[str]) -> Callable:
+    """Compile a cell expression to a slot-binding gate-function factory.
+
+    ``factory(s0, s1, ...)`` returns ``f(values, mask)`` reading
+    ``values[s0], values[s1], ...``; the factory itself is compiled (and
+    cached) once per distinct (cell expression, pin arity), so a
+    100k-gate network of a handful of cell shapes costs a handful of
+    ``compile()`` calls instead of 100k.
+    """
+    sources = {pin: f"v[s{index}]" for index, pin in enumerate(pins)}
+    params = ", ".join(f"s{index}" for index in range(len(pins)))
+    return _compile_source(params, f"lambda v, m: {_expr_source(expr, sources)}")
+
+
 def compile_pin_function(expr: Expr, pins: Sequence[str]) -> Callable:
     """Compile a cell function to ``f(m, p0, p1, ...)`` over positional pins.
 
@@ -205,12 +230,17 @@ class CompiledNetwork:
         self.gates: List[CompiledGate] = []
         self.gate_index: Dict[str, int] = {}
         self.readers: List[List[int]] = [[] for _ in range(self.num_slots)]
+        shared_factories = len(order) >= SHARED_GATE_THRESHOLD
         for index, gate_name in enumerate(order):
             gate = network.gates[gate_name]
             pins = gate.cell.inputs
             slot_of_pin = {pin: slot_of_net[gate.connections[pin]] for pin in pins}
             expr = gate.function_expr()
-            fn = compile_gate_function(expr, slot_of_pin)
+            if shared_factories:
+                factory = compile_gate_factory(expr, pins)
+                fn = factory(*(slot_of_pin[pin] for pin in pins))
+            else:
+                fn = compile_gate_function(expr, slot_of_pin)
             compiled = CompiledGate(
                 name=gate_name,
                 index=index,
@@ -242,8 +272,15 @@ class CompiledNetwork:
         # be far slower.
         self._faulty_fns: Dict[Tuple, Callable] = {}
         # Fanout-cone gate sets, grown lazily by schedule.cone_gates and
-        # persisted alongside this program by the artifact store.
+        # persisted alongside this program by the artifact store; the
+        # scratch bytearray is its reusable visited-flag buffer (reset
+        # per BFS from the visit list, never reallocated).
         self._cone_map: Dict[int, frozenset] = {}
+        self._cone_scratch: Optional[bytearray] = None
+        # Cone-size memo fed by schedule.cone_counts_batch: pricing needs
+        # only sizes, so batch sweeps record counts here without paying
+        # for materialised sets.
+        self._cone_counts: Dict[int, int] = {}
 
     # -- fault patch points ---------------------------------------------------------
 

@@ -20,10 +20,33 @@ def results_identical(a, b):
     assert a.pattern_count == b.pattern_count
 
 
+#: A .bench netlist covering every supported gate type (including the
+#: bipolar XOR mapping and a 3-input XOR); parsed fresh per
+#: differential_circuits() call so the parser output rides the whole
+#: engine x schedule x plan x collapse sweep with no special-casing.
+BENCH_ZOO = """\
+# bench_zoo - every .bench gate type once
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(z)
+OUTPUT(w)
+d = AND(a, b)
+e = OR(b, c)
+f = NAND(a, c)
+g = NOR(d, e)
+h = XOR(f, g)
+i = NOT(h)
+z = BUFF(i)
+w = XOR(a, b, c)
+"""
+
+
 def differential_circuits():
     """The canonical circuit zoo of the differential harness: the fixed
-    generators plus random networks of every technology.  Returned
-    fresh per call so test files can't mutate shared networks."""
+    generators, random networks of every technology, and a parsed
+    ``.bench`` netlist.  Returned fresh per call so test files can't
+    mutate shared networks."""
     from repro.circuits.generators import (
         and_cone,
         c17,
@@ -31,6 +54,7 @@ def differential_circuits():
         dual_rail_parity_tree,
         random_network,
     )
+    from repro.netlist import parse_bench
 
     return [
         and_cone(5),
@@ -41,4 +65,5 @@ def differential_circuits():
         random_network(n_inputs=5, n_gates=10, technology="dynamic-nMOS", seed=23),
         random_network(n_inputs=5, n_gates=10, technology="static-CMOS", seed=37),
         random_network(n_inputs=5, n_gates=9, technology="nMOS", seed=41),
+        parse_bench(BENCH_ZOO, name="bench_zoo"),
     ]

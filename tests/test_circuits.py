@@ -19,6 +19,7 @@ from repro.circuits import (
     fig7_network,
     fig9_cell,
     fig9_library,
+    large_random_network,
     or_cone,
     random_network,
 )
@@ -132,3 +133,24 @@ class TestGenerators:
         for seed in range(5):
             network = random_network(seed=seed)
             network.levelize()  # raises on cycles
+
+    def test_large_random_network_shape(self):
+        network = large_random_network(n_gates=2000, n_inputs=32, n_outputs=6)
+        assert len(network.gates) == 2000
+        assert len(network.inputs) == 32
+        assert network.outputs == [f"n{k}" for k in range(1994, 2000)]
+        order = network.levelize()  # raises on cycles
+        assert len(order) == 2000
+        # The locality window keeps the DAG deep, not a shallow blob.
+        assert network.depth() > 20
+
+    def test_large_random_network_reproducible(self):
+        n1 = large_random_network(n_gates=500, seed=7)
+        n2 = large_random_network(n_gates=500, seed=7)
+        patterns = PatternSet.random(n1.inputs, 64)
+        assert simulate(n1, patterns) == simulate(n2, patterns)
+        assert large_random_network(n_gates=500, seed=8).name != n1.name
+
+    def test_large_random_network_validates_size(self):
+        with pytest.raises(ValueError):
+            large_random_network(n_gates=0)

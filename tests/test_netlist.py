@@ -1,7 +1,12 @@
 """Tests for gate-level networks, builders, and the sequential fault model."""
 
-import pytest
+import time
 
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.generators import domino_carry_chain
 from repro.netlist import (
     CellFactory,
     Network,
@@ -70,6 +75,145 @@ class TestStructure:
     def test_fanout_query(self):
         network = small_network()
         assert ("g2", "i1") in network.fanout_of("n1")
+
+
+class TestLevelizeDiagnosis:
+    """The exact structural diagnoses levelize raises when stuck."""
+
+    def _factory(self):
+        return CellFactory("domino-CMOS")
+
+    def test_undriven_message(self):
+        factory = self._factory()
+        network = Network("undriven")
+        network.add_input("a")
+        network.add_gate("g1", factory.and_gate(2), {"i1": "a", "i2": "ghost"}, "z")
+        with pytest.raises(NetworkError, match=r"^undriven nets: \['ghost'\]$"):
+            network.levelize()
+
+    def test_cycle_message(self):
+        factory = self._factory()
+        network = Network("cyclic")
+        network.add_input("a")
+        network.add_gate("g1", factory.and_gate(2), {"i1": "a", "i2": "n2"}, "n1")
+        network.add_gate("g2", factory.or_gate(2), {"i1": "n1", "i2": "a"}, "n2")
+        with pytest.raises(
+            NetworkError,
+            match=r"^combinational cycle among gates \['g1', 'g2'\]$",
+        ):
+            network.levelize()
+
+    def test_cycle_and_undriven_reported_together(self):
+        # A malformed netlist easily has both defects at once; the
+        # diagnosis must name both, not let the undriven half shadow
+        # the cycle.
+        factory = self._factory()
+        network = Network("both")
+        network.add_input("a")
+        network.add_gate("g1", factory.and_gate(2), {"i1": "a", "i2": "ghost"}, "n1")
+        network.add_gate("g2", factory.and_gate(2), {"i1": "n1", "i2": "n3"}, "n2")
+        network.add_gate("g3", factory.or_gate(2), {"i1": "n2", "i2": "a"}, "n3")
+        with pytest.raises(
+            NetworkError,
+            match=r"^undriven nets: \['ghost'\]; "
+            r"combinational cycle among gates \['g2', 'g3'\]$",
+        ):
+            network.levelize()
+
+    def test_undriven_gates_downstream_of_cycle_not_called_cyclic(self):
+        # g1 is stuck on an undriven net only; the cycle is g2/g3.  The
+        # second relaxation must not blame g1 for the cycle.
+        factory = self._factory()
+        network = Network("split")
+        network.add_input("a")
+        network.add_gate("g1", factory.and_gate(2), {"i1": "a", "i2": "ghost"}, "n1")
+        network.add_gate("g2", factory.and_gate(2), {"i1": "a", "i2": "n3"}, "n2")
+        network.add_gate("g3", factory.or_gate(2), {"i1": "n2", "i2": "a"}, "n3")
+        with pytest.raises(
+            NetworkError,
+            match=r"^undriven nets: \['ghost'\]; "
+            r"combinational cycle among gates \['g2', 'g3'\]$",
+        ):
+            network.levelize()
+
+    def test_undriven_output_message(self):
+        network = Network("noout")
+        network.add_input("a")
+        network.mark_output("q")
+        with pytest.raises(
+            NetworkError, match=r"^primary output 'q' is never driven$"
+        ):
+            network.levelize()
+
+    def test_chain_levelize_is_linear(self):
+        # The old per-level rescan was O(levels x gates): quadratic on
+        # chains, ~10 s at this size.  Kahn's queue must stay well under
+        # a second.
+        network = domino_carry_chain(50000)
+        start = time.perf_counter()
+        order = network.levelize()
+        elapsed = time.perf_counter() - start
+        assert len(order) == 50000
+        assert order[0] == "stage0" and order[-1] == "stage49999"
+        assert elapsed < 1.0, f"50k-gate chain levelize took {elapsed:.2f}s"
+
+
+class TestStructureCaches:
+    """``_order``/``_fanout``/``_depth`` are one cache family: populated
+    lazily, dropped together on every mutation (the artifact store's
+    fingerprints assume no stale derived structure survives a change)."""
+
+    def _populated(self):
+        network = small_network()
+        network.levelize()
+        network.fanout_index()
+        network.depth()
+        assert network._order is not None
+        assert network._fanout is not None
+        assert network._depth is not None
+        return network
+
+    def test_depth_is_memoised(self):
+        network = small_network()
+        assert network._depth is None
+        assert network.depth() == 3
+        assert network._depth == 3
+        # Cached answer, same object state: no recompute path needed.
+        network._order = None  # force levelize to be unusable if re-walked
+        assert network.depth() == 3
+
+    @given(mutation=st.sampled_from(("input", "gate", "output")), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_all_three_caches_invalidate_together(self, mutation, data):
+        network = self._populated()
+        generation = network._generation
+        if mutation == "input":
+            network.add_input("fresh")
+        elif mutation == "gate":
+            factory = CellFactory("domino-CMOS")
+            pins = {"i1": data.draw(st.sampled_from(network.inputs)), "i2": "n1"}
+            network.add_gate("g_new", factory.or_gate(2), pins, "new_net")
+        else:
+            network.mark_output(data.draw(st.sampled_from(("n1", "n2"))))
+        assert network._order is None
+        assert network._fanout is None
+        assert network._depth is None
+        assert network._generation == generation + 1
+
+    def test_failed_mutations_leave_caches_alone(self):
+        network = self._populated()
+        generation = network._generation
+        with pytest.raises(NetworkError):
+            network.add_input("a")  # duplicate
+        with pytest.raises(NetworkError):
+            network.add_gate(
+                "g9", CellFactory("domino-CMOS").buffer(), {"i1": "a"}, "z"
+            )  # net already driven
+        network.mark_output("z")  # already marked: no-op
+        assert network._generation == generation
+        assert network._order is not None
+        assert network._fanout is not None
+        assert network._depth is not None
 
 
 class TestEvaluation:

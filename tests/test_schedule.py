@@ -52,7 +52,7 @@ from repro.simulate.vector import (
     COALESCE_MAX_BATCH,
     vector_compile,
 )
-from repro.simulate.schedule import cone_gates
+from repro.simulate.schedule import cone_counts_batch, cone_gates
 
 
 FIXED_CIRCUITS = [
@@ -120,6 +120,29 @@ class TestConeCostModel:
         compiled = compile_network(network)
         slot = compiled.num_slots - 1
         assert cone_gates(compiled, slot) is cone_gates(compiled, slot)
+
+    def test_cone_counts_batch_matches_per_site_bfs(self, network):
+        # The batched bit-plane sweep the pricing pass uses must agree
+        # with the per-site BFS on every slot - and record counts only,
+        # never materialise the sets.
+        compiled = compile_network(network, cache="off")
+        cone_counts_batch(compiled, list(compiled.slot_of_net.values()) + [-1])
+        assert not compiled._cone_map
+        assert -1 not in compiled._cone_counts
+        for net, slot in compiled.slot_of_net.items():
+            assert compiled._cone_counts[slot] == len(
+                bfs_cone_gate_names(network, net)
+            ), net
+            assert cone_gate_count(compiled, slot) == compiled._cone_counts[slot]
+
+    def test_cone_counts_batch_skips_memoised_sets(self, network):
+        compiled = compile_network(network, cache="off")
+        slots = list(compiled.slot_of_net.values())
+        materialised = cone_gates(compiled, slots[0])
+        cone_counts_batch(compiled, slots)
+        assert slots[0] not in compiled._cone_counts
+        assert cone_gates(compiled, slots[0]) is materialised
+        assert cone_gate_count(compiled, slots[0]) == len(materialised)
 
 
 def test_skewed_network_is_actually_skewed():
